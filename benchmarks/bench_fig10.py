@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Fig. 10 — Exp:3 vs Exp:4 across core counts.
+
+Benchmark-scale trim: a 20-task random graph over 2-4 cores (the paper
+uses 60 tasks over 2-6 cores; ``repro-seu experiment fig10 --profile
+full`` runs that).  Asserts Exp:4 mostly wins on SEUs at modest power
+premium.
+"""
+
+from repro.experiments import run_fig10
+from repro.taskgraph import RandomGraphConfig, random_task_graph
+
+CORE_COUNTS = (2, 3, 4)
+NUM_TASKS = 20
+
+
+def test_bench_fig10(benchmark, bench_profile):
+    config = RandomGraphConfig(num_tasks=NUM_TASKS)
+    graph = random_task_graph(config, seed=bench_profile.seed + NUM_TASKS)
+
+    result = benchmark.pedantic(
+        lambda: run_fig10(
+            bench_profile,
+            graph=graph,
+            deadline_s=config.deadline_s,
+            core_counts=CORE_COUNTS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    checks = result.shape_checks()
+    assert checks["exp4_reduces_seus_mostly"], "Exp:4 should mostly win on SEUs"
+    assert checks["power_premium_small"], "Exp:4's power premium should be modest"
+    print()
+    print(result.format_table())

@@ -1,0 +1,35 @@
+"""Benchmark: regenerate Fig. 11 — voltage scaling level study.
+
+Benchmark-scale trim: a 24-task random graph on four cores with 2-,
+3- and 4-level tables (the paper uses 60 tasks on six cores;
+``repro-seu experiment fig11 --profile full`` runs that).  Asserts the
+nesting claims: more levels never cost power, fewer levels trade
+power for reliability.
+"""
+
+from repro.experiments import run_fig11
+from repro.taskgraph import RandomGraphConfig, random_task_graph
+
+NUM_TASKS = 24
+NUM_CORES = 4
+
+
+def test_bench_fig11(benchmark, bench_profile):
+    config = RandomGraphConfig(num_tasks=NUM_TASKS)
+    graph = random_task_graph(config, seed=bench_profile.seed + NUM_TASKS)
+
+    result = benchmark.pedantic(
+        lambda: run_fig11(
+            bench_profile,
+            graph=graph,
+            deadline_s=config.deadline_s * 1.6,
+            num_cores=NUM_CORES,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    checks = result.shape_checks()
+    assert checks["all_levels_feasible"]
+    assert checks["four_levels_no_more_power"], "4 levels should not cost power"
+    print()
+    print(result.format_table())

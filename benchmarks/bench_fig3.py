@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Fig. 3 — the mapping/reliability study.
+
+120 mappings of the MPEG-2 decoder on four cores, evaluated at
+scalings 1 and 2; asserts the paper's three observations.
+"""
+
+from repro.experiments import run_fig3
+
+
+def test_bench_fig3(benchmark, bench_profile):
+    result = benchmark.pedantic(
+        lambda: run_fig3(bench_profile), rounds=1, iterations=1
+    )
+    checks = result.shape_checks()
+    assert checks["observation1_tm_r_tradeoff"], "T_M/R trade-off missing"
+    assert checks["observation2_gamma_concave_interior_min"], "Gamma not concave"
+    assert checks["observation3_tm_doubles"], "T_M did not double at s=2"
+    assert checks["observation3_gamma_grows"], "Gamma did not grow ~2.5x at s=2"
+    print()
+    print(result.format_table())

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Fig. 9 — baselines vs Exp:4 at fixed scaling.
+
+Re-times the Table II designs at the common (2,2,3,2) scaling and
+asserts the figure's bars: every baseline experiences at least as many
+SEUs as the proposed design, with Exp:2 substantially worse.
+"""
+
+from repro.experiments import run_fig9, run_table2
+
+
+def test_bench_fig9(benchmark, bench_profile):
+    table2 = run_table2(bench_profile)
+
+    result = benchmark.pedantic(
+        lambda: run_fig9(bench_profile, table2=table2), rounds=1, iterations=1
+    )
+    checks = result.shape_checks()
+    assert checks["all_baselines_more_seus"]
+    assert checks["exp2_much_more_seus"], "Exp:2 should be >10% worse on SEUs"
+    print()
+    print(result.format_table())

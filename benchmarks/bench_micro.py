@@ -1,0 +1,84 @@
+"""Micro-benchmarks on the hot substrate paths.
+
+These track the cost of the building blocks every experiment leans on:
+list scheduling, full design-point evaluation, the scaling enumerator
+(Fig. 5), the constructive mapper (Fig. 6) and one Monte-Carlo
+injection pass.
+"""
+
+import pytest
+
+from repro.arch import MPSoC
+from repro.faults import FaultInjector
+from repro.mapping import Mapping, MappingEvaluator
+from repro.optim import initial_sea_mapping
+from repro.optim.scaling_algorithm import all_scalings_list
+from repro.sched import ListScheduler
+from repro.sim import MPSoCSimulator
+from repro.taskgraph import RandomGraphConfig, mpeg2_decoder, random_task_graph
+from repro.taskgraph.mpeg2 import MPEG2_DEADLINE_S
+
+
+@pytest.fixture(scope="module")
+def mpeg2():
+    return mpeg2_decoder()
+
+
+@pytest.fixture(scope="module")
+def graph60():
+    return random_task_graph(RandomGraphConfig(num_tasks=60), seed=60)
+
+
+def test_bench_list_scheduler_mpeg2(benchmark, mpeg2):
+    scheduler = ListScheduler(mpeg2, [2e8] * 4)
+    mapping = Mapping.round_robin(mpeg2, 4)
+    schedule = benchmark(scheduler.schedule, mapping)
+    assert schedule.makespan_s() > 0
+
+
+def test_bench_list_scheduler_60_tasks(benchmark, graph60):
+    scheduler = ListScheduler(graph60, [2e8] * 6)
+    mapping = Mapping.round_robin(graph60, 6)
+    schedule = benchmark(scheduler.schedule, mapping)
+    assert schedule.makespan_s() > 0
+
+
+def test_bench_design_point_evaluation(benchmark, mpeg2):
+    evaluator = MappingEvaluator(
+        mpeg2,
+        MPSoC.paper_reference(4),
+        deadline_s=MPEG2_DEADLINE_S,
+        cache_size=0,  # measure the uncached path
+    )
+    mapping = Mapping.round_robin(mpeg2, 4)
+    point = benchmark(evaluator.evaluate, mapping, (2, 2, 3, 2))
+    assert point.expected_seus > 0
+
+
+def test_bench_scaling_enumeration(benchmark):
+    combos = benchmark(all_scalings_list, 6, 4)
+    assert len(combos) == 84
+
+
+def test_bench_initial_sea_mapping(benchmark, graph60):
+    platform = MPSoC.paper_reference(6)
+    mapping = benchmark(
+        initial_sea_mapping,
+        graph60,
+        platform,
+        RandomGraphConfig(num_tasks=60).deadline_s,
+    )
+    assert mapping.num_tasks == 60
+
+
+def test_bench_simulation_and_injection(benchmark, mpeg2):
+    platform = MPSoC.paper_reference(4)
+    mapping = Mapping.round_robin(mpeg2, 4)
+    voltages = [platform.scaling_table.vdd_v(2)] * 4
+
+    def _campaign():
+        result = MPSoCSimulator(mpeg2, platform, scaling=(2, 2, 2, 2)).run(mapping)
+        return FaultInjector(seed=0).inject(result, voltages)
+
+    campaign = benchmark(_campaign)
+    assert campaign.total_seus > 0

@@ -1,0 +1,38 @@
+"""Benchmark: power/SEU Pareto-front exploration (extension).
+
+Regenerates the feasible front for the MPEG-2 decoder over the full
+scaling enumeration and sanity-checks its geometry: non-dominated,
+monotone (power up, SEUs down along the front), and containing the
+step-3 selected design's trade-off region.
+"""
+
+from repro.arch import MPSoC
+from repro.optim import explore_pareto, pareto_front, sea_mapper
+from repro.optim.pareto import hypervolume_2d
+from repro.taskgraph.mpeg2 import MPEG2_DEADLINE_S, mpeg2_decoder
+
+
+def test_bench_pareto_front(benchmark):
+    graph = mpeg2_decoder()
+    platform = MPSoC.paper_reference(4)
+
+    front = benchmark.pedantic(
+        lambda: explore_pareto(
+            graph,
+            platform,
+            MPEG2_DEADLINE_S,
+            mapper=sea_mapper(search_iterations=400),
+            seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(front) >= 3
+    powers = [point.power_mw for point in front]
+    gammas = [point.expected_seus for point in front]
+    assert powers == sorted(powers)
+    assert gammas == sorted(gammas, reverse=True)  # strict trade-off
+    assert pareto_front(front) == front  # already non-dominated
+
+    reference = (max(powers) * 1.1, max(gammas) * 1.1)
+    assert hypervolume_2d(front, reference) > 0

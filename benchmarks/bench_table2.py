@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Table II — Exp:1-4 on the MPEG-2 decoder.
+
+Runs all four design optimizations (three SA baselines + the proposed
+flow) over the voltage-scaling sweep and asserts the paper's ordering
+claims.
+"""
+
+from repro.experiments import run_table2
+
+
+def test_bench_table2(benchmark, bench_profile):
+    result = benchmark.pedantic(
+        lambda: run_table2(bench_profile), rounds=1, iterations=1
+    )
+    checks = result.shape_checks()
+    assert checks["all_meet_deadline"]
+    assert checks["exp1_min_register_usage"], "Exp:1 should minimize R"
+    assert checks["exp2_max_register_usage"], "Exp:2 should maximize R"
+    assert checks["exp4_fewer_seus_than_exp2"], "Exp:4 should beat Exp:2 on SEUs"
+    print()
+    print(result.format_table())

@@ -1,0 +1,38 @@
+"""Benchmark: regenerate Table III — architecture allocation sweep.
+
+Benchmark-scale trim: MPEG-2 plus a 20-task random graph over 2-4
+cores (the CLI's ``repro-seu experiment table3 --profile full`` runs
+the paper's full six-application, 2-6 core sweep).  Asserts the
+paper's two observations.
+"""
+
+from repro.experiments import run_table3
+from repro.taskgraph import RandomGraphConfig, random_task_graph
+from repro.taskgraph.mpeg2 import MPEG2_DEADLINE_S, mpeg2_decoder
+
+CORE_COUNTS = (2, 3, 4)
+
+
+def _applications(profile):
+    config = RandomGraphConfig(num_tasks=20)
+    return [
+        ("MPEG-2", mpeg2_decoder(), MPEG2_DEADLINE_S),
+        ("20 tasks", random_task_graph(config, seed=profile.seed + 20), config.deadline_s),
+    ]
+
+
+def test_bench_table3(benchmark, bench_profile):
+    result = benchmark.pedantic(
+        lambda: run_table3(
+            bench_profile,
+            core_counts=CORE_COUNTS,
+            applications=_applications(bench_profile),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    checks = result.shape_checks()
+    assert checks["gamma_grows_with_cores"], "Gamma should grow with core count"
+    assert checks["min_power_not_always_max_cores"]
+    print()
+    print(result.format_table())

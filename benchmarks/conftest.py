@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark harness.
+
+Every paper artifact has one benchmark module; running
+
+    pytest benchmarks/ --benchmark-only
+
+regenerates each table/figure at benchmark scale (trimmed workloads
+where the paper-scale sweep takes minutes — the CLI's ``--profile
+full`` covers those) and asserts the paper's qualitative shape along
+the way, so a green benchmark run doubles as a reproduction check.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentProfile
+
+
+@pytest.fixture(scope="session")
+def bench_profile() -> ExperimentProfile:
+    """The validated fast profile (same budgets the tests assert with)."""
+    return ExperimentProfile.fast()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Architecture allocation study — how many cores should the MPSoC have?
+
+Reproduces the Table III experiment on a configurable application:
+sweeps the core count, runs the proposed soft error-aware optimization
+for each allocation, and reports the power/reliability trend.  The
+paper's two observations should be visible: the minimum-power core
+count is application-dependent, and SEUs grow with the core count.
+
+Run:  python examples/architecture_exploration.py --app mpeg2
+      python examples/architecture_exploration.py --app random --tasks 40
+"""
+
+import argparse
+
+from repro.experiments import ExperimentProfile
+from repro.experiments.common import build_optimizer
+from repro.taskgraph import RandomGraphConfig, random_task_graph
+from repro.taskgraph.mpeg2 import MPEG2_DEADLINE_S, mpeg2_decoder
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--app", choices=["mpeg2", "random"], default="mpeg2")
+    parser.add_argument("--tasks", type=int, default=40, help="random graph size")
+    parser.add_argument("--min-cores", type=int, default=2)
+    parser.add_argument("--max-cores", type=int, default=6)
+    parser.add_argument("--seed", type=int, default=0)
+    arguments = parser.parse_args()
+
+    if arguments.app == "mpeg2":
+        graph, deadline = mpeg2_decoder(), MPEG2_DEADLINE_S
+    else:
+        config = RandomGraphConfig(num_tasks=arguments.tasks)
+        graph = random_task_graph(config, seed=arguments.seed)
+        deadline = config.deadline_s
+
+    profile = ExperimentProfile.fast(seed=arguments.seed)
+    print(f"application: {graph.name} ({graph.num_tasks} tasks), "
+          f"deadline {deadline * 1e3:.0f} ms")
+    print()
+    print(f"{'cores':>5}  {'P, mW':>8}  {'Gamma':>12}  {'T_M, ms':>9}  scaling")
+
+    best_power = None
+    for cores in range(arguments.min_cores, arguments.max_cores + 1):
+        optimizer = build_optimizer(graph, cores, deadline, profile, seed_offset=cores)
+        outcome = optimizer.optimize()
+        if outcome.best is None:
+            print(f"{cores:>5}  {'infeasible':>8}")
+            continue
+        point = outcome.best
+        marker = ""
+        if best_power is None or point.power_mw < best_power[0]:
+            best_power = (point.power_mw, cores)
+        print(
+            f"{cores:>5}  {point.power_mw:>8.2f}  {point.expected_seus:>12.3e}  "
+            f"{point.makespan_s * 1e3:>9.0f}  {','.join(map(str, point.scaling))}"
+        )
+
+    if best_power:
+        print()
+        print(f"minimum-power allocation: {best_power[1]} cores "
+              f"({best_power[0]:.2f} mW)")
+
+
+if __name__ == "__main__":
+    main()

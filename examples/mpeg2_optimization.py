@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""MPEG-2 decoder design optimization — the paper's headline scenario.
+
+Optimizes the 11-task MPEG-2 decoder (Fig. 2) on a four-core ARM7
+MPSoC under the tennis-bitstream real-time constraint (437 frames at
+29.97 fps), comparing the proposed soft error-aware flow (Exp:4)
+against the three soft error-unaware baselines of Table II.
+
+Run:  python examples/mpeg2_optimization.py [--full]
+"""
+
+import argparse
+
+from repro.experiments import ExperimentProfile, run_fig9, run_table2
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full", action="store_true", help="paper-scale search budgets (slow)"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    arguments = parser.parse_args()
+
+    profile = (
+        ExperimentProfile.full(seed=arguments.seed)
+        if arguments.full
+        else ExperimentProfile.fast(seed=arguments.seed)
+    )
+
+    print("=== Table II: four design optimizations of the MPEG-2 decoder ===")
+    table2 = run_table2(profile)
+    print(table2.format_table())
+    print()
+    print("shape checks (paper's qualitative claims):")
+    for name, passed in table2.shape_checks().items():
+        print(f"  [{'PASS' if passed else 'FAIL'}] {name}")
+    print()
+
+    print("=== Fig. 9: baselines relative to Exp:4 at scaling (2,2,3,2) ===")
+    fig9 = run_fig9(profile, table2=table2)
+    print(fig9.format_table())
+    print()
+    exp4 = table2.row("Exp:4").point
+    print(
+        f"The proposed design (Exp:4) maps {exp4.mapping.num_tasks} tasks, "
+        f"consumes {exp4.power_mw:.2f} mW and is expected to experience "
+        f"{exp4.expected_seus:.3e} SEUs over the decode "
+        f"(SER 1e-9/bit/cycle) while meeting the deadline."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` falls back to the legacy
+``setup.py develop`` path when PEP 517 editable builds are unavailable
+(this sandbox has no network and no ``wheel``).  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

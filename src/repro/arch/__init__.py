@@ -1,0 +1,42 @@
+"""Architecture substrate: processing cores, MPSoC, DVS and power models.
+
+This subpackage models the homogeneous MPSoC platform of the paper
+(Fig. 1): ``C`` identical ARM7TDMI-class processing cores with private
+caches and memories, fed by a clock-tree generator that supplies a
+per-core voltage/frequency operating point (dynamic voltage scaling).
+
+Public API
+----------
+``ScalingLevel``
+    One (frequency, voltage) operating point.
+``ScalingTable``
+    An ordered collection of levels; presets reproduce Table I of the
+    paper for 2, 3 and 4 scaling levels.
+``CoreSpec`` / ``ProcessingCore``
+    Static parameters and per-core state (assigned scaling coefficient).
+``MPSoC``
+    The platform: a number of cores plus a shared scaling table.
+``PowerModel``
+    Dynamic power per Eq. (1)/(5) of the paper.
+"""
+
+from repro.arch.core import CoreSpec, ProcessingCore
+from repro.arch.dvs import (
+    ARM7_BASE_FREQUENCY_MHZ,
+    ScalingLevel,
+    ScalingTable,
+    arm7_vdd_for_frequency,
+)
+from repro.arch.mpsoc import MPSoC
+from repro.arch.power import PowerModel
+
+__all__ = [
+    "ARM7_BASE_FREQUENCY_MHZ",
+    "CoreSpec",
+    "MPSoC",
+    "PowerModel",
+    "ProcessingCore",
+    "ScalingLevel",
+    "ScalingTable",
+    "arm7_vdd_for_frequency",
+]

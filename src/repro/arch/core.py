@@ -1,0 +1,113 @@
+"""Processing-core model.
+
+Each MPSoC processing core in the paper (Fig. 1) is an ARM7 processor
+with private data/instruction caches (8 kbit / 16 kbit) and a private
+memory (512 kbit).  For the purposes of the optimization the core is
+characterized by:
+
+* its static specification (:class:`CoreSpec`) — cache/memory sizes and
+  effective switched capacitance, and
+* its dynamic state (:class:`ProcessingCore`) — the currently assigned
+  DVS scaling coefficient.
+
+The register space that soft errors strike spans the processor register
+file plus cache and memory registers; its *occupied* size is workload
+dependent and is modelled by the task graph's register sets
+(:mod:`repro.taskgraph.registers`), not here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.dvs import ScalingLevel, ScalingTable
+
+#: Effective switched capacitance (farads) used by the power model.
+#: Calibrated so the MPEG-2 four-core design of Table II lands in the
+#: paper's milliwatt range (see DESIGN.md §5).
+DEFAULT_SWITCHED_CAPACITANCE_F = 8.9e-11
+
+#: Cache and memory sizes of the paper's processing core, in bits.
+DEFAULT_DCACHE_BITS = 8 * 1024
+DEFAULT_ICACHE_BITS = 16 * 1024
+DEFAULT_MEMORY_BITS = 512 * 1024
+
+
+@dataclass(frozen=True)
+class CoreSpec:
+    """Static parameters of one ARM7-class processing core.
+
+    Attributes
+    ----------
+    switched_capacitance_f:
+        Effective switched capacitance :math:`C_L` in farads (Eq. 1).
+    dcache_bits / icache_bits / memory_bits:
+        Private storage sizes in bits.  They bound the register space a
+        core exposes to SEUs; the actual exposed bits are computed from
+        the mapped tasks' register sets.
+    """
+
+    switched_capacitance_f: float = DEFAULT_SWITCHED_CAPACITANCE_F
+    dcache_bits: int = DEFAULT_DCACHE_BITS
+    icache_bits: int = DEFAULT_ICACHE_BITS
+    memory_bits: int = DEFAULT_MEMORY_BITS
+
+    def __post_init__(self) -> None:
+        if self.switched_capacitance_f <= 0.0:
+            raise ValueError("switched capacitance must be positive")
+        for name in ("dcache_bits", "icache_bits", "memory_bits"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    @property
+    def total_storage_bits(self) -> int:
+        """Total private storage (caches + memory) in bits."""
+        return self.dcache_bits + self.icache_bits + self.memory_bits
+
+
+@dataclass
+class ProcessingCore:
+    """One processing core with its current DVS assignment.
+
+    Parameters
+    ----------
+    index:
+        0-based position of the core in the MPSoC.
+    spec:
+        Static core parameters.
+    scaling_coefficient:
+        1-based index into the platform's :class:`ScalingTable`;
+        ``1`` is the fastest level.
+    """
+
+    index: int
+    spec: CoreSpec = field(default_factory=CoreSpec)
+    scaling_coefficient: int = 1
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"core index must be non-negative, got {self.index}")
+        if self.scaling_coefficient < 1:
+            raise ValueError(
+                f"scaling coefficient must be >= 1, got {self.scaling_coefficient}"
+            )
+
+    def level(self, table: ScalingTable) -> ScalingLevel:
+        """The operating point selected by this core's coefficient."""
+        return table.level(self.scaling_coefficient)
+
+    def frequency_hz(self, table: ScalingTable) -> float:
+        """Clock frequency (Hz) at the assigned coefficient."""
+        return self.level(table).frequency_hz
+
+    def vdd_v(self, table: ScalingTable) -> float:
+        """Supply voltage (V) at the assigned coefficient."""
+        return self.level(table).vdd_v
+
+    def set_scaling(self, coefficient: int, table: ScalingTable) -> None:
+        """Assign a new scaling coefficient, validated against ``table``."""
+        table.level(coefficient)  # raises if out of range
+        self.scaling_coefficient = coefficient
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"core{self.index}(s={self.scaling_coefficient})"

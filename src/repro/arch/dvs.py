@@ -1,0 +1,266 @@
+"""Dynamic voltage scaling (DVS) model for ARM7TDMI-class cores.
+
+The paper scales each processing core independently using a small table
+of discrete (frequency, voltage) operating points derived from the
+ARM7TDMI voltage/frequency relationship reported by Pouwelse et al.
+(MobiCom'01), Eq. (2) of the paper:
+
+    Vdd(f) = 0.1667 + 4.1667 * f / 1000        [V, f in MHz]
+
+with the operating frequency for scaling coefficient ``s`` being the
+nominal 200 MHz divided by ``s``.  Evaluating that expression reproduces
+Table I of the paper exactly:
+
+    s=1 -> 200.0 MHz, 1.00 V
+    s=2 -> 100.0 MHz, 0.58 V
+    s=3 ->  66.7 MHz, 0.44 V
+
+Section V additionally studies a 2-level table (dropping s=3) and a
+4-level table (adding a 236 MHz / 1.2 V boost point).  ``ScalingTable``
+captures all three presets; scaling *coefficients* are 1-based indices
+into the table, with ``s = 1`` the fastest (highest voltage) level, so
+the paper's "scale by 2" reads as "use the table's second level".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+#: Nominal (unscaled) ARM7TDMI clock frequency used throughout the paper.
+ARM7_BASE_FREQUENCY_MHZ = 200.0
+
+#: Intercept and slope of the ARM7TDMI Vdd(f) line, Eq. (2) of the paper.
+_ARM7_VDD_INTERCEPT_V = 0.1667
+_ARM7_VDD_SLOPE_V_PER_GHZ = 4.1667
+
+
+def arm7_vdd_for_frequency(frequency_mhz: float) -> float:
+    """Supply voltage (V) required for ``frequency_mhz`` on ARM7TDMI.
+
+    Implements Eq. (2): ``Vdd = 0.1667 + 4.1667 * f / 1000`` with ``f``
+    in MHz.  For the Table I frequencies this returns 1.00, 0.58(3) and
+    0.44(5) volts.
+
+    Raises
+    ------
+    ValueError
+        If ``frequency_mhz`` is not positive.
+    """
+    if frequency_mhz <= 0.0:
+        raise ValueError(f"frequency must be positive, got {frequency_mhz}")
+    return _ARM7_VDD_INTERCEPT_V + _ARM7_VDD_SLOPE_V_PER_GHZ * frequency_mhz / 1000.0
+
+
+@dataclass(frozen=True)
+class ScalingLevel:
+    """One discrete DVS operating point.
+
+    Attributes
+    ----------
+    frequency_mhz:
+        Core clock frequency in MHz.
+    vdd_v:
+        Supply voltage in volts at that frequency.
+    """
+
+    frequency_mhz: float
+    vdd_v: float
+
+    def __post_init__(self) -> None:
+        if self.frequency_mhz <= 0.0:
+            raise ValueError(f"frequency must be positive, got {self.frequency_mhz}")
+        if self.vdd_v <= 0.0:
+            raise ValueError(f"Vdd must be positive, got {self.vdd_v}")
+
+    @property
+    def frequency_hz(self) -> float:
+        """Clock frequency in Hz."""
+        return self.frequency_mhz * 1.0e6
+
+    @property
+    def cycle_time_s(self) -> float:
+        """Duration of one clock cycle in seconds."""
+        return 1.0 / self.frequency_hz
+
+    @classmethod
+    def from_frequency(cls, frequency_mhz: float) -> "ScalingLevel":
+        """Build a level at ``frequency_mhz`` using the ARM7 Vdd(f) law."""
+        return cls(frequency_mhz=frequency_mhz, vdd_v=arm7_vdd_for_frequency(frequency_mhz))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.frequency_mhz:g}MHz@{self.vdd_v:.2f}V"
+
+
+class ScalingTable:
+    """An ordered table of DVS operating points.
+
+    Levels are ordered fastest-first, and scaling coefficients are
+    1-based: coefficient ``s`` selects ``levels[s - 1]``.  This matches
+    the paper, where ``s=1`` is the nominal (fastest) level and larger
+    coefficients denote deeper scaling.
+
+    Parameters
+    ----------
+    levels:
+        Operating points, fastest first.  Frequencies must be strictly
+        decreasing and voltages non-increasing (deeper scaling cannot
+        raise voltage).
+    name:
+        Optional human-readable label, used in reports.
+    """
+
+    def __init__(self, levels: Sequence[ScalingLevel], name: str = "") -> None:
+        levels = list(levels)
+        if not levels:
+            raise ValueError("a scaling table needs at least one level")
+        for previous, current in zip(levels, levels[1:]):
+            if current.frequency_mhz >= previous.frequency_mhz:
+                raise ValueError(
+                    "levels must be ordered fastest first: "
+                    f"{current.frequency_mhz} MHz follows {previous.frequency_mhz} MHz"
+                )
+            if current.vdd_v > previous.vdd_v:
+                raise ValueError(
+                    "a slower level cannot require a higher voltage: "
+                    f"{current} follows {previous}"
+                )
+        self._levels: Tuple[ScalingLevel, ...] = tuple(levels)
+        self.name = name or f"{len(levels)}-level"
+
+    # -- container protocol ------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._levels)
+
+    def __iter__(self) -> Iterator[ScalingLevel]:
+        return iter(self._levels)
+
+    def __getitem__(self, index: int) -> ScalingLevel:
+        return self._levels[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ScalingTable):
+            return NotImplemented
+        return self._levels == other._levels
+
+    def __hash__(self) -> int:
+        return hash(self._levels)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        points = ", ".join(str(level) for level in self._levels)
+        return f"ScalingTable({self.name}: {points})"
+
+    # -- lookups -----------------------------------------------------------
+
+    @property
+    def levels(self) -> Tuple[ScalingLevel, ...]:
+        """The operating points, fastest first."""
+        return self._levels
+
+    @property
+    def num_levels(self) -> int:
+        """Number of operating points."""
+        return len(self._levels)
+
+    @property
+    def deepest_coefficient(self) -> int:
+        """The largest valid scaling coefficient (slowest level)."""
+        return len(self._levels)
+
+    def level(self, coefficient: int) -> ScalingLevel:
+        """Operating point for 1-based scaling ``coefficient``."""
+        self._check_coefficient(coefficient)
+        return self._levels[coefficient - 1]
+
+    def frequency_mhz(self, coefficient: int) -> float:
+        """Clock frequency (MHz) at scaling ``coefficient``."""
+        return self.level(coefficient).frequency_mhz
+
+    def frequency_hz(self, coefficient: int) -> float:
+        """Clock frequency (Hz) at scaling ``coefficient``."""
+        return self.level(coefficient).frequency_hz
+
+    def vdd_v(self, coefficient: int) -> float:
+        """Supply voltage (V) at scaling ``coefficient``."""
+        return self.level(coefficient).vdd_v
+
+    def validate_assignment(self, coefficients: Iterable[int]) -> Tuple[int, ...]:
+        """Validate a per-core coefficient vector and return it as a tuple."""
+        assignment = tuple(coefficients)
+        for coefficient in assignment:
+            self._check_coefficient(coefficient)
+        return assignment
+
+    def _check_coefficient(self, coefficient: int) -> None:
+        if not isinstance(coefficient, int):
+            raise TypeError(f"scaling coefficient must be an int, got {coefficient!r}")
+        if not 1 <= coefficient <= len(self._levels):
+            raise ValueError(
+                f"scaling coefficient {coefficient} outside valid range "
+                f"1..{len(self._levels)}"
+            )
+
+    # -- presets reproducing the paper's tables -----------------------------
+
+    @classmethod
+    def arm7_three_level(cls) -> "ScalingTable":
+        """Table I of the paper: 200/100/66.7 MHz at 1.0/0.58/0.44 V."""
+        return cls(
+            [
+                ScalingLevel.from_frequency(200.0),
+                ScalingLevel.from_frequency(100.0),
+                ScalingLevel.from_frequency(200.0 / 3.0),
+            ],
+            name="arm7-3-level",
+        )
+
+    @classmethod
+    def arm7_two_level(cls) -> "ScalingTable":
+        """Section V's 2-level study: 200 MHz/1 V and 100 MHz/0.58 V."""
+        return cls(
+            [
+                ScalingLevel.from_frequency(200.0),
+                ScalingLevel.from_frequency(100.0),
+            ],
+            name="arm7-2-level",
+        )
+
+    @classmethod
+    def arm7_four_level(cls) -> "ScalingTable":
+        """Section V's 4-level study: Table I plus a 236 MHz / 1.2 V point.
+
+        The paper introduces the boost point as "1.2V-236MHz"; we keep
+        the published voltage rather than the Eq. (2) value (1.15 V).
+        """
+        return cls(
+            [
+                ScalingLevel(frequency_mhz=236.0, vdd_v=1.2),
+                ScalingLevel.from_frequency(200.0),
+                ScalingLevel.from_frequency(100.0),
+                ScalingLevel.from_frequency(200.0 / 3.0),
+            ],
+            name="arm7-4-level",
+        )
+
+    @classmethod
+    def arm7_levels(cls, num_levels: int) -> "ScalingTable":
+        """Preset lookup used by the Fig. 11 experiment (2, 3 or 4 levels)."""
+        presets = {
+            2: cls.arm7_two_level,
+            3: cls.arm7_three_level,
+            4: cls.arm7_four_level,
+        }
+        try:
+            return presets[num_levels]()
+        except KeyError:
+            raise ValueError(
+                f"no ARM7 preset with {num_levels} levels; choose from {sorted(presets)}"
+            ) from None
+
+
+def uniform_assignment(num_cores: int, coefficient: int) -> List[int]:
+    """A per-core assignment with every core at the same coefficient."""
+    if num_cores <= 0:
+        raise ValueError(f"num_cores must be positive, got {num_cores}")
+    return [coefficient] * num_cores

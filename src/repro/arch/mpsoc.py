@@ -1,0 +1,135 @@
+"""Homogeneous MPSoC platform model (Fig. 1 of the paper).
+
+An :class:`MPSoC` is a set of identical :class:`~repro.arch.core.\
+ProcessingCore` instances sharing a :class:`~repro.arch.dvs.ScalingTable`
+(the clock-tree generator supplies each core its own point from the
+table) and connected by dedicated inter-core links with a fixed 32-bit
+transfer width.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.arch.core import CoreSpec, ProcessingCore
+from repro.arch.dvs import ScalingLevel, ScalingTable
+
+
+class MPSoC:
+    """A homogeneous multiprocessor system-on-chip.
+
+    Parameters
+    ----------
+    num_cores:
+        Number of identical processing cores (``C`` in the paper).
+    scaling_table:
+        Shared table of DVS operating points.  Defaults to the paper's
+        three-level ARM7 table (Table I).
+    core_spec:
+        Static parameters shared by every core.
+    scaling:
+        Optional initial per-core scaling coefficients; defaults to all
+        cores at the deepest (slowest, lowest-power) level, matching the
+        starting point of the paper's ``nextScaling`` sweep.
+    """
+
+    def __init__(
+        self,
+        num_cores: int,
+        scaling_table: Optional[ScalingTable] = None,
+        core_spec: Optional[CoreSpec] = None,
+        scaling: Optional[Sequence[int]] = None,
+    ) -> None:
+        if num_cores <= 0:
+            raise ValueError(f"num_cores must be positive, got {num_cores}")
+        self.scaling_table = scaling_table or ScalingTable.arm7_three_level()
+        self.core_spec = core_spec or CoreSpec()
+        if scaling is None:
+            scaling = [self.scaling_table.deepest_coefficient] * num_cores
+        scaling = list(scaling)
+        if len(scaling) != num_cores:
+            raise ValueError(
+                f"scaling vector has {len(scaling)} entries for {num_cores} cores"
+            )
+        self._cores: List[ProcessingCore] = []
+        for index, coefficient in enumerate(scaling):
+            self.scaling_table.level(coefficient)  # validate
+            self._cores.append(
+                ProcessingCore(
+                    index=index, spec=self.core_spec, scaling_coefficient=coefficient
+                )
+            )
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._cores)
+
+    def __iter__(self) -> Iterator[ProcessingCore]:
+        return iter(self._cores)
+
+    def __getitem__(self, index: int) -> ProcessingCore:
+        return self._cores[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MPSoC(num_cores={len(self._cores)}, "
+            f"scaling={self.scaling_vector()}, table={self.scaling_table.name})"
+        )
+
+    # -- properties ----------------------------------------------------------
+
+    @property
+    def num_cores(self) -> int:
+        """Number of processing cores, ``C``."""
+        return len(self._cores)
+
+    @property
+    def cores(self) -> Tuple[ProcessingCore, ...]:
+        """The processing cores, in index order."""
+        return tuple(self._cores)
+
+    # -- scaling management ---------------------------------------------------
+
+    def scaling_vector(self) -> Tuple[int, ...]:
+        """Current per-core scaling coefficients, in core order."""
+        return tuple(core.scaling_coefficient for core in self._cores)
+
+    def set_scaling_vector(self, coefficients: Iterable[int]) -> None:
+        """Assign scaling coefficients to every core at once."""
+        assignment = self.scaling_table.validate_assignment(coefficients)
+        if len(assignment) != self.num_cores:
+            raise ValueError(
+                f"scaling vector has {len(assignment)} entries for "
+                f"{self.num_cores} cores"
+            )
+        for core, coefficient in zip(self._cores, assignment):
+            core.scaling_coefficient = coefficient
+
+    def level_of(self, core_index: int) -> ScalingLevel:
+        """Operating point of core ``core_index``."""
+        return self._cores[core_index].level(self.scaling_table)
+
+    def frequency_hz(self, core_index: int) -> float:
+        """Clock frequency (Hz) of core ``core_index``."""
+        return self.level_of(core_index).frequency_hz
+
+    def vdd_v(self, core_index: int) -> float:
+        """Supply voltage (V) of core ``core_index``."""
+        return self.level_of(core_index).vdd_v
+
+    def with_scaling(self, coefficients: Sequence[int]) -> "MPSoC":
+        """A copy of this platform with a different scaling vector."""
+        return MPSoC(
+            num_cores=self.num_cores,
+            scaling_table=self.scaling_table,
+            core_spec=self.core_spec,
+            scaling=coefficients,
+        )
+
+    # -- convenience constructors ---------------------------------------------
+
+    @classmethod
+    def paper_reference(cls, num_cores: int = 4) -> "MPSoC":
+        """The paper's reference platform: ARM7 cores, Table I scalings."""
+        return cls(num_cores=num_cores, scaling_table=ScalingTable.arm7_three_level())

@@ -1,0 +1,128 @@
+"""Dynamic power model (Eqs. 1 and 5 of the paper).
+
+The per-core dynamic power is ``P_dyn = alpha * C_L * f * Vdd^2`` where
+``alpha`` is the core's activity factor — the fraction of the
+multiprocessor execution window during which the core is busy
+(``alpha_i = T_i / T_M``).  Platform power is the sum over cores with
+each core at its own (f, Vdd) operating point:
+
+    P = C_L * sum_i alpha_i * f_i(s_i) * Vdd_i(s_i)^2        (Eq. 5)
+
+``PowerModel`` evaluates this for a scaling vector plus activity
+factors.  Activity factors come from a schedule (see
+:mod:`repro.mapping.metrics`); passing ``None`` assumes fully busy
+cores (alpha = 1), an upper bound sometimes useful for screening.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.arch.dvs import ScalingTable
+from repro.arch.mpsoc import MPSoC
+
+
+class PowerModel:
+    """Dynamic power evaluator for an MPSoC scaling assignment.
+
+    Parameters
+    ----------
+    switched_capacitance_f:
+        Effective switched capacitance :math:`C_L` (farads) common to
+        all cores.  Defaults to the platform's core spec when evaluating
+        through :meth:`platform_power_mw`.
+    """
+
+    def __init__(self, switched_capacitance_f: Optional[float] = None) -> None:
+        if switched_capacitance_f is not None and switched_capacitance_f <= 0:
+            raise ValueError("switched capacitance must be positive")
+        self._cl = switched_capacitance_f
+
+    # -- single-core power ------------------------------------------------
+
+    def core_power_w(
+        self,
+        frequency_hz: float,
+        vdd_v: float,
+        activity: float = 1.0,
+        switched_capacitance_f: Optional[float] = None,
+    ) -> float:
+        """Dynamic power (watts) of one core, Eq. (1).
+
+        Parameters
+        ----------
+        frequency_hz:
+            Clock frequency in Hz.
+        vdd_v:
+            Supply voltage in volts.
+        activity:
+            Activity factor ``alpha`` in [0, 1].
+        switched_capacitance_f:
+            Override for :math:`C_L`; falls back to the model default.
+        """
+        cl = switched_capacitance_f if switched_capacitance_f is not None else self._cl
+        if cl is None:
+            raise ValueError("no switched capacitance configured")
+        if not 0.0 <= activity <= 1.0 + 1e-12:
+            raise ValueError(f"activity factor must be in [0, 1], got {activity}")
+        if frequency_hz <= 0 or vdd_v <= 0:
+            raise ValueError("frequency and Vdd must be positive")
+        return activity * cl * frequency_hz * vdd_v * vdd_v
+
+    # -- platform power -----------------------------------------------------
+
+    def platform_power_w(
+        self,
+        platform: MPSoC,
+        scaling: Optional[Sequence[int]] = None,
+        activities: Optional[Sequence[float]] = None,
+    ) -> float:
+        """Total dynamic power (watts) of the platform, Eq. (5).
+
+        Parameters
+        ----------
+        platform:
+            The MPSoC; supplies the scaling table and, by default, the
+            current per-core coefficients and the core spec's
+            capacitance.
+        scaling:
+            Optional per-core scaling coefficients overriding the
+            platform's current assignment.
+        activities:
+            Optional per-core activity factors ``alpha_i``; defaults to
+            all-busy (1.0).
+        """
+        table: ScalingTable = platform.scaling_table
+        if scaling is None:
+            scaling = platform.scaling_vector()
+        else:
+            scaling = list(scaling)
+            if len(scaling) != platform.num_cores:
+                raise ValueError(
+                    f"scaling vector has {len(scaling)} entries for "
+                    f"{platform.num_cores} cores"
+                )
+        if activities is None:
+            activities = [1.0] * platform.num_cores
+        elif len(activities) != platform.num_cores:
+            raise ValueError(
+                f"activity vector has {len(activities)} entries for "
+                f"{platform.num_cores} cores"
+            )
+        cl = self._cl if self._cl is not None else platform.core_spec.switched_capacitance_f
+        total = 0.0
+        for coefficient, activity in zip(scaling, activities):
+            level = table.level(coefficient)
+            total += self.core_power_w(
+                level.frequency_hz, level.vdd_v, activity, switched_capacitance_f=cl
+            )
+        return total
+
+    def platform_power_mw(
+        self,
+        platform: MPSoC,
+        scaling: Optional[Sequence[int]] = None,
+        activities: Optional[Sequence[float]] = None,
+    ) -> float:
+        """Total dynamic power in milliwatts (the paper's reporting unit)."""
+        return 1.0e3 * self.platform_power_w(platform, scaling, activities)

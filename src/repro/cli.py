@@ -1,0 +1,159 @@
+"""Command-line interface: ``repro-seu``.
+
+Subcommands
+-----------
+``experiment <id>``
+    Run one paper artifact (fig3, table2, fig9, table3, fig10, fig11)
+    and print its table + shape checks.
+``optimize``
+    Run the proposed soft error-aware optimization on the MPEG-2
+    decoder or a random graph and print the chosen design.
+``inject``
+    Simulate a design and run a Monte-Carlo SEU injection campaign,
+    comparing the measured count against the Eq. (3) expectation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.common import ExperimentProfile
+from repro.experiments.runner import experiment_ids, run_experiment
+
+
+def _add_profile_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile",
+        choices=["fast", "full"],
+        default="fast",
+        help="search budget preset (default: fast)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="determinism seed")
+
+
+def _profile_from(args: argparse.Namespace) -> ExperimentProfile:
+    if args.profile == "full":
+        return ExperimentProfile.full(seed=args.seed)
+    return ExperimentProfile.fast(seed=args.seed)
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    _, report = run_experiment(args.id, _profile_from(args))
+    print(report)
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    from repro import quick_optimize
+    from repro.taskgraph.mpeg2 import MPEG2_DEADLINE_S, mpeg2_decoder
+    from repro.taskgraph.random_graphs import RandomGraphConfig, random_task_graph
+    from repro.taskgraph.workloads import WORKLOADS
+
+    if args.app == "mpeg2":
+        graph, deadline = mpeg2_decoder(), MPEG2_DEADLINE_S
+    elif args.app in WORKLOADS:
+        factory, deadline = WORKLOADS[args.app]
+        graph = factory()
+    else:
+        config = RandomGraphConfig(num_tasks=args.tasks)
+        graph = random_task_graph(config, seed=args.seed)
+        deadline = config.deadline_s
+    outcome = quick_optimize(
+        graph,
+        num_cores=args.cores,
+        deadline_s=deadline,
+        num_scaling_levels=args.levels,
+        search_iterations=args.iterations,
+        seed=args.seed,
+    )
+    if outcome.best is None:
+        print("no feasible design found", file=sys.stderr)
+        return 1
+    best = outcome.best
+    print(f"application: {graph.name} ({graph.num_tasks} tasks)")
+    print(f"deadline:    {deadline * 1e3:.1f} ms")
+    print(f"design:      {best.summary()}")
+    for core, tasks in enumerate(best.mapping.core_groups()):
+        level = best.scaling[core]
+        print(f"  core {core + 1} (s={level}): {', '.join(tasks) if tasks else '-'}")
+    print(f"assessed {len(outcome.assessments)} scaling combinations, "
+          f"{outcome.evaluations} design-point evaluations")
+    return 0
+
+
+def _cmd_inject(args: argparse.Namespace) -> int:
+    from repro.arch import MPSoC
+    from repro.faults import FaultInjector
+    from repro.mapping import Mapping
+    from repro.sim import MPSoCSimulator
+    from repro.taskgraph.mpeg2 import mpeg2_decoder
+
+    graph = mpeg2_decoder()
+    platform = MPSoC.paper_reference(args.cores)
+    scaling = tuple(int(s) for s in args.scaling.split(",")) if args.scaling else None
+    simulator = MPSoCSimulator(graph, platform, scaling=scaling)
+    mapping = Mapping.round_robin(graph, args.cores)
+    result = simulator.run(mapping)
+    voltages = [
+        platform.scaling_table.vdd_v(coefficient) for coefficient in simulator.scaling
+    ]
+    injector = FaultInjector(seed=args.seed)
+    campaign = injector.inject(result, voltages, runs=args.runs)
+    print(f"makespan:        {result.makespan_s * 1e3:.1f} ms")
+    print(f"expected SEUs:   {campaign.expected_seus / args.runs:.2f} per run")
+    print(f"injected SEUs:   {campaign.mean_seus_per_run:.2f} per run "
+          f"({args.runs} runs)")
+    for core, count in campaign.per_core_seus.items():
+        print(f"  core {core + 1}: {count} SEUs total")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-seu`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-seu",
+        description="Soft error-aware MPSoC design optimization (DATE 2010 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    experiment = subparsers.add_parser(
+        "experiment", help="run one paper table/figure"
+    )
+    experiment.add_argument("id", choices=list(experiment_ids()))
+    _add_profile_arguments(experiment)
+    experiment.set_defaults(func=_cmd_experiment)
+
+    optimize = subparsers.add_parser("optimize", help="optimize one application")
+    optimize.add_argument(
+        "--app",
+        choices=["mpeg2", "random", "jpeg", "fft8", "cruise-control"],
+        default="mpeg2",
+    )
+    optimize.add_argument("--tasks", type=int, default=20, help="random graph size")
+    optimize.add_argument("--cores", type=int, default=4)
+    optimize.add_argument("--levels", type=int, default=3, choices=[2, 3, 4])
+    optimize.add_argument("--iterations", type=int, default=800)
+    optimize.add_argument("--seed", type=int, default=0)
+    optimize.set_defaults(func=_cmd_optimize)
+
+    inject = subparsers.add_parser("inject", help="Monte-Carlo SEU injection demo")
+    inject.add_argument("--cores", type=int, default=4)
+    inject.add_argument("--scaling", type=str, default="",
+                        help="comma-separated per-core coefficients, e.g. 2,2,3,2")
+    inject.add_argument("--runs", type=int, default=20)
+    inject.add_argument("--seed", type=int, default=0)
+    inject.set_defaults(func=_cmd_inject)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

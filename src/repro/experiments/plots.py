@@ -1,0 +1,82 @@
+"""Plain-text scatter plots for the figure experiments.
+
+The evaluation figures are scatter/line plots; in a terminal-first
+library we render them as ASCII scatters so ``repro-seu experiment
+fig3`` can *show* the concave Gamma curve, not just tabulate it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+
+def ascii_scatter(
+    points: Sequence[Tuple[float, float]],
+    width: int = 64,
+    height: int = 18,
+    x_label: str = "x",
+    y_label: str = "y",
+    marker: str = "*",
+) -> str:
+    """Render (x, y) points as an ASCII scatter plot.
+
+    Axis ranges are the data extents; degenerate ranges collapse to a
+    single row/column.  Returns a multi-line string with simple axis
+    annotations.
+    """
+    if not points:
+        return "(no data)"
+    if width < 8 or height < 4:
+        raise ValueError("plot must be at least 8x4")
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = x_high - x_low or 1.0
+    y_span = y_high - y_low or 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        column = int((x - x_low) / x_span * (width - 1))
+        row = height - 1 - int((y - y_low) / y_span * (height - 1))
+        grid[row][column] = marker
+
+    lines = [f"{y_label}  (max {y_high:.3g})"]
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(
+        f" {x_label}: {x_low:.3g} .. {x_high:.3g}   (min {y_label} {y_low:.3g})"
+    )
+    return "\n".join(lines)
+
+
+def fig3_scatter(result, panel: str = "b", **kwargs) -> str:
+    """ASCII rendering of one Fig. 3 panel.
+
+    Parameters
+    ----------
+    result:
+        A :class:`~repro.experiments.fig3.Fig3Result`.
+    panel:
+        ``"a"`` (R vs T_M), ``"b"`` (Gamma vs T_M at s=1) or
+        ``"c"`` (Gamma vs T_M at s=2).
+    """
+    series = {
+        "a": (result.series_a(), "T_M ms", "R kbit"),
+        "b": (result.series_b(), "T_M ms", "Gamma"),
+        "c": (result.series_c(), "T_M ms", "Gamma(s=2)"),
+    }
+    try:
+        points, x_label, y_label = series[panel]
+    except KeyError:
+        raise ValueError(f"unknown Fig. 3 panel {panel!r}") from None
+    return ascii_scatter(points, x_label=x_label, y_label=y_label, **kwargs)
+
+
+def pareto_plot(points, **kwargs) -> str:
+    """ASCII rendering of a power/SEU Pareto front."""
+    coordinates = [(point.power_mw, point.expected_seus) for point in points]
+    return ascii_scatter(
+        coordinates, x_label="P mW", y_label="Gamma", marker="o", **kwargs
+    )

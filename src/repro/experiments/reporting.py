@@ -1,0 +1,119 @@
+"""Report writers: experiment results to Markdown and CSV.
+
+``EXPERIMENTS.md`` and machine-readable artifacts are generated
+through this module so the documentation never drifts from what the
+code actually produces.
+
+* :func:`checks_markdown` — shape-check verdicts as a Markdown list;
+* :func:`table_to_markdown` — ASCII tables re-rendered as Markdown;
+* :func:`write_experiment_reports` — run a set of experiments and
+  drop one ``<id>.md`` + ``<id>.csv`` pair per artifact in a
+  directory.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.experiments.common import ExperimentProfile
+from repro.experiments.runner import experiment_ids, run_experiment
+
+
+def table_to_markdown(ascii_table: str) -> str:
+    """Convert a :func:`~repro.experiments.common.format_table` block
+    to a GitHub-Markdown table.
+
+    The input format is: header line, dash ruler, data rows, columns
+    separated by two-plus spaces.
+    """
+    lines = [line.rstrip() for line in ascii_table.splitlines() if line.strip()]
+    if len(lines) < 2:
+        return ascii_table
+    header, _ruler, *rows = lines
+
+    def split(line: str) -> List[str]:
+        return [cell.strip() for cell in line.split("  ") if cell.strip()]
+
+    header_cells = split(header)
+    width = len(header_cells)
+    out = ["| " + " | ".join(header_cells) + " |"]
+    out.append("|" + "---|" * width)
+    for row in rows:
+        cells = split(row)
+        cells += [""] * (width - len(cells))
+        out.append("| " + " | ".join(cells[:width]) + " |")
+    return "\n".join(out)
+
+
+def checks_markdown(checks: Dict[str, bool]) -> str:
+    """Shape-check verdicts as a Markdown task list."""
+    return "\n".join(
+        f"- [{'x' if passed else ' '}] `{name}`" for name, passed in checks.items()
+    )
+
+
+def rows_to_csv(headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
+    """Render rows as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(list(headers))
+    for row in rows:
+        writer.writerow(list(row))
+    return buffer.getvalue()
+
+
+def ascii_table_to_csv(ascii_table: str) -> str:
+    """CSV rendering of a ``format_table`` block."""
+    lines = [line.rstrip() for line in ascii_table.splitlines() if line.strip()]
+    if len(lines) < 2:
+        return ""
+    header, _ruler, *rows = lines
+
+    def split(line: str) -> List[str]:
+        return [cell.strip() for cell in line.split("  ") if cell.strip()]
+
+    return rows_to_csv(split(header), (split(row) for row in rows))
+
+
+def experiment_markdown(experiment_id: str, result: Any, profile: ExperimentProfile) -> str:
+    """One artifact's full Markdown report."""
+    parts = [
+        f"## {experiment_id}",
+        "",
+        f"profile: `{profile.name}` (seed={profile.seed})",
+        "",
+        table_to_markdown(result.format_table()),
+    ]
+    checks = getattr(result, "shape_checks", None)
+    if checks is not None:
+        parts += ["", "Shape checks:", "", checks_markdown(checks())]
+    return "\n".join(parts) + "\n"
+
+
+def write_experiment_reports(
+    output_dir: Union[str, Path],
+    profile: Optional[ExperimentProfile] = None,
+    ids: Optional[Sequence[str]] = None,
+) -> Dict[str, Path]:
+    """Run experiments and write ``<id>.md``/``<id>.csv`` files.
+
+    Returns experiment id -> markdown path.
+    """
+    profile = profile or ExperimentProfile.fast()
+    ids = list(ids) if ids is not None else list(experiment_ids())
+    output = Path(output_dir)
+    output.mkdir(parents=True, exist_ok=True)
+    written: Dict[str, Path] = {}
+    for experiment_id in ids:
+        result, _report = run_experiment(experiment_id, profile)
+        markdown_path = output / f"{experiment_id}.md"
+        markdown_path.write_text(
+            experiment_markdown(experiment_id, result, profile)
+        )
+        csv_path = output / f"{experiment_id}.csv"
+        csv_path.write_text(ascii_table_to_csv(result.format_table()))
+        written[experiment_id] = markdown_path
+    return written

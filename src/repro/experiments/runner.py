@@ -1,0 +1,90 @@
+"""Experiment orchestration: run any paper artifact by name.
+
+:func:`run_experiment` dispatches on experiment id (``"fig3"``,
+``"table2"``, ``"fig9"``, ``"table3"``, ``"fig10"``, ``"fig11"``) and
+returns ``(result, report)`` where ``report`` is the printable table
+plus the shape-check verdicts.  The CLI and EXPERIMENTS.md generation
+both go through here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.experiments.common import ExperimentProfile
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.fig10 import run_fig10
+from repro.experiments.fig11 import run_fig11
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+
+_RUNNERS: Dict[str, Callable[..., Any]] = {
+    "fig3": run_fig3,
+    "table2": run_table2,
+    "fig9": run_fig9,
+    "table3": run_table3,
+    "fig10": run_fig10,
+    "fig11": run_fig11,
+}
+
+_TITLES: Dict[str, str] = {
+    "fig3": "Fig. 3 — task mapping vs reliability study",
+    "table2": "Table II — Exp:1-4 on the MPEG-2 decoder (4 cores)",
+    "fig9": "Fig. 9 — Exp:1-3 relative to Exp:4 at fixed scaling",
+    "table3": "Table III — architecture allocation sweep",
+    "fig10": "Fig. 10 — Exp:3 vs Exp:4 across core counts",
+    "fig11": "Fig. 11 — voltage scaling level study",
+}
+
+
+def experiment_ids() -> Tuple[str, ...]:
+    """All known experiment ids, in paper order."""
+    return tuple(_RUNNERS)
+
+
+def run_experiment(
+    experiment_id: str, profile: Optional[ExperimentProfile] = None
+) -> Tuple[Any, str]:
+    """Run one experiment; return its result object and a text report."""
+    try:
+        runner = _RUNNERS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; choose from {sorted(_RUNNERS)}"
+        ) from None
+    profile = profile or ExperimentProfile.fast()
+    result = runner(profile)
+    report = render_report(experiment_id, result, profile)
+    return result, report
+
+
+def render_report(experiment_id: str, result: Any, profile: ExperimentProfile) -> str:
+    """Format a result object into the standard text report."""
+    lines = [
+        _TITLES.get(experiment_id, experiment_id),
+        f"profile: {profile.name} (seed={profile.seed})",
+        "",
+        result.format_table(),
+    ]
+    if experiment_id == "fig3":
+        from repro.experiments.plots import fig3_scatter
+
+        lines += ["", "Gamma vs T_M (scaling 1) — the concave trade-off:", ""]
+        lines.append(fig3_scatter(result, panel="b"))
+    checks = getattr(result, "shape_checks", None)
+    if checks is not None:
+        lines.append("")
+        lines.append("shape checks:")
+        for name, passed in checks().items():
+            lines.append(f"  [{'PASS' if passed else 'FAIL'}] {name}")
+    return "\n".join(lines)
+
+
+def run_all(profile: Optional[ExperimentProfile] = None) -> Dict[str, Tuple[Any, str]]:
+    """Run every experiment; return id -> (result, report)."""
+    profile = profile or ExperimentProfile.fast()
+    return {
+        experiment_id: run_experiment(experiment_id, profile)
+        for experiment_id in experiment_ids()
+    }

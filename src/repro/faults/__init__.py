@@ -1,0 +1,39 @@
+"""Soft-error models: SER vs voltage, SEU events and fault injection.
+
+* :class:`~repro.faults.ser.SERModel` — soft error rate per bit per
+  cycle as a function of supply voltage (exponential low-voltage
+  susceptibility, after Chandra & Aitken [2]).
+* :mod:`~repro.faults.seu` — SEU event records and Poisson event-count
+  sampling.
+* :class:`~repro.faults.injector.FaultInjector` — Monte-Carlo SEU
+  injection over a simulated register-occupancy trace; validates the
+  closed-form expectation of Eq. (3).
+"""
+
+from repro.faults.ser import SERModel, DEFAULT_SER_PER_BIT_PER_CYCLE
+from repro.faults.seu import SEUEvent, sample_seu_count
+from repro.faults.injector import FaultInjectionResult, FaultInjector
+from repro.faults.reliability import (
+    expected_failures,
+    failure_probability,
+    gamma_for_failure_budget,
+    mean_executions_to_failure,
+    ser_sweep,
+)
+from repro.faults.recovery import RecoveryAnalysis, analyze_recovery
+
+__all__ = [
+    "DEFAULT_SER_PER_BIT_PER_CYCLE",
+    "FaultInjectionResult",
+    "FaultInjector",
+    "RecoveryAnalysis",
+    "SERModel",
+    "SEUEvent",
+    "analyze_recovery",
+    "expected_failures",
+    "failure_probability",
+    "gamma_for_failure_budget",
+    "mean_executions_to_failure",
+    "sample_seu_count",
+    "ser_sweep",
+]

@@ -1,0 +1,167 @@
+"""Monte-Carlo SEU fault injection over a simulated occupancy trace.
+
+For every occupancy interval (core, resident registers, cycle window)
+the injector draws the upset count from a Poisson distribution with
+mean ``lambda_i * bits * cycles`` (the per-core rate reflects the
+core's scaled voltage) and optionally materializes individual
+:class:`~repro.faults.seu.SEUEvent` records — the struck register
+chosen with probability proportional to its size, the time uniform in
+the window.
+
+The grand total is the simulated counterpart of Eq. (3)'s expected
+``Gamma``; tests check agreement within sampling error, which is the
+validation the paper performs between its analytic model and its
+SystemC fault-injection campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.faults.ser import SERModel
+from repro.faults.seu import SEUEvent
+from repro.sim.simulator import SimulationResult
+
+
+@dataclass
+class FaultInjectionResult:
+    """Outcome of one injection campaign.
+
+    Attributes
+    ----------
+    total_seus:
+        Injected SEU count summed over cores (``Gamma`` measured).
+    per_core_seus:
+        Core -> injected count.
+    expected_seus:
+        The analytic mean the draws came from (Eq. 3 on the trace).
+    events:
+        Materialized event records (at most ``max_events``).
+    runs:
+        Number of independent campaign repetitions aggregated.
+    """
+
+    total_seus: int
+    per_core_seus: Dict[int, int]
+    expected_seus: float
+    events: List[SEUEvent] = field(default_factory=list)
+    runs: int = 1
+
+    @property
+    def mean_seus_per_run(self) -> float:
+        """Average injected SEUs per campaign repetition."""
+        return self.total_seus / max(self.runs, 1)
+
+
+class FaultInjector:
+    """Poisson SEU injector bound to an SER model.
+
+    Parameters
+    ----------
+    ser_model:
+        Voltage-dependent soft error rate.
+    seed:
+        Seed for the campaign's random generator.
+    max_events:
+        Cap on materialized event records (counts are always exact;
+        the cap only bounds memory).
+    """
+
+    def __init__(
+        self,
+        ser_model: Optional[SERModel] = None,
+        seed: Optional[int] = None,
+        max_events: int = 10_000,
+    ) -> None:
+        self.ser_model = ser_model or SERModel()
+        self._rng = np.random.default_rng(seed)
+        if max_events < 0:
+            raise ValueError("max_events must be non-negative")
+        self.max_events = max_events
+
+    def inject(
+        self,
+        result: SimulationResult,
+        voltages_v: Sequence[float],
+        collect_events: bool = False,
+        runs: int = 1,
+    ) -> FaultInjectionResult:
+        """Run ``runs`` independent campaigns over one simulation result.
+
+        Parameters
+        ----------
+        result:
+            Simulator output (supplies the occupancy trace).
+        voltages_v:
+            Per-core supply voltages; determine per-core ``lambda_i``.
+        collect_events:
+            Materialize individual upset records (costly for large
+            counts; capped at ``max_events``).
+        runs:
+            Independent repetitions to aggregate (variance reduction
+            for comparisons against the analytic expectation).
+        """
+        if runs <= 0:
+            raise ValueError("runs must be positive")
+        num_cores = len(result.frequencies_hz)
+        if len(voltages_v) != num_cores:
+            raise ValueError(
+                f"{len(voltages_v)} voltages for {num_cores} cores"
+            )
+        # Exposure is bits x cycles at each core's own clock, with the
+        # per-cycle rate set by the core's voltage (Eq. 3).
+        rates = [self.ser_model.rate(voltage) for voltage in voltages_v]
+
+        expected = 0.0
+        for interval in result.occupancy:
+            expected += rates[interval.core] * interval.exposure_bit_cycles
+
+        total = 0
+        per_core: Dict[int, int] = {core: 0 for core in range(num_cores)}
+        events: List[SEUEvent] = []
+        for _ in range(runs):
+            for interval in result.occupancy:
+                mean = rates[interval.core] * interval.exposure_bit_cycles
+                if mean <= 0.0:
+                    continue
+                count = int(self._rng.poisson(mean))
+                if count == 0:
+                    continue
+                total += count
+                per_core[interval.core] += count
+                if collect_events and len(events) < self.max_events:
+                    events.extend(
+                        self._materialize(interval, min(count, self.max_events - len(events)))
+                    )
+        return FaultInjectionResult(
+            total_seus=total,
+            per_core_seus=per_core,
+            expected_seus=expected * runs,
+            events=events,
+            runs=runs,
+        )
+
+    def _materialize(self, interval, count: int) -> List[SEUEvent]:
+        """Draw ``count`` event records within one occupancy interval."""
+        registers = sorted(interval.registers)
+        if not registers:
+            return []
+        weights = np.array([register.bits for register in registers], dtype=float)
+        weights /= weights.sum()
+        choices = self._rng.choice(len(registers), size=count, p=weights)
+        times = self._rng.uniform(interval.start_s, max(interval.end_s, interval.start_s), size=count)
+        events = []
+        for choice, time_s in zip(choices, times):
+            register = registers[int(choice)]
+            events.append(
+                SEUEvent(
+                    time_s=float(time_s),
+                    core=interval.core,
+                    register_name=register.name,
+                    bit_index=int(self._rng.integers(0, register.bits)),
+                )
+            )
+        return events

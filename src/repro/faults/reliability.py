@@ -1,0 +1,118 @@
+"""Reliability figures of merit derived from the expected SEU count.
+
+The paper reports reliability as the raw number of SEUs experienced
+(Eq. 3).  Downstream users usually want failure-oriented metrics; this
+module derives them under the standard assumptions that upsets arrive
+as a Poisson process and that each upset independently causes an
+observable failure with probability ``avf`` (the architectural
+vulnerability factor — most register upsets are masked):
+
+* :func:`failure_probability` — probability of at least one failure
+  over an execution window with expectation ``gamma``;
+* :func:`mean_executions_to_failure` — how many back-to-back runs of
+  the application complete on average before the first failure;
+* :func:`ser_sweep` — Gamma as a function of the nominal SER, the
+  sensitivity study implied by the paper's "for a soft error rate of
+  1e-9" framing.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.faults.ser import SERModel
+from repro.mapping.mapping import Mapping
+from repro.mapping.metrics import MappingEvaluator
+
+#: Default architectural vulnerability factor: the fraction of register
+#: upsets that become observable failures.  Literature values for
+#: embedded cores typically fall between 1% and 10%.
+DEFAULT_AVF = 0.05
+
+
+def failure_probability(gamma: float, avf: float = DEFAULT_AVF) -> float:
+    """P(at least one failure) for expected SEU count ``gamma``.
+
+    Upsets are Poisson with mean ``gamma``; each is fatal independently
+    with probability ``avf``, so failures are Poisson with mean
+    ``gamma * avf`` and ``P = 1 - exp(-gamma * avf)``.
+    """
+    _check_gamma_avf(gamma, avf)
+    return 1.0 - math.exp(-gamma * avf)
+
+
+def mean_executions_to_failure(gamma: float, avf: float = DEFAULT_AVF) -> float:
+    """Expected number of executions until the first failure.
+
+    The failure count per execution is Poisson(``gamma * avf``); runs
+    are independent, so the first failing run is geometric with success
+    probability :func:`failure_probability` and mean ``1/p``.  Returns
+    ``inf`` when the failure probability is zero.
+    """
+    probability = failure_probability(gamma, avf)
+    if probability <= 0.0:
+        return math.inf
+    return 1.0 / probability
+
+
+def expected_failures(gamma: float, avf: float = DEFAULT_AVF) -> float:
+    """Expected observable failures over one execution window."""
+    _check_gamma_avf(gamma, avf)
+    return gamma * avf
+
+
+def ser_sweep(
+    evaluator: MappingEvaluator,
+    mapping: Mapping,
+    scaling: Sequence[int],
+    reference_rates: Sequence[float],
+) -> List[Tuple[float, float]]:
+    """Gamma as a function of the nominal SER.
+
+    Evaluates the same design under a family of SER models that differ
+    only in the 1 V reference rate; by Eq. (3) Gamma scales linearly,
+    which makes this a cheap sanity sweep and a way to re-anchor the
+    reproduction to a different technology node.
+
+    Returns ``[(reference_rate, gamma), ...]`` in input order.
+    """
+    base = evaluator.ser_model
+    results: List[Tuple[float, float]] = []
+    for rate in reference_rates:
+        if rate <= 0:
+            raise ValueError(f"reference rate must be positive, got {rate}")
+        swept = MappingEvaluator(
+            evaluator.graph,
+            evaluator.platform,
+            ser_model=base.with_reference_rate(rate),
+            power_model=evaluator.power_model,
+            deadline_s=evaluator.deadline_s,
+            cache_size=0,
+        )
+        point = swept.evaluate(mapping, tuple(scaling))
+        results.append((rate, point.expected_seus))
+    return results
+
+
+def gamma_for_failure_budget(
+    failure_budget: float, avf: float = DEFAULT_AVF
+) -> float:
+    """Largest Gamma whose failure probability stays within a budget.
+
+    Inverts :func:`failure_probability`; useful to turn a reliability
+    requirement ("at most 1% chance of a corrupted decode") into a
+    Gamma constraint for the optimizer.
+    """
+    if not 0.0 < failure_budget < 1.0:
+        raise ValueError("failure budget must be in (0, 1)")
+    if avf <= 0.0:
+        raise ValueError("AVF must be positive to invert")
+    return -math.log(1.0 - failure_budget) / avf
+
+
+def _check_gamma_avf(gamma: float, avf: float) -> None:
+    if gamma < 0:
+        raise ValueError(f"gamma must be non-negative, got {gamma}")
+    if not 0.0 <= avf <= 1.0:
+        raise ValueError(f"AVF must be in [0, 1], got {avf}")

@@ -1,0 +1,74 @@
+"""SEU event records and Poisson event-count sampling.
+
+Following the fault-injection technique of [11] (Section II-B of the
+paper): for a given soft error rate the *number* of SEUs over an
+exposure window is Poisson-distributed with mean ``lambda * bits *
+cycles``, and each upset strikes a uniformly random bit at a uniformly
+random cycle within the window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SEUEvent:
+    """One injected single-event upset.
+
+    Attributes
+    ----------
+    time_s:
+        Wall-clock instant of the upset.
+    core:
+        Core whose register space was struck.
+    register_name:
+        The register block hit.
+    bit_index:
+        Bit offset within the block.
+    """
+
+    time_s: float
+    core: int
+    register_name: str
+    bit_index: int
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ValueError("event time must be non-negative")
+        if self.core < 0:
+            raise ValueError("core index must be non-negative")
+        if self.bit_index < 0:
+            raise ValueError("bit index must be non-negative")
+
+
+def sample_seu_count(
+    rate_per_bit_cycle: float,
+    bits: float,
+    cycles: float,
+    rng: Optional[np.random.Generator] = None,
+) -> int:
+    """Draw the SEU count for one exposure window.
+
+    Parameters
+    ----------
+    rate_per_bit_cycle:
+        ``lambda`` — SEUs per bit per cycle.
+    bits / cycles:
+        Exposure window: resident bits and window length in cycles.
+    rng:
+        Source of randomness; a fresh default generator when omitted.
+    """
+    if rate_per_bit_cycle < 0:
+        raise ValueError("rate must be non-negative")
+    if bits < 0 or cycles < 0:
+        raise ValueError("bits and cycles must be non-negative")
+    mean = rate_per_bit_cycle * bits * cycles
+    if mean == 0.0:
+        return 0
+    if rng is None:
+        rng = np.random.default_rng()
+    return int(rng.poisson(mean))

@@ -1,0 +1,46 @@
+"""Task mapping: assignment of tasks to cores and its metrics.
+
+* :class:`~repro.mapping.mapping.Mapping` — an immutable-by-discipline
+  assignment of every task to a core, with move/swap constructors used
+  by the optimizers.
+* :mod:`~repro.mapping.metrics` — register usage (Eq. 8), per-core
+  execution time (Eq. 7), the pooled makespan estimate (Eq. 6), the
+  expected SEU count (Eq. 3) and the full design-point evaluator that
+  combines scheduling, power and reliability.
+* :mod:`~repro.mapping.enumeration` — systematic and sampled mapping
+  enumeration used by the Fig. 3 study.
+"""
+
+from repro.mapping.mapping import Mapping
+from repro.mapping.metrics import (
+    DesignPoint,
+    MappingEvaluator,
+    core_execution_cycles,
+    core_register_bits,
+    expected_seus,
+    pooled_makespan_s,
+    total_register_bits,
+)
+from repro.mapping.enumeration import (
+    contiguous_mappings,
+    enumerate_mappings,
+    num_distinct_mappings,
+    sample_mappings,
+    stratified_mappings,
+)
+
+__all__ = [
+    "DesignPoint",
+    "Mapping",
+    "MappingEvaluator",
+    "contiguous_mappings",
+    "core_execution_cycles",
+    "core_register_bits",
+    "enumerate_mappings",
+    "expected_seus",
+    "num_distinct_mappings",
+    "pooled_makespan_s",
+    "sample_mappings",
+    "stratified_mappings",
+    "total_register_bits",
+]

@@ -1,0 +1,244 @@
+"""Mapping enumeration and sampling (the Fig. 3 study).
+
+Section III evaluates 120 distinct task mappings of the MPEG-2 decoder
+on four cores to expose the R/T_M trade-off.  This module provides:
+
+* :func:`num_distinct_mappings` — the count of surjective task-to-core
+  assignments up to core relabelling (cores are identical, so mappings
+  differing only by a core permutation are the same design);
+* :func:`enumerate_mappings` — deterministic enumeration of canonical
+  mappings (optionally capped);
+* :func:`sample_mappings` — seeded random sampling of distinct
+  canonical mappings, used to regenerate Fig. 3 with any sample size.
+
+Canonical form: cores are labelled in order of first appearance when
+tasks are visited in the graph's topological order.  Two assignments
+that differ only by a permutation of (identical) cores canonicalize to
+the same :class:`~repro.mapping.mapping.Mapping`.
+"""
+
+from __future__ import annotations
+
+import random
+from math import comb
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.mapping.mapping import Mapping
+from repro.taskgraph.graph import TaskGraph
+
+
+def _stirling2(n: int, k: int) -> int:
+    """Stirling numbers of the second kind (partitions of n into k blocks)."""
+    if k < 0 or k > n:
+        return 0
+    if k == 0:
+        return 1 if n == 0 else 0
+    # Explicit-formula sum; exact integer arithmetic.
+    total = 0
+    for j in range(k + 1):
+        total += (-1) ** (k - j) * comb(k, j) * j**n
+    return total // _factorial(k)
+
+
+def _factorial(k: int) -> int:
+    result = 1
+    for value in range(2, k + 1):
+        result *= value
+    return result
+
+
+def num_distinct_mappings(num_tasks: int, num_cores: int, require_all_cores: bool = True) -> int:
+    """Distinct mappings of ``num_tasks`` onto identical cores.
+
+    With ``require_all_cores`` the count is the Stirling number
+    S(N, C); otherwise it is the sum of S(N, k) for k = 1..C (any
+    number of cores may stay empty).
+    """
+    if num_tasks <= 0 or num_cores <= 0:
+        raise ValueError("num_tasks and num_cores must be positive")
+    if require_all_cores:
+        return _stirling2(num_tasks, num_cores)
+    return sum(_stirling2(num_tasks, k) for k in range(1, num_cores + 1))
+
+
+def canonicalize(mapping: Mapping, graph: TaskGraph) -> Mapping:
+    """Relabel cores in order of first appearance along topological order."""
+    relabel: Dict[int, int] = {}
+    for name in graph.topological_order():
+        core = mapping.core_of(name)
+        if core not in relabel:
+            relabel[core] = len(relabel)
+    return Mapping(
+        {name: relabel[mapping.core_of(name)] for name in mapping},
+        mapping.num_cores,
+    )
+
+
+def enumerate_mappings(
+    graph: TaskGraph,
+    num_cores: int,
+    require_all_cores: bool = True,
+    limit: Optional[int] = None,
+) -> Iterator[Mapping]:
+    """Yield canonical mappings deterministically.
+
+    Tasks are assigned in topological order using the restricted-growth
+    encoding of set partitions: the first task goes to core 0 and each
+    subsequent task may use any already-used core or the next fresh
+    one.  This enumerates every canonical mapping exactly once.
+
+    Parameters
+    ----------
+    require_all_cores:
+        When true, only mappings using all ``num_cores`` cores are
+        yielded (the paper's platform has no idle cores).
+    limit:
+        Stop after this many mappings.
+    """
+    if num_cores <= 0:
+        raise ValueError("num_cores must be positive")
+    order = graph.topological_order()
+    produced = 0
+
+    def _extend(index: int, assignment: Dict[str, int], used: int) -> Iterator[Mapping]:
+        nonlocal produced
+        if limit is not None and produced >= limit:
+            return
+        if index == len(order):
+            if require_all_cores and used < min(num_cores, len(order)):
+                return
+            produced += 1
+            yield Mapping(dict(assignment), num_cores)
+            return
+        remaining = len(order) - index
+        for core in range(min(used + 1, num_cores)):
+            # Prune: the unassigned tasks must be able to fill the
+            # still-unused cores.
+            new_used = max(used, core + 1)
+            needed = min(num_cores, len(order)) - new_used
+            if require_all_cores and needed > remaining - 1:
+                continue
+            assignment[order[index]] = core
+            yield from _extend(index + 1, assignment, new_used)
+            del assignment[order[index]]
+            if limit is not None and produced >= limit:
+                return
+
+    yield from _extend(0, {}, 0)
+
+
+def contiguous_mappings(
+    graph: TaskGraph,
+    num_cores: int,
+    num_samples: int,
+    seed: Optional[int] = None,
+) -> List[Mapping]:
+    """Mappings that cut the topological order into contiguous blocks.
+
+    Contiguous blocks keep graph-adjacent (data-sharing) tasks
+    together, so these mappings sit at the *localized* end of the
+    R/T_M trade-off (low register duplication, long makespan).  Cut
+    points are drawn uniformly; duplicates are removed.
+    """
+    if num_cores <= 0 or num_samples <= 0:
+        raise ValueError("num_cores and num_samples must be positive")
+    order = graph.topological_order()
+    if len(order) < num_cores:
+        raise ValueError("need at least as many tasks as cores")
+    rng = random.Random(seed)
+    seen = set()
+    samples: List[Mapping] = []
+    attempts = 0
+    positions = list(range(1, len(order)))
+    max_cuts = comb(len(order) - 1, num_cores - 1)
+    target = min(num_samples, max_cuts)
+    while len(samples) < target and attempts < 200 * target:
+        attempts += 1
+        cuts = sorted(rng.sample(positions, num_cores - 1))
+        assignment: Dict[str, int] = {}
+        core = 0
+        for index, name in enumerate(order):
+            if core < len(cuts) and index >= cuts[core]:
+                core += 1
+            assignment[name] = core
+        mapping = Mapping(assignment, num_cores)
+        if mapping in seen:
+            continue
+        seen.add(mapping)
+        samples.append(mapping)
+    return samples
+
+
+def stratified_mappings(
+    graph: TaskGraph,
+    num_cores: int,
+    num_samples: int,
+    seed: Optional[int] = None,
+) -> List[Mapping]:
+    """A sample spanning the localization spectrum (Fig. 3 style).
+
+    Half the sample comes from contiguous topological blocks
+    (localized end), half from uniform random assignments (spread
+    end), deduplicated.  This mirrors the paper's deliberate sweep of
+    120 mappings across the R/T_M trade-off.
+    """
+    half = max(num_samples // 2, 1)
+    localized = contiguous_mappings(graph, num_cores, half, seed=seed)
+    spread = sample_mappings(
+        graph, num_cores, num_samples - len(localized), seed=None if seed is None else seed + 1
+    )
+    seen = set()
+    combined: List[Mapping] = []
+    for mapping in localized + spread:
+        canonical = canonicalize(mapping, graph)
+        if canonical not in seen:
+            seen.add(canonical)
+            combined.append(canonical)
+    return combined
+
+
+def sample_mappings(
+    graph: TaskGraph,
+    num_cores: int,
+    num_samples: int,
+    seed: Optional[int] = None,
+    require_all_cores: bool = True,
+    max_attempts_factor: int = 200,
+) -> List[Mapping]:
+    """Draw ``num_samples`` distinct canonical mappings uniformly-ish.
+
+    Each draw assigns every task to a uniformly random core, then
+    canonicalizes; duplicates are rejected.  When the space is smaller
+    than ``num_samples`` the full enumeration is returned instead.
+    """
+    if num_samples <= 0:
+        raise ValueError("num_samples must be positive")
+    space = num_distinct_mappings(graph.num_tasks, num_cores, require_all_cores)
+    if space <= num_samples:
+        return list(enumerate_mappings(graph, num_cores, require_all_cores))
+
+    rng = random.Random(seed)
+    names = graph.task_names()
+    seen = set()
+    samples: List[Mapping] = []
+    attempts = 0
+    max_attempts = max_attempts_factor * num_samples
+    while len(samples) < num_samples and attempts < max_attempts:
+        attempts += 1
+        assignment = {name: rng.randrange(num_cores) for name in names}
+        candidate = Mapping(assignment, num_cores)
+        if require_all_cores and len(candidate.used_cores()) < min(
+            num_cores, graph.num_tasks
+        ):
+            continue
+        candidate = canonicalize(candidate, graph)
+        if candidate in seen:
+            continue
+        seen.add(candidate)
+        samples.append(candidate)
+    if len(samples) < num_samples:
+        raise RuntimeError(
+            f"could only sample {len(samples)} of {num_samples} mappings "
+            f"after {attempts} attempts"
+        )
+    return samples

@@ -1,0 +1,323 @@
+"""Design-point metrics: Eqs. (3)-(8) of the paper.
+
+This module turns a (mapping, scaling) pair into the quantities the
+paper optimizes over:
+
+* per-core register usage ``R_i`` (Eq. 8) — the bit-cardinality of the
+  union of register sets of the tasks on core *i*;
+* per-core execution time ``T_i`` in cycles (Eq. 7) — computation plus
+  cross-core dependency (receive) cycles;
+* the multiprocessor execution time ``T_M`` — authoritative value from
+  list scheduling, with the paper's pooled-throughput estimate (Eq. 6)
+  available as :func:`pooled_makespan_s`;
+* the expected number of SEUs experienced ``Gamma`` (Eq. 3);
+* dynamic power ``P`` (Eq. 5) using schedule-derived activity factors.
+
+Exposure model (DESIGN.md §5)
+-----------------------------
+Register *state* is live — and hence exposed to upsets — for the whole
+multiprocessor execution window, not only while its core is actively
+computing (a register bank retains data through idle cycles).  Each
+core's exposure is therefore ``R_i * T_M`` counted in the core's own
+clock cycles (``T_M_s * f_i``), with the per-cycle rate ``lambda_i``
+depending on the core's voltage.  Counting exposure in local cycles
+makes Gamma frequency-invariant for a fixed mapping, which is exactly
+how the paper reads Fig. 3(c): the ~2.5x growth at s=2 is attributed
+entirely to the Vdd-lambda relationship while T_M (in wall time)
+merely doubles.
+
+:class:`MappingEvaluator` bundles the platform, SER and power models
+and caches evaluations, since local search re-visits design points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.arch.mpsoc import MPSoC
+from repro.arch.power import PowerModel
+from repro.faults.ser import SERModel
+from repro.mapping.mapping import Mapping
+from repro.sched.list_scheduler import ListScheduler
+from repro.sched.schedule import Schedule
+from repro.taskgraph.graph import TaskGraph
+
+# ---------------------------------------------------------------------------
+# Elementary metrics (pure functions of graph + mapping)
+# ---------------------------------------------------------------------------
+
+
+def core_register_bits(graph: TaskGraph, mapping: Mapping, core_index: int) -> int:
+    """``R_i`` of Eq. (8): union bits of the register sets on one core."""
+    register_map = graph.register_map()
+    tasks = mapping.tasks_on(core_index)
+    if not tasks:
+        return 0
+    return register_map.union_bits(tasks)
+
+
+def per_core_register_bits(graph: TaskGraph, mapping: Mapping) -> Tuple[int, ...]:
+    """``R_i`` for every core."""
+    register_map = graph.register_map()
+    return tuple(
+        register_map.union_bits(tasks) if tasks else 0
+        for tasks in mapping.core_groups()
+    )
+
+
+def total_register_bits(graph: TaskGraph, mapping: Mapping) -> int:
+    """Overall register usage ``R = sum_i R_i`` (bits).
+
+    Shared sets mapped across cores are counted once *per core* — the
+    duplication effect of Section III.
+    """
+    return sum(per_core_register_bits(graph, mapping))
+
+
+def core_execution_cycles(graph: TaskGraph, mapping: Mapping, core_index: int) -> int:
+    """``T_i`` of Eq. (7) in cycles: computation plus cross-core receives."""
+    total = 0
+    for name in mapping.tasks_on(core_index):
+        total += graph.task(name).cycles
+        for producer in graph.predecessors(name):
+            if mapping.core_of(producer) != core_index:
+                total += graph.comm_cycles(producer, name)
+    return total
+
+
+def per_core_execution_cycles(graph: TaskGraph, mapping: Mapping) -> Tuple[int, ...]:
+    """``T_i`` for every core."""
+    return tuple(
+        core_execution_cycles(graph, mapping, core)
+        for core in range(mapping.num_cores)
+    )
+
+
+def pooled_makespan_s(
+    graph: TaskGraph, mapping: Mapping, frequencies_hz: Sequence[float]
+) -> float:
+    """The paper's aggregate makespan estimate, Eq. (6).
+
+    Total busy cycles over all cores divided by the summed effective
+    clock rate.  It ignores precedence stalls, so it lower-bounds the
+    real (list-scheduled) makespan for balanced mappings; the
+    optimizers use the scheduler's makespan as the authoritative T_M.
+    """
+    if len(frequencies_hz) != mapping.num_cores:
+        raise ValueError(
+            f"{len(frequencies_hz)} frequencies for {mapping.num_cores} cores"
+        )
+    total_cycles = sum(per_core_execution_cycles(graph, mapping))
+    pooled_rate = sum(frequencies_hz)
+    if pooled_rate <= 0:
+        raise ValueError("pooled clock rate must be positive")
+    return total_cycles / pooled_rate
+
+
+def expected_seus(
+    register_bits: Sequence[int],
+    execution_cycles: Sequence[float],
+    rates: Sequence[float],
+) -> float:
+    """``Gamma`` of Eq. (3): ``sum_i R_i * T_i * lambda_i``.
+
+    Parameters
+    ----------
+    register_bits:
+        ``R_i`` per core (live register bits).
+    execution_cycles:
+        Exposure window per core, in the core's own clock cycles
+        (full-makespan exposure: ``T_M_s * f_i``).
+    rates:
+        ``lambda_i`` per core, SEUs per bit per cycle.
+    """
+    if not len(register_bits) == len(execution_cycles) == len(rates):
+        raise ValueError("per-core vectors must have equal length")
+    return sum(
+        bits * cycles * rate
+        for bits, cycles, rate in zip(register_bits, execution_cycles, rates)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Design points
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """A fully evaluated (mapping, scaling) design.
+
+    All of Table II's columns are here: the mapping, the per-core
+    scaling coefficients, power ``P`` (mW), register usage ``R``
+    (bits), multiprocessor execution time ``T_M`` (seconds and
+    nominal-clock cycles) and expected SEUs ``Gamma``.
+    """
+
+    mapping: Mapping
+    scaling: Tuple[int, ...]
+    power_mw: float
+    register_bits_per_core: Tuple[int, ...]
+    register_bits_total: int
+    execution_cycles_per_core: Tuple[int, ...]
+    makespan_s: float
+    makespan_cycles: int
+    expected_seus: float
+    activities: Tuple[float, ...]
+    meets_deadline: Optional[bool] = None
+    schedule: Schedule = field(repr=False, compare=False, default=None)
+
+    @property
+    def register_kbits_total(self) -> float:
+        """R in kbits (1 kbit = 1000 bits), the paper's reporting unit."""
+        return self.register_bits_total / 1000.0
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        deadline = (
+            ""
+            if self.meets_deadline is None
+            else f", deadline {'met' if self.meets_deadline else 'MISSED'}"
+        )
+        return (
+            f"P={self.power_mw:.2f}mW R={self.register_kbits_total:.1f}kb "
+            f"T_M={self.makespan_s * 1e3:.1f}ms Gamma={self.expected_seus:.3e} "
+            f"s={self.scaling}{deadline}"
+        )
+
+
+class MappingEvaluator:
+    """Evaluates mappings into :class:`DesignPoint` values.
+
+    Parameters
+    ----------
+    graph:
+        Application task graph.
+    platform:
+        MPSoC platform (supplies scaling table and capacitance).
+    ser_model:
+        Voltage-dependent soft error rate; defaults to the paper's
+        1e-9/bit/cycle nominal model.
+    power_model:
+        Dynamic power model; defaults to the platform's capacitance.
+    deadline_s:
+        Optional real-time constraint ``T_Mref``; when set, design
+        points carry ``meets_deadline``.
+    cache_size:
+        Maximum number of cached evaluations (0 disables caching).
+    comm_model:
+        Scheduler communication model, ``"dedicated"`` (the paper's
+        platform, default) or ``"shared-bus"`` (see
+        :class:`~repro.sched.list_scheduler.ListScheduler`).
+    """
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        platform: MPSoC,
+        ser_model: Optional[SERModel] = None,
+        power_model: Optional[PowerModel] = None,
+        deadline_s: Optional[float] = None,
+        cache_size: int = 4096,
+        comm_model: str = "dedicated",
+    ) -> None:
+        graph.validate()
+        self.graph = graph
+        self.platform = platform
+        self.ser_model = ser_model or SERModel()
+        self.power_model = power_model or PowerModel(
+            platform.core_spec.switched_capacitance_f
+        )
+        self.deadline_s = deadline_s
+        self.comm_model = comm_model
+        self._cache: Dict[Tuple[Mapping, Tuple[int, ...]], DesignPoint] = {}
+        self._cache_size = max(cache_size, 0)
+        self.evaluations = 0  # total evaluate() calls, cache hits included
+
+    # -- main entry point -----------------------------------------------------
+
+    def evaluate(
+        self, mapping: Mapping, scaling: Optional[Sequence[int]] = None
+    ) -> DesignPoint:
+        """Evaluate a mapping under a scaling vector (defaults to platform's)."""
+        if scaling is None:
+            scaling_vector = self.platform.scaling_vector()
+        else:
+            scaling_vector = self.platform.scaling_table.validate_assignment(scaling)
+            if len(scaling_vector) != self.platform.num_cores:
+                raise ValueError(
+                    f"scaling vector has {len(scaling_vector)} entries for "
+                    f"{self.platform.num_cores} cores"
+                )
+        self.evaluations += 1
+        key = (mapping, scaling_vector)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        point = self._evaluate_uncached(mapping, scaling_vector)
+        if self._cache_size:
+            if len(self._cache) >= self._cache_size:
+                self._cache.clear()
+            self._cache[key] = point
+        return point
+
+    def _evaluate_uncached(
+        self, mapping: Mapping, scaling: Tuple[int, ...]
+    ) -> DesignPoint:
+        graph, platform = self.graph, self.platform
+        mapping.validate_against(graph)
+        table = platform.scaling_table
+        frequencies = [table.frequency_hz(coefficient) for coefficient in scaling]
+        voltages = [table.vdd_v(coefficient) for coefficient in scaling]
+
+        scheduler = ListScheduler(graph, frequencies, comm_model=self.comm_model)
+        schedule = scheduler.schedule(mapping)
+        makespan_s = schedule.makespan_s()
+        activities = schedule.activities()
+
+        register_bits = per_core_register_bits(graph, mapping)
+        execution_cycles = tuple(
+            schedule.busy_cycles(core) for core in range(platform.num_cores)
+        )
+        # Full-window exposure in each core's own cycles (see module
+        # docstring): registers stay live from start to T_M.
+        exposure_cycles = tuple(
+            makespan_s * frequency if bits else 0.0
+            for frequency, bits in zip(frequencies, register_bits)
+        )
+        rates = [self.ser_model.rate(vdd) for vdd in voltages]
+        gamma = expected_seus(register_bits, exposure_cycles, rates)
+
+        power_mw = self.power_model.platform_power_mw(
+            platform, scaling=scaling, activities=activities
+        )
+        meets = None
+        if self.deadline_s is not None:
+            meets = makespan_s <= self.deadline_s + 1e-12
+
+        return DesignPoint(
+            mapping=mapping,
+            scaling=scaling,
+            power_mw=power_mw,
+            register_bits_per_core=register_bits,
+            register_bits_total=sum(register_bits),
+            execution_cycles_per_core=execution_cycles,
+            makespan_s=makespan_s,
+            makespan_cycles=schedule.makespan_cycles(),
+            expected_seus=gamma,
+            activities=activities,
+            meets_deadline=meets,
+            schedule=schedule,
+        )
+
+    # -- cache control ----------------------------------------------------------
+
+    def clear_cache(self) -> None:
+        """Drop all cached design points."""
+        self._cache.clear()
+
+    @property
+    def cache_entries(self) -> int:
+        """Number of cached design points."""
+        return len(self._cache)

@@ -1,0 +1,71 @@
+"""Design optimization: the paper's contribution plus baselines.
+
+* :mod:`~repro.optim.scaling_algorithm` — the ``nextScaling`` voltage
+  scaling enumerator of Fig. 5(a)/(b).
+* :mod:`~repro.optim.initial_mapping` — ``InitialSEAMapping`` (Fig. 6),
+  the constructive soft error-aware mapping heuristic.
+* :mod:`~repro.optim.optimized_mapping` — ``OptimizedMapping``
+  (Fig. 7), local search with list scheduling under a deadline.
+* :mod:`~repro.optim.annealing` — the simulated-annealing task mapper
+  (Orsila et al. [13]) used by the soft error-unaware baselines
+  Exp:1-3.
+* :mod:`~repro.optim.objectives` — optimization objectives (register
+  usage, makespan, their product, SEUs, power).
+* :mod:`~repro.optim.design_optimizer` — the joint Fig. 4 loop
+  combining power minimization, mapping and iterative assessment.
+"""
+
+from repro.optim.scaling_algorithm import (
+    next_scaling,
+    num_scaling_combinations,
+    scaling_combinations,
+)
+from repro.optim.objectives import (
+    MakespanObjective,
+    Objective,
+    PowerObjective,
+    RegisterTimeProductObjective,
+    RegisterUsageObjective,
+    SEUObjective,
+    deadline_penalized,
+)
+from repro.optim.moves import neighbor_mappings, random_neighbor
+from repro.optim.initial_mapping import initial_sea_mapping
+from repro.optim.optimized_mapping import OptimizedMappingSearch, SearchResult
+from repro.optim.annealing import AnnealingConfig, SimulatedAnnealingMapper
+from repro.optim.design_optimizer import (
+    DesignOptimizer,
+    OptimizationOutcome,
+    ScalingAssessment,
+    baseline_mapper,
+    sea_mapper,
+)
+from repro.optim.pareto import explore_pareto, hypervolume_2d, pareto_front
+
+__all__ = [
+    "AnnealingConfig",
+    "DesignOptimizer",
+    "MakespanObjective",
+    "Objective",
+    "OptimizationOutcome",
+    "OptimizedMappingSearch",
+    "PowerObjective",
+    "RegisterTimeProductObjective",
+    "RegisterUsageObjective",
+    "SEUObjective",
+    "ScalingAssessment",
+    "SearchResult",
+    "SimulatedAnnealingMapper",
+    "baseline_mapper",
+    "deadline_penalized",
+    "explore_pareto",
+    "hypervolume_2d",
+    "pareto_front",
+    "initial_sea_mapping",
+    "neighbor_mappings",
+    "next_scaling",
+    "num_scaling_combinations",
+    "random_neighbor",
+    "scaling_combinations",
+    "sea_mapper",
+]

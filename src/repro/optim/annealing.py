@@ -1,0 +1,172 @@
+"""Simulated-annealing task mapper — the soft error-unaware baseline.
+
+The paper's Exp:1-3 obtain their mappings "through simulated
+annealing [13]" (Orsila et al.) with three different objectives:
+register usage, parallelism (makespan) and their product.  This module
+is that baseline: a classic SA over the move/swap neighbourhood with
+geometric cooling, seeded and iteration-budgeted for reproducibility.
+
+The objective is any :data:`~repro.optim.objectives.Objective`;
+deadline handling uses :func:`~repro.optim.objectives.
+deadline_penalized` so the walk is drawn back into the feasible region
+rather than bouncing off a hard wall.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.mapping.mapping import Mapping
+from repro.mapping.metrics import DesignPoint, MappingEvaluator
+from repro.optim.moves import random_neighbor
+from repro.optim.objectives import Objective, deadline_penalized
+
+
+@dataclass(frozen=True)
+class AnnealingConfig:
+    """Simulated-annealing hyper-parameters.
+
+    Attributes
+    ----------
+    max_iterations:
+        Total annealing steps.
+    initial_temperature:
+        Starting temperature, in units of *relative* objective change
+        (0.1 accepts ~10% degradations readily at the start).
+    cooling:
+        Geometric cooling factor per step (0 < cooling < 1).
+    restarts:
+        Independent annealing runs; the best result wins.
+    deadline_penalty_weight:
+        Weight of the deadline-violation penalty.
+    """
+
+    max_iterations: int = 3000
+    initial_temperature: float = 0.1
+    cooling: float = 0.999
+    restarts: int = 1
+    deadline_penalty_weight: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.max_iterations <= 0:
+            raise ValueError("max_iterations must be positive")
+        if self.initial_temperature <= 0:
+            raise ValueError("initial_temperature must be positive")
+        if not 0.0 < self.cooling < 1.0:
+            raise ValueError("cooling must be in (0, 1)")
+        if self.restarts <= 0:
+            raise ValueError("restarts must be positive")
+
+
+class SimulatedAnnealingMapper:
+    """SA mapping optimizer for a fixed objective.
+
+    Parameters
+    ----------
+    evaluator:
+        Design-point evaluator.
+    objective:
+        Score to minimize (see :mod:`repro.optim.objectives`).
+    config:
+        Annealing hyper-parameters.
+    seed:
+        Seed for move generation and acceptance draws.
+    """
+
+    def __init__(
+        self,
+        evaluator: MappingEvaluator,
+        objective: Objective,
+        config: Optional[AnnealingConfig] = None,
+        seed: Optional[int] = None,
+        deadline_penalty: bool = True,
+        require_all_cores: bool = False,
+    ) -> None:
+        self.evaluator = evaluator
+        self.raw_objective = objective
+        self.config = config or AnnealingConfig()
+        self.seed = seed
+        self.deadline_penalty = deadline_penalty
+        self.require_all_cores = require_all_cores
+        deadline = evaluator.deadline_s
+        if deadline is not None and deadline_penalty:
+            self.objective = deadline_penalized(
+                objective, deadline, self.config.deadline_penalty_weight
+            )
+        else:
+            self.objective = objective
+
+    def run(
+        self,
+        initial: Mapping,
+        scaling: Optional[Sequence[int]] = None,
+    ) -> DesignPoint:
+        """Anneal from ``initial``; return the best design point found.
+
+        Feasible points dominate infeasible ones regardless of raw
+        score; among feasible points the raw objective decides.
+        """
+        best: Optional[DesignPoint] = None
+        best_key: Optional[Tuple[int, float]] = None
+        scaling_tuple = (
+            tuple(scaling) if scaling is not None else self.evaluator.platform.scaling_vector()
+        )
+        for restart in range(self.config.restarts):
+            candidate = self._run_once(initial, scaling_tuple, restart)
+            key = self._rank_key(candidate)
+            if best_key is None or key < best_key:
+                best, best_key = candidate, key
+        assert best is not None
+        return best
+
+    def _rank_key(self, point: DesignPoint) -> Tuple[int, float]:
+        if not self.deadline_penalty:
+            # Deadline-unaware mode (the paper's [13] baseline): rank
+            # purely on the raw objective.
+            return (0, self.raw_objective(point))
+        feasible = point.meets_deadline
+        feasibility_rank = 0 if feasible or feasible is None else 1
+        return (feasibility_rank, self.raw_objective(point))
+
+    def _run_once(
+        self, initial: Mapping, scaling: Tuple[int, ...], restart: int
+    ) -> DesignPoint:
+        rng = random.Random(None if self.seed is None else self.seed + restart)
+        evaluator = self.evaluator
+        graph = evaluator.graph
+
+        current = evaluator.evaluate(initial, scaling)
+        current_score = self.objective(current)
+        best = current
+        best_key = self._rank_key(current)
+
+        temperature = self.config.initial_temperature
+        for _ in range(self.config.max_iterations):
+            neighbor = random_neighbor(current.mapping, graph, rng)
+            if neighbor == current.mapping:
+                temperature *= self.config.cooling
+                continue
+            if self.require_all_cores and len(neighbor.used_cores()) < min(
+                neighbor.num_cores, graph.num_tasks
+            ):
+                temperature *= self.config.cooling
+                continue
+            candidate = evaluator.evaluate(neighbor, scaling)
+            candidate_score = self.objective(candidate)
+
+            if candidate_score <= current_score:
+                accept = True
+            else:
+                scale = max(abs(current_score), 1e-30)
+                delta = (candidate_score - current_score) / scale
+                accept = rng.random() < math.exp(-delta / max(temperature, 1e-12))
+            if accept:
+                current, current_score = candidate, candidate_score
+                key = self._rank_key(candidate)
+                if key < best_key:
+                    best, best_key = candidate, key
+            temperature *= self.config.cooling
+        return best

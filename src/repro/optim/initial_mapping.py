@@ -1,0 +1,239 @@
+"""``InitialSEAMapping`` — the constructive stage-1 heuristic (Fig. 6).
+
+The algorithm builds a first soft error-aware mapping cheaply so the
+stage-2 local search starts close to good designs:
+
+1. Begin with an entry task (no predecessors) on the first core.
+2. Repeatedly extend the current core with the *dependent* (direct
+   successor) whose addition increases the expected SEU count the
+   least (ties broken by execution time) — dependents share data with
+   the current task, so co-locating the cheapest one both avoids
+   register duplication and saves communication time.
+3. Stop growing a core when its accumulated execution time would
+   reach the real-time constraint, or when the remaining unmapped
+   tasks are only just enough to populate the remaining cores (the
+   paper requires every core to receive work).
+4. Tasks discovered but not chosen are parked in a FIFO queue ``Q``
+   and seed the following cores.
+5. Any tasks left after the per-core passes are placed on the core
+   whose expected-SEU increase is smallest ("the same criteria").
+
+The function is deterministic for a given graph and platform state.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Set
+
+from repro.arch.mpsoc import MPSoC
+from repro.faults.ser import SERModel
+from repro.mapping.mapping import Mapping
+from repro.taskgraph.graph import TaskGraph
+from repro.taskgraph.registers import Register
+
+
+class _CoreState:
+    """Incremental per-core accounting for the constructive pass."""
+
+    __slots__ = ("tasks", "registers", "bits", "cycles", "rate", "frequency_hz")
+
+    def __init__(self, frequency_hz: float, rate: float) -> None:
+        self.tasks: List[str] = []
+        self.registers: Set[Register] = set()
+        self.bits = 0
+        self.cycles = 0
+        self.rate = rate
+        self.frequency_hz = frequency_hz
+
+    def time_s(self) -> float:
+        return self.cycles / self.frequency_hz
+
+    def gamma(self) -> float:
+        # Constructive proxy for Eq. (3): the core's own busy cycles
+        # stand in for the still-unknown final T_M window.
+        return self.rate * self.bits * self.cycles
+
+    def added_cycles(self, graph: TaskGraph, name: str, core_of: Dict[str, int], core_index: int) -> int:
+        cycles = graph.task(name).cycles
+        for producer in graph.predecessors(name):
+            owner = core_of.get(producer)
+            if owner is not None and owner != core_index:
+                cycles += graph.comm_cycles(producer, name)
+        return cycles
+
+    def gamma_if_added(
+        self, graph: TaskGraph, name: str, core_of: Dict[str, int], core_index: int
+    ) -> float:
+        new_registers = graph.registers_of(name) - self.registers
+        new_bits = self.bits + sum(register.bits for register in new_registers)
+        new_cycles = self.cycles + self.added_cycles(graph, name, core_of, core_index)
+        return self.rate * new_bits * new_cycles
+
+    def add(self, graph: TaskGraph, name: str, core_of: Dict[str, int], core_index: int) -> None:
+        self.cycles += self.added_cycles(graph, name, core_of, core_index)
+        for register in graph.registers_of(name):
+            if register not in self.registers:
+                self.registers.add(register)
+                self.bits += register.bits
+        self.tasks.append(name)
+        core_of[name] = core_index
+
+
+def initial_sea_mapping(
+    graph: TaskGraph,
+    platform: MPSoC,
+    deadline_s: float,
+    scaling: Optional[Sequence[int]] = None,
+    ser_model: Optional[SERModel] = None,
+) -> Mapping:
+    """Build the stage-1 soft error-aware mapping (Fig. 6).
+
+    Parameters
+    ----------
+    graph:
+        Application task graph.
+    platform:
+        The MPSoC; supplies core count and the scaling table.
+    deadline_s:
+        The real-time constraint ``T_Mref`` that bounds each core's
+        accumulated execution time during construction.
+    scaling:
+        Per-core scaling coefficients (defaults to the platform's).
+    ser_model:
+        Voltage-dependent SER used for the min-SEU selection.
+
+    Returns
+    -------
+    Mapping
+        A complete mapping with every core populated whenever the
+        graph has at least as many tasks as cores.
+    """
+    graph.validate()
+    if deadline_s <= 0:
+        raise ValueError("deadline must be positive")
+    ser_model = ser_model or SERModel()
+    table = platform.scaling_table
+    if scaling is None:
+        scaling = platform.scaling_vector()
+    else:
+        scaling = table.validate_assignment(scaling)
+        if len(scaling) != platform.num_cores:
+            raise ValueError(
+                f"scaling vector has {len(scaling)} entries for "
+                f"{platform.num_cores} cores"
+            )
+
+    num_cores = platform.num_cores
+    cores = [
+        _CoreState(
+            frequency_hz=table.frequency_hz(coefficient),
+            rate=ser_model.rate(table.vdd_v(coefficient)),
+        )
+        for coefficient in scaling
+    ]
+
+    core_of: Dict[str, int] = {}
+    mapped: Set[str] = set()
+    queue: Deque[str] = deque()
+    enqueued: Set[str] = set()
+
+    for entry in graph.entry_tasks():  # line 1 (generalized to multi-entry)
+        queue.append(entry)
+        enqueued.add(entry)
+
+    def _unmapped_count() -> int:
+        return graph.num_tasks - len(mapped)
+
+    def _dependents_by_seus(name: str, core: _CoreState, core_index: int) -> List[str]:
+        """Unmapped direct successors, sorted by SEUs-if-co-mapped then time."""
+        dependents = [
+            successor
+            for successor in graph.successors(name)
+            if successor not in mapped
+        ]
+        dependents.sort(
+            key=lambda dep: (
+                core.gamma_if_added(graph, dep, core_of, core_index),
+                graph.task(dep).cycles,
+                dep,
+            )
+        )
+        return dependents
+
+    def _map_task(name: str, core_index: int) -> None:
+        cores[core_index].add(graph, name, core_of, core_index)
+        mapped.add(name)
+        enqueued.discard(name)
+
+    def _next_from_queue() -> Optional[str]:
+        while queue:
+            candidate = queue.popleft()
+            if candidate not in mapped:
+                return candidate
+        return None
+
+    for core_index in range(num_cores - 1):  # line 2: cores 1..C-1
+        if _unmapped_count() == 0:
+            break
+        current = _next_from_queue()
+        if current is None:
+            break
+        core = cores[core_index]
+        _map_task(current, core_index)  # line 3
+
+        # lines 4-13: grow the core while the time budget and the
+        # all-cores-populated guard allow.
+        while (
+            core.time_s() < deadline_s
+            and _unmapped_count() > (num_cores - core_index - 1)
+        ):
+            dependents = _dependents_by_seus(current, core, core_index)  # line 5
+            if dependents:
+                chosen = dependents[0]  # line 9: min-SEU dependent
+                _map_task(chosen, core_index)  # line 10
+                for leftover in dependents[1:]:
+                    if leftover not in enqueued:
+                        queue.append(leftover)
+                        enqueued.add(leftover)
+                current = chosen
+            else:
+                # line 6-7: no dependents to extend with; continue from
+                # the queue on the same core while budget remains.
+                fallback = _next_from_queue()
+                if fallback is None:
+                    break
+                _map_task(fallback, core_index)
+                current = fallback
+
+        # Discover successors of everything mapped so far so later
+        # cores have seeds even when this core stopped early.
+        for name in list(mapped):
+            for successor in graph.successors(name):
+                if successor not in mapped and successor not in enqueued:
+                    queue.append(successor)
+                    enqueued.add(successor)
+
+    # Remaining tasks: the last core takes queue order, but each task
+    # goes to the core with the smallest SEU increase among those that
+    # still respect the populate-all-cores guard ("same criteria").
+    remaining = [name for name in graph.topological_order() if name not in mapped]
+    for name in remaining:
+        empty_cores = [index for index, core in enumerate(cores) if not core.tasks]
+        if empty_cores:
+            candidates = empty_cores
+        else:
+            candidates = list(range(num_cores))
+        best_index = min(
+            candidates,
+            key=lambda index: (
+                cores[index].gamma_if_added(graph, name, core_of, index),
+                cores[index].cycles,
+                index,
+            ),
+        )
+        _map_task(name, best_index)
+
+    mapping = Mapping(core_of, num_cores)
+    mapping.validate_against(graph)
+    return mapping

@@ -1,0 +1,96 @@
+"""Neighbourhood moves for mapping search.
+
+The paper's ``OptimizedMapping`` explores "neighbouring task
+movements" (Fig. 7, step C): relocating a task to another core or
+exchanging two tasks between cores.  Each iteration performs at most
+two task movements (a swap is two), matching the complexity analysis
+in Section IV-B.
+
+:func:`random_neighbor` draws one such move; :func:`neighbor_mappings`
+iterates a deterministic neighbourhood (used by exhaustive local
+search and by tests).  Moves favour *dependent* tasks — predecessors
+and successors of recently moved tasks — because relocating a task
+relative to its neighbours in the graph is what changes both the
+communication time and the register duplication.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Optional, Sequence
+
+from repro.mapping.mapping import Mapping
+from repro.taskgraph.graph import TaskGraph
+
+
+def random_neighbor(
+    mapping: Mapping,
+    graph: TaskGraph,
+    rng: random.Random,
+    swap_probability: float = 0.4,
+    focus_task: Optional[str] = None,
+) -> Mapping:
+    """One random move or swap away from ``mapping``.
+
+    Parameters
+    ----------
+    mapping:
+        Current mapping.
+    graph:
+        The task graph (supplies the dependent-task bias).
+    rng:
+        Seeded random source.
+    swap_probability:
+        Probability of a two-task swap instead of a single move.
+    focus_task:
+        Bias: when given, the moved task is drawn from this task's
+        direct neighbourhood (predecessors/successors, itself) when
+        possible.
+    """
+    names: Sequence[str] = graph.task_names()
+    if mapping.num_cores < 2 or len(names) < 2:
+        return mapping
+
+    candidates: Sequence[str] = names
+    if focus_task is not None and focus_task in mapping:
+        related = (
+            (focus_task,)
+            + graph.predecessors(focus_task)
+            + graph.successors(focus_task)
+        )
+        if related:
+            candidates = related
+
+    task = candidates[rng.randrange(len(candidates))]
+    if rng.random() < swap_probability:
+        partner_pool = [
+            name for name in names if mapping.core_of(name) != mapping.core_of(task)
+        ]
+        if partner_pool:
+            partner = partner_pool[rng.randrange(len(partner_pool))]
+            return mapping.swap(task, partner)
+    current_core = mapping.core_of(task)
+    other_cores = [core for core in range(mapping.num_cores) if core != current_core]
+    return mapping.move(task, other_cores[rng.randrange(len(other_cores))])
+
+
+def neighbor_mappings(mapping: Mapping, graph: TaskGraph) -> Iterator[Mapping]:
+    """Deterministically iterate the single-move neighbourhood.
+
+    Yields every mapping obtained by relocating one task to a
+    different core, in task/core order.  Size is ``N * (C - 1)``.
+    """
+    for name in graph.task_names():
+        current = mapping.core_of(name)
+        for core in range(mapping.num_cores):
+            if core != current:
+                yield mapping.move(name, core)
+
+
+def swap_neighborhood(mapping: Mapping, graph: TaskGraph) -> Iterator[Mapping]:
+    """Deterministically iterate all cross-core pairwise swaps."""
+    names = graph.task_names()
+    for index, task_a in enumerate(names):
+        for task_b in names[index + 1 :]:
+            if mapping.core_of(task_a) != mapping.core_of(task_b):
+                yield mapping.swap(task_a, task_b)

@@ -1,0 +1,99 @@
+"""Optimization objectives over design points.
+
+The paper compares four design objectives (Table II):
+
+* Exp:1 — minimize register usage ``R``
+  (:class:`RegisterUsageObjective`);
+* Exp:2 — maximize parallelism, i.e. minimize the multiprocessor
+  execution time ``T_M`` (:class:`MakespanObjective`);
+* Exp:3 — minimize the product ``T_M * R``
+  (:class:`RegisterTimeProductObjective`);
+* Exp:4 — the proposed soft error-aware objective: minimize the
+  expected SEUs ``Gamma`` (:class:`SEUObjective`).
+
+An :class:`Objective` maps a
+:class:`~repro.mapping.metrics.DesignPoint` to a scalar score, lower
+is better.  :func:`deadline_penalized` wraps any objective with a
+smooth deadline-violation penalty so unconstrained searchers
+(simulated annealing) are pulled back into the feasible region.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.mapping.metrics import DesignPoint
+
+#: An objective: design point -> score, lower is better.
+Objective = Callable[[DesignPoint], float]
+
+
+class RegisterUsageObjective:
+    """Exp:1 — total register usage ``R`` in bits."""
+
+    name = "register-usage"
+
+    def __call__(self, point: DesignPoint) -> float:
+        return float(point.register_bits_total)
+
+
+class MakespanObjective:
+    """Exp:2 — multiprocessor execution time ``T_M`` in seconds."""
+
+    name = "makespan"
+
+    def __call__(self, point: DesignPoint) -> float:
+        return point.makespan_s
+
+
+class RegisterTimeProductObjective:
+    """Exp:3 — the joint ``T_M * R`` product (seconds * bits)."""
+
+    name = "tm-x-r"
+
+    def __call__(self, point: DesignPoint) -> float:
+        return point.makespan_s * point.register_bits_total
+
+
+class SEUObjective:
+    """Exp:4 — expected SEUs experienced ``Gamma`` (Eq. 3)."""
+
+    name = "seus"
+
+    def __call__(self, point: DesignPoint) -> float:
+        return point.expected_seus
+
+
+class PowerObjective:
+    """Dynamic power ``P`` in milliwatts (Eq. 5)."""
+
+    name = "power"
+
+    def __call__(self, point: DesignPoint) -> float:
+        return point.power_mw
+
+
+def deadline_penalized(
+    objective: Objective, deadline_s: float, penalty_weight: float = 10.0
+) -> Objective:
+    """Wrap ``objective`` with a relative deadline-violation penalty.
+
+    Feasible points keep their score; an infeasible point's score is
+    scaled by ``1 + penalty_weight * overrun_fraction``, which keeps
+    the search gradient pointing back toward feasibility without a
+    hard wall (useful for annealing through tight deadlines).
+    """
+    if deadline_s <= 0:
+        raise ValueError("deadline must be positive")
+    if penalty_weight < 0:
+        raise ValueError("penalty weight must be non-negative")
+
+    def _penalized(point: DesignPoint) -> float:
+        score = objective(point)
+        overrun = point.makespan_s - deadline_s
+        if overrun <= 0:
+            return score
+        fraction = overrun / deadline_s
+        return abs(score) * (1.0 + penalty_weight * fraction) + penalty_weight * fraction
+
+    return _penalized

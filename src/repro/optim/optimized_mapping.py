@@ -1,0 +1,209 @@
+"""``OptimizedMapping`` — the stage-2 local search (Fig. 7).
+
+Starting from the stage-1 mapping, the search repeatedly generates a
+neighbouring task movement (step C), list-schedules it (step D) and
+keeps it as the best solution when it lowers the expected SEU count
+while meeting the real-time constraint (steps E-F), until the search
+budget is exhausted (step B).
+
+The paper's budget is wall-clock time (40-130 minutes on a 2 GHz
+machine); ours is an iteration count by default, with an optional
+wall-clock cap, so runs are fast and deterministic (DESIGN.md §2).
+
+Acceptance policy: the *current* point follows an improving random
+walk — a neighbour replaces it when it is feasible and strictly
+better, when the current point is itself infeasible and the neighbour
+is closer to feasibility, or (with probability ``walk_probability``)
+unconditionally, which lets the search traverse plateaus the way
+repeated "neighbouring task movements" do in the paper's flowchart.
+The *best* point only ever improves.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.mapping.mapping import Mapping
+from repro.mapping.metrics import DesignPoint, MappingEvaluator
+from repro.optim.moves import random_neighbor
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one ``OptimizedMapping`` run.
+
+    Attributes
+    ----------
+    best:
+        Best feasible design point found (lowest Gamma under the
+        deadline), or the least-infeasible point when nothing met the
+        constraint.
+    feasible:
+        Whether ``best`` meets the real-time constraint.
+    iterations:
+        Neighbour evaluations performed.
+    improvements:
+        Times the best point improved.
+    history:
+        Optional (iteration, Gamma of best) checkpoints.
+    """
+
+    best: DesignPoint
+    feasible: bool
+    iterations: int
+    improvements: int
+    history: List[Tuple[int, float]] = field(default_factory=list)
+
+
+class OptimizedMappingSearch:
+    """Stage-2 search-based mapping optimization (Fig. 7).
+
+    Parameters
+    ----------
+    evaluator:
+        Design-point evaluator (holds graph, platform, SER and power
+        models and the deadline).
+    max_iterations:
+        Search budget in neighbour evaluations.
+    time_limit_s:
+        Optional wall-clock cap (the paper's notion of budget).
+    walk_probability:
+        Probability of accepting a non-improving neighbour as the
+        current point (plateau traversal).
+    intensify_every:
+        Pull the current point back to the best-so-far after this many
+        iterations without improvement (0 disables).  Keeps the random
+        walk from drifting into poor regions late in the search.
+    require_all_cores:
+        Reject neighbours that leave a core empty (the paper's
+        ``InitialSEAMapping`` guarantees every core receives work and
+        the worked example preserves that through stage 2).
+    seed:
+        Seed for the move generator.
+    record_history:
+        Keep (iteration, best Gamma) checkpoints in the result.
+    """
+
+    def __init__(
+        self,
+        evaluator: MappingEvaluator,
+        max_iterations: int = 2000,
+        time_limit_s: Optional[float] = None,
+        walk_probability: float = 0.15,
+        intensify_every: int = 150,
+        require_all_cores: bool = True,
+        seed: Optional[int] = None,
+        record_history: bool = False,
+    ) -> None:
+        if evaluator.deadline_s is None:
+            raise ValueError("OptimizedMapping needs an evaluator with a deadline")
+        if max_iterations <= 0:
+            raise ValueError("max_iterations must be positive")
+        if not 0.0 <= walk_probability <= 1.0:
+            raise ValueError("walk_probability must be in [0, 1]")
+        self.evaluator = evaluator
+        self.max_iterations = max_iterations
+        self.time_limit_s = time_limit_s
+        self.walk_probability = walk_probability
+        self.intensify_every = intensify_every
+        self.require_all_cores = require_all_cores
+        self.seed = seed
+        self.record_history = record_history
+
+    def run(
+        self, initial: Mapping, scaling: Optional[Tuple[int, ...]] = None
+    ) -> SearchResult:
+        """Optimize from ``initial`` under ``scaling`` (defaults to platform's)."""
+        rng = random.Random(self.seed)
+        evaluator = self.evaluator
+        deadline = evaluator.deadline_s
+        graph = evaluator.graph
+
+        current = evaluator.evaluate(initial, scaling)  # step A: list schedule M
+        best = current
+        best_feasible = bool(current.meets_deadline)
+        improvements = 0
+        history: List[Tuple[int, float]] = []
+        focus: Optional[str] = None
+        stale = 0  # iterations since the last best-point improvement
+
+        start_time = time.monotonic()
+        iterations = 0
+        for iterations in range(1, self.max_iterations + 1):
+            if (
+                self.time_limit_s is not None
+                and time.monotonic() - start_time >= self.time_limit_s
+            ):
+                iterations -= 1
+                break
+
+            # Step C: neighbouring task movement.
+            neighbor = random_neighbor(
+                current.mapping, graph, rng, focus_task=focus
+            )
+            if neighbor == current.mapping:
+                continue
+            if self.require_all_cores and len(neighbor.used_cores()) < min(
+                neighbor.num_cores, graph.num_tasks
+            ):
+                continue
+            # Step D: list scheduling of the neighbour.
+            candidate = evaluator.evaluate(neighbor, scaling)
+
+            # Step E/F: best-so-far update under the constraint.
+            candidate_feasible = candidate.makespan_s <= deadline + 1e-12
+            stale += 1
+            if candidate_feasible and (
+                not best_feasible or candidate.expected_seus < best.expected_seus
+            ):
+                best = candidate
+                best_feasible = True
+                improvements += 1
+                stale = 0
+                if self.record_history:
+                    history.append((iterations, best.expected_seus))
+            elif not best_feasible and candidate.makespan_s < best.makespan_s:
+                # Nothing feasible yet: track the least-infeasible point.
+                best = candidate
+                improvements += 1
+                stale = 0
+
+            # Random-walk acceptance for the current point.
+            accept = False
+            if candidate_feasible and (
+                current.meets_deadline is False
+                or candidate.expected_seus <= current.expected_seus
+            ):
+                accept = True
+            elif not candidate_feasible and not current.meets_deadline:
+                accept = candidate.makespan_s < current.makespan_s
+            if not accept and rng.random() < self.walk_probability:
+                accept = True
+            if accept:
+                # Remember one moved task to bias the next move toward
+                # its graph neighbourhood.
+                moved = [
+                    name
+                    for name in graph.task_names()
+                    if neighbor.core_of(name) != current.mapping.core_of(name)
+                ]
+                focus = moved[0] if moved else None
+                current = candidate
+
+            # Intensification: return to the best point after a long
+            # improvement drought.
+            if self.intensify_every and stale >= self.intensify_every:
+                current = best
+                focus = None
+                stale = 0
+
+        return SearchResult(
+            best=best,
+            feasible=best_feasible,
+            iterations=iterations,
+            improvements=improvements,
+            history=history,
+        )

@@ -1,0 +1,138 @@
+"""Power/reliability Pareto-front exploration.
+
+The paper's step 3 collapses the power/SEU trade-off to a scalar rule
+(minimum power, SEU tie-break within a band).  A natural extension —
+and a useful design tool — is to expose the whole Pareto front: every
+(P, Gamma) point such that no other feasible design is at least as
+good on both axes and strictly better on one.
+
+:func:`pareto_front` filters any collection of design points;
+:func:`explore_pareto` runs the proposed mapping stage across the full
+scaling enumeration and returns the feasible front, which contains the
+paper's chosen design by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.arch.mpsoc import MPSoC
+from repro.faults.ser import SERModel
+from repro.mapping.metrics import DesignPoint, MappingEvaluator
+from repro.optim.design_optimizer import Mapper, sea_mapper
+from repro.optim.scaling_algorithm import scaling_combinations
+from repro.taskgraph.graph import TaskGraph
+
+#: Axis extractor: design point -> objective value (lower is better).
+Axis = Callable[[DesignPoint], float]
+
+
+def _default_axes() -> Tuple[Axis, Axis]:
+    return (lambda point: point.power_mw, lambda point: point.expected_seus)
+
+
+def dominates(
+    a: DesignPoint, b: DesignPoint, axes: Optional[Sequence[Axis]] = None
+) -> bool:
+    """Whether ``a`` Pareto-dominates ``b`` (<= on all axes, < on one)."""
+    axes = axes or _default_axes()
+    at_least_as_good = all(axis(a) <= axis(b) + 1e-15 for axis in axes)
+    strictly_better = any(axis(a) < axis(b) - 1e-15 for axis in axes)
+    return at_least_as_good and strictly_better
+
+
+def pareto_front(
+    points: Sequence[DesignPoint], axes: Optional[Sequence[Axis]] = None
+) -> List[DesignPoint]:
+    """The non-dominated subset of ``points``, sorted by the first axis.
+
+    Duplicate coordinates are collapsed to a single representative.
+    """
+    axes = axes or _default_axes()
+    front: List[DesignPoint] = []
+    seen_coordinates = set()
+    for candidate in points:
+        if any(dominates(other, candidate, axes) for other in points):
+            continue
+        coordinates = tuple(round(axis(candidate), 12) for axis in axes)
+        if coordinates in seen_coordinates:
+            continue
+        seen_coordinates.add(coordinates)
+        front.append(candidate)
+    front.sort(key=lambda point: tuple(axis(point) for axis in axes))
+    return front
+
+
+def explore_pareto(
+    graph: TaskGraph,
+    platform: MPSoC,
+    deadline_s: float,
+    mapper: Optional[Mapper] = None,
+    ser_model: Optional[SERModel] = None,
+    seed: int = 0,
+    axes: Optional[Sequence[Axis]] = None,
+) -> List[DesignPoint]:
+    """Feasible power/SEU Pareto front over the full scaling enumeration.
+
+    Runs the mapping stage (the proposed soft error-aware mapper by
+    default) for *every* scaling combination — no early exit, since
+    expensive scalings can still be SEU-optimal — and returns the
+    non-dominated feasible designs.
+
+    Parameters
+    ----------
+    graph / platform / deadline_s:
+        The design problem.
+    mapper:
+        Mapping strategy per scaling (default: proposed two-stage).
+    ser_model:
+        Reliability model (paper default when omitted).
+    seed:
+        Determinism seed.
+    axes:
+        Objectives; defaults to (power mW, expected SEUs).
+    """
+    if deadline_s <= 0:
+        raise ValueError("deadline must be positive")
+    mapper = mapper or sea_mapper()
+    evaluator = MappingEvaluator(
+        graph, platform, ser_model=ser_model, deadline_s=deadline_s
+    )
+    feasible: List[DesignPoint] = []
+    for index, scaling in enumerate(
+        scaling_combinations(platform.num_cores, platform.scaling_table.num_levels)
+    ):
+        point = mapper(evaluator, scaling, seed + index)
+        if point.makespan_s <= deadline_s + 1e-12:
+            feasible.append(point)
+    return pareto_front(feasible, axes)
+
+
+def hypervolume_2d(
+    front: Sequence[DesignPoint],
+    reference: Tuple[float, float],
+    axes: Optional[Sequence[Axis]] = None,
+) -> float:
+    """Dominated hypervolume of a 2-D front w.r.t. ``reference``.
+
+    A standard scalar quality measure for comparing fronts (used by
+    the ablation benchmarks).  ``reference`` must be dominated by every
+    front point; points beyond it contribute nothing.
+    """
+    axes = axes or _default_axes()
+    if len(axes) != 2:
+        raise ValueError("hypervolume_2d needs exactly two axes")
+    ordered = sorted(
+        (
+            (axes[0](point), axes[1](point))
+            for point in front
+            if axes[0](point) <= reference[0] and axes[1](point) <= reference[1]
+        ),
+    )
+    volume = 0.0
+    previous_y = reference[1]
+    for x, y in ordered:
+        if y < previous_y:
+            volume += (reference[0] - x) * (previous_y - y)
+            previous_y = y
+    return volume

@@ -1,0 +1,92 @@
+"""The ``nextScaling`` voltage-scaling enumerator (Fig. 5 of the paper).
+
+Because the MPSoC cores are identical, only the *multiset* of per-core
+scaling coefficients matters; the enumerator therefore visits exactly
+the non-increasing coefficient vectors, walking from the deepest
+scaling (all cores at the slowest level — lowest power) toward the
+nominal one (all cores at level 1).  For four cores and three levels
+this yields the 15 unique combinations of Fig. 5(b), against 3^4 = 81
+raw assignments.
+
+The successor rule equivalent to the paper's pseudocode on
+non-increasing states: find the rightmost core whose coefficient is
+above 1, decrement it, and reset every core to its right to the new
+value.  Starting from ``(L, .., L)`` this produces the non-increasing
+vectors in descending lexicographic order and terminates at
+``(1, .., 1)`` — exactly the Fig. 5(b) sequence, which the unit tests
+check row by row.
+"""
+
+from __future__ import annotations
+
+from math import comb
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+
+def next_scaling(prev: Sequence[int], num_levels: Optional[int] = None) -> Optional[Tuple[int, ...]]:
+    """The successor of ``prev`` in the Fig. 5(b) order, or ``None`` at the end.
+
+    Parameters
+    ----------
+    prev:
+        Current non-increasing coefficient vector (1-based levels).
+    num_levels:
+        Number of scaling levels ``L``; defaults to ``max(prev)``.
+        Used only for validation.
+
+    Raises
+    ------
+    ValueError
+        If ``prev`` is not a valid non-increasing coefficient vector.
+    """
+    state = tuple(prev)
+    if not state:
+        raise ValueError("scaling vector must be non-empty")
+    levels = num_levels if num_levels is not None else max(state)
+    for value in state:
+        if not isinstance(value, int) or not 1 <= value <= levels:
+            raise ValueError(
+                f"coefficient {value!r} outside valid range 1..{levels}"
+            )
+    for left, right in zip(state, state[1:]):
+        if right > left:
+            raise ValueError(
+                f"scaling vector must be non-increasing, got {state}"
+            )
+    # Rightmost coefficient above the nominal level.
+    for index in range(len(state) - 1, -1, -1):
+        if state[index] > 1:
+            new_value = state[index] - 1
+            return state[:index] + (new_value,) * (len(state) - index)
+    return None  # all cores at nominal: enumeration complete
+
+
+def scaling_combinations(num_cores: int, num_levels: int) -> Iterator[Tuple[int, ...]]:
+    """Yield every combination in the paper's order (deepest first).
+
+    The first vector is ``(L, .., L)`` — lowest power — and the last
+    is ``(1, .., 1)``; the walk matches Fig. 5(b) exactly for
+    ``num_cores=4, num_levels=3``.
+    """
+    if num_cores <= 0 or num_levels <= 0:
+        raise ValueError("num_cores and num_levels must be positive")
+    state: Optional[Tuple[int, ...]] = (num_levels,) * num_cores
+    while state is not None:
+        yield state
+        state = next_scaling(state, num_levels)
+
+
+def num_scaling_combinations(num_cores: int, num_levels: int) -> int:
+    """Count of unique combinations: multisets of size C from L levels.
+
+    ``C(C + L - 1, L - 1)`` — 15 for four cores and three levels, as
+    the paper states.
+    """
+    if num_cores <= 0 or num_levels <= 0:
+        raise ValueError("num_cores and num_levels must be positive")
+    return comb(num_cores + num_levels - 1, num_levels - 1)
+
+
+def all_scalings_list(num_cores: int, num_levels: int) -> List[Tuple[int, ...]]:
+    """Materialized :func:`scaling_combinations` (convenience)."""
+    return list(scaling_combinations(num_cores, num_levels))

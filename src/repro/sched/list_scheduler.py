@@ -1,0 +1,192 @@
+"""List scheduler for mapped task graphs.
+
+Implements the list scheduling used in step A/D of the paper's
+``OptimizedMapping`` (Fig. 7, following Izosimov et al. [8]):
+
+1. Compute a static priority for every task — the *bottom level*
+   (longest computation+communication path to an exit task).
+2. Repeatedly pick the ready task (all predecessors scheduled) with
+   the highest priority and place it on its mapped core at the
+   earliest feasible time.
+
+Timing model
+------------
+Cores run at per-core scaled frequencies.  Two communication models
+are supported:
+
+* ``"dedicated"`` (default, the paper's platform) — a task ``j``
+  mapped on core ``i`` occupies the core for
+
+      (t_j + sum of d_kj over cross-core incoming edges) / f_i  seconds
+
+  i.e. the receive of each cross-core dependency executes on the
+  consumer's clock, matching Eq. (7)'s accounting of dependency time
+  in ``T_i``.
+* ``"shared-bus"`` — cross-core transfers serialize on one global
+  bus (clocked at the fastest core frequency by default).  Transfers
+  occupy the bus, not the consumer core, so contention stretches the
+  makespan of communication-heavy spread mappings — an architecture-
+  exploration variant beyond the paper.
+
+Same-core dependencies cost nothing in either model.  A task may start
+once its core is free and every predecessor (and, on the bus model,
+every incoming transfer) has finished.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence
+
+from repro.arch.mpsoc import MPSoC
+from repro.mapping.mapping import Mapping
+from repro.sched.schedule import Schedule, ScheduledTask
+from repro.taskgraph.graph import TaskGraph
+
+
+class ListScheduler:
+    """Bottom-level list scheduler.
+
+    Parameters
+    ----------
+    graph:
+        The application task graph.
+    frequencies_hz:
+        Per-core clock frequencies.  Usually obtained from an
+        :class:`~repro.arch.mpsoc.MPSoC` via :meth:`for_platform`.
+    """
+
+    _COMM_MODELS = ("dedicated", "shared-bus")
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        frequencies_hz: Sequence[float],
+        comm_model: str = "dedicated",
+        bus_frequency_hz: Optional[float] = None,
+    ) -> None:
+        graph.validate()
+        if not frequencies_hz:
+            raise ValueError("need at least one core frequency")
+        for frequency in frequencies_hz:
+            if frequency <= 0:
+                raise ValueError(f"frequencies must be positive, got {frequency}")
+        if comm_model not in self._COMM_MODELS:
+            raise ValueError(
+                f"unknown comm model {comm_model!r}; choose from {self._COMM_MODELS}"
+            )
+        self._graph = graph
+        self._frequencies = tuple(float(f) for f in frequencies_hz)
+        self._priorities = graph.bottom_levels()
+        self.comm_model = comm_model
+        if bus_frequency_hz is not None and bus_frequency_hz <= 0:
+            raise ValueError("bus frequency must be positive")
+        self._bus_frequency = bus_frequency_hz or max(self._frequencies)
+
+    @classmethod
+    def for_platform(
+        cls,
+        graph: TaskGraph,
+        platform: MPSoC,
+        scaling: Optional[Sequence[int]] = None,
+    ) -> "ListScheduler":
+        """Build a scheduler from a platform and optional scaling vector."""
+        if scaling is None:
+            scaling = platform.scaling_vector()
+        table = platform.scaling_table
+        frequencies = [table.frequency_hz(coefficient) for coefficient in scaling]
+        return cls(graph, frequencies)
+
+    @property
+    def num_cores(self) -> int:
+        """Number of cores the scheduler targets."""
+        return len(self._frequencies)
+
+    @property
+    def frequencies_hz(self) -> Sequence[float]:
+        """Per-core clock frequencies."""
+        return self._frequencies
+
+    def schedule(self, mapping: Mapping) -> Schedule:
+        """Schedule ``mapping`` and return the resulting timeline.
+
+        Raises
+        ------
+        ValueError
+            If the mapping does not cover the graph or targets a
+            different number of cores.
+        """
+        mapping.validate_against(self._graph)
+        if mapping.num_cores != self.num_cores:
+            raise ValueError(
+                f"mapping targets {mapping.num_cores} cores, scheduler has "
+                f"{self.num_cores}"
+            )
+
+        graph = self._graph
+        in_degree: Dict[str, int] = {
+            name: len(graph.predecessors(name)) for name in graph.task_names()
+        }
+        # Max-heap on priority; tie-break on name for determinism.
+        ready: List = [
+            (-self._priorities[name], name)
+            for name, degree in in_degree.items()
+            if degree == 0
+        ]
+        heapq.heapify(ready)
+
+        core_free_at = [0.0] * self.num_cores
+        bus_free_at = 0.0
+        finish_at: Dict[str, float] = {}
+        entries: List[ScheduledTask] = []
+
+        scheduled_count = 0
+        while ready:
+            _, name = heapq.heappop(ready)
+            core = mapping.core_of(name)
+            frequency = self._frequencies[core]
+            task = graph.task(name)
+
+            receive_cycles = 0
+            earliest = core_free_at[core]
+            for producer in graph.predecessors(name):
+                earliest = max(earliest, finish_at[producer])
+                if mapping.core_of(producer) != core:
+                    comm = graph.comm_cycles(producer, name)
+                    if self.comm_model == "dedicated":
+                        receive_cycles += comm
+                    else:  # shared-bus: the transfer serializes on the bus
+                        transfer_start = max(bus_free_at, finish_at[producer])
+                        transfer_finish = transfer_start + comm / self._bus_frequency
+                        bus_free_at = transfer_finish
+                        earliest = max(earliest, transfer_finish)
+
+            duration = (task.cycles + receive_cycles) / frequency
+            start = earliest
+            finish = start + duration
+            core_free_at[core] = finish
+            finish_at[name] = finish
+            entries.append(
+                ScheduledTask(
+                    name=name,
+                    core=core,
+                    start_s=start,
+                    finish_s=finish,
+                    compute_cycles=task.cycles,
+                    receive_cycles=receive_cycles,
+                )
+            )
+            scheduled_count += 1
+
+            for successor in graph.successors(name):
+                in_degree[successor] -= 1
+                if in_degree[successor] == 0:
+                    heapq.heappush(ready, (-self._priorities[successor], successor))
+
+        if scheduled_count != graph.num_tasks:
+            raise ValueError("scheduling incomplete: graph contains a cycle")
+        return Schedule(entries, self.num_cores, self._frequencies)
+
+    def makespan_s(self, mapping: Mapping) -> float:
+        """Convenience: the makespan of ``mapping`` in seconds."""
+        return self.schedule(mapping).makespan_s()

@@ -1,0 +1,245 @@
+"""Schedule data structure.
+
+A :class:`Schedule` is the output of list scheduling: one
+:class:`ScheduledTask` per task with start/finish times in seconds and
+the cycle counts that produced them.  It answers the timing questions
+the metrics and optimizers ask — makespan (``T_M``), per-core busy time
+(``T_i``), activity factors (``alpha_i``) — and can verify its own
+consistency (precedence respected, no per-core overlap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.mapping.mapping import Mapping
+from repro.taskgraph.graph import TaskGraph
+
+
+@dataclass(frozen=True)
+class ScheduledTask:
+    """One task instance placed on the timeline.
+
+    Attributes
+    ----------
+    name:
+        Task name.
+    core:
+        Core index the task runs on.
+    start_s / finish_s:
+        Execution window in seconds.
+    compute_cycles:
+        The task's own computation cycles.
+    receive_cycles:
+        Cross-core communication cycles charged to this task (the
+        receives of its cross-core incoming edges, Eq. 7).
+    """
+
+    name: str
+    core: int
+    start_s: float
+    finish_s: float
+    compute_cycles: int
+    receive_cycles: int
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0 or self.finish_s < self.start_s:
+            raise ValueError(
+                f"invalid window [{self.start_s}, {self.finish_s}] for {self.name!r}"
+            )
+        if self.compute_cycles <= 0 or self.receive_cycles < 0:
+            raise ValueError(f"invalid cycle counts for task {self.name!r}")
+
+    @property
+    def duration_s(self) -> float:
+        """Occupancy duration in seconds."""
+        return self.finish_s - self.start_s
+
+    @property
+    def busy_cycles(self) -> int:
+        """Total core cycles this task occupies (compute + receive)."""
+        return self.compute_cycles + self.receive_cycles
+
+
+class Schedule:
+    """A complete schedule of a mapped task graph.
+
+    Parameters
+    ----------
+    entries:
+        One :class:`ScheduledTask` per task.
+    num_cores:
+        Number of cores in the platform (idle cores are allowed).
+    frequencies_hz:
+        Per-core clock frequencies used to build the schedule; kept so
+        cycle/second conversions stay consistent downstream.
+    """
+
+    def __init__(
+        self,
+        entries: Sequence[ScheduledTask],
+        num_cores: int,
+        frequencies_hz: Sequence[float],
+    ) -> None:
+        if num_cores <= 0:
+            raise ValueError("num_cores must be positive")
+        if len(frequencies_hz) != num_cores:
+            raise ValueError(
+                f"{len(frequencies_hz)} frequencies for {num_cores} cores"
+            )
+        self._entries: Tuple[ScheduledTask, ...] = tuple(
+            sorted(entries, key=lambda entry: (entry.start_s, entry.core, entry.name))
+        )
+        self._num_cores = num_cores
+        self._frequencies_hz = tuple(float(f) for f in frequencies_hz)
+        self._by_name: Dict[str, ScheduledTask] = {}
+        for entry in self._entries:
+            if entry.name in self._by_name:
+                raise ValueError(f"task {entry.name!r} scheduled twice")
+            if not 0 <= entry.core < num_cores:
+                raise ValueError(f"task {entry.name!r} on invalid core {entry.core}")
+            self._by_name[entry.name] = entry
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[ScheduledTask]:
+        return iter(self._entries)
+
+    def __contains__(self, task_name: str) -> bool:
+        return task_name in self._by_name
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def num_cores(self) -> int:
+        """Number of cores."""
+        return self._num_cores
+
+    @property
+    def frequencies_hz(self) -> Tuple[float, ...]:
+        """Per-core clock frequencies used for this schedule."""
+        return self._frequencies_hz
+
+    def entry(self, task_name: str) -> ScheduledTask:
+        """The scheduled instance of ``task_name``."""
+        try:
+            return self._by_name[task_name]
+        except KeyError:
+            raise KeyError(f"task {task_name!r} not in schedule") from None
+
+    def core_entries(self, core_index: int) -> Tuple[ScheduledTask, ...]:
+        """Entries on ``core_index``, ordered by start time."""
+        return tuple(entry for entry in self._entries if entry.core == core_index)
+
+    def makespan_s(self) -> float:
+        """The multiprocessor execution time ``T_M`` in seconds."""
+        if not self._entries:
+            return 0.0
+        return max(entry.finish_s for entry in self._entries)
+
+    def makespan_cycles(self, reference_frequency_hz: Optional[float] = None) -> int:
+        """``T_M`` expressed in cycles of a reference clock.
+
+        Defaults to the fastest core clock in the schedule.
+        """
+        frequency = reference_frequency_hz or max(self._frequencies_hz)
+        return int(round(self.makespan_s() * frequency))
+
+    def busy_s(self, core_index: int) -> float:
+        """Total busy seconds of ``core_index`` (``T_i`` in wall time)."""
+        return sum(entry.duration_s for entry in self.core_entries(core_index))
+
+    def busy_cycles(self, core_index: int) -> int:
+        """Total busy cycles of ``core_index`` (``T_i`` of Eq. 7)."""
+        return sum(entry.busy_cycles for entry in self.core_entries(core_index))
+
+    def activity(self, core_index: int) -> float:
+        """Activity factor ``alpha_i = busy_i / T_M`` (0 for empty span)."""
+        makespan = self.makespan_s()
+        if makespan <= 0.0:
+            return 0.0
+        return min(self.busy_s(core_index) / makespan, 1.0)
+
+    def activities(self) -> Tuple[float, ...]:
+        """Per-core activity factors."""
+        return tuple(self.activity(core) for core in range(self._num_cores))
+
+    # -- verification --------------------------------------------------------
+
+    def verify(self, graph: TaskGraph, mapping: Mapping) -> None:
+        """Raise ``ValueError`` on any inconsistency.
+
+        Checks: every graph task scheduled exactly once on its mapped
+        core; no two tasks overlap on a core; every edge's consumer
+        starts at or after its producer finishes.
+        """
+        graph_tasks = set(graph.task_names())
+        scheduled = set(self._by_name)
+        if graph_tasks != scheduled:
+            raise ValueError(
+                f"schedule covers {sorted(scheduled)} but graph has "
+                f"{sorted(graph_tasks)}"
+            )
+        for entry in self._entries:
+            if mapping.core_of(entry.name) != entry.core:
+                raise ValueError(
+                    f"task {entry.name!r} scheduled on core {entry.core} but "
+                    f"mapped to core {mapping.core_of(entry.name)}"
+                )
+        tolerance = 1e-9
+        for core in range(self._num_cores):
+            entries = self.core_entries(core)
+            for previous, current in zip(entries, entries[1:]):
+                if current.start_s < previous.finish_s - tolerance:
+                    raise ValueError(
+                        f"tasks {previous.name!r} and {current.name!r} overlap "
+                        f"on core {core}"
+                    )
+        for producer, consumer, _ in graph.edges():
+            if self.entry(consumer).start_s < self.entry(producer).finish_s - tolerance:
+                raise ValueError(
+                    f"edge {producer!r} -> {consumer!r} violated: consumer "
+                    f"starts before producer finishes"
+                )
+
+    # -- reporting --------------------------------------------------------
+
+    def to_rows(self) -> List[Tuple[str, int, float, float, int, int]]:
+        """Tabular export: (task, core, start_s, finish_s, compute, receive).
+
+        Rows are ordered by start time — handy for CSV dumps and for
+        driving external Gantt tooling.
+        """
+        return [
+            (
+                entry.name,
+                entry.core,
+                entry.start_s,
+                entry.finish_s,
+                entry.compute_cycles,
+                entry.receive_cycles,
+            )
+            for entry in self._entries
+        ]
+
+    def gantt_text(self, width: int = 72) -> str:
+        """A plain-text Gantt chart, one line per core."""
+        makespan = self.makespan_s()
+        if makespan <= 0.0:
+            return "(empty schedule)"
+        lines: List[str] = []
+        for core in range(self._num_cores):
+            cells = ["."] * width
+            for entry in self.core_entries(core):
+                begin = int(entry.start_s / makespan * (width - 1))
+                end = max(int(entry.finish_s / makespan * (width - 1)), begin + 1)
+                marker = entry.name[-1] if entry.name else "#"
+                for position in range(begin, min(end, width)):
+                    cells[position] = marker
+            lines.append(f"core{core} |{''.join(cells)}|")
+        lines.append(f"T_M = {makespan * 1e3:.3f} ms")
+        return "\n".join(lines)

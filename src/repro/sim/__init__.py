@@ -1,0 +1,31 @@
+"""Cycle-level MPSoC simulation substrate.
+
+The paper evaluates designs with SystemC cycle-accurate simulation and
+a fault-injection harness [11].  This subpackage is the Python
+substitution (DESIGN.md §2): a discrete-event, cycle-level simulator
+that executes a list schedule on the scaled cores and produces a
+register-occupancy trace — exactly the information the fault injector
+samples.
+
+* :mod:`~repro.sim.engine` — a minimal discrete-event kernel.
+* :mod:`~repro.sim.registers` — register-occupancy traces.
+* :mod:`~repro.sim.simulator` — the MPSoC simulator proper.
+* :mod:`~repro.sim.trace` — execution trace records for debugging
+  and visualization.
+"""
+
+from repro.sim.engine import DiscreteEventEngine, Event
+from repro.sim.registers import OccupancyInterval, OccupancyTrace
+from repro.sim.simulator import MPSoCSimulator, SimulationResult
+from repro.sim.trace import ExecutionTrace, TraceRecord
+
+__all__ = [
+    "DiscreteEventEngine",
+    "Event",
+    "ExecutionTrace",
+    "MPSoCSimulator",
+    "OccupancyInterval",
+    "OccupancyTrace",
+    "SimulationResult",
+    "TraceRecord",
+]

@@ -1,0 +1,133 @@
+"""A minimal discrete-event simulation kernel.
+
+The MPSoC simulator replays schedules as timed events (task start,
+task finish, trace emission).  The kernel is deliberately small: a
+time-ordered priority queue of callbacks with deterministic tie
+breaking (priority, then insertion order), a ``now`` clock, and
+``run``/``run_until`` drivers.  It is domain-agnostic and reusable for
+other event-driven substrates in the test-suite.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+@dataclass(order=True, frozen=True)
+class Event:
+    """One scheduled event.
+
+    Ordering is by ``(time_s, priority, sequence)`` so simultaneous
+    events fire by ascending priority and, within a priority, in the
+    order they were scheduled.
+    """
+
+    time_s: float
+    priority: int
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+
+
+class DiscreteEventEngine:
+    """Time-ordered event executor.
+
+    Notes
+    -----
+    Scheduling an event in the past (before ``now``) raises
+    ``ValueError``; zero-delay events at the current time are allowed
+    and run before the clock advances.
+    """
+
+    def __init__(self) -> None:
+        self._queue: List[Event] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events not yet executed."""
+        return len(self._queue)
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def schedule_at(
+        self,
+        time_s: float,
+        action: Callable[[], None],
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` at absolute time ``time_s``."""
+        if time_s < self._now - 1e-15:
+            raise ValueError(
+                f"cannot schedule event at {time_s} before now ({self._now})"
+            )
+        event = Event(
+            time_s=max(time_s, self._now),
+            priority=priority,
+            sequence=next(self._sequence),
+            action=action,
+            label=label,
+        )
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_after(
+        self,
+        delay_s: float,
+        action: Callable[[], None],
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` after a relative delay."""
+        if delay_s < 0:
+            raise ValueError(f"delay must be non-negative, got {delay_s}")
+        return self.schedule_at(self._now + delay_s, action, priority, label)
+
+    def step(self) -> Optional[Event]:
+        """Execute the next event; return it, or ``None`` if idle."""
+        if not self._queue:
+            return None
+        event = heapq.heappop(self._queue)
+        self._now = event.time_s
+        event.action()
+        self._processed += 1
+        return event
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the queue drains (or ``max_events``); return count run."""
+        executed = 0
+        while self._queue:
+            if max_events is not None and executed >= max_events:
+                break
+            self.step()
+            executed += 1
+        return executed
+
+    def run_until(self, time_s: float) -> int:
+        """Run every event with time <= ``time_s``; advance clock to it."""
+        executed = 0
+        while self._queue and self._queue[0].time_s <= time_s:
+            self.step()
+            executed += 1
+        self._now = max(self._now, time_s)
+        return executed
+
+    def reset(self) -> None:
+        """Drop pending events and rewind the clock."""
+        self._queue.clear()
+        self._now = 0.0
+        self._processed = 0

@@ -1,0 +1,119 @@
+"""Register-occupancy traces.
+
+The fault injector needs to know, for every core, *which register bits
+were resident for how many clock cycles*.  An :class:`OccupancyTrace`
+is a list of :class:`OccupancyInterval` records — (core, time window,
+resident register set, clock frequency) — emitted by the simulator.
+
+The exposure of an interval is ``bits * cycles``; summed per core it is
+the ``R_i * T_i`` product of Eq. (3), and dividing by busy cycles gives
+the time-averaged register usage of Eq. (4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Tuple
+
+from repro.taskgraph.registers import Register
+
+
+@dataclass(frozen=True)
+class OccupancyInterval:
+    """Registers resident on one core over one time window.
+
+    Attributes
+    ----------
+    core:
+        Core index.
+    start_s / end_s:
+        Wall-clock window (seconds).
+    registers:
+        The resident register set during the window.
+    frequency_hz:
+        The core's clock frequency (converts the window to cycles).
+    """
+
+    core: int
+    start_s: float
+    end_s: float
+    registers: FrozenSet[Register]
+    frequency_hz: float
+
+    def __post_init__(self) -> None:
+        if self.core < 0:
+            raise ValueError("core index must be non-negative")
+        if self.end_s < self.start_s:
+            raise ValueError(f"invalid window [{self.start_s}, {self.end_s}]")
+        if self.frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+
+    @property
+    def duration_s(self) -> float:
+        """Window length in seconds."""
+        return self.end_s - self.start_s
+
+    @property
+    def cycles(self) -> float:
+        """Window length in this core's clock cycles."""
+        return self.duration_s * self.frequency_hz
+
+    @property
+    def bits(self) -> int:
+        """Resident register bits."""
+        return sum(register.bits for register in self.registers)
+
+    @property
+    def exposure_bit_cycles(self) -> float:
+        """``bits * cycles`` — the SEU exposure of this window."""
+        return self.bits * self.cycles
+
+
+class OccupancyTrace:
+    """An append-only collection of occupancy intervals."""
+
+    def __init__(self) -> None:
+        self._intervals: List[OccupancyInterval] = []
+
+    def add(self, interval: OccupancyInterval) -> None:
+        """Append one interval."""
+        self._intervals.append(interval)
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __iter__(self) -> Iterator[OccupancyInterval]:
+        return iter(self._intervals)
+
+    def intervals_of(self, core: int) -> Tuple[OccupancyInterval, ...]:
+        """All intervals of one core, in insertion order."""
+        return tuple(interval for interval in self._intervals if interval.core == core)
+
+    def cores(self) -> Tuple[int, ...]:
+        """Core indices present in the trace, ascending."""
+        return tuple(sorted({interval.core for interval in self._intervals}))
+
+    def busy_cycles(self, core: int) -> float:
+        """Total traced cycles of one core."""
+        return sum(interval.cycles for interval in self.intervals_of(core))
+
+    def exposure_bit_cycles(self, core: int) -> float:
+        """Total SEU exposure (bit-cycles) of one core: ``R_i * T_i``."""
+        return sum(
+            interval.exposure_bit_cycles for interval in self.intervals_of(core)
+        )
+
+    def total_exposure_bit_cycles(self) -> float:
+        """SEU exposure summed over all cores."""
+        return sum(interval.exposure_bit_cycles for interval in self._intervals)
+
+    def time_average_bits(self, core: int) -> float:
+        """Eq. (4): cycle-weighted average resident bits of one core."""
+        cycles = self.busy_cycles(core)
+        if cycles <= 0:
+            return 0.0
+        return self.exposure_bit_cycles(core) / cycles
+
+    def per_core_exposure(self) -> Dict[int, float]:
+        """Core -> exposure bit-cycles."""
+        return {core: self.exposure_bit_cycles(core) for core in self.cores()}

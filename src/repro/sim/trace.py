@@ -1,0 +1,83 @@
+"""Execution-trace records emitted by the simulator.
+
+A :class:`TraceRecord` logs one simulator event (task start/finish,
+register allocation) with its timestamp; :class:`ExecutionTrace`
+collects them and renders a human-readable log.  Traces are optional —
+the simulator only fills them when asked — and exist for debugging,
+teaching and test assertions on event ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One timestamped simulator event.
+
+    Attributes
+    ----------
+    time_s:
+        Event time in seconds.
+    core:
+        Core index the event belongs to.
+    kind:
+        Event kind: ``"start"``, ``"finish"`` or ``"alloc"``.
+    task:
+        The task involved.
+    detail:
+        Free-form extra information (e.g. allocated bits).
+    """
+
+    time_s: float
+    core: int
+    kind: str
+    task: str
+    detail: str = ""
+
+    _KINDS = ("start", "finish", "alloc")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise ValueError(f"unknown trace kind {self.kind!r}")
+        if self.time_s < 0:
+            raise ValueError("trace time must be non-negative")
+
+
+class ExecutionTrace:
+    """Ordered collection of :class:`TraceRecord`."""
+
+    def __init__(self) -> None:
+        self._records: List[TraceRecord] = []
+
+    def add(self, record: TraceRecord) -> None:
+        """Append a record (must not go back in time)."""
+        if self._records and record.time_s < self._records[-1].time_s - 1e-12:
+            raise ValueError("trace records must be appended in time order")
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def of_task(self, task: str) -> Tuple[TraceRecord, ...]:
+        """Records of one task."""
+        return tuple(record for record in self._records if record.task == task)
+
+    def of_core(self, core: int) -> Tuple[TraceRecord, ...]:
+        """Records of one core."""
+        return tuple(record for record in self._records if record.core == core)
+
+    def render(self) -> str:
+        """Human-readable multi-line log."""
+        lines = [
+            f"{record.time_s * 1e3:10.4f} ms  core{record.core}  "
+            f"{record.kind:<6}  {record.task}"
+            + (f"  ({record.detail})" if record.detail else "")
+            for record in self._records
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Application model: directed acyclic task graphs with register sets.
+
+An application is a DAG ``G(V, E)`` (Section II-B of the paper): nodes
+are computational tasks annotated with execution cost (clock cycles)
+and a set of registers they occupy; edges carry inter-task
+communication cost (clock cycles for a 32-bit inter-core transfer).
+
+Provided graphs:
+
+* :func:`~repro.taskgraph.mpeg2.mpeg2_decoder` — the 11-task MPEG-2
+  video decoder of Fig. 2.
+* :func:`~repro.taskgraph.examples.fig8_example` — the 6-task worked
+  example of Fig. 8 with its exact register map.
+* :func:`~repro.taskgraph.random_graphs.random_task_graph` — the
+  random graphs of Section V (Table III).
+* :mod:`~repro.taskgraph.generators` — extra synthetic families
+  (pipelines, fork-join, layered) for testing and benchmarks.
+"""
+
+from repro.taskgraph.graph import Task, TaskGraph
+from repro.taskgraph.registers import Register, RegisterMap
+from repro.taskgraph.mpeg2 import mpeg2_decoder, MPEG2_COST_UNIT_CYCLES
+from repro.taskgraph.examples import fig8_example, FIG8_COST_UNIT_CYCLES
+from repro.taskgraph.random_graphs import RandomGraphConfig, random_task_graph
+from repro.taskgraph.generators import (
+    fork_join_graph,
+    layered_graph,
+    pipeline_graph,
+)
+from repro.taskgraph.serialize import graph_from_dict, graph_to_dict
+from repro.taskgraph.workloads import (
+    WORKLOADS,
+    automotive_cruise_control,
+    fft8_graph,
+    jpeg_encoder,
+)
+
+__all__ = [
+    "FIG8_COST_UNIT_CYCLES",
+    "MPEG2_COST_UNIT_CYCLES",
+    "RandomGraphConfig",
+    "Register",
+    "RegisterMap",
+    "Task",
+    "TaskGraph",
+    "WORKLOADS",
+    "automotive_cruise_control",
+    "fft8_graph",
+    "fig8_example",
+    "fork_join_graph",
+    "jpeg_encoder",
+    "graph_from_dict",
+    "graph_to_dict",
+    "layered_graph",
+    "mpeg2_decoder",
+    "pipeline_graph",
+    "random_task_graph",
+]

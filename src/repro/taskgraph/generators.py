@@ -1,0 +1,149 @@
+"""Additional synthetic task-graph families.
+
+These are not from the paper; they supply well-understood structures
+for unit tests, property-based tests and micro-benchmarks:
+
+* :func:`pipeline_graph` — a linear chain (no parallelism; T_M is
+  mapping-invariant up to communication).
+* :func:`fork_join_graph` — one source fanning out to ``width``
+  parallel branches joining at a sink (maximal parallelism).
+* :func:`layered_graph` — ``depth`` layers of ``width`` tasks with
+  dense layer-to-layer dependencies (typical DSP/streaming shape).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.taskgraph.graph import TaskGraph
+from repro.taskgraph.registers import Register
+
+
+def _uniform_cycles(rng: Optional[random.Random], base: int, spread: int) -> int:
+    if rng is None or spread <= 0:
+        return base
+    return base + rng.randint(0, spread)
+
+
+def pipeline_graph(
+    num_tasks: int,
+    task_cycles: int = 1_000_000,
+    comm_cycles: int = 100_000,
+    register_bits: int = 2000,
+    shared_bits: int = 1000,
+    seed: Optional[int] = None,
+    cycles_spread: int = 0,
+) -> TaskGraph:
+    """A linear pipeline ``t1 -> t2 -> ... -> tN``.
+
+    Consecutive tasks share a ``shared_bits`` register block (the stage
+    buffer), so co-locating neighbours reduces register usage.
+    """
+    if num_tasks < 1:
+        raise ValueError("pipeline needs at least one task")
+    rng = random.Random(seed) if cycles_spread else None
+    graph = TaskGraph(name=f"pipeline-{num_tasks}")
+    for index in range(1, num_tasks + 1):
+        graph.add_task(
+            f"t{index}",
+            cycles=_uniform_cycles(rng, task_cycles, cycles_spread),
+            private_register_bits=register_bits,
+        )
+    for index in range(1, num_tasks):
+        producer, consumer = f"t{index}", f"t{index + 1}"
+        graph.add_edge(producer, consumer, comm_cycles=comm_cycles)
+        if shared_bits:
+            buffer = Register(name=f"stage{index}.buffer", bits=shared_bits)
+            graph.attach_registers(producer, [buffer])
+            graph.attach_registers(consumer, [buffer])
+    graph.validate()
+    return graph
+
+
+def fork_join_graph(
+    width: int,
+    branch_cycles: int = 1_000_000,
+    comm_cycles: int = 100_000,
+    register_bits: int = 2000,
+    shared_bits: int = 1000,
+    seed: Optional[int] = None,
+    cycles_spread: int = 0,
+) -> TaskGraph:
+    """A fork-join graph: ``source -> {b1..bW} -> sink``.
+
+    Branches share a block with the source (the scattered input), so
+    spreading them duplicates it.
+    """
+    if width < 1:
+        raise ValueError("fork-join needs at least one branch")
+    rng = random.Random(seed) if cycles_spread else None
+    graph = TaskGraph(name=f"forkjoin-{width}")
+    scatter = Register(name="scatter.buffer", bits=shared_bits) if shared_bits else None
+    graph.add_task(
+        "source",
+        cycles=max(branch_cycles // 4, 1),
+        private_register_bits=register_bits,
+        registers=[scatter] if scatter else None,
+    )
+    graph.add_task("sink", cycles=max(branch_cycles // 4, 1), private_register_bits=register_bits)
+    for index in range(1, width + 1):
+        name = f"b{index}"
+        graph.add_task(
+            name,
+            cycles=_uniform_cycles(rng, branch_cycles, cycles_spread),
+            private_register_bits=register_bits,
+            registers=[scatter] if scatter else None,
+        )
+        graph.add_edge("source", name, comm_cycles=comm_cycles)
+        graph.add_edge(name, "sink", comm_cycles=comm_cycles)
+    graph.validate()
+    return graph
+
+
+def layered_graph(
+    depth: int,
+    width: int,
+    task_cycles: int = 1_000_000,
+    comm_cycles: int = 100_000,
+    register_bits: int = 2000,
+    shared_bits: int = 800,
+    edge_probability: float = 0.6,
+    seed: Optional[int] = None,
+) -> TaskGraph:
+    """``depth`` layers of ``width`` tasks with random inter-layer edges.
+
+    Every task in layer ``l+1`` keeps at least one predecessor in layer
+    ``l``.  Edges carry shared buffers like the other generators.
+    """
+    if depth < 1 or width < 1:
+        raise ValueError("depth and width must be positive")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ValueError("edge_probability must be in [0, 1]")
+    rng = random.Random(seed)
+    graph = TaskGraph(name=f"layered-{depth}x{width}")
+    for layer in range(depth):
+        for slot in range(width):
+            graph.add_task(
+                f"l{layer}n{slot}",
+                cycles=task_cycles + rng.randint(0, task_cycles // 2),
+                private_register_bits=register_bits,
+            )
+    for layer in range(depth - 1):
+        for slot in range(width):
+            consumer = f"l{layer + 1}n{slot}"
+            producers = [
+                f"l{layer}n{src}"
+                for src in range(width)
+                if rng.random() < edge_probability
+            ]
+            if not producers:
+                producers = [f"l{layer}n{rng.randrange(width)}"]
+            for producer in producers:
+                graph.add_edge(producer, consumer, comm_cycles=comm_cycles)
+                if shared_bits:
+                    buffer = Register(name=f"{producer}->{consumer}.buffer", bits=shared_bits)
+                    graph.attach_registers(producer, [buffer])
+                    graph.attach_registers(consumer, [buffer])
+    graph.validate()
+    return graph

@@ -1,0 +1,398 @@
+"""Directed acyclic task graph (Section II-B of the paper).
+
+A :class:`TaskGraph` holds :class:`Task` nodes (computation cost in
+clock cycles, plus the registers the task occupies) and weighted edges
+(inter-task communication cost in clock cycles, charged only when the
+producer and consumer land on different cores).
+
+The class is self-contained (no networkx dependency in the hot path)
+but can export to ``networkx.DiGraph`` for analysis and plotting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.taskgraph.registers import Register, RegisterMap
+
+
+@dataclass(frozen=True)
+class Task:
+    """One computational task.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier within the graph (e.g. ``"t7"``).
+    cycles:
+        Execution cost in clock cycles on a core at nominal frequency.
+    label:
+        Optional human-readable description (e.g. ``"Inv. DCT by row"``).
+    """
+
+    name: str
+    cycles: int
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("task name must be non-empty")
+        if self.cycles <= 0:
+            raise ValueError(f"task {self.name!r}: cycles must be positive, got {self.cycles}")
+
+
+class TaskGraph:
+    """A directed acyclic application task graph.
+
+    Parameters
+    ----------
+    name:
+        Graph label used in reports.
+    register_map:
+        Optional :class:`RegisterMap`; when omitted an empty map is
+        created and tasks added via :meth:`add_task` may declare a
+        private register size.
+
+    Notes
+    -----
+    Edges are directed dependency edges ``producer -> consumer`` with a
+    communication cost in clock cycles.  Acyclicity is enforced lazily:
+    :meth:`topological_order` (and everything built on it) raises
+    ``ValueError`` on a cycle, and :meth:`validate` checks explicitly.
+    """
+
+    def __init__(self, name: str = "taskgraph", register_map: Optional[RegisterMap] = None) -> None:
+        self.name = name
+        self._tasks: Dict[str, Task] = {}
+        self._succ: Dict[str, Dict[str, int]] = {}
+        self._pred: Dict[str, Dict[str, int]] = {}
+        self._registers: Dict[str, Set[Register]] = {}
+        if register_map is not None:
+            for task_name in register_map.tasks():
+                self._registers[task_name] = set(register_map.registers_of(task_name))
+        self._topo_cache: Optional[Tuple[str, ...]] = None
+
+    # -- construction -------------------------------------------------------
+
+    def add_task(
+        self,
+        name: str,
+        cycles: int,
+        label: str = "",
+        registers: Optional[Iterable[Register]] = None,
+        private_register_bits: Optional[int] = None,
+    ) -> Task:
+        """Add a task node.
+
+        Parameters
+        ----------
+        name / cycles / label:
+            See :class:`Task`.
+        registers:
+            Registers this task occupies (may be shared with others).
+        private_register_bits:
+            Convenience: also attach a private (unshared) register block
+            of this many bits, named ``"<name>.private"``.
+        """
+        if name in self._tasks:
+            raise ValueError(f"duplicate task name {name!r}")
+        task = Task(name=name, cycles=cycles, label=label)
+        self._tasks[name] = task
+        self._succ[name] = {}
+        self._pred[name] = {}
+        register_set: Set[Register] = set(registers) if registers else set()
+        if private_register_bits is not None:
+            register_set.add(Register(name=f"{name}.private", bits=private_register_bits))
+        self._registers[name] = register_set | self._registers.get(name, set())
+        self._topo_cache = None
+        return task
+
+    def add_edge(self, producer: str, consumer: str, comm_cycles: int = 0) -> None:
+        """Add a dependency edge ``producer -> consumer``.
+
+        ``comm_cycles`` is the data-transfer cost in clock cycles,
+        charged only for cross-core mappings.
+        """
+        for endpoint in (producer, consumer):
+            if endpoint not in self._tasks:
+                raise KeyError(f"unknown task {endpoint!r}")
+        if producer == consumer:
+            raise ValueError(f"self-edge on {producer!r} not allowed")
+        if comm_cycles < 0:
+            raise ValueError(f"communication cost must be non-negative, got {comm_cycles}")
+        if consumer in self._succ[producer]:
+            raise ValueError(f"duplicate edge {producer!r} -> {consumer!r}")
+        self._succ[producer][consumer] = comm_cycles
+        self._pred[consumer][producer] = comm_cycles
+        self._topo_cache = None
+
+    def attach_registers(self, task_name: str, registers: Iterable[Register]) -> None:
+        """Attach (additional) registers to an existing task."""
+        if task_name not in self._tasks:
+            raise KeyError(f"unknown task {task_name!r}")
+        self._registers[task_name].update(registers)
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __contains__(self, task_name: str) -> bool:
+        return task_name in self._tasks
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self._tasks.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TaskGraph({self.name!r}, tasks={len(self._tasks)}, "
+            f"edges={self.num_edges})"
+        )
+
+    # -- basic queries ------------------------------------------------------
+
+    @property
+    def num_tasks(self) -> int:
+        """Number of tasks, ``N``."""
+        return len(self._tasks)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of dependency edges."""
+        return sum(len(successors) for successors in self._succ.values())
+
+    def task(self, name: str) -> Task:
+        """The task named ``name``."""
+        try:
+            return self._tasks[name]
+        except KeyError:
+            raise KeyError(f"unknown task {name!r}") from None
+
+    def task_names(self) -> Tuple[str, ...]:
+        """All task names, in insertion order."""
+        return tuple(self._tasks)
+
+    def tasks(self) -> Tuple[Task, ...]:
+        """All tasks, in insertion order."""
+        return tuple(self._tasks.values())
+
+    def successors(self, name: str) -> Tuple[str, ...]:
+        """Direct dependents of ``name``."""
+        self.task(name)
+        return tuple(self._succ[name])
+
+    def predecessors(self, name: str) -> Tuple[str, ...]:
+        """Direct prerequisites of ``name``."""
+        self.task(name)
+        return tuple(self._pred[name])
+
+    def edges(self) -> Iterator[Tuple[str, str, int]]:
+        """Iterate ``(producer, consumer, comm_cycles)`` triples."""
+        for producer, successors in self._succ.items():
+            for consumer, comm in successors.items():
+                yield producer, consumer, comm
+
+    def comm_cycles(self, producer: str, consumer: str) -> int:
+        """Communication cost of edge ``producer -> consumer``."""
+        try:
+            return self._succ[producer][consumer]
+        except KeyError:
+            raise KeyError(f"no edge {producer!r} -> {consumer!r}") from None
+
+    def has_edge(self, producer: str, consumer: str) -> bool:
+        """Whether the edge ``producer -> consumer`` exists."""
+        return consumer in self._succ.get(producer, {})
+
+    def registers_of(self, task_name: str) -> FrozenSet[Register]:
+        """Registers occupied by ``task_name``."""
+        self.task(task_name)
+        return frozenset(self._registers[task_name])
+
+    def register_map(self) -> RegisterMap:
+        """A :class:`RegisterMap` view of the graph's register model."""
+        return RegisterMap({name: self._registers[name] for name in self._tasks})
+
+    def entry_tasks(self) -> Tuple[str, ...]:
+        """Tasks with no predecessors."""
+        return tuple(name for name in self._tasks if not self._pred[name])
+
+    def exit_tasks(self) -> Tuple[str, ...]:
+        """Tasks with no successors."""
+        return tuple(name for name in self._tasks if not self._succ[name])
+
+    def total_cycles(self) -> int:
+        """Sum of all task computation costs (serial execution cycles)."""
+        return sum(task.cycles for task in self._tasks.values())
+
+    def total_comm_cycles(self) -> int:
+        """Sum of all edge communication costs."""
+        return sum(comm for _, _, comm in self.edges())
+
+    # -- graph algorithms ------------------------------------------------------
+
+    def topological_order(self) -> Tuple[str, ...]:
+        """Task names in a deterministic topological order (Kahn).
+
+        Ties are broken by insertion order, so the result is stable
+        across runs for the same construction sequence.
+
+        Raises
+        ------
+        ValueError
+            If the graph contains a cycle.
+        """
+        if self._topo_cache is not None:
+            return self._topo_cache
+        in_degree = {name: len(self._pred[name]) for name in self._tasks}
+        ready: List[str] = [name for name in self._tasks if in_degree[name] == 0]
+        order: List[str] = []
+        cursor = 0
+        while cursor < len(ready):
+            name = ready[cursor]
+            cursor += 1
+            order.append(name)
+            for successor in self._succ[name]:
+                in_degree[successor] -= 1
+                if in_degree[successor] == 0:
+                    ready.append(successor)
+        if len(order) != len(self._tasks):
+            raise ValueError(f"task graph {self.name!r} contains a cycle")
+        self._topo_cache = tuple(order)
+        return self._topo_cache
+
+    def is_acyclic(self) -> bool:
+        """Whether the graph is a DAG."""
+        try:
+            self.topological_order()
+        except ValueError:
+            return False
+        return True
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` if the graph is not a well-formed DAG."""
+        if not self._tasks:
+            raise ValueError(f"task graph {self.name!r} has no tasks")
+        self.topological_order()
+        if not self.entry_tasks():
+            raise ValueError(f"task graph {self.name!r} has no entry task")
+
+    def bottom_levels(self) -> Dict[str, int]:
+        """Bottom level of every task (cycles).
+
+        The bottom level is the longest computation+communication path
+        from the task (inclusive) to any exit task.  It is the standard
+        list-scheduling priority.
+        """
+        levels: Dict[str, int] = {}
+        for name in reversed(self.topological_order()):
+            best_tail = 0
+            for successor, comm in self._succ[name].items():
+                best_tail = max(best_tail, comm + levels[successor])
+            levels[name] = self._tasks[name].cycles + best_tail
+        return levels
+
+    def critical_path_cycles(self) -> int:
+        """Length (cycles) of the longest path, computation + communication."""
+        levels = self.bottom_levels()
+        return max(levels[name] for name in self.entry_tasks())
+
+    def ancestors(self, name: str) -> FrozenSet[str]:
+        """All transitive predecessors of ``name``."""
+        self.task(name)
+        seen: Set[str] = set()
+        frontier = list(self._pred[name])
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(self._pred[current])
+        return frozenset(seen)
+
+    def descendants(self, name: str) -> FrozenSet[str]:
+        """All transitive successors of ``name``."""
+        self.task(name)
+        seen: Set[str] = set()
+        frontier = list(self._succ[name])
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(self._succ[current])
+        return frozenset(seen)
+
+    def to_networkx(self):
+        """Export as a ``networkx.DiGraph`` (cycles/comm as attributes)."""
+        import networkx as nx
+
+        graph = nx.DiGraph(name=self.name)
+        for task in self:
+            graph.add_node(task.name, cycles=task.cycles, label=task.label)
+        for producer, consumer, comm in self.edges():
+            graph.add_edge(producer, consumer, comm_cycles=comm)
+        return graph
+
+    def to_dot(self) -> str:
+        """Graphviz DOT rendering (node label: name, cost; edge: comm)."""
+        lines = [f'digraph "{self.name}" {{', "  rankdir=TB;"]
+        for task in self:
+            description = f"\\n{task.label}" if task.label else ""
+            lines.append(
+                f'  "{task.name}" [label="{task.name} ({task.cycles}){description}"];'
+            )
+        for producer, consumer, comm in self.edges():
+            lines.append(f'  "{producer}" -> "{consumer}" [label="{comm}"];')
+        lines.append("}")
+        return "\n".join(lines)
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_specs(
+        cls,
+        name: str,
+        tasks: Sequence[Tuple[str, int]],
+        edges: Sequence[Tuple[str, str, int]],
+        register_map: Optional[RegisterMap] = None,
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> "TaskGraph":
+        """Build a graph from plain tuples.
+
+        Parameters
+        ----------
+        tasks:
+            Sequence of ``(task_name, cycles)``.
+        edges:
+            Sequence of ``(producer, consumer, comm_cycles)``.
+        register_map:
+            Optional register model; tasks present in the map get its
+            registers attached.
+        labels:
+            Optional task name -> description mapping.
+        """
+        labels = labels or {}
+        graph = cls(name=name)
+        for task_name, cycles in tasks:
+            registers = None
+            if register_map is not None and task_name in register_map:
+                registers = register_map.registers_of(task_name)
+            graph.add_task(
+                task_name, cycles, label=labels.get(task_name, ""), registers=registers
+            )
+        for producer, consumer, comm in edges:
+            graph.add_edge(producer, consumer, comm)
+        graph.validate()
+        return graph

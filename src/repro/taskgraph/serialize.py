@@ -1,0 +1,79 @@
+"""JSON-friendly (de)serialization of task graphs.
+
+Round-trips a :class:`~repro.taskgraph.graph.TaskGraph`, including its
+register model, through plain dictionaries so graphs can be stored as
+JSON files, shipped between processes, or embedded in experiment
+manifests.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.taskgraph.graph import TaskGraph
+from repro.taskgraph.registers import Register
+
+_FORMAT_VERSION = 1
+
+
+def graph_to_dict(graph: TaskGraph) -> Dict[str, Any]:
+    """Serialize ``graph`` to a JSON-compatible dictionary."""
+    registers: Dict[str, int] = {}
+    task_registers: Dict[str, list] = {}
+    for task in graph:
+        names = []
+        for register in sorted(graph.registers_of(task.name)):
+            registers[register.name] = register.bits
+            names.append(register.name)
+        task_registers[task.name] = names
+    return {
+        "version": _FORMAT_VERSION,
+        "name": graph.name,
+        "tasks": [
+            {"name": task.name, "cycles": task.cycles, "label": task.label}
+            for task in graph
+        ],
+        "edges": [
+            {"producer": producer, "consumer": consumer, "comm_cycles": comm}
+            for producer, consumer, comm in graph.edges()
+        ],
+        "registers": registers,
+        "task_registers": task_registers,
+    }
+
+
+def graph_from_dict(data: Dict[str, Any]) -> TaskGraph:
+    """Rebuild a :class:`TaskGraph` from :func:`graph_to_dict` output."""
+    version = data.get("version", _FORMAT_VERSION)
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported task-graph format version {version}")
+    registry = {
+        name: Register(name=name, bits=bits)
+        for name, bits in data.get("registers", {}).items()
+    }
+    graph = TaskGraph(name=data.get("name", "taskgraph"))
+    task_registers = data.get("task_registers", {})
+    for spec in data["tasks"]:
+        names = task_registers.get(spec["name"], [])
+        graph.add_task(
+            spec["name"],
+            cycles=spec["cycles"],
+            label=spec.get("label", ""),
+            registers=[registry[name] for name in names],
+        )
+    for edge in data.get("edges", []):
+        graph.add_edge(edge["producer"], edge["consumer"], edge.get("comm_cycles", 0))
+    graph.validate()
+    return graph
+
+
+def save_graph(graph: TaskGraph, path: Union[str, Path]) -> None:
+    """Write ``graph`` as JSON to ``path``."""
+    Path(path).write_text(json.dumps(graph_to_dict(graph), indent=2))
+
+
+def load_graph(path: Union[str, Path]) -> TaskGraph:
+    """Read a JSON task graph from ``path``."""
+    return graph_from_dict(json.loads(Path(path).read_text()))

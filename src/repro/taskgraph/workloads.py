@@ -1,0 +1,268 @@
+"""Additional realistic embedded workloads.
+
+Beyond the paper's MPEG-2 decoder, downstream users exploring the
+optimizer want a small library of representative applications.  Each
+graph follows the same conventions as :mod:`repro.taskgraph.mpeg2`:
+computation/communication costs in clock cycles, and a register model
+mixing private blocks with shared inter-stage buffers so the
+localization/duplication trade-off is present.
+
+* :func:`jpeg_encoder` — 8-task JPEG compression pipeline with a
+  parallel chroma path (classic streaming shape).
+* :func:`fft8_graph` — an 8-point radix-2 FFT butterfly DAG (3 stages
+  of 4 butterflies; wide, communication-heavy).
+* :func:`automotive_cruise_control` — a sensor-fusion / control /
+  actuation loop in the E3S style (diamond with feedback-free control
+  legs and a short deadline).
+
+All costs are synthetic but sized so the graphs exercise distinct
+corners: the JPEG pipeline is localization-friendly, the FFT rewards
+spreading, and the control loop is deadline-tight.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.taskgraph.graph import TaskGraph
+from repro.taskgraph.registers import RegisterMap
+
+# ---------------------------------------------------------------------------
+# JPEG encoder
+# ---------------------------------------------------------------------------
+
+#: One cost unit for the JPEG pipeline, in cycles.
+JPEG_COST_UNIT_CYCLES = 2_000_000
+
+#: Suggested real-time constraint: 30 frames at 25 fps.
+JPEG_DEADLINE_S = 30 / 25.0
+
+_JPEG_TASKS: List[Tuple[str, int, str]] = [
+    ("rgb2yuv", 18, "Colour conversion"),
+    ("subsample", 8, "Chroma subsampling"),
+    ("dct_y", 34, "Luma 2-D DCT"),
+    ("dct_c", 22, "Chroma 2-D DCT"),
+    ("quant_y", 14, "Luma quantization"),
+    ("quant_c", 10, "Chroma quantization"),
+    ("zigzag_rle", 12, "Zigzag + run-length"),
+    ("huffman", 26, "Huffman entropy coding"),
+]
+
+_JPEG_EDGES: List[Tuple[str, str, int]] = [
+    ("rgb2yuv", "subsample", 2),
+    ("rgb2yuv", "dct_y", 3),
+    ("subsample", "dct_c", 2),
+    ("dct_y", "quant_y", 2),
+    ("dct_c", "quant_c", 1),
+    ("quant_y", "zigzag_rle", 1),
+    ("quant_c", "zigzag_rle", 1),
+    ("zigzag_rle", "huffman", 2),
+]
+
+_JPEG_SHARED_BITS: Dict[str, int] = {
+    "jpeg.macroblock": 6400,  # raw macroblock: rgb2yuv, subsample, dct_y
+    "jpeg.coeff_y": 5600,  # luma coefficients: dct_y, quant_y
+    "jpeg.coeff_c": 4000,  # chroma coefficients: dct_c, quant_c
+    "jpeg.qtables": 2400,  # quantization tables: quant_y, quant_c
+    "jpeg.symbols": 4800,  # RLE symbols: zigzag_rle, huffman
+}
+
+_JPEG_SHARED_TASKS: Dict[str, Tuple[str, ...]] = {
+    "jpeg.macroblock": ("rgb2yuv", "subsample", "dct_y"),
+    "jpeg.coeff_y": ("dct_y", "quant_y"),
+    "jpeg.coeff_c": ("dct_c", "quant_c"),
+    "jpeg.qtables": ("quant_y", "quant_c"),
+    "jpeg.symbols": ("zigzag_rle", "huffman"),
+}
+
+_JPEG_PRIVATE_BITS: Dict[str, int] = {
+    "rgb2yuv": 1600,
+    "subsample": 1000,
+    "dct_y": 2800,
+    "dct_c": 2000,
+    "quant_y": 1200,
+    "quant_c": 1000,
+    "zigzag_rle": 1400,
+    "huffman": 2400,
+}
+
+
+def _build(
+    name: str,
+    tasks: List[Tuple[str, int, str]],
+    edges: List[Tuple[str, str, int]],
+    shared_bits: Dict[str, int],
+    shared_tasks: Dict[str, Tuple[str, ...]],
+    private_bits: Dict[str, int],
+    unit_cycles: int,
+) -> TaskGraph:
+    register_bits = dict(shared_bits)
+    task_registers: Dict[str, List[str]] = {t: [] for t, _, _ in tasks}
+    for register_name, owners in shared_tasks.items():
+        for owner in owners:
+            task_registers[owner].append(register_name)
+    for task_name, bits in private_bits.items():
+        private_name = f"{task_name}.private"
+        register_bits[private_name] = bits
+        task_registers[task_name].append(private_name)
+    register_map = RegisterMap.from_bit_sizes(task_registers, register_bits)
+
+    graph = TaskGraph(name=name)
+    for task_name, units, label in tasks:
+        graph.add_task(
+            task_name,
+            cycles=units * unit_cycles,
+            label=label,
+            registers=register_map.registers_of(task_name),
+        )
+    for producer, consumer, units in edges:
+        graph.add_edge(producer, consumer, comm_cycles=units * unit_cycles)
+    graph.validate()
+    return graph
+
+
+def jpeg_encoder() -> TaskGraph:
+    """The 8-task JPEG compression pipeline."""
+    return _build(
+        "jpeg-encoder",
+        _JPEG_TASKS,
+        _JPEG_EDGES,
+        _JPEG_SHARED_BITS,
+        _JPEG_SHARED_TASKS,
+        _JPEG_PRIVATE_BITS,
+        JPEG_COST_UNIT_CYCLES,
+    )
+
+
+# ---------------------------------------------------------------------------
+# 8-point FFT
+# ---------------------------------------------------------------------------
+
+#: One cost unit for the FFT graph, in cycles.
+FFT_COST_UNIT_CYCLES = 400_000
+
+#: Suggested deadline for one transform batch (feasible on two nominal
+#: cores with a little slack; the wide stages reward more cores).
+FFT_DEADLINE_S = 0.09
+
+
+def fft8_graph() -> TaskGraph:
+    """An 8-point radix-2 FFT butterfly DAG.
+
+    Three stages of four butterflies each; stage-s butterfly ``b``
+    consumes the two stage-(s-1) butterflies whose outputs it combines.
+    Butterflies within a stage are independent — a wide graph that
+    rewards spreading, stressing the duplication side of the
+    trade-off (each butterfly shares twiddle-factor tables).
+    """
+    graph = TaskGraph(name="fft8")
+    twiddle_bits = 3200
+    from repro.taskgraph.registers import Register
+
+    twiddles = Register("fft.twiddles", twiddle_bits)
+    stages, per_stage = 3, 4
+    for stage in range(stages):
+        for index in range(per_stage):
+            graph.add_task(
+                f"s{stage}b{index}",
+                cycles=5 * FFT_COST_UNIT_CYCLES,
+                label=f"stage {stage} butterfly {index}",
+                registers=[twiddles],
+                private_register_bits=1200,
+            )
+    # Radix-2 connectivity: stage s butterfly i reads butterflies
+    # i and i XOR (stride) of the previous stage (data-index view
+    # collapsed to butterfly granularity).
+    for stage in range(1, stages):
+        stride = 2 ** (stage - 1) % per_stage or 1
+        for index in range(per_stage):
+            sources = {index, index ^ stride}
+            for source in sorted(sources):
+                graph.add_edge(
+                    f"s{stage - 1}b{source}",
+                    f"s{stage}b{index}",
+                    comm_cycles=FFT_COST_UNIT_CYCLES,
+                )
+    graph.validate()
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# Automotive cruise control
+# ---------------------------------------------------------------------------
+
+#: One cost unit for the control loop, in cycles (sized so the loop is
+#: feasible at nominal speed on two cores but not fully scaled down —
+#: a deadline-tight workload).
+CONTROL_COST_UNIT_CYCLES = 400_000
+
+#: Control period: 100 ms.
+CONTROL_DEADLINE_S = 0.1
+
+_CONTROL_TASKS: List[Tuple[str, int, str]] = [
+    ("radar", 4, "Radar acquisition"),
+    ("wheel_speed", 2, "Wheel speed sensors"),
+    ("gps", 3, "GPS/odometry"),
+    ("fusion", 7, "Sensor fusion"),
+    ("situation", 5, "Situation assessment"),
+    ("controller", 6, "Cruise controller"),
+    ("throttle", 2, "Throttle actuation"),
+    ("brake", 2, "Brake actuation"),
+    ("logging", 3, "Telemetry logging"),
+]
+
+_CONTROL_EDGES: List[Tuple[str, str, int]] = [
+    ("radar", "fusion", 1),
+    ("wheel_speed", "fusion", 1),
+    ("gps", "fusion", 1),
+    ("fusion", "situation", 1),
+    ("situation", "controller", 1),
+    ("controller", "throttle", 1),
+    ("controller", "brake", 1),
+    ("fusion", "logging", 1),
+]
+
+_CONTROL_SHARED_BITS: Dict[str, int] = {
+    "ctrl.tracks": 4800,  # object tracks: radar, fusion, situation
+    "ctrl.state": 3200,  # vehicle state: fusion, controller, logging
+    "ctrl.commands": 1600,  # actuation set-points: controller, throttle, brake
+}
+
+_CONTROL_SHARED_TASKS: Dict[str, Tuple[str, ...]] = {
+    "ctrl.tracks": ("radar", "fusion", "situation"),
+    "ctrl.state": ("fusion", "controller", "logging"),
+    "ctrl.commands": ("controller", "throttle", "brake"),
+}
+
+_CONTROL_PRIVATE_BITS: Dict[str, int] = {
+    "radar": 1400,
+    "wheel_speed": 600,
+    "gps": 1000,
+    "fusion": 2200,
+    "situation": 1800,
+    "controller": 2000,
+    "throttle": 500,
+    "brake": 500,
+    "logging": 900,
+}
+
+
+def automotive_cruise_control() -> TaskGraph:
+    """A 9-task adaptive-cruise-control loop (100 ms period)."""
+    return _build(
+        "cruise-control",
+        _CONTROL_TASKS,
+        _CONTROL_EDGES,
+        _CONTROL_SHARED_BITS,
+        _CONTROL_SHARED_TASKS,
+        _CONTROL_PRIVATE_BITS,
+        CONTROL_COST_UNIT_CYCLES,
+    )
+
+
+#: Registry of bundled workloads: name -> (factory, suggested deadline).
+WORKLOADS = {
+    "jpeg": (jpeg_encoder, JPEG_DEADLINE_S),
+    "fft8": (fft8_graph, FFT_DEADLINE_S),
+    "cruise-control": (automotive_cruise_control, CONTROL_DEADLINE_S),
+}

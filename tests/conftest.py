@@ -1,0 +1,90 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import MPSoC, ScalingTable
+from repro.faults import SERModel
+from repro.mapping import Mapping, MappingEvaluator
+from repro.taskgraph import (
+    TaskGraph,
+    fig8_example,
+    fork_join_graph,
+    mpeg2_decoder,
+    pipeline_graph,
+)
+from repro.taskgraph.examples import FIG8_DEADLINE_S, FIG8_SCALING
+from repro.taskgraph.mpeg2 import MPEG2_DEADLINE_S
+
+
+@pytest.fixture
+def mpeg2() -> TaskGraph:
+    """The 11-task MPEG-2 decoder graph."""
+    return mpeg2_decoder()
+
+
+@pytest.fixture
+def fig8() -> TaskGraph:
+    """The 6-task worked example graph."""
+    return fig8_example()
+
+
+@pytest.fixture
+def pipeline6() -> TaskGraph:
+    """A 6-stage pipeline graph."""
+    return pipeline_graph(6)
+
+
+@pytest.fixture
+def forkjoin4() -> TaskGraph:
+    """A fork-join graph with four parallel branches."""
+    return fork_join_graph(4)
+
+
+@pytest.fixture
+def platform4() -> MPSoC:
+    """Four ARM7 cores, three scaling levels (the paper's platform)."""
+    return MPSoC.paper_reference(4)
+
+
+@pytest.fixture
+def platform3() -> MPSoC:
+    """Three ARM7 cores (the Fig. 8 example platform)."""
+    return MPSoC.paper_reference(3)
+
+
+@pytest.fixture
+def mpeg2_evaluator(mpeg2, platform4) -> MappingEvaluator:
+    """Evaluator for the MPEG-2 decoder on four cores with its deadline."""
+    return MappingEvaluator(mpeg2, platform4, deadline_s=MPEG2_DEADLINE_S)
+
+
+@pytest.fixture
+def fig8_evaluator(fig8, platform3) -> MappingEvaluator:
+    """Evaluator for the Fig. 8 example on three cores."""
+    return MappingEvaluator(fig8, platform3, deadline_s=FIG8_DEADLINE_S)
+
+
+@pytest.fixture
+def rr_mapping4(mpeg2) -> Mapping:
+    """Round-robin mapping of the decoder onto four cores."""
+    return Mapping.round_robin(mpeg2, 4)
+
+
+@pytest.fixture
+def ser_model() -> SERModel:
+    """The paper's nominal SER model."""
+    return SERModel()
+
+
+@pytest.fixture
+def three_level_table() -> ScalingTable:
+    """Table I of the paper."""
+    return ScalingTable.arm7_three_level()
+
+
+# Re-export constants for convenience in tests.
+MPEG2_DEADLINE = MPEG2_DEADLINE_S
+FIG8_DEADLINE = FIG8_DEADLINE_S
+FIG8_SCALING_VECTOR = FIG8_SCALING

@@ -1,0 +1,113 @@
+"""Tests for the core and MPSoC platform models."""
+
+import pytest
+
+from repro.arch import CoreSpec, MPSoC, ProcessingCore, ScalingTable
+
+
+class TestCoreSpec:
+    def test_defaults_match_paper_storage(self):
+        spec = CoreSpec()
+        assert spec.dcache_bits == 8 * 1024
+        assert spec.icache_bits == 16 * 1024
+        assert spec.memory_bits == 512 * 1024
+        assert spec.total_storage_bits == (8 + 16 + 512) * 1024
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"switched_capacitance_f": 0.0},
+            {"switched_capacitance_f": -1e-12},
+            {"dcache_bits": 0},
+            {"icache_bits": -1},
+            {"memory_bits": 0},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            CoreSpec(**kwargs)
+
+
+class TestProcessingCore:
+    def test_level_lookup(self, three_level_table):
+        core = ProcessingCore(index=0, scaling_coefficient=2)
+        assert core.frequency_hz(three_level_table) == pytest.approx(1e8)
+        assert core.vdd_v(three_level_table) == pytest.approx(0.58, abs=5e-3)
+
+    def test_set_scaling_validates(self, three_level_table):
+        core = ProcessingCore(index=0)
+        core.set_scaling(3, three_level_table)
+        assert core.scaling_coefficient == 3
+        with pytest.raises(ValueError):
+            core.set_scaling(4, three_level_table)
+        assert core.scaling_coefficient == 3  # unchanged after failure
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(ValueError):
+            ProcessingCore(index=-1)
+
+    def test_rejects_zero_coefficient(self):
+        with pytest.raises(ValueError):
+            ProcessingCore(index=0, scaling_coefficient=0)
+
+
+class TestMPSoC:
+    def test_default_scaling_is_deepest(self, platform4):
+        # The Fig. 4 sweep starts at the lowest-power configuration.
+        assert platform4.scaling_vector() == (3, 3, 3, 3)
+
+    def test_num_cores_and_iteration(self, platform4):
+        assert platform4.num_cores == 4
+        assert len(platform4) == 4
+        assert [core.index for core in platform4] == [0, 1, 2, 3]
+
+    def test_set_scaling_vector(self, platform4):
+        platform4.set_scaling_vector([2, 2, 3, 2])
+        assert platform4.scaling_vector() == (2, 2, 3, 2)
+
+    def test_set_scaling_vector_validates_length(self, platform4):
+        with pytest.raises(ValueError):
+            platform4.set_scaling_vector([1, 2])
+
+    def test_set_scaling_vector_validates_range(self, platform4):
+        with pytest.raises(ValueError):
+            platform4.set_scaling_vector([1, 2, 3, 4])
+
+    def test_level_frequency_voltage_queries(self, platform4):
+        platform4.set_scaling_vector([1, 2, 3, 1])
+        assert platform4.frequency_hz(0) == pytest.approx(2e8)
+        assert platform4.frequency_hz(1) == pytest.approx(1e8)
+        assert platform4.vdd_v(2) == pytest.approx(0.44, abs=5e-3)
+
+    def test_with_scaling_is_a_copy(self, platform4):
+        other = platform4.with_scaling([1, 1, 1, 1])
+        assert other.scaling_vector() == (1, 1, 1, 1)
+        assert platform4.scaling_vector() == (3, 3, 3, 3)
+        assert other.scaling_table is platform4.scaling_table
+
+    def test_initial_scaling_parameter(self):
+        platform = MPSoC(2, scaling=[1, 2])
+        assert platform.scaling_vector() == (1, 2)
+
+    def test_rejects_bad_initial_scaling(self):
+        with pytest.raises(ValueError):
+            MPSoC(2, scaling=[1, 9])
+        with pytest.raises(ValueError):
+            MPSoC(2, scaling=[1])
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            MPSoC(0)
+
+    def test_custom_table(self):
+        platform = MPSoC(2, scaling_table=ScalingTable.arm7_two_level())
+        assert platform.scaling_vector() == (2, 2)
+
+    def test_paper_reference_platform(self):
+        platform = MPSoC.paper_reference()
+        assert platform.num_cores == 4
+        assert platform.scaling_table.num_levels == 3
+
+    def test_cores_share_spec(self, platform4):
+        specs = {id(core.spec) for core in platform4}
+        assert len(specs) == 1

@@ -1,0 +1,140 @@
+"""Tests for the DVS model: Eq. (2), Table I and the level presets."""
+
+import math
+
+import pytest
+
+from repro.arch.dvs import (
+    ARM7_BASE_FREQUENCY_MHZ,
+    ScalingLevel,
+    ScalingTable,
+    arm7_vdd_for_frequency,
+    uniform_assignment,
+)
+
+
+class TestVddLaw:
+    def test_nominal_point_is_one_volt(self):
+        # Eq. (2): 200 MHz -> 1.0 V (Table I row 1).
+        assert arm7_vdd_for_frequency(200.0) == pytest.approx(1.0, abs=1e-3)
+
+    def test_half_speed_point(self):
+        # 100 MHz -> 0.58 V (Table I row 2).
+        assert arm7_vdd_for_frequency(100.0) == pytest.approx(0.58, abs=5e-3)
+
+    def test_third_speed_point(self):
+        # 66.7 MHz -> 0.44 V (Table I row 3).
+        assert arm7_vdd_for_frequency(200.0 / 3.0) == pytest.approx(0.44, abs=5e-3)
+
+    def test_voltage_monotone_in_frequency(self):
+        voltages = [arm7_vdd_for_frequency(f) for f in (50, 100, 150, 200, 236)]
+        assert voltages == sorted(voltages)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, -200.0])
+    def test_rejects_non_positive_frequency(self, bad):
+        with pytest.raises(ValueError):
+            arm7_vdd_for_frequency(bad)
+
+
+class TestScalingLevel:
+    def test_cycle_time(self):
+        level = ScalingLevel(frequency_mhz=200.0, vdd_v=1.0)
+        assert level.cycle_time_s == pytest.approx(5e-9)
+        assert level.frequency_hz == pytest.approx(2e8)
+
+    def test_from_frequency_uses_law(self):
+        level = ScalingLevel.from_frequency(100.0)
+        assert level.vdd_v == pytest.approx(arm7_vdd_for_frequency(100.0))
+
+    @pytest.mark.parametrize("f,v", [(0, 1.0), (-5, 1.0), (100, 0), (100, -0.1)])
+    def test_rejects_invalid(self, f, v):
+        with pytest.raises(ValueError):
+            ScalingLevel(frequency_mhz=f, vdd_v=v)
+
+
+class TestScalingTable:
+    def test_three_level_matches_table_one(self, three_level_table):
+        table = three_level_table
+        assert table.num_levels == 3
+        assert table.frequency_mhz(1) == pytest.approx(200.0)
+        assert table.frequency_mhz(2) == pytest.approx(100.0)
+        assert table.frequency_mhz(3) == pytest.approx(200.0 / 3.0)
+        assert table.vdd_v(1) == pytest.approx(1.0, abs=1e-3)
+        assert table.vdd_v(2) == pytest.approx(0.58, abs=5e-3)
+        assert table.vdd_v(3) == pytest.approx(0.44, abs=5e-3)
+
+    def test_two_level_preset(self):
+        table = ScalingTable.arm7_two_level()
+        assert table.num_levels == 2
+        assert table.frequency_mhz(2) == pytest.approx(100.0)
+
+    def test_four_level_preset_has_boost_point(self):
+        table = ScalingTable.arm7_four_level()
+        assert table.num_levels == 4
+        assert table.frequency_mhz(1) == pytest.approx(236.0)
+        assert table.vdd_v(1) == pytest.approx(1.2)
+        # Remaining rows are Table I shifted by one.
+        assert table.frequency_mhz(2) == pytest.approx(200.0)
+
+    def test_preset_lookup(self):
+        for levels in (2, 3, 4):
+            assert ScalingTable.arm7_levels(levels).num_levels == levels
+        with pytest.raises(ValueError):
+            ScalingTable.arm7_levels(5)
+
+    def test_deepest_coefficient(self, three_level_table):
+        assert three_level_table.deepest_coefficient == 3
+
+    @pytest.mark.parametrize("bad", [0, 4, -1])
+    def test_out_of_range_coefficient(self, three_level_table, bad):
+        with pytest.raises(ValueError):
+            three_level_table.level(bad)
+
+    def test_non_integer_coefficient(self, three_level_table):
+        with pytest.raises(TypeError):
+            three_level_table.level(1.5)
+
+    def test_rejects_unordered_levels(self):
+        fast = ScalingLevel.from_frequency(100.0)
+        slow = ScalingLevel.from_frequency(200.0)
+        with pytest.raises(ValueError):
+            ScalingTable([fast, slow])
+
+    def test_rejects_voltage_inversion(self):
+        high = ScalingLevel(frequency_mhz=200.0, vdd_v=0.5)
+        low = ScalingLevel(frequency_mhz=100.0, vdd_v=0.9)
+        with pytest.raises(ValueError):
+            ScalingTable([high, low])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ScalingTable([])
+
+    def test_validate_assignment(self, three_level_table):
+        assert three_level_table.validate_assignment([1, 2, 3]) == (1, 2, 3)
+        with pytest.raises(ValueError):
+            three_level_table.validate_assignment([1, 4])
+
+    def test_equality_and_hash(self):
+        assert ScalingTable.arm7_three_level() == ScalingTable.arm7_three_level()
+        assert hash(ScalingTable.arm7_three_level()) == hash(
+            ScalingTable.arm7_three_level()
+        )
+        assert ScalingTable.arm7_three_level() != ScalingTable.arm7_two_level()
+
+    def test_iteration_order_fastest_first(self, three_level_table):
+        frequencies = [level.frequency_mhz for level in three_level_table]
+        assert frequencies == sorted(frequencies, reverse=True)
+
+
+class TestUniformAssignment:
+    def test_basic(self):
+        assert uniform_assignment(4, 3) == [3, 3, 3, 3]
+
+    def test_rejects_bad_core_count(self):
+        with pytest.raises(ValueError):
+            uniform_assignment(0, 1)
+
+
+def test_base_frequency_constant():
+    assert ARM7_BASE_FREQUENCY_MHZ == 200.0

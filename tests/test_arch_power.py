@@ -1,0 +1,94 @@
+"""Tests for the dynamic power model (Eqs. 1 and 5)."""
+
+import pytest
+
+from repro.arch import MPSoC, PowerModel
+
+
+class TestCorePower:
+    def test_quadratic_in_voltage(self):
+        model = PowerModel(switched_capacitance_f=1e-10)
+        p1 = model.core_power_w(1e8, 1.0)
+        p2 = model.core_power_w(1e8, 0.5)
+        assert p1 / p2 == pytest.approx(4.0)
+
+    def test_linear_in_frequency(self):
+        model = PowerModel(switched_capacitance_f=1e-10)
+        assert model.core_power_w(2e8, 1.0) == pytest.approx(
+            2 * model.core_power_w(1e8, 1.0)
+        )
+
+    def test_linear_in_activity(self):
+        model = PowerModel(switched_capacitance_f=1e-10)
+        full = model.core_power_w(1e8, 1.0, activity=1.0)
+        half = model.core_power_w(1e8, 1.0, activity=0.5)
+        assert half == pytest.approx(full / 2)
+
+    def test_explicit_value(self):
+        # P = alpha * C_L * f * V^2 = 1 * 1e-10 * 1e8 * 1 = 1e-2 W.
+        model = PowerModel(switched_capacitance_f=1e-10)
+        assert model.core_power_w(1e8, 1.0) == pytest.approx(1e-2)
+
+    @pytest.mark.parametrize("activity", [-0.1, 1.5])
+    def test_rejects_bad_activity(self, activity):
+        model = PowerModel(switched_capacitance_f=1e-10)
+        with pytest.raises(ValueError):
+            model.core_power_w(1e8, 1.0, activity=activity)
+
+    def test_rejects_missing_capacitance(self):
+        with pytest.raises(ValueError):
+            PowerModel().core_power_w(1e8, 1.0)
+
+    def test_rejects_non_positive_capacitance(self):
+        with pytest.raises(ValueError):
+            PowerModel(switched_capacitance_f=0.0)
+
+
+class TestPlatformPower:
+    def test_sums_over_cores(self, platform4):
+        model = PowerModel(switched_capacitance_f=1e-10)
+        uniform = model.platform_power_w(platform4, scaling=[1, 1, 1, 1])
+        single = model.core_power_w(
+            platform4.scaling_table.frequency_hz(1),
+            platform4.scaling_table.vdd_v(1),
+        )
+        assert uniform == pytest.approx(4 * single)
+
+    def test_uses_platform_scaling_by_default(self, platform4):
+        model = PowerModel(switched_capacitance_f=1e-10)
+        platform4.set_scaling_vector([2, 2, 2, 2])
+        assert model.platform_power_w(platform4) == pytest.approx(
+            model.platform_power_w(platform4, scaling=[2, 2, 2, 2])
+        )
+
+    def test_deeper_scaling_uses_less_power(self, platform4):
+        model = PowerModel()
+        nominal = model.platform_power_mw(platform4, scaling=[1, 1, 1, 1])
+        deep = model.platform_power_mw(platform4, scaling=[3, 3, 3, 3])
+        assert deep < nominal / 4  # f halves thrice-ish and V^2 shrinks
+
+    def test_activities_scale_power(self, platform4):
+        model = PowerModel()
+        busy = model.platform_power_w(platform4, activities=[1, 1, 1, 1])
+        idle_half = model.platform_power_w(platform4, activities=[0.5] * 4)
+        assert idle_half == pytest.approx(busy / 2)
+
+    def test_falls_back_to_core_spec_capacitance(self, platform4):
+        implicit = PowerModel().platform_power_w(platform4)
+        explicit = PowerModel(
+            platform4.core_spec.switched_capacitance_f
+        ).platform_power_w(platform4)
+        assert implicit == pytest.approx(explicit)
+
+    def test_rejects_wrong_length_vectors(self, platform4):
+        model = PowerModel()
+        with pytest.raises(ValueError):
+            model.platform_power_w(platform4, scaling=[1, 1])
+        with pytest.raises(ValueError):
+            model.platform_power_w(platform4, activities=[1.0])
+
+    def test_milliwatt_conversion(self, platform4):
+        model = PowerModel()
+        assert model.platform_power_mw(platform4) == pytest.approx(
+            1e3 * model.platform_power_w(platform4)
+        )

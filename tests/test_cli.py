@@ -1,0 +1,74 @@
+"""Tests for the ``repro-seu`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_experiment_subcommand(self):
+        args = build_parser().parse_args(["experiment", "fig3"])
+        assert args.id == "fig3"
+        assert args.profile == "fast"
+
+    def test_optimize_defaults(self):
+        args = build_parser().parse_args(["optimize"])
+        assert args.app == "mpeg2"
+        assert args.cores == 4
+        assert args.levels == 3
+
+    def test_inject_defaults(self):
+        args = build_parser().parse_args(["inject"])
+        assert args.cores == 4
+        assert args.runs == 20
+
+    def test_rejects_unknown_experiment(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_optimize_mpeg2(self, capsys):
+        code = main(
+            ["optimize", "--app", "mpeg2", "--cores", "4", "--iterations", "150"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "design:" in captured.out
+        assert "core 1" in captured.out
+
+    def test_optimize_random(self, capsys):
+        code = main(
+            [
+                "optimize",
+                "--app",
+                "random",
+                "--tasks",
+                "10",
+                "--cores",
+                "2",
+                "--iterations",
+                "100",
+            ]
+        )
+        assert code == 0
+        assert "random-10" in capsys.readouterr().out
+
+    def test_inject(self, capsys):
+        code = main(["inject", "--runs", "3", "--scaling", "2,2,3,2"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "expected SEUs" in captured.out
+        assert "injected SEUs" in captured.out
+
+    def test_experiment_fig3(self, capsys):
+        # fig3 is the one experiment cheap enough for a CLI smoke test.
+        code = main(["experiment", "fig3"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "shape checks" in captured.out
+        assert "[PASS]" in captured.out

@@ -1,0 +1,16 @@
+"""CLI coverage for the bundled workload applications."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.mark.parametrize("app", ["jpeg", "fft8", "cruise-control"])
+def test_optimize_bundled_workloads(app, capsys):
+    code = main(
+        ["optimize", "--app", app, "--cores", "2", "--iterations", "100"]
+    )
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "design:" in captured.out
+    assert "deadline met" in captured.out

@@ -1,0 +1,56 @@
+"""Tests for the comm-model pass-through in evaluator and simulator."""
+
+import pytest
+
+from repro.arch import MPSoC
+from repro.mapping import Mapping, MappingEvaluator
+from repro.sim import MPSoCSimulator
+from repro.taskgraph.mpeg2 import MPEG2_DEADLINE_S
+
+
+class TestEvaluatorCommModel:
+    def test_dedicated_is_default(self, mpeg2, platform4):
+        evaluator = MappingEvaluator(mpeg2, platform4)
+        assert evaluator.comm_model == "dedicated"
+
+    def test_bus_changes_makespan(self, mpeg2, platform4, rr_mapping4):
+        dedicated = MappingEvaluator(mpeg2, platform4)
+        bus = MappingEvaluator(mpeg2, platform4, comm_model="shared-bus")
+        tm_dedicated = dedicated.evaluate(rr_mapping4, (1, 1, 1, 1)).makespan_s
+        tm_bus = bus.evaluate(rr_mapping4, (1, 1, 1, 1)).makespan_s
+        assert tm_bus != tm_dedicated
+
+    def test_bus_rejects_unknown_model(self, mpeg2, platform4, rr_mapping4):
+        evaluator = MappingEvaluator(mpeg2, platform4, comm_model="bogus")
+        with pytest.raises(ValueError):
+            evaluator.evaluate(rr_mapping4, (1, 1, 1, 1))
+
+    def test_gamma_follows_bus_makespan(self, mpeg2, platform4, rr_mapping4):
+        # Full-window exposure: a longer bus-contended window means
+        # more expected SEUs for the same mapping.
+        dedicated = MappingEvaluator(mpeg2, platform4)
+        bus = MappingEvaluator(mpeg2, platform4, comm_model="shared-bus")
+        d = dedicated.evaluate(rr_mapping4, (1, 1, 1, 1))
+        b = bus.evaluate(rr_mapping4, (1, 1, 1, 1))
+        assert (b.expected_seus > d.expected_seus) == (b.makespan_s > d.makespan_s)
+
+
+class TestSimulatorCommModel:
+    def test_simulator_matches_evaluator_per_model(self, mpeg2, platform4, rr_mapping4):
+        for model in ("dedicated", "shared-bus"):
+            evaluator = MappingEvaluator(mpeg2, platform4, comm_model=model)
+            point = evaluator.evaluate(rr_mapping4, (2, 2, 2, 2))
+            simulated = MPSoCSimulator(
+                mpeg2, platform4, scaling=(2, 2, 2, 2), comm_model=model
+            ).run(rr_mapping4)
+            assert simulated.makespan_s == pytest.approx(point.makespan_s)
+
+    def test_localized_mapping_model_invariant(self, mpeg2, platform4):
+        mapping = Mapping.all_on_core(mpeg2, 4, 0)
+        results = []
+        for model in ("dedicated", "shared-bus"):
+            simulator = MPSoCSimulator(
+                mpeg2, platform4, scaling=(1, 1, 1, 1), comm_model=model
+            )
+            results.append(simulator.run(mapping).makespan_s)
+        assert results[0] == pytest.approx(results[1])

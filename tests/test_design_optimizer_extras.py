@@ -1,0 +1,90 @@
+"""Additional DesignOptimizer behaviours: custom sweeps, power-parity
+selection, and the runner's full dispatch table."""
+
+import pytest
+
+from repro.arch import MPSoC
+from repro.experiments.runner import _RUNNERS, run_all
+from repro.optim import DesignOptimizer, sea_mapper
+from repro.taskgraph.mpeg2 import MPEG2_DEADLINE_S, mpeg2_decoder
+
+
+@pytest.fixture(scope="module")
+def outcome_and_optimizer():
+    optimizer = DesignOptimizer(
+        mpeg2_decoder(),
+        MPSoC.paper_reference(4),
+        deadline_s=MPEG2_DEADLINE_S,
+        mapper=sea_mapper(search_iterations=200),
+        stop_after_feasible=None,
+        seed=0,
+    )
+    # A restricted, hand-picked sweep keeps this module fast.
+    outcome = optimizer.optimize(
+        scalings=[(3, 3, 3, 3), (3, 3, 2, 2), (2, 2, 2, 2), (1, 1, 1, 1)]
+    )
+    return optimizer, outcome
+
+
+class TestCustomSweep:
+    def test_assesses_exactly_given_scalings(self, outcome_and_optimizer):
+        _, outcome = outcome_and_optimizer
+        assessed = [record.scaling for record in outcome.assessments]
+        assert assessed == [(3, 3, 3, 3), (3, 3, 2, 2), (2, 2, 2, 2), (1, 1, 1, 1)]
+
+    def test_best_from_feasible_subset(self, outcome_and_optimizer):
+        _, outcome = outcome_and_optimizer
+        assert outcome.best is not None
+        assert outcome.best.scaling in {
+            record.scaling for record in outcome.assessments if record.feasible
+        }
+
+
+class TestBestWithinPower:
+    def test_respects_budget(self, outcome_and_optimizer):
+        _, outcome = outcome_and_optimizer
+        budget = outcome.best.power_mw
+        matched = outcome.best_within_power(budget, tolerance=0.05)
+        assert matched is not None
+        assert matched.power_mw <= budget * 1.05 + 1e-9
+
+    def test_minimizes_seus_within_budget(self, outcome_and_optimizer):
+        _, outcome = outcome_and_optimizer
+        budget = max(point.power_mw for point in outcome.feasible_points)
+        matched = outcome.best_within_power(budget, tolerance=0.0)
+        assert matched.expected_seus == min(
+            point.expected_seus for point in outcome.feasible_points
+        )
+
+    def test_returns_none_when_unaffordable(self, outcome_and_optimizer):
+        _, outcome = outcome_and_optimizer
+        assert outcome.best_within_power(1e-9) is None
+
+
+class TestPowerProxyAgreement:
+    def test_proxy_correlates_with_measured_power(self, outcome_and_optimizer):
+        optimizer, outcome = outcome_and_optimizer
+        # For the uniform scalings in the sweep, proxy order and
+        # measured-power order agree.
+        uniform = [
+            record
+            for record in outcome.assessments
+            if len(set(record.scaling)) == 1
+        ]
+        proxies = [optimizer.power_proxy(record.scaling) for record in uniform]
+        powers = [record.point.power_mw for record in uniform]
+        assert sorted(range(len(uniform)), key=lambda i: proxies[i]) == sorted(
+            range(len(uniform)), key=lambda i: powers[i]
+        )
+
+
+class TestRunnerTable:
+    def test_all_experiments_registered(self):
+        assert set(_RUNNERS) == {"fig3", "table2", "fig9", "table3", "fig10", "fig11"}
+
+    def test_run_all_signature(self):
+        # run_all wires every id through run_experiment; verify the
+        # contract without paying for a full run by checking callables.
+        assert callable(run_all)
+        for runner in _RUNNERS.values():
+            assert callable(runner)

@@ -1,0 +1,236 @@
+"""Tests for the experiment harness (trimmed budgets for CI speed)."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentProfile,
+    run_fig10,
+    run_fig11,
+    run_fig3,
+    run_fig9,
+    run_table2,
+    run_table3,
+)
+from repro.experiments.common import (
+    build_evaluator,
+    build_optimizer,
+    build_platform,
+    format_mapping_groups,
+    format_table,
+    percent_delta,
+)
+from repro.experiments.runner import experiment_ids, render_report, run_experiment
+from repro.taskgraph import RandomGraphConfig, random_task_graph
+from repro.taskgraph.mpeg2 import MPEG2_DEADLINE_S, mpeg2_decoder
+
+
+@pytest.fixture(scope="module")
+def tiny_profile():
+    """Budgets sized for unit tests."""
+    return ExperimentProfile(
+        name="tiny",
+        search_iterations=150,
+        sa_iterations=300,
+        fig3_mappings=40,
+        stop_after_feasible=2,
+        seed=0,
+    )
+
+
+class TestProfiles:
+    def test_presets(self):
+        assert ExperimentProfile.fast().name == "fast"
+        full = ExperimentProfile.full()
+        assert full.stop_after_feasible is None
+        assert full.search_iterations > ExperimentProfile.fast().search_iterations
+
+    def test_with_seed(self):
+        assert ExperimentProfile.fast().with_seed(7).seed == 7
+
+    def test_annealing_config(self, tiny_profile):
+        assert tiny_profile.annealing_config().max_iterations == 300
+
+
+class TestCommonHelpers:
+    def test_build_platform(self):
+        platform = build_platform(3, num_levels=2)
+        assert platform.num_cores == 3
+        assert platform.scaling_table.num_levels == 2
+
+    def test_build_evaluator(self):
+        evaluator = build_evaluator(mpeg2_decoder(), 4, MPEG2_DEADLINE_S)
+        assert evaluator.deadline_s == MPEG2_DEADLINE_S
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_mapping_groups(self):
+        assert format_mapping_groups([["t1"], []]) == "c1:t1 | c2:-"
+
+    def test_percent_delta(self):
+        assert percent_delta(110, 100) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            percent_delta(1, 0)
+
+
+class TestFig3(object):
+    @pytest.fixture(scope="class")
+    def result(self, tiny_profile):
+        return run_fig3(tiny_profile)
+
+    def test_sample_size(self, result, tiny_profile):
+        assert len(result.points) >= tiny_profile.fig3_mappings * 0.7
+
+    def test_series_lengths_match(self, result):
+        assert len(result.series_a()) == len(result.series_b()) == len(
+            result.series_c()
+        )
+
+    def test_tm_ratio_is_two(self, result):
+        # Frequency halves, T_M doubles — exact in our timing model.
+        assert result.mean_tm_ratio() == pytest.approx(2.0, rel=1e-9)
+
+    def test_gamma_ratio_is_2_5(self, result):
+        # The lambda(V) calibration target.
+        assert result.mean_gamma_ratio() == pytest.approx(2.5, rel=0.02)
+
+    def test_tradeoff_negative_correlation(self, result):
+        assert result.tm_r_correlation() < 0
+
+    def test_format_table(self, result):
+        assert "T_M(s=1)" in result.format_table()
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self, tiny_profile):
+        return run_table2(tiny_profile)
+
+    def test_four_rows(self, result):
+        assert [row.experiment for row in result.rows] == [
+            "Exp:1",
+            "Exp:2",
+            "Exp:3",
+            "Exp:4",
+        ]
+
+    def test_all_meet_deadline(self, result):
+        assert result.shape_checks()["all_meet_deadline"]
+
+    def test_row_lookup(self, result):
+        assert result.row("Exp:4").experiment == "Exp:4"
+        with pytest.raises(KeyError):
+            result.row("Exp:9")
+
+    def test_format_table_has_columns(self, result):
+        text = result.format_table()
+        for header in ("P,mW", "R,kb/c", "Gamma"):
+            assert header in text
+
+    def test_nominal_makespans_recorded(self, result):
+        for row in result.rows:
+            assert row.nominal_makespan_s > 0
+
+
+class TestFig9:
+    def test_reuses_table2_designs(self, tiny_profile):
+        table2 = run_table2(tiny_profile)
+        result = run_fig9(tiny_profile, table2=table2)
+        assert set(result.points) == {"Exp:1", "Exp:2", "Exp:3", "Exp:4"}
+        # The common scaling defaults to Exp:4's Table II choice.
+        assert result.scaling == table2.row("Exp:4").point.scaling
+        bars = result.bars()
+        assert len(bars) == 3
+
+    def test_fresh_mode(self, tiny_profile):
+        result = run_fig9(tiny_profile)
+        assert set(result.points) == {"Exp:1", "Exp:2", "Exp:3", "Exp:4"}
+        assert "dSEU%" in result.format_table()
+
+
+class TestTable3:
+    def test_small_sweep(self, tiny_profile):
+        graph = random_task_graph(RandomGraphConfig(num_tasks=12), seed=3)
+        result = run_table3(
+            tiny_profile,
+            core_counts=(2, 3),
+            applications=[("tiny", graph, RandomGraphConfig(num_tasks=12).deadline_s)],
+        )
+        assert result.apps() == ["tiny"]
+        assert result.cell("tiny", 2).feasible
+        assert len(result.power_series("tiny")) == 2
+        assert "P(2c)" in result.format_table()
+
+    def test_monotonicity_helper(self, tiny_profile):
+        graph = random_task_graph(RandomGraphConfig(num_tasks=12), seed=3)
+        result = run_table3(
+            tiny_profile,
+            core_counts=(2, 3),
+            applications=[("tiny", graph, RandomGraphConfig(num_tasks=12).deadline_s)],
+        )
+        assert 0.0 <= result.gamma_monotonicity("tiny") <= 1.0
+
+
+class TestFig10:
+    def test_small_graph(self, tiny_profile):
+        config = RandomGraphConfig(num_tasks=14)
+        graph = random_task_graph(config, seed=5)
+        result = run_fig10(
+            tiny_profile,
+            graph=graph,
+            deadline_s=config.deadline_s,
+            core_counts=(2, 3),
+        )
+        assert len(result.cells) == 2
+        assert result.seu_reduction_percent()
+        assert "Exp:3 P,mW" in result.format_table()
+
+    def test_requires_deadline_with_custom_graph(self, tiny_profile):
+        graph = random_task_graph(RandomGraphConfig(num_tasks=10), seed=1)
+        with pytest.raises(ValueError):
+            run_fig10(tiny_profile, graph=graph)
+
+
+class TestFig11:
+    def test_small_graph(self, tiny_profile):
+        config = RandomGraphConfig(num_tasks=12)
+        graph = random_task_graph(config, seed=6)
+        result = run_fig11(
+            tiny_profile,
+            graph=graph,
+            deadline_s=config.deadline_s * 1.6,
+            num_cores=3,
+            level_counts=(2, 3),
+        )
+        assert set(result.points) == {2, 3}
+        assert "Levels" in result.format_table()
+
+
+class TestRunner:
+    def test_experiment_ids(self):
+        assert set(experiment_ids()) == {
+            "fig3",
+            "table2",
+            "fig9",
+            "table3",
+            "fig10",
+            "fig11",
+        }
+
+    def test_run_experiment_fig3(self, tiny_profile):
+        result, report = run_experiment("fig3", tiny_profile)
+        assert result.points
+        assert "shape checks" in report
+        assert "Fig. 3" in report
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_render_report_includes_profile(self, tiny_profile):
+        result = run_fig3(tiny_profile)
+        report = render_report("fig3", result, tiny_profile)
+        assert "tiny" in report

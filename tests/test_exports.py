@@ -1,0 +1,45 @@
+"""Tests for the auxiliary export utilities (DOT, schedule rows)."""
+
+from repro.mapping import Mapping
+from repro.sched import ListScheduler
+
+
+class TestDotExport:
+    def test_contains_nodes_and_edges(self, mpeg2):
+        dot = mpeg2.to_dot()
+        assert dot.startswith('digraph "mpeg2-decoder"')
+        assert '"t1"' in dot and '"t11"' in dot
+        assert '"t1" -> "t2"' in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_labels_included(self, mpeg2):
+        assert "Inv. DCT by row" in mpeg2.to_dot()
+
+    def test_edge_costs_annotated(self, fig8):
+        dot = fig8.to_dot()
+        assert 'label="' in dot
+
+
+class TestScheduleRows:
+    def test_rows_cover_all_tasks(self, mpeg2, rr_mapping4):
+        schedule = ListScheduler(mpeg2, [2e8] * 4).schedule(rr_mapping4)
+        rows = schedule.to_rows()
+        assert len(rows) == mpeg2.num_tasks
+        names = {row[0] for row in rows}
+        assert names == set(mpeg2.task_names())
+
+    def test_rows_ordered_by_start(self, mpeg2, rr_mapping4):
+        schedule = ListScheduler(mpeg2, [2e8] * 4).schedule(rr_mapping4)
+        starts = [row[2] for row in schedule.to_rows()]
+        assert starts == sorted(starts)
+
+    def test_row_contents_match_entries(self, pipeline6):
+        mapping = Mapping.all_on_core(pipeline6, 1, 0)
+        schedule = ListScheduler(pipeline6, [1e8]).schedule(mapping)
+        for name, core, start, finish, compute, receive in schedule.to_rows():
+            entry = schedule.entry(name)
+            assert core == entry.core
+            assert start == entry.start_s
+            assert finish == entry.finish_s
+            assert compute == entry.compute_cycles
+            assert receive == entry.receive_cycles

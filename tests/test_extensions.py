@@ -1,0 +1,212 @@
+"""Tests for the extension modules: Pareto exploration, reliability
+metrics and report writers."""
+
+import math
+
+import pytest
+
+from repro.experiments.common import ExperimentProfile, format_table
+from repro.experiments.reporting import (
+    ascii_table_to_csv,
+    checks_markdown,
+    experiment_markdown,
+    rows_to_csv,
+    table_to_markdown,
+    write_experiment_reports,
+)
+from repro.faults.reliability import (
+    DEFAULT_AVF,
+    expected_failures,
+    failure_probability,
+    gamma_for_failure_budget,
+    mean_executions_to_failure,
+    ser_sweep,
+)
+from repro.mapping import Mapping
+from repro.optim.pareto import (
+    dominates,
+    explore_pareto,
+    hypervolume_2d,
+    pareto_front,
+)
+from repro.optim.design_optimizer import sea_mapper
+from repro.taskgraph import pipeline_graph
+from repro.taskgraph.mpeg2 import MPEG2_DEADLINE_S
+
+
+# ---------------------------------------------------------------------------
+# Pareto
+# ---------------------------------------------------------------------------
+
+
+class TestParetoFront:
+    @pytest.fixture
+    def points(self, mpeg2_evaluator, mpeg2):
+        from repro.mapping.enumeration import sample_mappings
+
+        mappings = sample_mappings(mpeg2, 4, 20, seed=0)
+        out = []
+        for scaling in [(1, 1, 1, 1), (2, 2, 2, 2)]:
+            for mapping in mappings[:10]:
+                out.append(mpeg2_evaluator.evaluate(mapping, scaling))
+        return out
+
+    def test_front_is_non_dominated(self, points):
+        front = pareto_front(points)
+        assert front
+        for a in front:
+            for b in front:
+                assert not dominates(a, b)
+
+    def test_front_dominates_or_ties_rest(self, points):
+        front = pareto_front(points)
+        for point in points:
+            assert any(
+                not dominates(point, member) for member in front
+            )  # nothing outside strictly beats the front
+
+    def test_front_sorted_by_power(self, points):
+        front = pareto_front(points)
+        powers = [point.power_mw for point in front]
+        assert powers == sorted(powers)
+
+    def test_front_of_single_point(self, points):
+        assert pareto_front(points[:1]) == points[:1]
+
+    def test_dominates_semantics(self, points):
+        a, b = points[0], points[1]
+        if dominates(a, b):
+            assert a.power_mw <= b.power_mw + 1e-12
+            assert a.expected_seus <= b.expected_seus + 1e-12
+
+    def test_explore_pareto_contains_feasible_designs(self, mpeg2, platform4):
+        front = explore_pareto(
+            mpeg2,
+            platform4,
+            MPEG2_DEADLINE_S,
+            mapper=sea_mapper(search_iterations=150),
+            seed=0,
+        )
+        assert front
+        for point in front:
+            assert point.makespan_s <= MPEG2_DEADLINE_S + 1e-9
+
+    def test_explore_pareto_rejects_bad_deadline(self, mpeg2, platform4):
+        with pytest.raises(ValueError):
+            explore_pareto(mpeg2, platform4, 0.0)
+
+    def test_hypervolume_monotone_in_front_size(self, points):
+        front = pareto_front(points)
+        reference = (
+            max(point.power_mw for point in points) * 1.1,
+            max(point.expected_seus for point in points) * 1.1,
+        )
+        full = hypervolume_2d(front, reference)
+        partial = hypervolume_2d(front[:1], reference)
+        assert full >= partial >= 0
+
+    def test_hypervolume_requires_two_axes(self, points):
+        with pytest.raises(ValueError):
+            hypervolume_2d(points, (1, 1), axes=[lambda p: p.power_mw])
+
+
+# ---------------------------------------------------------------------------
+# Reliability metrics
+# ---------------------------------------------------------------------------
+
+
+class TestReliability:
+    def test_failure_probability_limits(self):
+        assert failure_probability(0.0) == 0.0
+        assert failure_probability(1e12, avf=1.0) == pytest.approx(1.0)
+
+    def test_failure_probability_formula(self):
+        assert failure_probability(10.0, avf=0.1) == pytest.approx(
+            1.0 - math.exp(-1.0)
+        )
+
+    def test_expected_failures(self):
+        assert expected_failures(100.0, avf=0.05) == pytest.approx(5.0)
+
+    def test_mtef_inverse(self):
+        gamma = 2.0
+        probability = failure_probability(gamma)
+        assert mean_executions_to_failure(gamma) == pytest.approx(1.0 / probability)
+
+    def test_mtef_infinite_when_safe(self):
+        assert mean_executions_to_failure(0.0) == math.inf
+
+    def test_budget_inversion_round_trip(self):
+        budget = 0.01
+        gamma = gamma_for_failure_budget(budget, avf=DEFAULT_AVF)
+        assert failure_probability(gamma, avf=DEFAULT_AVF) == pytest.approx(budget)
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_avf_validation(self, bad):
+        with pytest.raises(ValueError):
+            failure_probability(1.0, avf=bad)
+
+    def test_gamma_validation(self):
+        with pytest.raises(ValueError):
+            failure_probability(-1.0)
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            gamma_for_failure_budget(0.0)
+        with pytest.raises(ValueError):
+            gamma_for_failure_budget(0.5, avf=0.0)
+
+    def test_ser_sweep_linear(self, mpeg2_evaluator, rr_mapping4):
+        rates = [1e-10, 1e-9, 1e-8]
+        sweep = ser_sweep(mpeg2_evaluator, rr_mapping4, (1, 1, 1, 1), rates)
+        assert len(sweep) == 3
+        (r0, g0), (r1, g1), (r2, g2) = sweep
+        assert g1 == pytest.approx(10 * g0, rel=1e-9)
+        assert g2 == pytest.approx(100 * g0, rel=1e-9)
+
+    def test_ser_sweep_rejects_bad_rate(self, mpeg2_evaluator, rr_mapping4):
+        with pytest.raises(ValueError):
+            ser_sweep(mpeg2_evaluator, rr_mapping4, (1, 1, 1, 1), [0.0])
+
+
+# ---------------------------------------------------------------------------
+# Reporting
+# ---------------------------------------------------------------------------
+
+
+class TestReporting:
+    def test_table_to_markdown(self):
+        ascii_table = format_table(["a", "b"], [["1", "2"], ["3", "4"]])
+        markdown = table_to_markdown(ascii_table)
+        assert markdown.splitlines()[0] == "| a | b |"
+        assert "| 1 | 2 |" in markdown
+
+    def test_checks_markdown(self):
+        text = checks_markdown({"good": True, "bad": False})
+        assert "- [x] `good`" in text
+        assert "- [ ] `bad`" in text
+
+    def test_rows_to_csv(self):
+        text = rows_to_csv(["x", "y"], [[1, 2], [3, 4]])
+        assert text.splitlines()[0] == "x,y"
+        assert "3,4" in text
+
+    def test_ascii_table_to_csv(self):
+        ascii_table = format_table(["col a", "col b"], [["v 1", "v 2"]])
+        csv_text = ascii_table_to_csv(ascii_table)
+        assert "col a,col b" in csv_text
+
+    def test_experiment_markdown_and_files(self, tmp_path):
+        profile = ExperimentProfile(
+            name="tiny",
+            search_iterations=100,
+            sa_iterations=200,
+            fig3_mappings=25,
+            stop_after_feasible=2,
+            seed=0,
+        )
+        written = write_experiment_reports(tmp_path, profile, ids=["fig3"])
+        markdown = written["fig3"].read_text()
+        assert markdown.startswith("## fig3")
+        assert "Shape checks" in markdown
+        assert (tmp_path / "fig3.csv").read_text().strip()

@@ -1,0 +1,169 @@
+"""Tests for the SER model, SEU sampling and the fault injector."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultInjector, SERModel, SEUEvent, sample_seu_count
+from repro.mapping import Mapping
+from repro.sim import MPSoCSimulator
+
+
+class TestSERModel:
+    def test_reference_rate_at_nominal_voltage(self, ser_model):
+        assert ser_model.rate(1.0) == pytest.approx(1e-9)
+
+    def test_calibration_point(self, ser_model):
+        # Fig. 3(c) calibration: lambda(0.58 V) / lambda(1 V) = 2.5.
+        assert ser_model.rate_ratio(0.58) == pytest.approx(2.5, rel=1e-3)
+
+    def test_rate_monotone_decreasing_in_voltage(self, ser_model):
+        voltages = [0.4, 0.58, 0.8, 1.0, 1.2]
+        rates = [ser_model.rate(v) for v in voltages]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_boost_voltage_reduces_rate(self, ser_model):
+        assert ser_model.rate(1.2) < ser_model.rate(1.0)
+
+    def test_exponential_law(self, ser_model):
+        # log(lambda) is linear in (V_ref - V).
+        delta = math.log(ser_model.rate(0.8)) - math.log(ser_model.rate(0.9))
+        delta2 = math.log(ser_model.rate(0.7)) - math.log(ser_model.rate(0.8))
+        assert delta == pytest.approx(delta2)
+
+    def test_rate_per_bit_second(self, ser_model):
+        assert ser_model.rate_per_bit_second(1.0) == pytest.approx(1e-9 * 2e8)
+
+    def test_expected_seus(self, ser_model):
+        # 1 kbit over 1e6 cycles at nominal: 1e-9 * 1000 * 1e6 = 1.
+        assert ser_model.expected_seus(1000, 1e6, 1.0) == pytest.approx(1.0)
+
+    def test_expected_seus_wall_time(self, ser_model):
+        # 1 kbit for 5 ms at nominal: 1e-9 * 2e8 * 1000 * 5e-3 = 1.
+        assert ser_model.expected_seus_wall_time(1000, 5e-3, 1.0) == pytest.approx(1.0)
+
+    def test_with_reference_rate(self, ser_model):
+        scaled = ser_model.with_reference_rate(2e-9)
+        assert scaled.rate(1.0) == pytest.approx(2e-9)
+        assert scaled.rate_ratio(0.58) == pytest.approx(ser_model.rate_ratio(0.58))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"reference_rate": 0.0},
+            {"reference_vdd_v": -1.0},
+            {"beta": -0.1},
+            {"reference_frequency_hz": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            SERModel(**kwargs)
+
+    def test_rejects_non_positive_voltage(self, ser_model):
+        with pytest.raises(ValueError):
+            ser_model.rate(0.0)
+
+    def test_rejects_negative_exposure(self, ser_model):
+        with pytest.raises(ValueError):
+            ser_model.expected_seus(-1, 10, 1.0)
+
+
+class TestSEUSampling:
+    def test_zero_mean_gives_zero(self):
+        assert sample_seu_count(0.0, 1000, 1000) == 0
+        assert sample_seu_count(1e-9, 0, 1000) == 0
+
+    def test_poisson_mean(self):
+        rng = np.random.default_rng(7)
+        mean = 50.0
+        draws = [sample_seu_count(1.0, mean, 1.0, rng) for _ in range(2000)]
+        assert np.mean(draws) == pytest.approx(mean, rel=0.05)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            sample_seu_count(-1.0, 1, 1)
+        with pytest.raises(ValueError):
+            sample_seu_count(1.0, -1, 1)
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            SEUEvent(time_s=-1.0, core=0, register_name="r", bit_index=0)
+        with pytest.raises(ValueError):
+            SEUEvent(time_s=0.0, core=-1, register_name="r", bit_index=0)
+        with pytest.raises(ValueError):
+            SEUEvent(time_s=0.0, core=0, register_name="r", bit_index=-1)
+
+
+class TestFaultInjector:
+    @pytest.fixture
+    def simulation(self, mpeg2, platform4, rr_mapping4):
+        simulator = MPSoCSimulator(mpeg2, platform4, scaling=(1, 1, 1, 1))
+        return simulator.run(rr_mapping4)
+
+    def test_counts_match_expectation(self, simulation):
+        injector = FaultInjector(seed=0)
+        campaign = injector.inject(simulation, voltages_v=[1.0] * 4, runs=30)
+        # Poisson sum: relative error ~ 1/sqrt(mean); 30 runs give a
+        # tight bound at these exposure levels.
+        assert campaign.total_seus == pytest.approx(campaign.expected_seus, rel=0.05)
+
+    def test_expectation_matches_analytic_eq3(
+        self, simulation, mpeg2_evaluator, rr_mapping4
+    ):
+        # The injector's mean equals the evaluator's Eq. (3) Gamma.
+        injector = FaultInjector(seed=1)
+        campaign = injector.inject(simulation, voltages_v=[1.0] * 4, runs=1)
+        point = mpeg2_evaluator.evaluate(rr_mapping4, (1, 1, 1, 1))
+        # Small float drift between the schedule-derived window and the
+        # interval-sum exposure is expected (<0.1%).
+        assert campaign.expected_seus == pytest.approx(point.expected_seus, rel=1e-3)
+
+    def test_lower_voltage_increases_counts(self, simulation):
+        injector = FaultInjector(seed=2)
+        nominal = injector.inject(simulation, voltages_v=[1.0] * 4, runs=5)
+        scaled = injector.inject(simulation, voltages_v=[0.58] * 4, runs=5)
+        assert scaled.expected_seus == pytest.approx(
+            2.5 * nominal.expected_seus, rel=1e-3
+        )
+
+    def test_reproducible(self, simulation):
+        a = FaultInjector(seed=3).inject(simulation, voltages_v=[1.0] * 4)
+        b = FaultInjector(seed=3).inject(simulation, voltages_v=[1.0] * 4)
+        assert a.total_seus == b.total_seus
+        assert a.per_core_seus == b.per_core_seus
+
+    def test_per_core_counts_sum(self, simulation):
+        campaign = FaultInjector(seed=4).inject(simulation, voltages_v=[1.0] * 4)
+        assert sum(campaign.per_core_seus.values()) == campaign.total_seus
+
+    def test_event_materialization(self, simulation, mpeg2):
+        injector = FaultInjector(seed=5, max_events=500)
+        campaign = injector.inject(
+            simulation, voltages_v=[1.0] * 4, collect_events=True
+        )
+        assert campaign.events
+        assert len(campaign.events) <= 500
+        register_names = {
+            register.name
+            for name in mpeg2.task_names()
+            for register in mpeg2.registers_of(name)
+        }
+        for event in campaign.events[:50]:
+            assert event.register_name in register_names
+            assert 0.0 <= event.time_s <= simulation.makespan_s + 1e-9
+
+    def test_rejects_wrong_voltage_count(self, simulation):
+        with pytest.raises(ValueError):
+            FaultInjector(seed=0).inject(simulation, voltages_v=[1.0])
+
+    def test_rejects_zero_runs(self, simulation):
+        with pytest.raises(ValueError):
+            FaultInjector(seed=0).inject(simulation, voltages_v=[1.0] * 4, runs=0)
+
+    def test_mean_per_run(self, simulation):
+        campaign = FaultInjector(seed=6).inject(
+            simulation, voltages_v=[1.0] * 4, runs=10
+        )
+        assert campaign.mean_seus_per_run == pytest.approx(campaign.total_seus / 10)

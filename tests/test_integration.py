@@ -1,0 +1,158 @@
+"""Integration tests across modules: the Fig. 8 worked example, the
+fault-injection / analytic agreement, and a small end-to-end flow."""
+
+import pytest
+
+from repro import quick_optimize
+from repro.arch import MPSoC
+from repro.faults import FaultInjector
+from repro.mapping import Mapping, MappingEvaluator
+from repro.optim import (
+    OptimizedMappingSearch,
+    initial_sea_mapping,
+)
+from repro.sim import MPSoCSimulator
+from repro.taskgraph import pipeline_graph
+from repro.taskgraph.examples import FIG8_DEADLINE_S, FIG8_SCALING
+from repro.taskgraph.mpeg2 import MPEG2_DEADLINE_S
+
+
+class TestFig8WorkedExample:
+    """The paper's worked example: 6 tasks, 3 cores, s=(1,2,2), 75 ms."""
+
+    def test_initial_mapping_populates_all_cores(self, fig8, platform3):
+        mapping = initial_sea_mapping(
+            fig8, platform3, FIG8_DEADLINE_S, scaling=FIG8_SCALING
+        )
+        assert len(mapping.used_cores()) == 3
+
+    def test_stage2_meets_the_75ms_deadline(self, fig8, fig8_evaluator, platform3):
+        # The paper's walk-through: the initial mapping misses the
+        # deadline at the chosen scalings and OptimizedMapping repairs
+        # it with task movements.
+        initial = initial_sea_mapping(
+            fig8, platform3, FIG8_DEADLINE_S, scaling=FIG8_SCALING
+        )
+        result = OptimizedMappingSearch(
+            fig8_evaluator, max_iterations=600, seed=0
+        ).run(initial, FIG8_SCALING)
+        assert result.feasible
+        assert result.best.makespan_s <= FIG8_DEADLINE_S + 1e-9
+
+    def test_optimized_gamma_not_worse_than_alternatives(self, fig8, fig8_evaluator):
+        # The stage-2 result beats (or ties) naive mappings on SEUs
+        # among deadline-feasible designs.
+        initial = initial_sea_mapping(
+            fig8, fig8_evaluator.platform, FIG8_DEADLINE_S, scaling=FIG8_SCALING
+        )
+        best = OptimizedMappingSearch(fig8_evaluator, max_iterations=600, seed=1).run(
+            initial, FIG8_SCALING
+        ).best
+        rr = fig8_evaluator.evaluate(Mapping.round_robin(fig8, 3), FIG8_SCALING)
+        if rr.meets_deadline:
+            assert best.expected_seus <= rr.expected_seus + 1e-9
+
+    def test_exhaustive_optimality_on_fig8(self, fig8, fig8_evaluator):
+        # The example is small enough (S(6,3)=90 mappings) to brute
+        # force: stage 2 should find the true optimum or close to it.
+        from repro.mapping.enumeration import enumerate_mappings
+
+        feasible = []
+        for mapping in enumerate_mappings(fig8, 3):
+            point = fig8_evaluator.evaluate(mapping, FIG8_SCALING)
+            if point.meets_deadline:
+                feasible.append(point)
+        assert feasible, "the example must admit feasible mappings"
+        true_best = min(point.expected_seus for point in feasible)
+
+        initial = initial_sea_mapping(
+            fig8, fig8_evaluator.platform, FIG8_DEADLINE_S, scaling=FIG8_SCALING
+        )
+        found = OptimizedMappingSearch(
+            fig8_evaluator, max_iterations=1500, seed=2
+        ).run(initial, FIG8_SCALING).best
+        assert found.expected_seus <= true_best * 1.05
+
+
+class TestInjectionMatchesAnalytic:
+    """The paper's validation: fault injection agrees with Eq. (3)."""
+
+    @pytest.mark.parametrize("scaling", [(1, 1, 1, 1), (2, 2, 3, 2)])
+    def test_mpeg2_injection(self, mpeg2, platform4, rr_mapping4, scaling):
+        simulator = MPSoCSimulator(mpeg2, platform4, scaling=scaling)
+        result = simulator.run(rr_mapping4)
+        voltages = [
+            platform4.scaling_table.vdd_v(coefficient) for coefficient in scaling
+        ]
+        campaign = FaultInjector(seed=0).inject(result, voltages, runs=20)
+        evaluator = MappingEvaluator(mpeg2, platform4)
+        analytic = evaluator.evaluate(rr_mapping4, scaling).expected_seus
+        assert campaign.expected_seus / 20 == pytest.approx(analytic, rel=1e-3)
+        assert campaign.mean_seus_per_run == pytest.approx(analytic, rel=0.05)
+
+
+class TestQuickOptimize:
+    def test_end_to_end_pipeline_app(self):
+        graph = pipeline_graph(8, task_cycles=50_000_000, comm_cycles=5_000_000)
+        outcome = quick_optimize(
+            graph,
+            num_cores=3,
+            deadline_s=5.0,
+            search_iterations=200,
+            seed=0,
+        )
+        assert outcome.best is not None
+        best = outcome.best
+        assert best.makespan_s <= 5.0
+        best.mapping.validate_against(graph)
+        assert len(best.scaling) == 3
+
+    def test_mpeg2_end_to_end(self, mpeg2):
+        outcome = quick_optimize(
+            mpeg2,
+            num_cores=4,
+            deadline_s=MPEG2_DEADLINE_S,
+            search_iterations=300,
+            seed=1,
+        )
+        assert outcome.best is not None
+        assert outcome.best.makespan_s <= MPEG2_DEADLINE_S
+        # The selected design is never the most expensive assessment.
+        powers = [record.point.power_mw for record in outcome.assessments]
+        assert outcome.best.power_mw <= max(powers)
+
+    def test_two_level_platform(self, mpeg2):
+        outcome = quick_optimize(
+            mpeg2,
+            num_cores=4,
+            deadline_s=MPEG2_DEADLINE_S,
+            num_scaling_levels=2,
+            search_iterations=150,
+            seed=2,
+        )
+        assert outcome.best is not None
+        assert all(1 <= s <= 2 for s in outcome.best.scaling)
+
+
+class TestCrossModelConsistency:
+    def test_simulator_and_evaluator_agree_on_makespan(
+        self, mpeg2, platform4, rr_mapping4
+    ):
+        evaluator = MappingEvaluator(mpeg2, platform4)
+        for scaling in [(1, 1, 1, 1), (3, 2, 1, 2)]:
+            point = evaluator.evaluate(rr_mapping4, scaling)
+            simulated = MPSoCSimulator(mpeg2, platform4, scaling=scaling).run(
+                rr_mapping4
+            )
+            assert simulated.makespan_s == pytest.approx(point.makespan_s)
+
+    def test_power_uses_schedule_activities(self, mpeg2, platform4):
+        # An all-on-one-core mapping leaves three cores idle: its power
+        # must be well below the all-busy bound.
+        from repro.arch import PowerModel
+
+        evaluator = MappingEvaluator(mpeg2, platform4)
+        localized = Mapping.all_on_core(mpeg2, 4, 0)
+        point = evaluator.evaluate(localized, (1, 1, 1, 1))
+        all_busy = PowerModel().platform_power_mw(platform4, scaling=(1, 1, 1, 1))
+        assert point.power_mw < all_busy / 2

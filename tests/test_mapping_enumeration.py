@@ -1,0 +1,134 @@
+"""Tests for mapping enumeration and sampling (the Fig. 3 machinery)."""
+
+import pytest
+
+from repro.mapping import Mapping
+from repro.mapping.enumeration import (
+    canonicalize,
+    contiguous_mappings,
+    enumerate_mappings,
+    num_distinct_mappings,
+    sample_mappings,
+    stratified_mappings,
+)
+from repro.taskgraph import pipeline_graph
+
+
+class TestCounting:
+    def test_stirling_small_cases(self):
+        # S(4, 2) = 7, S(5, 3) = 25.
+        assert num_distinct_mappings(4, 2) == 7
+        assert num_distinct_mappings(5, 3) == 25
+
+    def test_all_cores_not_required(self):
+        # Sum of S(3, k) for k=1..2 = 1 + 3 = 4.
+        assert num_distinct_mappings(3, 2, require_all_cores=False) == 4
+
+    def test_single_core(self):
+        assert num_distinct_mappings(5, 1) == 1
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            num_distinct_mappings(0, 1)
+
+
+class TestEnumeration:
+    def test_count_matches_stirling(self):
+        graph = pipeline_graph(5)
+        mappings = list(enumerate_mappings(graph, 3))
+        assert len(mappings) == num_distinct_mappings(5, 3)
+
+    def test_all_distinct(self):
+        graph = pipeline_graph(5)
+        mappings = list(enumerate_mappings(graph, 3))
+        assert len(set(mappings)) == len(mappings)
+
+    def test_all_cores_used(self):
+        graph = pipeline_graph(5)
+        for mapping in enumerate_mappings(graph, 3):
+            assert len(mapping.used_cores()) == 3
+
+    def test_without_all_cores_requirement(self):
+        graph = pipeline_graph(3)
+        mappings = list(enumerate_mappings(graph, 2, require_all_cores=False))
+        assert len(mappings) == 4
+
+    def test_limit(self):
+        graph = pipeline_graph(6)
+        assert len(list(enumerate_mappings(graph, 3, limit=5))) == 5
+
+    def test_canonical_first_task_on_core_zero(self):
+        graph = pipeline_graph(5)
+        first = graph.topological_order()[0]
+        for mapping in enumerate_mappings(graph, 3):
+            assert mapping.core_of(first) == 0
+
+
+class TestCanonicalize:
+    def test_identity_on_canonical(self):
+        graph = pipeline_graph(3)
+        m = Mapping({"t1": 0, "t2": 1, "t3": 2}, 3)
+        assert canonicalize(m, graph) == m
+
+    def test_relabels_by_first_appearance(self):
+        graph = pipeline_graph(3)
+        m = Mapping({"t1": 2, "t2": 0, "t3": 2}, 3)
+        canonical = canonicalize(m, graph)
+        assert canonical.core_of("t1") == 0
+        assert canonical.core_of("t2") == 1
+        assert canonical.core_of("t3") == 0
+
+    def test_permuted_mappings_canonicalize_equal(self):
+        graph = pipeline_graph(4)
+        a = Mapping({"t1": 0, "t2": 1, "t3": 0, "t4": 1}, 2)
+        b = Mapping({"t1": 1, "t2": 0, "t3": 1, "t4": 0}, 2)
+        assert canonicalize(a, graph) == canonicalize(b, graph)
+
+
+class TestSampling:
+    def test_requested_count(self):
+        graph = pipeline_graph(8)
+        samples = sample_mappings(graph, 3, 25, seed=1)
+        assert len(samples) == 25
+        assert len(set(samples)) == 25
+
+    def test_reproducible(self):
+        graph = pipeline_graph(8)
+        assert sample_mappings(graph, 3, 10, seed=5) == sample_mappings(
+            graph, 3, 10, seed=5
+        )
+
+    def test_small_space_falls_back_to_enumeration(self):
+        graph = pipeline_graph(4)
+        samples = sample_mappings(graph, 2, 1000, seed=0)
+        assert len(samples) == num_distinct_mappings(4, 2)
+
+    def test_rejects_zero_samples(self):
+        with pytest.raises(ValueError):
+            sample_mappings(pipeline_graph(4), 2, 0)
+
+
+class TestContiguousAndStratified:
+    def test_contiguous_blocks_are_contiguous(self):
+        graph = pipeline_graph(8)
+        order = graph.topological_order()
+        for mapping in contiguous_mappings(graph, 3, 10, seed=2):
+            cores = [mapping.core_of(name) for name in order]
+            # Core index never decreases along the topological order.
+            assert cores == sorted(cores)
+
+    def test_contiguous_needs_enough_tasks(self):
+        with pytest.raises(ValueError):
+            contiguous_mappings(pipeline_graph(2), 3, 5)
+
+    def test_stratified_mixes_families(self):
+        graph = pipeline_graph(10)
+        samples = stratified_mappings(graph, 3, 40, seed=3)
+        assert len(samples) >= 30  # dedup may drop a few
+        assert len(set(samples)) == len(samples)
+
+    def test_stratified_reproducible(self):
+        graph = pipeline_graph(10)
+        assert stratified_mappings(graph, 3, 20, seed=4) == stratified_mappings(
+            graph, 3, 20, seed=4
+        )

@@ -1,0 +1,140 @@
+"""Tests for the Mapping value type."""
+
+import pytest
+
+from repro.mapping import Mapping
+from repro.taskgraph import pipeline_graph
+
+
+class TestConstruction:
+    def test_basic(self):
+        m = Mapping({"a": 0, "b": 1}, num_cores=2)
+        assert m.core_of("a") == 0
+        assert m.core_of("b") == 1
+        assert m.num_tasks == 2
+        assert m.num_cores == 2
+
+    def test_rejects_out_of_range_core(self):
+        with pytest.raises(ValueError):
+            Mapping({"a": 2}, num_cores=2)
+        with pytest.raises(ValueError):
+            Mapping({"a": -1}, num_cores=2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Mapping({}, num_cores=2)
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            Mapping({"a": 0}, num_cores=0)
+
+    def test_from_groups(self):
+        m = Mapping.from_groups([["a", "b"], ["c"]])
+        assert m.tasks_on(0) == ("a", "b")
+        assert m.tasks_on(1) == ("c",)
+
+    def test_from_groups_duplicate_task(self):
+        with pytest.raises(ValueError):
+            Mapping.from_groups([["a"], ["a"]])
+
+    def test_round_robin(self, pipeline6):
+        m = Mapping.round_robin(pipeline6, 3)
+        assert m.core_of("t1") == 0
+        assert m.core_of("t2") == 1
+        assert m.core_of("t3") == 2
+        assert m.core_of("t4") == 0
+
+    def test_all_on_core(self, pipeline6):
+        m = Mapping.all_on_core(pipeline6, 4, core_index=2)
+        assert set(m.used_cores()) == {2}
+
+
+class TestValueSemantics:
+    def test_equality_order_independent(self):
+        a = Mapping({"x": 0, "y": 1}, 2)
+        b = Mapping({"y": 1, "x": 0}, 2)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality_on_core_count(self):
+        assert Mapping({"x": 0}, 1) != Mapping({"x": 0}, 2)
+
+    def test_usable_in_sets(self):
+        mappings = {Mapping({"x": 0}, 2), Mapping({"x": 0}, 2), Mapping({"x": 1}, 2)}
+        assert len(mappings) == 2
+
+
+class TestQueries:
+    def test_core_groups(self):
+        m = Mapping({"a": 0, "b": 1, "c": 0}, 3)
+        assert m.core_groups() == (("a", "c"), ("b",), ())
+
+    def test_used_cores(self):
+        m = Mapping({"a": 0, "b": 2}, 3)
+        assert m.used_cores() == (0, 2)
+
+    def test_same_core(self):
+        m = Mapping({"a": 0, "b": 0, "c": 1}, 2)
+        assert m.same_core("a", "b")
+        assert not m.same_core("a", "c")
+
+    def test_unknown_task(self):
+        m = Mapping({"a": 0}, 1)
+        with pytest.raises(KeyError):
+            m.core_of("ghost")
+
+    def test_tasks_on_invalid_core(self):
+        m = Mapping({"a": 0}, 1)
+        with pytest.raises(ValueError):
+            m.tasks_on(5)
+
+    def test_as_dict_is_copy(self):
+        m = Mapping({"a": 0}, 1)
+        d = m.as_dict()
+        d["a"] = 99
+        assert m.core_of("a") == 0
+
+    def test_container_protocol(self):
+        m = Mapping({"a": 0, "b": 1}, 2)
+        assert "a" in m
+        assert len(m) == 2
+        assert set(iter(m)) == {"a", "b"}
+
+
+class TestNeighbours:
+    def test_move_returns_new_mapping(self):
+        m = Mapping({"a": 0, "b": 1}, 2)
+        moved = m.move("a", 1)
+        assert moved.core_of("a") == 1
+        assert m.core_of("a") == 0  # original untouched
+
+    def test_swap(self):
+        m = Mapping({"a": 0, "b": 1}, 2)
+        swapped = m.swap("a", "b")
+        assert swapped.core_of("a") == 1
+        assert swapped.core_of("b") == 0
+
+    def test_swap_is_involution(self):
+        m = Mapping({"a": 0, "b": 1, "c": 1}, 3)
+        assert m.swap("a", "b").swap("a", "b") == m
+
+    def test_move_unknown_task(self):
+        with pytest.raises(KeyError):
+            Mapping({"a": 0}, 2).move("ghost", 1)
+
+
+class TestValidation:
+    def test_validate_against_graph(self, pipeline6):
+        good = Mapping.round_robin(pipeline6, 2)
+        good.validate_against(pipeline6)
+
+    def test_missing_task_detected(self, pipeline6):
+        partial = Mapping({"t1": 0}, 2)
+        with pytest.raises(ValueError, match="misses"):
+            partial.validate_against(pipeline6)
+
+    def test_extra_task_detected(self, pipeline6):
+        assignment = {name: 0 for name in pipeline6.task_names()}
+        assignment["ghost"] = 1
+        with pytest.raises(ValueError, match="unknown"):
+            Mapping(assignment, 2).validate_against(pipeline6)

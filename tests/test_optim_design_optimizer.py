@@ -1,0 +1,177 @@
+"""Tests for the joint Fig. 4 design-optimization loop."""
+
+import pytest
+
+from repro.arch import MPSoC
+from repro.optim import (
+    DesignOptimizer,
+    RegisterUsageObjective,
+    baseline_mapper,
+    sea_mapper,
+)
+from repro.taskgraph import pipeline_graph
+from repro.taskgraph.mpeg2 import MPEG2_DEADLINE_S, mpeg2_decoder
+
+
+@pytest.fixture(scope="module")
+def mpeg2_outcome():
+    """One shared Exp:4-style optimization run (module-scoped: slow)."""
+    optimizer = DesignOptimizer(
+        mpeg2_decoder(),
+        MPSoC.paper_reference(4),
+        deadline_s=MPEG2_DEADLINE_S,
+        mapper=sea_mapper(search_iterations=400),
+        stop_after_feasible=4,
+        seed=0,
+    )
+    return optimizer, optimizer.optimize()
+
+
+class TestOutcome:
+    def test_finds_feasible_design(self, mpeg2_outcome):
+        _, outcome = mpeg2_outcome
+        assert outcome.best is not None
+        assert outcome.best.makespan_s <= MPEG2_DEADLINE_S + 1e-9
+
+    def test_best_is_min_power_up_to_band(self, mpeg2_outcome):
+        optimizer, outcome = mpeg2_outcome
+        feasible = outcome.feasible_points
+        min_power = min(point.power_mw for point in feasible)
+        assert outcome.best.power_mw <= min_power * (1 + optimizer.power_tolerance) + 1e-9
+
+    def test_best_minimizes_tiebreak_within_band(self, mpeg2_outcome):
+        optimizer, outcome = mpeg2_outcome
+        feasible = outcome.feasible_points
+        min_power = min(point.power_mw for point in feasible)
+        band = min_power * (1 + optimizer.power_tolerance)
+        contenders = [p for p in feasible if p.power_mw <= band + 1e-12]
+        assert outcome.best.expected_seus == min(
+            p.expected_seus for p in contenders
+        )
+
+    def test_assessments_recorded(self, mpeg2_outcome):
+        _, outcome = mpeg2_outcome
+        assert outcome.assessments
+        for record in outcome.assessments:
+            assert record.feasible == (
+                record.point.makespan_s <= MPEG2_DEADLINE_S + 1e-12
+            )
+
+    def test_evaluations_counted(self, mpeg2_outcome):
+        _, outcome = mpeg2_outcome
+        assert outcome.evaluations > 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_design(self):
+        def run():
+            optimizer = DesignOptimizer(
+                mpeg2_decoder(),
+                MPSoC.paper_reference(4),
+                deadline_s=MPEG2_DEADLINE_S,
+                mapper=sea_mapper(search_iterations=150),
+                stop_after_feasible=2,
+                seed=42,
+            )
+            return optimizer.optimize()
+
+        a, b = run(), run()
+        assert a.best.mapping == b.best.mapping
+        assert a.best.scaling == b.best.scaling
+
+
+class TestBaselineFlow:
+    def test_fixed_mapping_across_scalings(self):
+        optimizer = DesignOptimizer(
+            mpeg2_decoder(),
+            MPSoC.paper_reference(4),
+            deadline_s=MPEG2_DEADLINE_S,
+            mapper=baseline_mapper(RegisterUsageObjective()),
+            remap_per_scaling=False,
+            stop_after_feasible=4,
+            seed=1,
+        )
+        outcome = optimizer.optimize()
+        mappings = {record.point.mapping for record in outcome.assessments}
+        assert len(mappings) == 1  # one mapping re-timed across scalings
+
+    def test_baseline_tiebreak_uses_objective(self):
+        objective = RegisterUsageObjective()
+        optimizer = DesignOptimizer(
+            mpeg2_decoder(),
+            MPSoC.paper_reference(4),
+            deadline_s=MPEG2_DEADLINE_S,
+            mapper=baseline_mapper(objective),
+            remap_per_scaling=False,
+            tiebreak=objective,
+            stop_after_feasible=4,
+            seed=2,
+        )
+        outcome = optimizer.optimize()
+        assert outcome.best is not None
+
+
+class TestInfeasible:
+    def test_impossible_deadline_returns_none(self):
+        graph = pipeline_graph(4, task_cycles=10_000_000)
+        optimizer = DesignOptimizer(
+            graph,
+            MPSoC.paper_reference(2),
+            deadline_s=1e-6,  # unreachable
+            mapper=sea_mapper(search_iterations=50),
+            seed=0,
+        )
+        outcome = optimizer.optimize()
+        assert outcome.best is None
+        assert outcome.feasible_points == []
+
+
+class TestPowerProxyOrdering:
+    def test_proxy_orders_uniform_scalings_by_depth(self):
+        optimizer = DesignOptimizer(
+            mpeg2_decoder(),
+            MPSoC.paper_reference(4),
+            deadline_s=MPEG2_DEADLINE_S,
+            seed=0,
+        )
+        deep = optimizer.power_proxy((3, 3, 3, 3))
+        mid = optimizer.power_proxy((2, 2, 2, 2))
+        nominal = optimizer.power_proxy((1, 1, 1, 1))
+        assert deep < mid < nominal
+
+    def test_scaling_seed_is_content_based(self):
+        from repro.arch import ScalingTable
+
+        three = DesignOptimizer(
+            mpeg2_decoder(),
+            MPSoC(4, scaling_table=ScalingTable.arm7_three_level()),
+            deadline_s=MPEG2_DEADLINE_S,
+        )
+        four = DesignOptimizer(
+            mpeg2_decoder(),
+            MPSoC(4, scaling_table=ScalingTable.arm7_four_level()),
+            deadline_s=MPEG2_DEADLINE_S,
+        )
+        # (2,2,2,1) under 3 levels is physically (3,3,3,2) under 4.
+        assert three._scaling_seed((2, 2, 2, 1)) == four._scaling_seed((3, 3, 3, 2))
+
+
+class TestValidation:
+    def test_rejects_bad_deadline(self):
+        with pytest.raises(ValueError):
+            DesignOptimizer(
+                mpeg2_decoder(), MPSoC.paper_reference(4), deadline_s=0.0
+            )
+
+    def test_rejects_negative_tolerance(self):
+        with pytest.raises(ValueError):
+            DesignOptimizer(
+                mpeg2_decoder(),
+                MPSoC.paper_reference(4),
+                deadline_s=1.0,
+                power_tolerance=-0.1,
+            )
+
+    def test_sea_mapper_rejects_unknown_engine(self):
+        with pytest.raises(ValueError):
+            sea_mapper(engine="quantum")

@@ -1,0 +1,224 @@
+"""Tests for InitialSEAMapping, OptimizedMapping and the SA baseline."""
+
+import pytest
+
+from repro.mapping import Mapping, MappingEvaluator
+from repro.optim import (
+    OptimizedMappingSearch,
+    SEUObjective,
+    RegisterUsageObjective,
+    SimulatedAnnealingMapper,
+    initial_sea_mapping,
+)
+from repro.optim.annealing import AnnealingConfig
+from repro.taskgraph.examples import FIG8_DEADLINE_S, FIG8_SCALING
+from repro.taskgraph.mpeg2 import MPEG2_DEADLINE_S
+
+
+class TestInitialSEAMapping:
+    def test_covers_all_tasks(self, mpeg2, platform4):
+        mapping = initial_sea_mapping(mpeg2, platform4, MPEG2_DEADLINE_S)
+        mapping.validate_against(mpeg2)
+
+    def test_populates_every_core(self, mpeg2, platform4):
+        mapping = initial_sea_mapping(mpeg2, platform4, MPEG2_DEADLINE_S)
+        assert len(mapping.used_cores()) == platform4.num_cores
+
+    def test_fig8_platform(self, fig8, platform3):
+        mapping = initial_sea_mapping(
+            fig8, platform3, FIG8_DEADLINE_S, scaling=FIG8_SCALING
+        )
+        mapping.validate_against(fig8)
+        assert len(mapping.used_cores()) == 3
+
+    def test_first_entry_task_on_first_core(self, mpeg2, platform4):
+        # Line 1 of Fig. 6: the task with no predecessor seeds core 1.
+        mapping = initial_sea_mapping(mpeg2, platform4, MPEG2_DEADLINE_S)
+        assert mapping.core_of("t1") == 0
+
+    def test_deterministic(self, mpeg2, platform4):
+        a = initial_sea_mapping(mpeg2, platform4, MPEG2_DEADLINE_S, scaling=(2, 2, 3, 2))
+        b = initial_sea_mapping(mpeg2, platform4, MPEG2_DEADLINE_S, scaling=(2, 2, 3, 2))
+        assert a == b
+
+    def test_scaling_affects_construction(self, mpeg2, platform4):
+        # The per-core time budget depends on frequency, so deep
+        # scalings pack fewer tasks per core.
+        shallow = initial_sea_mapping(mpeg2, platform4, 1.0, scaling=(1, 1, 1, 1))
+        deep = initial_sea_mapping(mpeg2, platform4, 1.0, scaling=(3, 3, 3, 3))
+        first_core_shallow = len(shallow.tasks_on(0))
+        first_core_deep = len(deep.tasks_on(0))
+        assert first_core_deep <= first_core_shallow
+
+    def test_rejects_bad_deadline(self, mpeg2, platform4):
+        with pytest.raises(ValueError):
+            initial_sea_mapping(mpeg2, platform4, 0.0)
+
+    def test_rejects_bad_scaling(self, mpeg2, platform4):
+        with pytest.raises(ValueError):
+            initial_sea_mapping(mpeg2, platform4, 1.0, scaling=(9, 1, 1, 1))
+
+    def test_single_core(self, mpeg2):
+        from repro.arch import MPSoC
+
+        platform = MPSoC.paper_reference(1)
+        mapping = initial_sea_mapping(mpeg2, platform, MPEG2_DEADLINE_S)
+        assert mapping.used_cores() == (0,)
+
+    def test_more_cores_than_tasks(self, platform4):
+        from repro.taskgraph import pipeline_graph
+
+        graph = pipeline_graph(3)
+        mapping = initial_sea_mapping(graph, platform4, 10.0)
+        mapping.validate_against(graph)  # all tasks placed, cores may idle
+
+
+class TestOptimizedMappingSearch:
+    def test_improves_or_keeps_initial(self, mpeg2_evaluator, mpeg2, platform4):
+        initial = initial_sea_mapping(mpeg2, platform4, MPEG2_DEADLINE_S, scaling=(2, 2, 3, 2))
+        start = mpeg2_evaluator.evaluate(initial, (2, 2, 3, 2))
+        result = OptimizedMappingSearch(mpeg2_evaluator, max_iterations=400, seed=0).run(
+            initial, (2, 2, 3, 2)
+        )
+        if start.meets_deadline:
+            assert result.best.expected_seus <= start.expected_seus
+        assert result.feasible
+
+    def test_respects_deadline(self, mpeg2_evaluator, mpeg2, platform4):
+        initial = initial_sea_mapping(mpeg2, platform4, MPEG2_DEADLINE_S, scaling=(2, 2, 2, 2))
+        result = OptimizedMappingSearch(mpeg2_evaluator, max_iterations=400, seed=1).run(
+            initial, (2, 2, 2, 2)
+        )
+        assert result.best.makespan_s <= MPEG2_DEADLINE_S + 1e-9
+
+    def test_keeps_all_cores_populated(self, mpeg2_evaluator, mpeg2, platform4):
+        initial = initial_sea_mapping(mpeg2, platform4, MPEG2_DEADLINE_S, scaling=(1, 1, 1, 1))
+        result = OptimizedMappingSearch(mpeg2_evaluator, max_iterations=300, seed=2).run(
+            initial, (1, 1, 1, 1)
+        )
+        assert len(result.best.mapping.used_cores()) == 4
+
+    def test_deterministic_given_seed(self, mpeg2_evaluator, mpeg2, platform4):
+        initial = initial_sea_mapping(mpeg2, platform4, MPEG2_DEADLINE_S, scaling=(1, 1, 1, 1))
+        a = OptimizedMappingSearch(mpeg2_evaluator, max_iterations=200, seed=3).run(
+            initial, (1, 1, 1, 1)
+        )
+        b = OptimizedMappingSearch(mpeg2_evaluator, max_iterations=200, seed=3).run(
+            initial, (1, 1, 1, 1)
+        )
+        assert a.best.mapping == b.best.mapping
+        assert a.best.expected_seus == b.best.expected_seus
+
+    def test_iteration_budget_respected(self, mpeg2_evaluator, mpeg2, platform4):
+        initial = initial_sea_mapping(mpeg2, platform4, MPEG2_DEADLINE_S)
+        result = OptimizedMappingSearch(mpeg2_evaluator, max_iterations=50, seed=4).run(
+            initial
+        )
+        assert result.iterations <= 50
+
+    def test_history_recorded(self, mpeg2_evaluator, mpeg2, platform4):
+        initial = initial_sea_mapping(mpeg2, platform4, MPEG2_DEADLINE_S)
+        result = OptimizedMappingSearch(
+            mpeg2_evaluator, max_iterations=300, seed=5, record_history=True
+        ).run(initial, (1, 1, 1, 1))
+        gammas = [gamma for _, gamma in result.history]
+        assert gammas == sorted(gammas, reverse=True)  # best only improves
+
+    def test_time_limit(self, mpeg2_evaluator, mpeg2, platform4):
+        initial = initial_sea_mapping(mpeg2, platform4, MPEG2_DEADLINE_S)
+        result = OptimizedMappingSearch(
+            mpeg2_evaluator, max_iterations=10_000_000, time_limit_s=0.05, seed=6
+        ).run(initial)
+        assert result.iterations < 10_000_000
+
+    def test_requires_deadline(self, mpeg2, platform4):
+        evaluator = MappingEvaluator(mpeg2, platform4)  # no deadline
+        with pytest.raises(ValueError):
+            OptimizedMappingSearch(evaluator)
+
+    def test_parameter_validation(self, mpeg2_evaluator):
+        with pytest.raises(ValueError):
+            OptimizedMappingSearch(mpeg2_evaluator, max_iterations=0)
+        with pytest.raises(ValueError):
+            OptimizedMappingSearch(mpeg2_evaluator, walk_probability=1.5)
+
+
+class TestSimulatedAnnealing:
+    def test_minimizes_objective(self, mpeg2_evaluator, mpeg2):
+        initial = Mapping.round_robin(mpeg2, 4)
+        start = mpeg2_evaluator.evaluate(initial, (1, 1, 1, 1))
+        mapper = SimulatedAnnealingMapper(
+            mpeg2_evaluator,
+            RegisterUsageObjective(),
+            AnnealingConfig(max_iterations=800),
+            seed=0,
+            deadline_penalty=False,
+        )
+        best = mapper.run(initial, (1, 1, 1, 1))
+        assert best.register_bits_total <= start.register_bits_total
+
+    def test_deterministic(self, mpeg2_evaluator, mpeg2):
+        initial = Mapping.round_robin(mpeg2, 4)
+        config = AnnealingConfig(max_iterations=300)
+        a = SimulatedAnnealingMapper(
+            mpeg2_evaluator, SEUObjective(), config, seed=9
+        ).run(initial, (1, 1, 1, 1))
+        b = SimulatedAnnealingMapper(
+            mpeg2_evaluator, SEUObjective(), config, seed=9
+        ).run(initial, (1, 1, 1, 1))
+        assert a.mapping == b.mapping
+
+    def test_require_all_cores(self, mpeg2_evaluator, mpeg2):
+        initial = Mapping.round_robin(mpeg2, 4)
+        mapper = SimulatedAnnealingMapper(
+            mpeg2_evaluator,
+            RegisterUsageObjective(),
+            AnnealingConfig(max_iterations=800),
+            seed=1,
+            deadline_penalty=False,
+            require_all_cores=True,
+        )
+        best = mapper.run(initial, (1, 1, 1, 1))
+        assert len(best.mapping.used_cores()) == 4
+
+    def test_restarts_take_best(self, mpeg2_evaluator, mpeg2):
+        initial = Mapping.round_robin(mpeg2, 4)
+        single = SimulatedAnnealingMapper(
+            mpeg2_evaluator,
+            SEUObjective(),
+            AnnealingConfig(max_iterations=200, restarts=1),
+            seed=2,
+        ).run(initial, (1, 1, 1, 1))
+        multi = SimulatedAnnealingMapper(
+            mpeg2_evaluator,
+            SEUObjective(),
+            AnnealingConfig(max_iterations=200, restarts=3),
+            seed=2,
+        ).run(initial, (1, 1, 1, 1))
+        assert multi.expected_seus <= single.expected_seus
+
+    def test_feasible_dominates_infeasible(self, mpeg2_evaluator, mpeg2):
+        # With the deadline penalty on, the returned best must meet the
+        # deadline whenever any visited point did.
+        initial = Mapping.round_robin(mpeg2, 4)
+        best = SimulatedAnnealingMapper(
+            mpeg2_evaluator,
+            SEUObjective(),
+            AnnealingConfig(max_iterations=600),
+            seed=3,
+        ).run(initial, (2, 2, 2, 2))
+        assert best.meets_deadline
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_iterations": 0},
+            {"initial_temperature": 0.0},
+            {"cooling": 1.0},
+            {"cooling": 0.0},
+            {"restarts": 0},
+        ],
+    )
+    def test_config_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            AnnealingConfig(**kwargs)

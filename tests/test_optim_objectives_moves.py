@@ -1,0 +1,147 @@
+"""Tests for objectives and neighbourhood moves."""
+
+import random
+
+import pytest
+
+from repro.mapping import Mapping
+from repro.optim import (
+    MakespanObjective,
+    PowerObjective,
+    RegisterTimeProductObjective,
+    RegisterUsageObjective,
+    SEUObjective,
+    deadline_penalized,
+    neighbor_mappings,
+    random_neighbor,
+)
+from repro.optim.moves import swap_neighborhood
+
+
+class TestObjectives:
+    @pytest.fixture
+    def point(self, mpeg2_evaluator, rr_mapping4):
+        return mpeg2_evaluator.evaluate(rr_mapping4, (1, 1, 1, 1))
+
+    def test_register_usage(self, point):
+        assert RegisterUsageObjective()(point) == point.register_bits_total
+
+    def test_makespan(self, point):
+        assert MakespanObjective()(point) == point.makespan_s
+
+    def test_product(self, point):
+        assert RegisterTimeProductObjective()(point) == pytest.approx(
+            point.makespan_s * point.register_bits_total
+        )
+
+    def test_seus(self, point):
+        assert SEUObjective()(point) == point.expected_seus
+
+    def test_power(self, point):
+        assert PowerObjective()(point) == point.power_mw
+
+    def test_objectives_have_names(self):
+        for objective in (
+            RegisterUsageObjective(),
+            MakespanObjective(),
+            RegisterTimeProductObjective(),
+            SEUObjective(),
+            PowerObjective(),
+        ):
+            assert objective.name
+
+
+class TestDeadlinePenalty:
+    def test_feasible_unchanged(self, mpeg2_evaluator, rr_mapping4):
+        point = mpeg2_evaluator.evaluate(rr_mapping4, (1, 1, 1, 1))
+        objective = SEUObjective()
+        penalized = deadline_penalized(objective, deadline_s=1e6)
+        assert penalized(point) == objective(point)
+
+    def test_infeasible_penalized(self, mpeg2_evaluator, rr_mapping4):
+        point = mpeg2_evaluator.evaluate(rr_mapping4, (1, 1, 1, 1))
+        objective = SEUObjective()
+        tight = deadline_penalized(objective, deadline_s=point.makespan_s / 2)
+        assert tight(point) > objective(point)
+
+    def test_penalty_grows_with_overrun(self, mpeg2_evaluator, rr_mapping4):
+        point = mpeg2_evaluator.evaluate(rr_mapping4, (1, 1, 1, 1))
+        objective = SEUObjective()
+        mild = deadline_penalized(objective, deadline_s=point.makespan_s * 0.9)
+        harsh = deadline_penalized(objective, deadline_s=point.makespan_s * 0.5)
+        assert harsh(point) > mild(point)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            deadline_penalized(SEUObjective(), deadline_s=0.0)
+        with pytest.raises(ValueError):
+            deadline_penalized(SEUObjective(), deadline_s=1.0, penalty_weight=-1.0)
+
+
+class TestRandomNeighbor:
+    def test_changes_at_most_two_tasks(self, mpeg2, rr_mapping4):
+        rng = random.Random(0)
+        for _ in range(50):
+            neighbor = random_neighbor(rr_mapping4, mpeg2, rng)
+            moved = [
+                name
+                for name in mpeg2.task_names()
+                if neighbor.core_of(name) != rr_mapping4.core_of(name)
+            ]
+            assert 1 <= len(moved) <= 2
+
+    def test_swap_exchanges_cores(self, mpeg2, rr_mapping4):
+        rng = random.Random(1)
+        for _ in range(50):
+            neighbor = random_neighbor(rr_mapping4, mpeg2, rng, swap_probability=1.0)
+            moved = [
+                name
+                for name in mpeg2.task_names()
+                if neighbor.core_of(name) != rr_mapping4.core_of(name)
+            ]
+            if len(moved) == 2:
+                a, b = moved
+                assert neighbor.core_of(a) == rr_mapping4.core_of(b)
+                assert neighbor.core_of(b) == rr_mapping4.core_of(a)
+
+    def test_focus_task_biases_selection(self, mpeg2, rr_mapping4):
+        rng = random.Random(2)
+        related = {"t6", "t4", "t8"}  # t6 plus its direct neighbours
+        for _ in range(30):
+            neighbor = random_neighbor(
+                rr_mapping4, mpeg2, rng, swap_probability=0.0, focus_task="t6"
+            )
+            moved = [
+                name
+                for name in mpeg2.task_names()
+                if neighbor.core_of(name) != rr_mapping4.core_of(name)
+            ]
+            assert set(moved) <= related
+
+    def test_single_core_is_identity(self, mpeg2):
+        mapping = Mapping.all_on_core(mpeg2, 1, 0)
+        assert random_neighbor(mapping, mpeg2, random.Random(0)) == mapping
+
+    def test_deterministic_given_seed(self, mpeg2, rr_mapping4):
+        a = random_neighbor(rr_mapping4, mpeg2, random.Random(7))
+        b = random_neighbor(rr_mapping4, mpeg2, random.Random(7))
+        assert a == b
+
+
+class TestDeterministicNeighbourhoods:
+    def test_move_neighbourhood_size(self, mpeg2, rr_mapping4):
+        neighbours = list(neighbor_mappings(rr_mapping4, mpeg2))
+        assert len(neighbours) == mpeg2.num_tasks * (rr_mapping4.num_cores - 1)
+
+    def test_move_neighbourhood_distinct_from_origin(self, mpeg2, rr_mapping4):
+        for neighbour in neighbor_mappings(rr_mapping4, mpeg2):
+            assert neighbour != rr_mapping4
+
+    def test_swap_neighbourhood_only_cross_core(self, mpeg2, rr_mapping4):
+        for neighbour in swap_neighborhood(rr_mapping4, mpeg2):
+            moved = [
+                name
+                for name in mpeg2.task_names()
+                if neighbour.core_of(name) != rr_mapping4.core_of(name)
+            ]
+            assert len(moved) == 2

@@ -1,0 +1,98 @@
+"""Tests for the nextScaling enumerator (Fig. 5)."""
+
+import pytest
+
+from repro.optim import next_scaling, num_scaling_combinations, scaling_combinations
+from repro.optim.scaling_algorithm import all_scalings_list
+
+#: Fig. 5(b) verbatim: the 15 combinations for four cores, three levels.
+FIG5B = [
+    (3, 3, 3, 3),
+    (3, 3, 3, 2),
+    (3, 3, 3, 1),
+    (3, 3, 2, 2),
+    (3, 3, 2, 1),
+    (3, 3, 1, 1),
+    (3, 2, 2, 2),
+    (3, 2, 2, 1),
+    (3, 2, 1, 1),
+    (3, 1, 1, 1),
+    (2, 2, 2, 2),
+    (2, 2, 2, 1),
+    (2, 2, 1, 1),
+    (2, 1, 1, 1),
+    (1, 1, 1, 1),
+]
+
+
+class TestNextScaling:
+    def test_reproduces_fig5b_row_by_row(self):
+        state = (3, 3, 3, 3)
+        for expected_next in FIG5B[1:]:
+            state = next_scaling(state, 3)
+            assert state == expected_next
+        assert next_scaling(state, 3) is None
+
+    def test_terminates_at_nominal(self):
+        assert next_scaling((1, 1, 1, 1)) is None
+        assert next_scaling((1,)) is None
+
+    def test_single_core(self):
+        assert next_scaling((3,), 3) == (2,)
+        assert next_scaling((2,), 3) == (1,)
+
+    def test_rejects_increasing_vector(self):
+        with pytest.raises(ValueError):
+            next_scaling((1, 2), 3)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            next_scaling((4, 1), 3)
+        with pytest.raises(ValueError):
+            next_scaling((0,), 3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            next_scaling(())
+
+
+class TestScalingCombinations:
+    def test_full_sequence_matches_fig5b(self):
+        assert all_scalings_list(4, 3) == FIG5B
+
+    def test_count_is_15_for_paper_case(self):
+        # "15 unique combinations ... compared to 3^4 = 81".
+        assert num_scaling_combinations(4, 3) == 15
+        assert len(all_scalings_list(4, 3)) == 15
+
+    @pytest.mark.parametrize(
+        "cores,levels",
+        [(1, 1), (2, 3), (3, 2), (4, 4), (6, 3), (5, 2)],
+    )
+    def test_count_formula(self, cores, levels):
+        assert len(all_scalings_list(cores, levels)) == num_scaling_combinations(
+            cores, levels
+        )
+
+    def test_all_non_increasing(self):
+        for combo in scaling_combinations(5, 3):
+            assert list(combo) == sorted(combo, reverse=True)
+
+    def test_all_unique(self):
+        combos = all_scalings_list(6, 3)
+        assert len(set(combos)) == len(combos)
+
+    def test_starts_deepest_ends_nominal(self):
+        combos = all_scalings_list(3, 4)
+        assert combos[0] == (4, 4, 4)
+        assert combos[-1] == (1, 1, 1)
+
+    def test_descending_lexicographic_order(self):
+        combos = all_scalings_list(4, 3)
+        assert combos == sorted(combos, reverse=True)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            list(scaling_combinations(0, 3))
+        with pytest.raises(ValueError):
+            num_scaling_combinations(4, 0)

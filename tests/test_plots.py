@@ -1,0 +1,56 @@
+"""Tests for the ASCII plot renderers."""
+
+import pytest
+
+from repro.experiments.plots import ascii_scatter, fig3_scatter, pareto_plot
+
+
+class TestAsciiScatter:
+    def test_renders_all_points(self):
+        text = ascii_scatter([(0, 0), (1, 1), (2, 4)], width=20, height=8)
+        assert text.count("*") == 3
+
+    def test_empty(self):
+        assert ascii_scatter([]) == "(no data)"
+
+    def test_degenerate_range(self):
+        text = ascii_scatter([(1, 5), (1, 5)], width=10, height=5)
+        assert "*" in text
+
+    def test_labels_present(self):
+        text = ascii_scatter([(0, 0), (1, 1)], x_label="time", y_label="value")
+        assert "time" in text and "value" in text
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            ascii_scatter([(0, 0)], width=2, height=2)
+
+    def test_extremes_land_on_borders(self):
+        text = ascii_scatter([(0, 0), (10, 10)], width=12, height=6)
+        rows = [line for line in text.splitlines() if line.startswith("|")]
+        assert rows[0].rstrip().endswith("*")  # max y, max x -> top right
+        assert "*" in rows[-1][:3]  # min y, min x -> bottom left
+
+
+class TestFigurePlots:
+    def test_fig3_panels(self):
+        from repro.experiments import ExperimentProfile, run_fig3
+
+        result = run_fig3(
+            ExperimentProfile(
+                name="tiny", fig3_mappings=20, search_iterations=50, sa_iterations=50
+            )
+        )
+        for panel in ("a", "b", "c"):
+            text = fig3_scatter(result, panel=panel)
+            assert "*" in text
+        with pytest.raises(ValueError):
+            fig3_scatter(result, panel="z")
+
+    def test_pareto_plot(self, mpeg2_evaluator, rr_mapping4):
+        points = [
+            mpeg2_evaluator.evaluate(rr_mapping4, scaling)
+            for scaling in [(1, 1, 1, 1), (2, 2, 2, 2), (3, 3, 3, 3)]
+        ]
+        text = pareto_plot(points)
+        assert "P mW" in text and "o" in text

@@ -1,0 +1,259 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Strategies generate random DAGs, mappings and scaling vectors; the
+properties assert the structural invariants the optimizers rely on:
+scheduler correctness, Eq. (8) duplication accounting, enumerator
+algebra, and analytic/simulated Gamma agreement.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import MPSoC
+from repro.faults import SERModel
+from repro.mapping import Mapping, MappingEvaluator
+from repro.mapping.metrics import (
+    per_core_execution_cycles,
+    per_core_register_bits,
+    total_register_bits,
+)
+from repro.optim import next_scaling, num_scaling_combinations, scaling_combinations
+from repro.sched import ListScheduler
+from repro.sim import MPSoCSimulator
+from repro.taskgraph import TaskGraph
+from repro.taskgraph.registers import Register
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def dags(draw, max_tasks: int = 9):
+    """A random connected DAG with shared edge buffers."""
+    num_tasks = draw(st.integers(min_value=2, max_value=max_tasks))
+    graph = TaskGraph(name="hypo")
+    for index in range(num_tasks):
+        graph.add_task(
+            f"t{index}",
+            cycles=draw(st.integers(min_value=1, max_value=1000)) * 1000,
+            private_register_bits=draw(st.integers(min_value=1, max_value=5000)),
+        )
+    for consumer in range(1, num_tasks):
+        num_preds = draw(st.integers(min_value=1, max_value=min(consumer, 3)))
+        producers = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=consumer - 1),
+                min_size=num_preds,
+                max_size=num_preds,
+                unique=True,
+            )
+        )
+        for producer in producers:
+            comm = draw(st.integers(min_value=0, max_value=500)) * 100
+            graph.add_edge(f"t{producer}", f"t{consumer}", comm)
+            if draw(st.booleans()):
+                buffer = Register(f"buf{producer}_{consumer}", 256)
+                graph.attach_registers(f"t{producer}", [buffer])
+                graph.attach_registers(f"t{consumer}", [buffer])
+    return graph
+
+
+@st.composite
+def graph_and_mapping(draw, max_cores: int = 4):
+    graph = draw(dags())
+    num_cores = draw(st.integers(min_value=1, max_value=max_cores))
+    assignment = {
+        name: draw(st.integers(min_value=0, max_value=num_cores - 1))
+        for name in graph.task_names()
+    }
+    return graph, Mapping(assignment, num_cores)
+
+
+# ---------------------------------------------------------------------------
+# Scheduler properties
+# ---------------------------------------------------------------------------
+
+
+@given(graph_and_mapping())
+@settings(max_examples=60, deadline=None)
+def test_schedule_is_always_consistent(data):
+    graph, mapping = data
+    frequencies = [1e8] * mapping.num_cores
+    schedule = ListScheduler(graph, frequencies).schedule(mapping)
+    schedule.verify(graph, mapping)  # precedence + non-overlap + coverage
+
+
+def _compute_only_critical_path(graph: TaskGraph) -> int:
+    """Longest path counting computation cycles only (comm may be free)."""
+    longest = {}
+    for name in reversed(graph.topological_order()):
+        tail = max(
+            (longest[successor] for successor in graph.successors(name)), default=0
+        )
+        longest[name] = graph.task(name).cycles + tail
+    return max(longest[name] for name in graph.entry_tasks())
+
+
+@given(graph_and_mapping())
+@settings(max_examples=60, deadline=None)
+def test_makespan_within_theoretical_bounds(data):
+    graph, mapping = data
+    frequency = 1e8
+    schedule = ListScheduler(graph, [frequency] * mapping.num_cores).schedule(mapping)
+    # Same-core edges cost nothing, so the valid lower bound is the
+    # computation-only critical path.
+    lower = _compute_only_critical_path(graph) / frequency
+    upper = (graph.total_cycles() + graph.total_comm_cycles()) / frequency
+    assert lower - 1e-9 <= schedule.makespan_s() <= upper + 1e-9
+
+
+@given(graph_and_mapping())
+@settings(max_examples=40, deadline=None)
+def test_busy_cycles_equal_eq7(data):
+    graph, mapping = data
+    schedule = ListScheduler(graph, [1e8] * mapping.num_cores).schedule(mapping)
+    analytic = per_core_execution_cycles(graph, mapping)
+    for core in range(mapping.num_cores):
+        assert schedule.busy_cycles(core) == analytic[core]
+
+
+@given(graph_and_mapping(), st.integers(min_value=2, max_value=4))
+@settings(max_examples=40, deadline=None)
+def test_slowing_clock_scales_makespan(data, factor):
+    graph, mapping = data
+    base = ListScheduler(graph, [1e8] * mapping.num_cores).schedule(mapping)
+    slowed = ListScheduler(graph, [1e8 / factor] * mapping.num_cores).schedule(mapping)
+    assert slowed.makespan_s() == base.makespan_s() * factor or math.isclose(
+        slowed.makespan_s(), base.makespan_s() * factor, rel_tol=1e-9
+    )
+
+
+# ---------------------------------------------------------------------------
+# Register accounting properties (Eq. 8)
+# ---------------------------------------------------------------------------
+
+
+@given(graph_and_mapping())
+@settings(max_examples=60, deadline=None)
+def test_register_totals_bounded(data):
+    graph, mapping = data
+    register_map = graph.register_map()
+    union_all = register_map.total_bits()
+    total = total_register_bits(graph, mapping)
+    # Between one shared copy and one copy per core.
+    assert union_all <= total <= union_all * mapping.num_cores
+
+
+@given(dags())
+@settings(max_examples=40, deadline=None)
+def test_single_core_mapping_has_no_duplication(graph):
+    mapping = Mapping.all_on_core(graph, 3, 0)
+    assert total_register_bits(graph, mapping) == graph.register_map().total_bits()
+
+
+@given(graph_and_mapping())
+@settings(max_examples=40, deadline=None)
+def test_merging_cores_never_increases_registers(data):
+    graph, mapping = data
+    if mapping.num_cores < 2:
+        return
+    merged_assignment = {
+        name: min(mapping.core_of(name), mapping.num_cores - 2)
+        for name in mapping
+    }
+    merged = Mapping(merged_assignment, mapping.num_cores)
+    assert total_register_bits(graph, merged) <= total_register_bits(graph, mapping)
+
+
+# ---------------------------------------------------------------------------
+# Scaling enumerator properties (Fig. 5)
+# ---------------------------------------------------------------------------
+
+
+@given(st.integers(min_value=1, max_value=6), st.integers(min_value=1, max_value=4))
+@settings(max_examples=40, deadline=None)
+def test_enumerator_count_and_uniqueness(cores, levels):
+    combos = list(scaling_combinations(cores, levels))
+    assert len(combos) == num_scaling_combinations(cores, levels)
+    assert len(set(combos)) == len(combos)
+    for combo in combos:
+        assert list(combo) == sorted(combo, reverse=True)
+        assert all(1 <= value <= levels for value in combo)
+
+
+@given(st.integers(min_value=1, max_value=6), st.integers(min_value=2, max_value=4))
+@settings(max_examples=30, deadline=None)
+def test_enumerator_descending_order(cores, levels):
+    combos = list(scaling_combinations(cores, levels))
+    assert combos == sorted(combos, reverse=True)
+    # Successor relation is consistent with next_scaling.
+    for current, following in zip(combos, combos[1:]):
+        assert next_scaling(current, levels) == following
+
+
+# ---------------------------------------------------------------------------
+# Gamma consistency: analytic Eq. (3) vs simulated exposure
+# ---------------------------------------------------------------------------
+
+
+@given(graph_and_mapping(max_cores=3))
+@settings(max_examples=25, deadline=None)
+def test_analytic_gamma_matches_trace_exposure(data):
+    graph, mapping = data
+    platform = MPSoC.paper_reference(mapping.num_cores)
+    scaling = (1,) * mapping.num_cores
+    evaluator = MappingEvaluator(graph, platform)
+    point = evaluator.evaluate(mapping, scaling)
+
+    simulator = MPSoCSimulator(graph, platform, scaling=scaling)
+    result = simulator.run(mapping)
+    ser = SERModel()
+    rate = ser.rate(platform.scaling_table.vdd_v(1))
+    trace_gamma = rate * result.occupancy.total_exposure_bit_cycles()
+    assert math.isclose(point.expected_seus, trace_gamma, rel_tol=1e-3) or (
+        point.expected_seus == trace_gamma == 0.0
+    )
+
+
+@given(graph_and_mapping(max_cores=3))
+@settings(max_examples=25, deadline=None)
+def test_gamma_non_negative_and_monotone_in_rate(data):
+    graph, mapping = data
+    platform = MPSoC.paper_reference(mapping.num_cores)
+    nominal = MappingEvaluator(graph, platform, ser_model=SERModel())
+    doubled = MappingEvaluator(
+        graph, platform, ser_model=SERModel().with_reference_rate(2e-9)
+    )
+    scaling = (1,) * mapping.num_cores
+    a = nominal.evaluate(mapping, scaling).expected_seus
+    b = doubled.evaluate(mapping, scaling).expected_seus
+    assert a >= 0
+    assert math.isclose(b, 2 * a, rel_tol=1e-9) or (a == b == 0)
+
+
+# ---------------------------------------------------------------------------
+# Mapping move properties
+# ---------------------------------------------------------------------------
+
+
+@given(graph_and_mapping(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_move_is_reversible(data, rnd):
+    graph, mapping = data
+    name = rnd.draw(st.sampled_from(sorted(graph.task_names())))
+    original_core = mapping.core_of(name)
+    target = rnd.draw(st.integers(min_value=0, max_value=mapping.num_cores - 1))
+    assert mapping.move(name, target).move(name, original_core) == mapping
+
+
+@given(graph_and_mapping())
+@settings(max_examples=40, deadline=None)
+def test_mapping_hash_consistency(data):
+    _, mapping = data
+    clone = Mapping(mapping.as_dict(), mapping.num_cores)
+    assert clone == mapping
+    assert hash(clone) == hash(mapping)

@@ -1,0 +1,100 @@
+"""Property-based tests for the extension modules."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.faults.reliability import failure_probability, mean_executions_to_failure
+from repro.optim.pareto import dominates, pareto_front
+
+
+class _Point:
+    """A minimal stand-in exposing the two default Pareto axes."""
+
+    __slots__ = ("power_mw", "expected_seus")
+
+    def __init__(self, power_mw: float, expected_seus: float) -> None:
+        self.power_mw = power_mw
+        self.expected_seus = expected_seus
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"_Point({self.power_mw}, {self.expected_seus})"
+
+
+points_strategy = st.lists(
+    st.builds(
+        _Point,
+        st.floats(min_value=0.1, max_value=100, allow_nan=False),
+        st.floats(min_value=0.1, max_value=1e6, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@given(points_strategy)
+@settings(max_examples=80, deadline=None)
+def test_front_members_are_mutually_non_dominated(points):
+    front = pareto_front(points)
+    assert front
+    for a in front:
+        for b in front:
+            assert not dominates(a, b)
+
+
+@given(points_strategy)
+@settings(max_examples=80, deadline=None)
+def test_every_point_dominated_by_or_on_front(points):
+    front = pareto_front(points)
+    for point in points:
+        on_front = any(
+            abs(point.power_mw - member.power_mw) < 1e-12
+            and abs(point.expected_seus - member.expected_seus) < 1e-12
+            for member in front
+        )
+        dominated = any(dominates(member, point) for member in front)
+        assert on_front or dominated
+
+
+@given(points_strategy)
+@settings(max_examples=50, deadline=None)
+def test_front_is_idempotent(points):
+    front = pareto_front(points)
+    assert pareto_front(front) == front
+
+
+@given(points_strategy, points_strategy)
+@settings(max_examples=50, deadline=None)
+def test_front_of_union_within_union_of_fronts(points_a, points_b):
+    union_front = pareto_front(list(points_a) + list(points_b))
+    candidates = pareto_front(points_a) + pareto_front(points_b)
+    for member in union_front:
+        assert any(
+            abs(member.power_mw - candidate.power_mw) < 1e-12
+            and abs(member.expected_seus - candidate.expected_seus) < 1e-12
+            for candidate in candidates
+        )
+
+
+@given(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    st.floats(min_value=0.001, max_value=1.0, allow_nan=False),
+)
+@settings(max_examples=100, deadline=None)
+def test_failure_probability_in_unit_interval_and_monotone(gamma, avf):
+    p = failure_probability(gamma, avf)
+    assert 0.0 <= p <= 1.0
+    assert failure_probability(gamma + 1.0, avf) >= p
+
+
+@given(
+    st.floats(min_value=1e-6, max_value=1e3, allow_nan=False),
+    st.floats(min_value=0.001, max_value=1.0, allow_nan=False),
+)
+@settings(max_examples=60, deadline=None)
+def test_mtef_is_consistent_inverse(gamma, avf):
+    p = failure_probability(gamma, avf)
+    mtef = mean_executions_to_failure(gamma, avf)
+    assert math.isclose(mtef * p, 1.0, rel_tol=1e-9)

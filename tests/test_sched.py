@@ -1,0 +1,197 @@
+"""Tests for list scheduling and the schedule data structure."""
+
+import pytest
+
+from repro.mapping import Mapping
+from repro.sched import ListScheduler, Schedule, ScheduledTask
+from repro.taskgraph import TaskGraph, fork_join_graph, pipeline_graph
+
+
+def two_task_graph(comm: int = 100) -> TaskGraph:
+    g = TaskGraph(name="two")
+    g.add_task("a", 1000)
+    g.add_task("b", 2000)
+    g.add_edge("a", "b", comm)
+    return g
+
+
+class TestScheduledTask:
+    def test_duration_and_busy_cycles(self):
+        entry = ScheduledTask("a", 0, 1.0, 2.0, compute_cycles=100, receive_cycles=20)
+        assert entry.duration_s == pytest.approx(1.0)
+        assert entry.busy_cycles == 120
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"start_s": -1.0, "finish_s": 0.0},
+            {"start_s": 2.0, "finish_s": 1.0},
+        ],
+    )
+    def test_rejects_bad_window(self, kwargs):
+        with pytest.raises(ValueError):
+            ScheduledTask("a", 0, compute_cycles=1, receive_cycles=0, **kwargs)
+
+    def test_rejects_bad_cycles(self):
+        with pytest.raises(ValueError):
+            ScheduledTask("a", 0, 0.0, 1.0, compute_cycles=0, receive_cycles=0)
+
+
+class TestListSchedulerBasics:
+    def test_single_core_serializes(self):
+        g = two_task_graph()
+        scheduler = ListScheduler(g, [1e6])
+        schedule = scheduler.schedule(Mapping({"a": 0, "b": 0}, 1))
+        # Same core: no comm; 3000 cycles at 1 MHz.
+        assert schedule.makespan_s() == pytest.approx(3e-3)
+        assert schedule.entry("b").receive_cycles == 0
+
+    def test_cross_core_charges_receive(self):
+        g = two_task_graph(comm=500)
+        scheduler = ListScheduler(g, [1e6, 1e6])
+        schedule = scheduler.schedule(Mapping({"a": 0, "b": 1}, 2))
+        entry_b = schedule.entry("b")
+        assert entry_b.receive_cycles == 500
+        # b starts when a finishes, then takes 2500 cycles.
+        assert entry_b.start_s == pytest.approx(1e-3)
+        assert schedule.makespan_s() == pytest.approx(1e-3 + 2.5e-3)
+
+    def test_heterogeneous_frequencies(self):
+        g = two_task_graph(comm=0)
+        scheduler = ListScheduler(g, [1e6, 2e6])
+        schedule = scheduler.schedule(Mapping({"a": 0, "b": 1}, 2))
+        # b runs at 2 MHz: 1 ms for 2000 cycles.
+        assert schedule.entry("b").duration_s == pytest.approx(1e-3)
+
+    def test_parallel_branches_overlap(self):
+        g = fork_join_graph(2, branch_cycles=1_000_000, comm_cycles=0)
+        mapping = Mapping({"source": 0, "b1": 0, "b2": 1, "sink": 0}, 2)
+        schedule = ListScheduler(g, [1e8, 1e8]).schedule(mapping)
+        b1, b2 = schedule.entry("b1"), schedule.entry("b2")
+        assert b1.start_s < b2.finish_s and b2.start_s < b1.finish_s
+
+    def test_priority_prefers_critical_path(self):
+        g = TaskGraph()
+        g.add_task("root", 10)
+        g.add_task("long", 1000)
+        g.add_task("short", 10)
+        g.add_edge("root", "long")
+        g.add_edge("root", "short")
+        mapping = Mapping({"root": 0, "long": 0, "short": 0}, 1)
+        schedule = ListScheduler(g, [1e6]).schedule(mapping)
+        # Bottom-level priority runs the long branch first.
+        assert schedule.entry("long").start_s < schedule.entry("short").start_s
+
+    def test_for_platform_uses_scaling(self, mpeg2, platform4):
+        platform4.set_scaling_vector([1, 2, 3, 1])
+        scheduler = ListScheduler.for_platform(mpeg2, platform4)
+        assert scheduler.frequencies_hz[1] == pytest.approx(1e8)
+        assert scheduler.frequencies_hz[2] == pytest.approx(2e8 / 3)
+
+    def test_rejects_mismatched_mapping(self, mpeg2):
+        scheduler = ListScheduler(mpeg2, [1e8, 1e8])
+        with pytest.raises(ValueError):
+            scheduler.schedule(Mapping.round_robin(mpeg2, 4))
+
+    def test_rejects_bad_frequencies(self, mpeg2):
+        with pytest.raises(ValueError):
+            ListScheduler(mpeg2, [])
+        with pytest.raises(ValueError):
+            ListScheduler(mpeg2, [1e8, -1.0])
+
+    def test_makespan_helper(self, mpeg2):
+        scheduler = ListScheduler(mpeg2, [2e8] * 4)
+        mapping = Mapping.round_robin(mpeg2, 4)
+        assert scheduler.makespan_s(mapping) == pytest.approx(
+            scheduler.schedule(mapping).makespan_s()
+        )
+
+
+class TestScheduleInvariants:
+    @pytest.mark.parametrize("num_cores", [1, 2, 4])
+    def test_verify_passes_for_scheduler_output(self, mpeg2, num_cores):
+        mapping = Mapping.round_robin(mpeg2, num_cores)
+        schedule = ListScheduler(mpeg2, [2e8] * num_cores).schedule(mapping)
+        schedule.verify(mpeg2, mapping)  # raises on violation
+
+    def test_busy_cycles_match_eq7(self, mpeg2):
+        from repro.mapping.metrics import core_execution_cycles
+
+        mapping = Mapping.round_robin(mpeg2, 4)
+        schedule = ListScheduler(mpeg2, [2e8] * 4).schedule(mapping)
+        for core in range(4):
+            assert schedule.busy_cycles(core) == core_execution_cycles(
+                mpeg2, mapping, core
+            )
+
+    def test_activity_bounds(self, mpeg2):
+        mapping = Mapping.round_robin(mpeg2, 4)
+        schedule = ListScheduler(mpeg2, [2e8] * 4).schedule(mapping)
+        for activity in schedule.activities():
+            assert 0.0 <= activity <= 1.0
+
+    def test_makespan_bounds(self, mpeg2):
+        # CP / f <= T_M <= serial / f for a uniform platform.
+        mapping = Mapping.round_robin(mpeg2, 4)
+        schedule = ListScheduler(mpeg2, [2e8] * 4).schedule(mapping)
+        lower = mpeg2.critical_path_cycles() / 2e8
+        upper = (mpeg2.total_cycles() + mpeg2.total_comm_cycles()) / 2e8
+        assert lower - 1e-9 <= schedule.makespan_s() <= upper + 1e-9
+
+    def test_empty_core_allowed(self, pipeline6):
+        mapping = Mapping.all_on_core(pipeline6, 3, 0)
+        schedule = ListScheduler(pipeline6, [1e8] * 3).schedule(mapping)
+        assert schedule.busy_cycles(1) == 0
+        assert schedule.activity(1) == 0.0
+
+
+class TestScheduleStructure:
+    def _simple_schedule(self) -> Schedule:
+        entries = [
+            ScheduledTask("a", 0, 0.0, 1.0, compute_cycles=100, receive_cycles=0),
+            ScheduledTask("b", 1, 0.5, 2.0, compute_cycles=150, receive_cycles=10),
+        ]
+        return Schedule(entries, num_cores=2, frequencies_hz=[100.0, 100.0])
+
+    def test_lookup(self):
+        schedule = self._simple_schedule()
+        assert schedule.entry("a").core == 0
+        assert "b" in schedule
+        with pytest.raises(KeyError):
+            schedule.entry("ghost")
+
+    def test_makespan_cycles_reference(self):
+        schedule = self._simple_schedule()
+        assert schedule.makespan_cycles() == 200  # 2 s at 100 Hz
+        assert schedule.makespan_cycles(50.0) == 100
+
+    def test_duplicate_task_rejected(self):
+        entry = ScheduledTask("a", 0, 0.0, 1.0, compute_cycles=1, receive_cycles=0)
+        with pytest.raises(ValueError):
+            Schedule([entry, entry], num_cores=1, frequencies_hz=[1.0])
+
+    def test_invalid_core_rejected(self):
+        entry = ScheduledTask("a", 5, 0.0, 1.0, compute_cycles=1, receive_cycles=0)
+        with pytest.raises(ValueError):
+            Schedule([entry], num_cores=1, frequencies_hz=[1.0])
+
+    def test_verify_detects_overlap(self, pipeline6):
+        mapping = Mapping.all_on_core(pipeline6, 1, 0)
+        entries = [
+            ScheduledTask(name, 0, 0.0, 1.0, compute_cycles=1, receive_cycles=0)
+            for name in pipeline6.task_names()
+        ]
+        schedule = Schedule(entries, 1, [1e6])
+        with pytest.raises(ValueError):
+            schedule.verify(pipeline6, mapping)
+
+    def test_gantt_render(self, mpeg2):
+        mapping = Mapping.round_robin(mpeg2, 4)
+        schedule = ListScheduler(mpeg2, [2e8] * 4).schedule(mapping)
+        text = schedule.gantt_text()
+        assert "core0" in text and "T_M" in text
+
+    def test_empty_schedule_makespan(self):
+        schedule = Schedule([], num_cores=1, frequencies_hz=[1.0])
+        assert schedule.makespan_s() == 0.0
+        assert schedule.gantt_text() == "(empty schedule)"

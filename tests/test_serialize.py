@@ -1,0 +1,57 @@
+"""Tests for task-graph (de)serialization."""
+
+import json
+
+import pytest
+
+from repro.taskgraph import graph_from_dict, graph_to_dict, mpeg2_decoder
+from repro.taskgraph.serialize import load_graph, save_graph
+
+
+class TestRoundTrip:
+    def test_mpeg2_round_trip(self, mpeg2):
+        clone = graph_from_dict(graph_to_dict(mpeg2))
+        assert clone.name == mpeg2.name
+        assert clone.task_names() == mpeg2.task_names()
+        assert list(clone.edges()) == list(mpeg2.edges())
+        for name in mpeg2.task_names():
+            assert clone.task(name).cycles == mpeg2.task(name).cycles
+            assert clone.task(name).label == mpeg2.task(name).label
+            assert clone.registers_of(name) == mpeg2.registers_of(name)
+
+    def test_register_sharing_preserved(self, mpeg2):
+        clone = graph_from_dict(graph_to_dict(mpeg2))
+        original_map = mpeg2.register_map()
+        clone_map = clone.register_map()
+        for a in ("t5", "t6", "t7"):
+            for b in ("t6", "t8"):
+                if a != b:
+                    assert clone_map.shared_bits(a, b) == original_map.shared_bits(a, b)
+
+    def test_dict_is_json_compatible(self, mpeg2):
+        text = json.dumps(graph_to_dict(mpeg2))
+        clone = graph_from_dict(json.loads(text))
+        assert clone.num_tasks == mpeg2.num_tasks
+
+    def test_file_round_trip(self, mpeg2, tmp_path):
+        path = tmp_path / "graph.json"
+        save_graph(mpeg2, path)
+        clone = load_graph(path)
+        assert clone.task_names() == mpeg2.task_names()
+
+    def test_version_check(self, mpeg2):
+        data = graph_to_dict(mpeg2)
+        data["version"] = 99
+        with pytest.raises(ValueError):
+            graph_from_dict(data)
+
+    def test_fresh_graph_from_minimal_dict(self):
+        graph = graph_from_dict(
+            {
+                "name": "mini",
+                "tasks": [{"name": "a", "cycles": 5}, {"name": "b", "cycles": 6}],
+                "edges": [{"producer": "a", "consumer": "b", "comm_cycles": 1}],
+            }
+        )
+        assert graph.num_tasks == 2
+        assert graph.comm_cycles("a", "b") == 1

@@ -1,0 +1,110 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.engine import DiscreteEventEngine
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        engine = DiscreteEventEngine()
+        log = []
+        engine.schedule_at(2.0, lambda: log.append("late"))
+        engine.schedule_at(1.0, lambda: log.append("early"))
+        engine.run()
+        assert log == ["early", "late"]
+
+    def test_priority_breaks_ties(self):
+        engine = DiscreteEventEngine()
+        log = []
+        engine.schedule_at(1.0, lambda: log.append("b"), priority=1)
+        engine.schedule_at(1.0, lambda: log.append("a"), priority=0)
+        engine.run()
+        assert log == ["a", "b"]
+
+    def test_insertion_order_breaks_remaining_ties(self):
+        engine = DiscreteEventEngine()
+        log = []
+        engine.schedule_at(1.0, lambda: log.append(1))
+        engine.schedule_at(1.0, lambda: log.append(2))
+        engine.run()
+        assert log == [1, 2]
+
+    def test_clock_advances(self):
+        engine = DiscreteEventEngine()
+        times = []
+        engine.schedule_at(0.5, lambda: times.append(engine.now))
+        engine.schedule_at(1.5, lambda: times.append(engine.now))
+        engine.run()
+        assert times == [0.5, 1.5]
+        assert engine.now == 1.5
+
+    def test_schedule_after(self):
+        engine = DiscreteEventEngine()
+        engine.schedule_at(1.0, lambda: engine.schedule_after(0.5, lambda: None))
+        engine.run()
+        assert engine.now == pytest.approx(1.5)
+
+    def test_rejects_past_events(self):
+        engine = DiscreteEventEngine()
+        engine.schedule_at(1.0, lambda: None)
+        engine.run()
+        with pytest.raises(ValueError):
+            engine.schedule_at(0.5, lambda: None)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            DiscreteEventEngine().schedule_after(-1.0, lambda: None)
+
+    def test_events_scheduled_during_run_execute(self):
+        engine = DiscreteEventEngine()
+        log = []
+        engine.schedule_at(1.0, lambda: engine.schedule_at(2.0, lambda: log.append("x")))
+        engine.run()
+        assert log == ["x"]
+
+
+class TestDrivers:
+    def test_step_returns_event(self):
+        engine = DiscreteEventEngine()
+        engine.schedule_at(1.0, lambda: None, label="only")
+        event = engine.step()
+        assert event is not None and event.label == "only"
+        assert engine.step() is None
+
+    def test_run_max_events(self):
+        engine = DiscreteEventEngine()
+        for t in range(5):
+            engine.schedule_at(float(t), lambda: None)
+        assert engine.run(max_events=3) == 3
+        assert engine.pending == 2
+
+    def test_run_until(self):
+        engine = DiscreteEventEngine()
+        log = []
+        for t in (1.0, 2.0, 3.0):
+            engine.schedule_at(t, lambda t=t: log.append(t))
+        executed = engine.run_until(2.0)
+        assert executed == 2
+        assert log == [1.0, 2.0]
+        assert engine.now == 2.0
+
+    def test_counters(self):
+        engine = DiscreteEventEngine()
+        engine.schedule_at(1.0, lambda: None)
+        engine.schedule_at(2.0, lambda: None)
+        assert engine.pending == 2
+        engine.run()
+        assert engine.processed == 2
+        assert engine.pending == 0
+
+    def test_reset(self):
+        engine = DiscreteEventEngine()
+        engine.schedule_at(1.0, lambda: None)
+        engine.run()
+        engine.reset()
+        assert engine.now == 0.0
+        assert engine.pending == 0
+        assert engine.processed == 0
+        engine.schedule_at(0.1, lambda: None)  # past-time OK after reset
+        engine.run()

@@ -1,0 +1,192 @@
+"""Tests for the MPSoC simulator, occupancy traces and execution traces."""
+
+import pytest
+
+from repro.mapping import Mapping
+from repro.mapping.metrics import per_core_register_bits
+from repro.sim import MPSoCSimulator, OccupancyInterval, OccupancyTrace
+from repro.sim.trace import ExecutionTrace, TraceRecord
+from repro.taskgraph.registers import Register
+
+
+class TestOccupancyInterval:
+    def test_derived_quantities(self):
+        interval = OccupancyInterval(
+            core=0,
+            start_s=1.0,
+            end_s=3.0,
+            registers=frozenset({Register("r", 50)}),
+            frequency_hz=10.0,
+        )
+        assert interval.duration_s == pytest.approx(2.0)
+        assert interval.cycles == pytest.approx(20.0)
+        assert interval.bits == 50
+        assert interval.exposure_bit_cycles == pytest.approx(1000.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"core": -1},
+            {"end_s": 0.5},
+            {"frequency_hz": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        base = dict(
+            core=0,
+            start_s=1.0,
+            end_s=2.0,
+            registers=frozenset(),
+            frequency_hz=1.0,
+        )
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            OccupancyInterval(**base)
+
+
+class TestOccupancyTrace:
+    def test_aggregation(self):
+        trace = OccupancyTrace()
+        r = frozenset({Register("r", 10)})
+        trace.add(OccupancyInterval(0, 0.0, 1.0, r, 100.0))
+        trace.add(OccupancyInterval(0, 1.0, 2.0, r, 100.0))
+        trace.add(OccupancyInterval(1, 0.0, 4.0, r, 100.0))
+        assert trace.busy_cycles(0) == pytest.approx(200.0)
+        assert trace.exposure_bit_cycles(0) == pytest.approx(2000.0)
+        assert trace.time_average_bits(0) == pytest.approx(10.0)
+        assert trace.cores() == (0, 1)
+        assert trace.total_exposure_bit_cycles() == pytest.approx(6000.0)
+        assert trace.per_core_exposure() == {
+            0: pytest.approx(2000.0),
+            1: pytest.approx(4000.0),
+        }
+
+    def test_empty_core(self):
+        trace = OccupancyTrace()
+        assert trace.time_average_bits(3) == 0.0
+        assert len(trace) == 0
+
+
+class TestSimulatorStaticResidency:
+    def test_time_average_equals_eq8_union(self, mpeg2, platform4, rr_mapping4):
+        # The validation DESIGN.md promises: the trace's Eq. (4) average
+        # equals Eq. (8)'s union cardinality under static residency.
+        simulator = MPSoCSimulator(mpeg2, platform4, scaling=(1, 1, 1, 1))
+        result = simulator.run(rr_mapping4)
+        expected = per_core_register_bits(mpeg2, rr_mapping4)
+        for core in range(4):
+            assert result.time_average_register_bits(core) == pytest.approx(
+                expected[core]
+            )
+
+    def test_exposure_spans_full_window(self, mpeg2, platform4, rr_mapping4):
+        simulator = MPSoCSimulator(mpeg2, platform4, scaling=(1, 1, 1, 1))
+        result = simulator.run(rr_mapping4)
+        for core in range(4):
+            intervals = result.occupancy.intervals_of(core)
+            assert intervals[0].start_s == pytest.approx(0.0)
+            assert intervals[-1].end_s == pytest.approx(result.makespan_s)
+
+    def test_makespan_matches_scheduler(self, mpeg2, platform4, rr_mapping4):
+        simulator = MPSoCSimulator(mpeg2, platform4, scaling=(2, 2, 2, 2))
+        result = simulator.run(rr_mapping4)
+        assert result.makespan_s == pytest.approx(result.schedule.makespan_s())
+
+    def test_busy_cycles_reported(self, mpeg2, platform4, rr_mapping4):
+        simulator = MPSoCSimulator(mpeg2, platform4, scaling=(1, 1, 1, 1))
+        result = simulator.run(rr_mapping4)
+        for core in range(4):
+            assert result.busy_cycles[core] == result.schedule.busy_cycles(core)
+
+
+class TestSimulatorAccumulateResidency:
+    def test_usage_ramps_up(self, mpeg2, platform4, rr_mapping4):
+        simulator = MPSoCSimulator(
+            mpeg2, platform4, scaling=(1, 1, 1, 1), residency="accumulate"
+        )
+        result = simulator.run(rr_mapping4)
+        for core in range(4):
+            bits = [interval.bits for interval in result.occupancy.intervals_of(core)]
+            assert bits == sorted(bits)  # monotone non-decreasing
+
+    def test_accumulate_bounded_by_union(self, mpeg2, platform4, rr_mapping4):
+        simulator = MPSoCSimulator(
+            mpeg2, platform4, scaling=(1, 1, 1, 1), residency="accumulate"
+        )
+        result = simulator.run(rr_mapping4)
+        union = per_core_register_bits(mpeg2, rr_mapping4)
+        for core in range(4):
+            assert result.time_average_register_bits(core) <= union[core] + 1e-9
+
+    def test_accumulate_exposure_less_than_static(self, mpeg2, platform4, rr_mapping4):
+        static = MPSoCSimulator(mpeg2, platform4, scaling=(1, 1, 1, 1)).run(rr_mapping4)
+        accumulate = MPSoCSimulator(
+            mpeg2, platform4, scaling=(1, 1, 1, 1), residency="accumulate"
+        ).run(rr_mapping4)
+        assert (
+            accumulate.occupancy.total_exposure_bit_cycles()
+            < static.occupancy.total_exposure_bit_cycles()
+        )
+
+
+class TestSimulatorValidation:
+    def test_rejects_unknown_policy(self, mpeg2, platform4):
+        with pytest.raises(ValueError):
+            MPSoCSimulator(mpeg2, platform4, residency="magic")
+
+    def test_rejects_bad_scaling(self, mpeg2, platform4):
+        with pytest.raises(ValueError):
+            MPSoCSimulator(mpeg2, platform4, scaling=(9, 1, 1, 1))
+        with pytest.raises(ValueError):
+            MPSoCSimulator(mpeg2, platform4, scaling=(1, 1))
+
+    def test_rejects_incomplete_mapping(self, mpeg2, platform4):
+        simulator = MPSoCSimulator(mpeg2, platform4)
+        with pytest.raises(ValueError):
+            simulator.run(Mapping({"t1": 0}, 4))
+
+
+class TestExecutionTrace:
+    def test_collects_start_finish(self, mpeg2, platform4, rr_mapping4):
+        simulator = MPSoCSimulator(mpeg2, platform4, scaling=(1, 1, 1, 1))
+        result = simulator.run(rr_mapping4, collect_trace=True)
+        trace = result.execution_trace
+        assert trace is not None
+        starts = [record for record in trace if record.kind == "start"]
+        finishes = [record for record in trace if record.kind == "finish"]
+        assert len(starts) == mpeg2.num_tasks
+        assert len(finishes) == mpeg2.num_tasks
+
+    def test_trace_disabled_by_default(self, mpeg2, platform4, rr_mapping4):
+        result = MPSoCSimulator(mpeg2, platform4).run(rr_mapping4)
+        assert result.execution_trace is None
+
+    def test_per_task_ordering(self, mpeg2, platform4, rr_mapping4):
+        result = MPSoCSimulator(mpeg2, platform4).run(rr_mapping4, collect_trace=True)
+        for name in mpeg2.task_names():
+            records = result.execution_trace.of_task(name)
+            kinds = [record.kind for record in records]
+            assert kinds == ["start", "finish"]
+
+    def test_render(self, mpeg2, platform4, rr_mapping4):
+        result = MPSoCSimulator(mpeg2, platform4).run(rr_mapping4, collect_trace=True)
+        text = result.execution_trace.render()
+        assert "start" in text and "t11" in text
+
+    def test_record_validation(self):
+        with pytest.raises(ValueError):
+            TraceRecord(time_s=0.0, core=0, kind="bogus", task="t")
+        with pytest.raises(ValueError):
+            TraceRecord(time_s=-1.0, core=0, kind="start", task="t")
+
+    def test_trace_rejects_time_travel(self):
+        trace = ExecutionTrace()
+        trace.add(TraceRecord(time_s=1.0, core=0, kind="start", task="a"))
+        with pytest.raises(ValueError):
+            trace.add(TraceRecord(time_s=0.5, core=0, kind="start", task="b"))
+
+    def test_of_core(self):
+        trace = ExecutionTrace()
+        trace.add(TraceRecord(time_s=0.0, core=1, kind="start", task="a"))
+        trace.add(TraceRecord(time_s=1.0, core=2, kind="start", task="b"))
+        assert len(trace.of_core(1)) == 1

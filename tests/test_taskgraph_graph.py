@@ -1,0 +1,186 @@
+"""Tests for the task graph data structure and its algorithms."""
+
+import pytest
+
+from repro.taskgraph import Task, TaskGraph
+from repro.taskgraph.registers import Register
+
+
+def diamond() -> TaskGraph:
+    """a -> {b, c} -> d with mixed costs."""
+    g = TaskGraph(name="diamond")
+    g.add_task("a", 100)
+    g.add_task("b", 200)
+    g.add_task("c", 50)
+    g.add_task("d", 100)
+    g.add_edge("a", "b", 10)
+    g.add_edge("a", "c", 20)
+    g.add_edge("b", "d", 30)
+    g.add_edge("c", "d", 40)
+    return g
+
+
+class TestTask:
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Task(name="", cycles=1)
+
+    @pytest.mark.parametrize("cycles", [0, -5])
+    def test_rejects_non_positive_cycles(self, cycles):
+        with pytest.raises(ValueError):
+            Task(name="t", cycles=cycles)
+
+
+class TestConstruction:
+    def test_duplicate_task_rejected(self):
+        g = TaskGraph()
+        g.add_task("a", 1)
+        with pytest.raises(ValueError):
+            g.add_task("a", 2)
+
+    def test_edge_to_unknown_task_rejected(self):
+        g = TaskGraph()
+        g.add_task("a", 1)
+        with pytest.raises(KeyError):
+            g.add_edge("a", "ghost")
+
+    def test_self_edge_rejected(self):
+        g = TaskGraph()
+        g.add_task("a", 1)
+        with pytest.raises(ValueError):
+            g.add_edge("a", "a")
+
+    def test_duplicate_edge_rejected(self):
+        g = diamond()
+        with pytest.raises(ValueError):
+            g.add_edge("a", "b", 5)
+
+    def test_negative_comm_rejected(self):
+        g = TaskGraph()
+        g.add_task("a", 1)
+        g.add_task("b", 1)
+        with pytest.raises(ValueError):
+            g.add_edge("a", "b", -1)
+
+    def test_private_register_helper(self):
+        g = TaskGraph()
+        g.add_task("a", 1, private_register_bits=100)
+        registers = g.registers_of("a")
+        assert len(registers) == 1
+        assert next(iter(registers)).bits == 100
+
+    def test_attach_registers(self):
+        g = TaskGraph()
+        g.add_task("a", 1)
+        shared = Register("shared", 64)
+        g.attach_registers("a", [shared])
+        assert shared in g.registers_of("a")
+        with pytest.raises(KeyError):
+            g.attach_registers("ghost", [shared])
+
+    def test_from_specs(self):
+        g = TaskGraph.from_specs(
+            "spec", [("x", 5), ("y", 6)], [("x", "y", 2)], labels={"x": "first"}
+        )
+        assert g.task("x").label == "first"
+        assert g.comm_cycles("x", "y") == 2
+
+
+class TestQueries:
+    def test_counts(self):
+        g = diamond()
+        assert g.num_tasks == 4
+        assert g.num_edges == 4
+        assert len(g) == 4
+
+    def test_successors_predecessors(self):
+        g = diamond()
+        assert set(g.successors("a")) == {"b", "c"}
+        assert set(g.predecessors("d")) == {"b", "c"}
+        assert g.predecessors("a") == ()
+
+    def test_entry_exit(self):
+        g = diamond()
+        assert g.entry_tasks() == ("a",)
+        assert g.exit_tasks() == ("d",)
+
+    def test_comm_cycles_lookup(self):
+        g = diamond()
+        assert g.comm_cycles("c", "d") == 40
+        with pytest.raises(KeyError):
+            g.comm_cycles("a", "d")
+
+    def test_has_edge(self):
+        g = diamond()
+        assert g.has_edge("a", "b")
+        assert not g.has_edge("b", "a")
+
+    def test_totals(self):
+        g = diamond()
+        assert g.total_cycles() == 450
+        assert g.total_comm_cycles() == 100
+
+    def test_unknown_task_lookup(self):
+        with pytest.raises(KeyError):
+            diamond().task("ghost")
+
+
+class TestAlgorithms:
+    def test_topological_order_respects_edges(self):
+        g = diamond()
+        order = g.topological_order()
+        position = {name: index for index, name in enumerate(order)}
+        for producer, consumer, _ in g.edges():
+            assert position[producer] < position[consumer]
+
+    def test_topological_order_deterministic(self):
+        assert diamond().topological_order() == diamond().topological_order()
+
+    def test_cycle_detection(self):
+        g = TaskGraph()
+        g.add_task("a", 1)
+        g.add_task("b", 1)
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        assert not g.is_acyclic()
+        with pytest.raises(ValueError):
+            g.topological_order()
+
+    def test_validate_empty_graph(self):
+        with pytest.raises(ValueError):
+            TaskGraph().validate()
+
+    def test_bottom_levels(self):
+        g = diamond()
+        levels = g.bottom_levels()
+        # d: 100; b: 200 + 30 + 100 = 330; c: 50 + 40 + 100 = 190;
+        # a: 100 + max(10+330, 20+190) = 440.
+        assert levels["d"] == 100
+        assert levels["b"] == 330
+        assert levels["c"] == 190
+        assert levels["a"] == 440
+
+    def test_critical_path(self):
+        assert diamond().critical_path_cycles() == 440
+
+    def test_ancestors_descendants(self):
+        g = diamond()
+        assert g.ancestors("d") == frozenset({"a", "b", "c"})
+        assert g.descendants("a") == frozenset({"b", "c", "d"})
+        assert g.ancestors("a") == frozenset()
+
+    def test_to_networkx(self):
+        nx_graph = diamond().to_networkx()
+        assert nx_graph.number_of_nodes() == 4
+        assert nx_graph.number_of_edges() == 4
+        assert nx_graph.nodes["a"]["cycles"] == 100
+        assert nx_graph.edges["c", "d"]["comm_cycles"] == 40
+
+    def test_register_map_roundtrip(self):
+        g = TaskGraph()
+        shared = Register("s", 10)
+        g.add_task("a", 1, registers=[shared], private_register_bits=5)
+        g.add_task("b", 1, registers=[shared])
+        register_map = g.register_map()
+        assert register_map.shared_bits("a", "b") == 10
+        assert register_map.task_bits("a") == 15

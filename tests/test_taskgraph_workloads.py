@@ -1,0 +1,261 @@
+"""Tests for the concrete workloads: MPEG-2, Fig. 8, random and synthetic graphs."""
+
+import pytest
+
+from repro.taskgraph import (
+    RandomGraphConfig,
+    fig8_example,
+    fork_join_graph,
+    layered_graph,
+    mpeg2_decoder,
+    pipeline_graph,
+    random_task_graph,
+)
+from repro.taskgraph.examples import (
+    FIG8_COST_UNIT_CYCLES,
+    FIG8_DEADLINE_S,
+    FIG8_SCALING,
+    fig8_register_map,
+)
+from repro.taskgraph.mpeg2 import (
+    MPEG2_COST_UNIT_CYCLES,
+    MPEG2_DEADLINE_S,
+    mpeg2_deadline_cycles,
+    mpeg2_register_map,
+)
+
+
+class TestMPEG2:
+    def test_eleven_tasks(self, mpeg2):
+        assert mpeg2.num_tasks == 11
+
+    def test_published_costs(self, mpeg2):
+        units = {
+            "t1": 10, "t2": 15, "t3": 16, "t4": 31, "t5": 25, "t6": 39,
+            "t7": 63, "t8": 61, "t9": 48, "t10": 41, "t11": 21,
+        }
+        for name, expected in units.items():
+            assert mpeg2.task(name).cycles == expected * MPEG2_COST_UNIT_CYCLES
+
+    def test_is_dag_with_single_entry_exit(self, mpeg2):
+        mpeg2.validate()
+        assert mpeg2.entry_tasks() == ("t1",)
+        assert mpeg2.exit_tasks() == ("t11",)
+
+    def test_labels_present(self, mpeg2):
+        assert mpeg2.task("t7").label == "Inv. DCT by row"
+
+    def test_t5_t6_share_about_6_4_kbit(self, mpeg2):
+        # Section III: "tasks t5 and t6 share nearly 6.4kb registers".
+        shared = mpeg2.register_map().shared_bits("t5", "t6")
+        assert shared == pytest.approx(6400, rel=0.05)
+
+    def test_t6_t7_t8_share_about_8_kbit(self, mpeg2):
+        # Section III: "t6, t7 and t8 share about 8kb registers".
+        register_map = mpeg2.register_map()
+        shared = (
+            register_map.registers_of("t6")
+            & register_map.registers_of("t7")
+            & register_map.registers_of("t8")
+        )
+        assert sum(register.bits for register in shared) == pytest.approx(
+            8000, rel=0.05
+        )
+
+    def test_split_duplicates_about_14_4_kbit(self, mpeg2):
+        # Section III: mapping {t5,t6} and {t7,t8} apart duplicates
+        # ~14.4 kbit between the cores.
+        register_map = mpeg2.register_map()
+        together = register_map.union_bits(["t5", "t6", "t7", "t8"])
+        split = register_map.union_bits(["t5", "t6"]) + register_map.union_bits(
+            ["t7", "t8"]
+        )
+        assert split - together == pytest.approx(14400, rel=0.05)
+
+    def test_deadline_is_437_frames_at_29_97_fps(self):
+        assert MPEG2_DEADLINE_S == pytest.approx(437 / 29.97)
+
+    def test_deadline_cycles(self):
+        assert mpeg2_deadline_cycles(2e8) == pytest.approx(
+            MPEG2_DEADLINE_S * 2e8, rel=1e-9
+        )
+        with pytest.raises(ValueError):
+            mpeg2_deadline_cycles(0)
+
+    def test_register_map_covers_all_tasks(self, mpeg2):
+        register_map = mpeg2_register_map()
+        for name in mpeg2.task_names():
+            assert name in register_map
+
+    def test_parallelism_exists(self, mpeg2):
+        # The two IDCT pipelines and motion compensation overlap.
+        assert mpeg2.critical_path_cycles() < mpeg2.total_cycles()
+
+
+class TestFig8:
+    def test_six_tasks_with_published_costs(self, fig8):
+        units = {"t1": 5, "t2": 4, "t3": 4, "t4": 5, "t5": 6, "t6": 4}
+        for name, expected in units.items():
+            assert fig8.task(name).cycles == expected * FIG8_COST_UNIT_CYCLES
+
+    def test_register_table_verbatim(self):
+        register_map = fig8_register_map()
+        # Fig. 8(b): r4 is the largest block at 5120 bits.
+        r4 = next(
+            register
+            for register in register_map.registers_of("t2")
+            if register.name == "r4"
+        )
+        assert r4.bits == 5120
+
+    def test_task_register_sets_verbatim(self):
+        register_map = fig8_register_map()
+        names = {register.name for register in register_map.registers_of("t5")}
+        assert names == {"r6", "r7", "r8"}
+
+    def test_sharing_structure(self, fig8):
+        register_map = fig8.register_map()
+        # t2 and t3 share r4, r5, r6 = 5120 + 4096 + 2048.
+        assert register_map.shared_bits("t2", "t3") == 5120 + 4096 + 2048
+        # t1 and t6 share nothing.
+        assert register_map.shared_bits("t1", "t6") == 0
+
+    def test_constants(self):
+        assert FIG8_DEADLINE_S == pytest.approx(0.075)
+        assert FIG8_SCALING == (1, 2, 2)
+
+    def test_is_valid_dag(self, fig8):
+        fig8.validate()
+        assert fig8.entry_tasks() == ("t1",)
+        # The figure's bottom row: t4, t5 and t6 are the exits.
+        assert set(fig8.exit_tasks()) == {"t4", "t5", "t6"}
+
+    def test_paper_mapping_meets_deadline(self, fig8):
+        from repro.arch import MPSoC
+        from repro.mapping import MappingEvaluator
+        from repro.taskgraph.examples import fig8_paper_mapping
+
+        evaluator = MappingEvaluator(
+            fig8, MPSoC.paper_reference(3), deadline_s=FIG8_DEADLINE_S
+        )
+        point = evaluator.evaluate(fig8_paper_mapping(), FIG8_SCALING)
+        assert point.meets_deadline
+        assert point.makespan_s == pytest.approx(0.0735)
+
+
+class TestRandomGraphs:
+    def test_reproducible(self):
+        config = RandomGraphConfig(num_tasks=30)
+        a = random_task_graph(config, seed=42)
+        b = random_task_graph(config, seed=42)
+        assert list(a.edges()) == list(b.edges())
+        assert [t.cycles for t in a.tasks()] == [t.cycles for t in b.tasks()]
+
+    def test_different_seeds_differ(self):
+        config = RandomGraphConfig(num_tasks=30)
+        a = random_task_graph(config, seed=1)
+        b = random_task_graph(config, seed=2)
+        assert list(a.edges()) != list(b.edges())
+
+    def test_costs_within_paper_ranges(self):
+        config = RandomGraphConfig(num_tasks=50)
+        graph = random_task_graph(config, seed=7)
+        for task in graph:
+            units = task.cycles // config.cost_unit_cycles
+            assert 1 <= units <= 30
+        for _, _, comm in graph.edges():
+            units = comm // config.cost_unit_cycles
+            assert 1 <= units <= 10
+
+    def test_connected_from_entries(self):
+        graph = random_task_graph(RandomGraphConfig(num_tasks=40), seed=3)
+        entries = set(graph.entry_tasks())
+        reachable = set(entries)
+        for entry in entries:
+            reachable |= graph.descendants(entry)
+        assert reachable == set(graph.task_names())
+
+    def test_acyclic(self):
+        for seed in range(5):
+            graph = random_task_graph(RandomGraphConfig(num_tasks=25), seed=seed)
+            assert graph.is_acyclic()
+
+    def test_deadline_rule(self):
+        # 1000 * N / 2 ms.
+        assert RandomGraphConfig(num_tasks=60).deadline_s == pytest.approx(30.0)
+
+    def test_max_dependents_bound(self):
+        assert RandomGraphConfig(num_tasks=20).max_dependents == 10
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_tasks": 1},
+            {"num_tasks": 10, "min_comp_units": 0},
+            {"num_tasks": 10, "min_comm_units": 5, "max_comm_units": 2},
+            {"num_tasks": 10, "min_register_bits": 0},
+            {"num_tasks": 10, "mean_dependents": -1.0},
+            {"num_tasks": 10, "shared_bits_per_comm_unit": -1},
+        ],
+    )
+    def test_config_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RandomGraphConfig(**kwargs)
+
+    def test_edges_carry_shared_buffers(self):
+        graph = random_task_graph(RandomGraphConfig(num_tasks=20), seed=11)
+        register_map = graph.register_map()
+        shared_pairs = [
+            (producer, consumer)
+            for producer, consumer, _ in graph.edges()
+            if register_map.shared_bits(producer, consumer) > 0
+        ]
+        assert shared_pairs  # every edge shares its buffer
+
+
+class TestSyntheticGenerators:
+    def test_pipeline_structure(self):
+        graph = pipeline_graph(5)
+        assert graph.num_tasks == 5
+        assert graph.num_edges == 4
+        assert graph.entry_tasks() == ("t1",)
+        assert graph.exit_tasks() == ("t5",)
+
+    def test_pipeline_neighbours_share_stage_buffer(self):
+        graph = pipeline_graph(4, shared_bits=512)
+        register_map = graph.register_map()
+        assert register_map.shared_bits("t2", "t3") == 512
+        assert register_map.shared_bits("t1", "t3") == 0
+
+    def test_pipeline_rejects_empty(self):
+        with pytest.raises(ValueError):
+            pipeline_graph(0)
+
+    def test_fork_join_structure(self):
+        graph = fork_join_graph(6)
+        assert graph.num_tasks == 8
+        assert set(graph.successors("source")) == {f"b{i}" for i in range(1, 7)}
+        assert set(graph.predecessors("sink")) == {f"b{i}" for i in range(1, 7)}
+
+    def test_fork_join_branches_share_scatter(self):
+        graph = fork_join_graph(3, shared_bits=256)
+        register_map = graph.register_map()
+        assert register_map.shared_bits("b1", "b2") == 256
+
+    def test_layered_structure(self):
+        graph = layered_graph(3, 4, seed=5)
+        assert graph.num_tasks == 12
+        graph.validate()
+        # Every non-first-layer task has a predecessor.
+        for layer in (1, 2):
+            for slot in range(4):
+                assert graph.predecessors(f"l{layer}n{slot}")
+
+    def test_layered_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            layered_graph(2, 2, edge_probability=1.5)
+
+    def test_layered_reproducible(self):
+        a = layered_graph(3, 3, seed=9)
+        b = layered_graph(3, 3, seed=9)
+        assert list(a.edges()) == list(b.edges())

@@ -1,0 +1,127 @@
+"""Tests for the bundled workload library."""
+
+import pytest
+
+from repro.arch import MPSoC
+from repro.mapping import Mapping, MappingEvaluator
+from repro.optim import DesignOptimizer, sea_mapper
+from repro.taskgraph.workloads import (
+    CONTROL_DEADLINE_S,
+    FFT_DEADLINE_S,
+    JPEG_DEADLINE_S,
+    WORKLOADS,
+    automotive_cruise_control,
+    fft8_graph,
+    jpeg_encoder,
+)
+
+
+class TestJpegEncoder:
+    def test_structure(self):
+        graph = jpeg_encoder()
+        graph.validate()
+        assert graph.num_tasks == 8
+        assert graph.entry_tasks() == ("rgb2yuv",)
+        assert graph.exit_tasks() == ("huffman",)
+
+    def test_luma_chroma_parallelism(self):
+        graph = jpeg_encoder()
+        # dct_y and dct_c are not ancestors of each other.
+        assert "dct_c" not in graph.descendants("dct_y")
+        assert "dct_y" not in graph.descendants("dct_c")
+
+    def test_stage_buffers_shared(self):
+        register_map = jpeg_encoder().register_map()
+        assert register_map.shared_bits("dct_y", "quant_y") == 5600
+        assert register_map.shared_bits("quant_y", "quant_c") == 2400
+        assert register_map.shared_bits("rgb2yuv", "huffman") == 0
+
+    def test_optimizable(self):
+        outcome = DesignOptimizer(
+            jpeg_encoder(),
+            MPSoC.paper_reference(3),
+            deadline_s=JPEG_DEADLINE_S,
+            mapper=sea_mapper(search_iterations=150),
+            stop_after_feasible=2,
+            seed=0,
+        ).optimize()
+        assert outcome.best is not None
+
+
+class TestFFT8:
+    def test_structure(self):
+        graph = fft8_graph()
+        graph.validate()
+        assert graph.num_tasks == 12  # 3 stages x 4 butterflies
+        assert len(graph.entry_tasks()) == 4
+        assert len(graph.exit_tasks()) == 4
+
+    def test_stage_parallelism(self):
+        graph = fft8_graph()
+        # Butterflies within a stage are mutually independent.
+        for a in range(4):
+            for b in range(4):
+                if a != b:
+                    assert f"s1b{b}" not in graph.descendants(f"s1b{a}")
+
+    def test_twiddles_shared_by_all(self):
+        graph = fft8_graph()
+        register_map = graph.register_map()
+        assert register_map.shared_bits("s0b0", "s2b3") == 3200
+
+    def test_spreading_duplicates_twiddles(self):
+        from repro.mapping.metrics import total_register_bits
+
+        graph = fft8_graph()
+        localized = Mapping.all_on_core(graph, 4, 0)
+        spread = Mapping.round_robin(graph, 4)
+        assert (
+            total_register_bits(graph, spread)
+            - total_register_bits(graph, localized)
+            >= 3 * 3200  # twiddle table copied to the extra cores
+        )
+
+    def test_spreading_shortens_makespan(self):
+        graph = fft8_graph()
+        evaluator = MappingEvaluator(graph, MPSoC.paper_reference(4))
+        localized = evaluator.evaluate(Mapping.all_on_core(graph, 4, 0), (1, 1, 1, 1))
+        spread = evaluator.evaluate(Mapping.round_robin(graph, 4), (1, 1, 1, 1))
+        assert spread.makespan_s < localized.makespan_s
+
+
+class TestCruiseControl:
+    def test_structure(self):
+        graph = automotive_cruise_control()
+        graph.validate()
+        assert graph.num_tasks == 9
+        assert set(graph.entry_tasks()) == {"radar", "wheel_speed", "gps"}
+        assert set(graph.exit_tasks()) == {"throttle", "brake", "logging"}
+
+    def test_actuation_shares_command_buffer(self):
+        register_map = automotive_cruise_control().register_map()
+        assert register_map.shared_bits("throttle", "brake") == 1600
+
+    def test_deadline_is_tight_but_feasible(self):
+        graph = automotive_cruise_control()
+        evaluator = MappingEvaluator(
+            graph, MPSoC.paper_reference(2), deadline_s=CONTROL_DEADLINE_S
+        )
+        # Feasible at nominal on two cores, infeasible fully scaled.
+        nominal = evaluator.evaluate(Mapping.round_robin(graph, 2), (1, 1))
+        deep = evaluator.evaluate(Mapping.round_robin(graph, 2), (3, 3))
+        assert nominal.meets_deadline
+        assert not deep.meets_deadline
+
+
+class TestRegistry:
+    def test_registry_complete(self):
+        assert set(WORKLOADS) == {"jpeg", "fft8", "cruise-control"}
+        for name, (factory, deadline) in WORKLOADS.items():
+            graph = factory()
+            graph.validate()
+            assert deadline > 0
+
+    def test_deadlines_exported(self):
+        assert JPEG_DEADLINE_S == pytest.approx(1.2)
+        assert FFT_DEADLINE_S == pytest.approx(0.09)
+        assert CONTROL_DEADLINE_S == pytest.approx(0.1)

@@ -31,12 +31,27 @@ def _add_profile_arguments(parser: argparse.ArgumentParser) -> None:
         help="search budget preset (default: fast)",
     )
     parser.add_argument("--seed", type=int, default=0, help="determinism seed")
+    parser.add_argument(
+        "--backend",
+        choices=["serial", "thread", "process", "auto"],
+        default="serial",
+        help=(
+            "execution backend for the scaling sweeps; any choice selects "
+            "the identical designs, parallel ones just run faster on "
+            "multi-core machines (default: serial)"
+        ),
+    )
 
 
 def _profile_from(args: argparse.Namespace) -> ExperimentProfile:
     if args.profile == "full":
-        return ExperimentProfile.full(seed=args.seed)
-    return ExperimentProfile.fast(seed=args.seed)
+        profile = ExperimentProfile.full(seed=args.seed)
+    else:
+        profile = ExperimentProfile.fast(seed=args.seed)
+    backend = getattr(args, "backend", "serial")
+    if backend != "serial":
+        profile = profile.with_backend(backend)
+    return profile
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:

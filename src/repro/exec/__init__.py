@@ -1,0 +1,30 @@
+"""Parallel execution substrate for design-space sweeps.
+
+See :mod:`repro.exec.backends` for the backend implementations and
+the determinism contract, and
+:meth:`repro.optim.design_optimizer.DesignOptimizer.optimize` for the
+consumer: independent scaling combinations are assessed concurrently
+with the same per-scaling seeds as the serial loop, and the serial
+early-exit policy is replayed over the ordered results, so serial and
+parallel sweeps select the identical design.
+"""
+
+from repro.exec.backends import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    payload_picklable,
+    resolve_backend,
+)
+
+__all__ = [
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "ProcessBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "payload_picklable",
+    "resolve_backend",
+]

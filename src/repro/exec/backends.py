@@ -1,0 +1,182 @@
+"""Execution backends: serial, thread-pool and process-pool map.
+
+The design-space sweeps are embarrassingly parallel — every scaling
+combination is assessed with its own deterministic seed and a private
+evaluator, so no state is shared between work items.  An
+:class:`ExecutionBackend` abstracts *where* those items run:
+
+* :class:`SerialBackend` — in-process loop, zero overhead, the
+  reference behaviour;
+* :class:`ThreadBackend` — ``ThreadPoolExecutor``; useful when the
+  work releases the GIL (or simply to exercise the concurrent code
+  path deterministically on any machine);
+* :class:`ProcessBackend` — ``ProcessPoolExecutor``; real CPU
+  parallelism for the pure-Python search loops.  Work items and their
+  results must be picklable.
+
+``resolve_backend`` turns a user-facing spec (``None`` /
+``"serial"`` / ``"thread"`` / ``"process"`` / ``"auto"`` / an
+instance) into a backend.  ``"auto"`` prefers processes when the
+machine has more than one CPU and the payload probe pickles, and
+degrades to serial otherwise — on single-core boxes worker processes
+only add overhead, and for unpicklable (GIL-bound, pure-Python)
+payloads a thread pool would too.
+
+Determinism contract
+--------------------
+``map`` always returns results in item order, whatever completion
+order the pool produced.  Combined with per-item seeds and
+evaluation being a pure function of ``(graph, platform, mapper,
+scaling, seed)``, a parallel sweep returns exactly the
+assessment list a serial sweep would (see
+``DesignOptimizer.optimize``), so serial and parallel runs select the
+identical design.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Union
+
+BackendSpec = Union[None, str, "ExecutionBackend"]
+
+BACKEND_NAMES = ("serial", "thread", "process", "auto")
+
+
+class ExecutionBackend(ABC):
+    """Maps a function over items, returning results in item order."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        """Apply ``fn`` to every item; results keep item order."""
+
+    def close(self) -> None:
+        """Release pool resources (no-op for poolless backends)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process, in-order execution — the reference backend."""
+
+    name = "serial"
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        return [fn(item) for item in items]
+
+
+class _PoolBackend(ExecutionBackend):
+    """Shared plumbing for executor-based backends."""
+
+    _executor_cls = None  # set by subclasses
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError(f"max_workers must be positive, got {max_workers}")
+        self.max_workers = max_workers
+        self._executor = None
+
+    def _pool(self):
+        if self._executor is None:
+            # Sized from the machine (or the explicit cap), never from
+            # a batch: the pool persists across map() calls, and a
+            # small first batch must not throttle later large ones.
+            workers = self.max_workers or max(os.cpu_count() or 1, 1)
+            self._executor = self._executor_cls(max_workers=workers)
+        return self._executor
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        items = list(items)
+        if not items:
+            return []
+        if len(items) == 1:  # skip pool overhead for trivial batches
+            return [fn(items[0])]
+        return list(self._pool().map(fn, items))
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+
+class ThreadBackend(_PoolBackend):
+    """``ThreadPoolExecutor``-backed map (GIL-bound for pure Python)."""
+
+    name = "thread"
+    _executor_cls = ThreadPoolExecutor
+
+
+class ProcessBackend(_PoolBackend):
+    """``ProcessPoolExecutor``-backed map; items must be picklable."""
+
+    name = "process"
+    _executor_cls = ProcessPoolExecutor
+
+
+def payload_picklable(probe: Any) -> bool:
+    """Whether ``probe`` round-trips through pickle (process backend food)."""
+    try:
+        pickle.dumps(probe)
+    except Exception:
+        return False
+    return True
+
+
+def resolve_backend(
+    spec: BackendSpec,
+    task_count: Optional[int] = None,
+    payload_probe: Any = None,
+    max_workers: Optional[int] = None,
+) -> ExecutionBackend:
+    """Turn a backend spec into a backend instance.
+
+    Parameters
+    ----------
+    spec:
+        ``None`` or ``"serial"`` for the in-process loop, ``"thread"``
+        / ``"process"`` for explicit pools, ``"auto"`` to pick, or an
+        :class:`ExecutionBackend` instance passed through unchanged.
+    task_count:
+        Expected number of work items; ``auto`` stays serial for 0/1.
+    payload_probe:
+        A representative work item; ``auto`` only chooses processes
+        when it pickles.
+    max_workers:
+        Pool size cap for pooled backends.
+    """
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    if spec is None:
+        return SerialBackend()
+    if not isinstance(spec, str):
+        raise TypeError(f"backend spec must be a string or backend, got {spec!r}")
+    name = spec.lower()
+    if name not in BACKEND_NAMES:
+        raise ValueError(f"unknown backend {spec!r}; choose from {BACKEND_NAMES}")
+    if name == "serial":
+        return SerialBackend()
+    if name == "thread":
+        return ThreadBackend(max_workers=max_workers)
+    if name == "process":
+        return ProcessBackend(max_workers=max_workers)
+    # auto
+    cpus = os.cpu_count() or 1
+    if cpus <= 1 or (task_count is not None and task_count <= 1):
+        return SerialBackend()
+    if payload_probe is not None and not payload_picklable(payload_probe):
+        # The work is pure Python (GIL-bound), so threads would add
+        # dispatch overhead without parallelism — stay serial.
+        return SerialBackend()
+    return ProcessBackend(max_workers=max_workers)

@@ -48,6 +48,12 @@ class ExperimentProfile:
         ``None`` explores every combination.
     seed:
         Base determinism seed.
+    exec_backend:
+        Execution backend for the scaling sweeps (``"serial"``,
+        ``"thread"``, ``"process"`` or ``"auto"``).  Any choice
+        selects the identical designs (the exec subsystem's
+        determinism contract); parallel backends only change
+        wall-clock on multi-core machines.
     """
 
     name: str = "fast"
@@ -56,6 +62,7 @@ class ExperimentProfile:
     fig3_mappings: int = 120
     stop_after_feasible: Optional[int] = 6
     seed: int = 0
+    exec_backend: str = "serial"
 
     @classmethod
     def fast(cls, seed: int = 0) -> "ExperimentProfile":
@@ -77,6 +84,10 @@ class ExperimentProfile:
     def with_seed(self, seed: int) -> "ExperimentProfile":
         """A copy with a different base seed."""
         return replace(self, seed=seed)
+
+    def with_backend(self, exec_backend: str) -> "ExperimentProfile":
+        """A copy running its sweeps on a different execution backend."""
+        return replace(self, exec_backend=exec_backend)
 
     def annealing_config(self) -> AnnealingConfig:
         """The SA configuration implied by this profile."""
@@ -129,6 +140,7 @@ def build_optimizer(
         seed=profile.seed + seed_offset,
         tiebreak=objective,
         remap_per_scaling=objective is None,
+        backend=profile.exec_backend,
         # The proposed flow trades a modest amount of power for fewer
         # SEUs (Table II: Exp:4 consumes ~5% more than the cheapest
         # baseline design while cutting SEUs substantially); the

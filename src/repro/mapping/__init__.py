@@ -12,6 +12,11 @@
 """
 
 from repro.mapping.mapping import Mapping
+from repro.mapping.incremental import (
+    IncrementalMappingState,
+    MoveEstimate,
+    screen_lower_bound,
+)
 from repro.mapping.metrics import (
     DesignPoint,
     MappingEvaluator,
@@ -31,8 +36,11 @@ from repro.mapping.enumeration import (
 
 __all__ = [
     "DesignPoint",
+    "IncrementalMappingState",
     "Mapping",
     "MappingEvaluator",
+    "MoveEstimate",
+    "screen_lower_bound",
     "contiguous_mappings",
     "core_execution_cycles",
     "core_register_bits",

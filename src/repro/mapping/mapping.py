@@ -9,7 +9,15 @@ bookkeeping (best-so-far, tabu sets, caches) trivially correct.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Mapping as TMapping, Optional, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    Mapping as TMapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.taskgraph.graph import TaskGraph
 
@@ -126,6 +134,25 @@ class Mapping:
     def same_core(self, task_a: str, task_b: str) -> bool:
         """Whether two tasks are co-located."""
         return self.core_of(task_a) == self.core_of(task_b)
+
+    def core_index_list(self, task_names: Sequence[str]) -> list:
+        """Cores of ``task_names``, in order — the compiled hot path.
+
+        Requires the mapping to cover *exactly* these tasks and raises
+        the same ``ValueError`` wording as :meth:`validate_against`
+        otherwise, so compiled and reference code paths fail alike.
+        """
+        assignment = self._assignment
+        if len(assignment) == len(task_names):
+            try:
+                return [assignment[name] for name in task_names]
+            except KeyError:
+                pass
+        missing = sorted(name for name in task_names if name not in assignment)
+        if missing:
+            raise ValueError(f"mapping misses tasks: {missing}")
+        extra = sorted(set(assignment) - set(task_names))
+        raise ValueError(f"mapping has unknown tasks: {extra}")
 
     # -- validation -----------------------------------------------------------
 

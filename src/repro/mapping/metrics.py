@@ -32,6 +32,7 @@ and caches evaluations, since local search re-visits design points.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
@@ -166,7 +167,7 @@ class DesignPoint:
     expected_seus: float
     activities: Tuple[float, ...]
     meets_deadline: Optional[bool] = None
-    schedule: Schedule = field(repr=False, compare=False, default=None)
+    schedule: Optional[Schedule] = field(repr=False, compare=False, default=None)
 
     @property
     def register_kbits_total(self) -> float:
@@ -206,6 +207,10 @@ class MappingEvaluator:
         points carry ``meets_deadline``.
     cache_size:
         Maximum number of cached evaluations (0 disables caching).
+        Eviction is true LRU, keyed by a canonical mapping signature
+        (the core of every task in compiled index order) plus the
+        scaling vector; ``cache_hits`` / ``cache_misses`` count the
+        traffic.
     comm_model:
         Scheduler communication model, ``"dedicated"`` (the paper's
         platform, default) or ``"shared-bus"`` (see
@@ -231,9 +236,38 @@ class MappingEvaluator:
         )
         self.deadline_s = deadline_s
         self.comm_model = comm_model
-        self._cache: Dict[Tuple[Mapping, Tuple[int, ...]], DesignPoint] = {}
+        self._cache: "OrderedDict[Tuple[Tuple[int, ...], int, Tuple[int, ...]], DesignPoint]" = (
+            OrderedDict()
+        )
         self._cache_size = max(cache_size, 0)
         self.evaluations = 0  # total evaluate() calls, cache hits included
+        self.cache_hits = 0
+        self.cache_misses = 0
+        # Per-scaling memos: (frequencies, voltages, rates) and the
+        # ListScheduler built for them.  A search sweep revisits the
+        # same handful of scaling vectors hundreds of thousands of
+        # times; rebuilding the scheduler (and its bottom-level
+        # priority templates) each call was pure waste.
+        self._operating_points: Dict[
+            Tuple[int, ...], Tuple[Tuple[float, ...], Tuple[float, ...], Tuple[float, ...]]
+        ] = {}
+        self._schedulers: Dict[Tuple[int, ...], ListScheduler] = {}
+        self._compiled = graph.compiled()
+
+    def _sync_compiled(self):
+        """Refresh graph-derived memos if the graph mutated.
+
+        The scheduler memo and the design-point cache both snapshot
+        graph structure; a mutation (new task/edge/registers) renews
+        the graph's compiled view, and stale entries would silently
+        return wrong results.
+        """
+        compiled = self.graph.compiled()
+        if compiled is not self._compiled:
+            self._compiled = compiled
+            self._schedulers.clear()
+            self._cache.clear()
+        return compiled
 
     # -- main entry point -----------------------------------------------------
 
@@ -251,20 +285,117 @@ class MappingEvaluator:
                     f"{self.platform.num_cores} cores"
                 )
         self.evaluations += 1
-        key = (mapping, scaling_vector)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
+        compiled = self._sync_compiled()
+        cache = self._cache
+        if self._cache_size:
+            # num_cores is part of the key: two mappings with the same
+            # per-task assignment but different platform widths must
+            # not alias (the narrower one may be valid, the wider not).
+            key = (compiled.signature(mapping), mapping.num_cores, scaling_vector)
+            cached = cache.get(key)
+            if cached is not None:
+                self.cache_hits += 1
+                cache.move_to_end(key)
+                return cached
+        self.cache_misses += 1
         point = self._evaluate_uncached(mapping, scaling_vector)
         if self._cache_size:
-            if len(self._cache) >= self._cache_size:
-                self._cache.clear()
-            self._cache[key] = point
+            cache[key] = point
+            if len(cache) > self._cache_size:
+                cache.popitem(last=False)  # true LRU: evict the oldest
         return point
+
+    def _operating_point(
+        self, scaling: Tuple[int, ...]
+    ) -> Tuple[Tuple[float, ...], Tuple[float, ...], Tuple[float, ...]]:
+        """Memoized (frequencies, voltages, lambda rates) for a scaling."""
+        cached = self._operating_points.get(scaling)
+        if cached is None:
+            table = self.platform.scaling_table
+            frequencies = tuple(
+                table.frequency_hz(coefficient) for coefficient in scaling
+            )
+            voltages = tuple(table.vdd_v(coefficient) for coefficient in scaling)
+            rates = tuple(self.ser_model.rate(vdd) for vdd in voltages)
+            cached = (frequencies, voltages, rates)
+            self._operating_points[scaling] = cached
+        return cached
+
+    def scheduler_for(self, scaling: Tuple[int, ...]) -> ListScheduler:
+        """The (memoized) list scheduler for one scaling vector."""
+        self._sync_compiled()
+        scheduler = self._schedulers.get(scaling)
+        if scheduler is None:
+            frequencies, _, _ = self._operating_point(scaling)
+            scheduler = ListScheduler(
+                self.graph, frequencies, comm_model=self.comm_model
+            )
+            self._schedulers[scaling] = scheduler
+        return scheduler
 
     def _evaluate_uncached(
         self, mapping: Mapping, scaling: Tuple[int, ...]
     ) -> DesignPoint:
+        platform = self.platform
+        frequencies, _, rates = self._operating_point(scaling)
+
+        scheduler = self.scheduler_for(scaling)
+        schedule = scheduler.schedule(mapping)  # validates mapping coverage
+        makespan_s = schedule.makespan_s()
+        activities = schedule.activities()
+
+        compiled = self._compiled
+        mask_bits = compiled.mask_bits
+        core_masks = compiled.core_masks(
+            mapping.core_index_list(compiled.names), platform.num_cores
+        )
+        register_bits = tuple(mask_bits(mask) for mask in core_masks)
+        execution_cycles = tuple(
+            schedule.busy_cycles(core) for core in range(platform.num_cores)
+        )
+        # Full-window exposure in each core's own cycles (see module
+        # docstring): registers stay live from start to T_M.
+        exposure_cycles = tuple(
+            makespan_s * frequency if bits else 0.0
+            for frequency, bits in zip(frequencies, register_bits)
+        )
+        gamma = expected_seus(register_bits, exposure_cycles, rates)
+
+        power_mw = self.power_model.platform_power_mw(
+            platform, scaling=scaling, activities=activities
+        )
+        meets = None
+        if self.deadline_s is not None:
+            meets = makespan_s <= self.deadline_s + 1e-12
+
+        return DesignPoint(
+            mapping=mapping,
+            scaling=scaling,
+            power_mw=power_mw,
+            register_bits_per_core=register_bits,
+            register_bits_total=sum(register_bits),
+            execution_cycles_per_core=execution_cycles,
+            makespan_s=makespan_s,
+            makespan_cycles=schedule.makespan_cycles(),
+            expected_seus=gamma,
+            activities=activities,
+            meets_deadline=meets,
+            schedule=schedule,
+        )
+
+    def evaluate_reference(
+        self, mapping: Mapping, scaling: Optional[Sequence[int]] = None
+    ) -> DesignPoint:
+        """The original (seed) evaluation path, uncached and uncompiled.
+
+        Schedules with :meth:`ListScheduler.schedule_reference` and
+        computes register bits through a fresh :class:`RegisterMap` —
+        exactly the seed implementation.  The parity suite asserts
+        :meth:`evaluate` reproduces every field bit-for-bit.
+        """
+        if scaling is None:
+            scaling = self.platform.scaling_vector()
+        scaling = self.platform.scaling_table.validate_assignment(scaling)
         graph, platform = self.graph, self.platform
         mapping.validate_against(graph)
         table = platform.scaling_table
@@ -272,7 +403,7 @@ class MappingEvaluator:
         voltages = [table.vdd_v(coefficient) for coefficient in scaling]
 
         scheduler = ListScheduler(graph, frequencies, comm_model=self.comm_model)
-        schedule = scheduler.schedule(mapping)
+        schedule = scheduler.schedule_reference(mapping)
         makespan_s = schedule.makespan_s()
         activities = schedule.activities()
 
@@ -280,8 +411,6 @@ class MappingEvaluator:
         execution_cycles = tuple(
             schedule.busy_cycles(core) for core in range(platform.num_cores)
         )
-        # Full-window exposure in each core's own cycles (see module
-        # docstring): registers stay live from start to T_M.
         exposure_cycles = tuple(
             makespan_s * frequency if bits else 0.0
             for frequency, bits in zip(frequencies, register_bits)
@@ -314,10 +443,20 @@ class MappingEvaluator:
     # -- cache control ----------------------------------------------------------
 
     def clear_cache(self) -> None:
-        """Drop all cached design points."""
+        """Drop all cached design points (the hit/miss counters persist)."""
         self._cache.clear()
 
     @property
     def cache_entries(self) -> int:
         """Number of cached design points."""
         return len(self._cache)
+
+    @property
+    def cache_info(self) -> Dict[str, int]:
+        """Hit/miss/size counters, ``functools.lru_cache`` style."""
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "entries": len(self._cache),
+            "max_size": self._cache_size,
+        }

@@ -34,9 +34,11 @@ from repro.optim.initial_mapping import initial_sea_mapping
 from repro.optim.optimized_mapping import OptimizedMappingSearch, SearchResult
 from repro.optim.annealing import AnnealingConfig, SimulatedAnnealingMapper
 from repro.optim.design_optimizer import (
+    BaselineMapper,
     DesignOptimizer,
     OptimizationOutcome,
     ScalingAssessment,
+    SEAMapper,
     baseline_mapper,
     sea_mapper,
 )
@@ -44,7 +46,9 @@ from repro.optim.pareto import explore_pareto, hypervolume_2d, pareto_front
 
 __all__ = [
     "AnnealingConfig",
+    "BaselineMapper",
     "DesignOptimizer",
+    "SEAMapper",
     "MakespanObjective",
     "Objective",
     "OptimizationOutcome",

@@ -19,6 +19,7 @@ import random
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
+from repro.mapping.incremental import IncrementalMappingState, screen_lower_bound
 from repro.mapping.mapping import Mapping
 from repro.mapping.metrics import DesignPoint, MappingEvaluator
 from repro.optim.moves import random_neighbor
@@ -74,6 +75,20 @@ class SimulatedAnnealingMapper:
         Annealing hyper-parameters.
     seed:
         Seed for move generation and acceptance draws.
+    screening:
+        Opt-in incremental move screening: neighbours whose certified
+        objective lower bound (register bits exactly; makespan / SEUs
+        / their product bounded via
+        :class:`~repro.mapping.incremental.IncrementalMappingState`)
+        already proves a near-zero acceptance probability are skipped
+        without a full list-scheduled evaluation.  Accepted designs
+        are always authoritatively re-evaluated, but the pruning does
+        change which neighbours a run visits (and its RNG stream), so
+        results differ from an unscreened run with the same seed.
+        Off by default — the paper artifacts use unscreened search.
+    screen_threshold:
+        Acceptance-probability cutoff below which a bounded-worse
+        neighbour is pruned.
     """
 
     def __init__(
@@ -84,6 +99,8 @@ class SimulatedAnnealingMapper:
         seed: Optional[int] = None,
         deadline_penalty: bool = True,
         require_all_cores: bool = False,
+        screening: bool = False,
+        screen_threshold: float = 1e-3,
     ) -> None:
         self.evaluator = evaluator
         self.raw_objective = objective
@@ -91,6 +108,11 @@ class SimulatedAnnealingMapper:
         self.seed = seed
         self.deadline_penalty = deadline_penalty
         self.require_all_cores = require_all_cores
+        self.screening = screening
+        if not 0.0 <= screen_threshold < 1.0:
+            raise ValueError("screen_threshold must be in [0, 1)")
+        self.screen_threshold = screen_threshold
+        self.screened_moves = 0  # neighbours pruned without evaluation
         deadline = evaluator.deadline_s
         if deadline is not None and deadline_penalty:
             self.objective = deadline_penalized(
@@ -142,6 +164,9 @@ class SimulatedAnnealingMapper:
         current_score = self.objective(current)
         best = current
         best_key = self._rank_key(current)
+        state: Optional[IncrementalMappingState] = None
+        if self.screening:
+            state = IncrementalMappingState(evaluator, current.mapping, scaling)
 
         temperature = self.config.initial_temperature
         for _ in range(self.config.max_iterations):
@@ -154,6 +179,22 @@ class SimulatedAnnealingMapper:
             ):
                 temperature *= self.config.cooling
                 continue
+            if state is not None:
+                bound = screen_lower_bound(
+                    self.raw_objective, state.estimate_mapping(neighbor)
+                )
+                if bound is not None and bound > current_score:
+                    # The bound is also a lower bound on the penalized
+                    # score (the deadline penalty only inflates), so
+                    # the Metropolis odds at the bound overestimate
+                    # the real acceptance odds.
+                    scale = max(abs(current_score), 1e-30)
+                    delta = (bound - current_score) / scale
+                    odds = math.exp(-delta / max(temperature, 1e-12))
+                    if odds < self.screen_threshold:
+                        self.screened_moves += 1
+                        temperature *= self.config.cooling
+                        continue
             candidate = evaluator.evaluate(neighbor, scaling)
             candidate_score = self.objective(candidate)
 
@@ -165,6 +206,8 @@ class SimulatedAnnealingMapper:
                 accept = rng.random() < math.exp(-delta / max(temperature, 1e-12))
             if accept:
                 current, current_score = candidate, candidate_score
+                if state is not None:
+                    state.apply_mapping(neighbor)
                 key = self._rank_key(candidate)
                 if key < best_key:
                     best, best_key = candidate, key

@@ -18,17 +18,23 @@ makespan / product objective — Exp:1-3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.arch.mpsoc import MPSoC
 from repro.arch.power import PowerModel
+from repro.exec.backends import (
+    BackendSpec,
+    ExecutionBackend,
+    SerialBackend,
+    resolve_backend,
+)
 from repro.faults.ser import SERModel
 from repro.mapping.mapping import Mapping
 from repro.mapping.metrics import DesignPoint, MappingEvaluator
 from repro.optim.annealing import AnnealingConfig, SimulatedAnnealingMapper
 from repro.optim.initial_mapping import initial_sea_mapping
-from repro.optim.objectives import Objective
+from repro.optim.objectives import Objective, SEUObjective
 from repro.optim.optimized_mapping import OptimizedMappingSearch
 from repro.optim.scaling_algorithm import scaling_combinations
 from repro.taskgraph.graph import TaskGraph
@@ -37,11 +43,72 @@ from repro.taskgraph.graph import TaskGraph
 Mapper = Callable[[MappingEvaluator, Tuple[int, ...], Optional[int]], DesignPoint]
 
 
+@dataclass(frozen=True)
+class SEAMapper:
+    """The proposed two-stage soft error-aware mapper (Exp:4).
+
+    A picklable callable (the process execution backend ships mappers
+    to workers); build via :func:`sea_mapper` for the documented
+    defaults.
+    """
+
+    search_iterations: int = 1500
+    walk_probability: float = 0.15
+    time_limit_s: Optional[float] = None
+    engine: str = "anneal"
+    screen_moves: bool = False
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("anneal", "walk"):
+            raise ValueError(f"unknown stage-2 engine {self.engine!r}")
+
+    def __call__(
+        self, evaluator: MappingEvaluator, scaling: Tuple[int, ...], seed: Optional[int]
+    ) -> DesignPoint:
+        initial = initial_sea_mapping(
+            evaluator.graph,
+            evaluator.platform,
+            deadline_s=evaluator.deadline_s,
+            scaling=scaling,
+            ser_model=evaluator.ser_model,
+        )
+        if self.engine == "anneal":
+            # The budget scales with the application size (the paper's
+            # wall-clock budgets grow from 40 to 130 minutes between 11
+            # and 100 tasks).  Two restarts when the per-run budget is
+            # moderate — the Gamma landscape has a few near-optimal
+            # basins and best-of-two is markedly more reliable — and a
+            # single longer run once the budget is already large.
+            iterations = max(self.search_iterations, 100 * evaluator.graph.num_tasks)
+            restarts = 2 if 1000 <= iterations <= 4000 else 1
+            config = AnnealingConfig(max_iterations=iterations, restarts=restarts)
+            mapper = SimulatedAnnealingMapper(
+                evaluator,
+                SEUObjective(),
+                config=config,
+                seed=seed,
+                deadline_penalty=True,
+                require_all_cores=True,
+                screening=self.screen_moves,
+            )
+            return mapper.run(initial, scaling)
+        search = OptimizedMappingSearch(
+            evaluator,
+            max_iterations=self.search_iterations,
+            time_limit_s=self.time_limit_s,
+            walk_probability=self.walk_probability,
+            seed=seed,
+            screen_moves=self.screen_moves,
+        )
+        return search.run(initial, scaling).best
+
+
 def sea_mapper(
     search_iterations: int = 1500,
     walk_probability: float = 0.15,
     time_limit_s: Optional[float] = None,
     engine: str = "anneal",
+    screen_moves: bool = False,
 ) -> Mapper:
     """The proposed two-stage soft error-aware mapper (Exp:4).
 
@@ -58,51 +125,51 @@ def sea_mapper(
         paper-faithful ``OptimizedMapping`` improving random walk
         (Fig. 7); both respect the deadline and keep all cores
         populated.
+    screen_moves:
+        Enable incremental move screening in the stage-2 engine (see
+        :mod:`repro.mapping.incremental`).  Faster, but a screened run
+        visits different neighbours than an unscreened one; the paper
+        artifacts keep it off.
     """
-    if engine not in ("anneal", "walk"):
-        raise ValueError(f"unknown stage-2 engine {engine!r}")
+    return SEAMapper(
+        search_iterations=search_iterations,
+        walk_probability=walk_probability,
+        time_limit_s=time_limit_s,
+        engine=engine,
+        screen_moves=screen_moves,
+    )
 
-    def _map(
-        evaluator: MappingEvaluator, scaling: Tuple[int, ...], seed: Optional[int]
+
+@dataclass(frozen=True)
+class BaselineMapper:
+    """A soft error-unaware SA mapper for one objective (Exp:1-3).
+
+    Picklable callable counterpart of :func:`baseline_mapper`.
+    """
+
+    objective: Objective
+    config: Optional[AnnealingConfig] = None
+    deadline_penalty: bool = False
+    require_all_cores: bool = True
+    screen_moves: bool = False
+
+    def __call__(
+        self, evaluator: MappingEvaluator, scaling: Tuple[int, ...], seed: Optional[int]
     ) -> DesignPoint:
-        initial = initial_sea_mapping(
-            evaluator.graph,
-            evaluator.platform,
-            deadline_s=evaluator.deadline_s,
-            scaling=scaling,
-            ser_model=evaluator.ser_model,
-        )
-        if engine == "anneal":
-            from repro.optim.objectives import SEUObjective
-
-            # The budget scales with the application size (the paper's
-            # wall-clock budgets grow from 40 to 130 minutes between 11
-            # and 100 tasks).  Two restarts when the per-run budget is
-            # moderate — the Gamma landscape has a few near-optimal
-            # basins and best-of-two is markedly more reliable — and a
-            # single longer run once the budget is already large.
-            iterations = max(search_iterations, 100 * evaluator.graph.num_tasks)
-            restarts = 2 if 1000 <= iterations <= 4000 else 1
-            config = AnnealingConfig(max_iterations=iterations, restarts=restarts)
-            mapper = SimulatedAnnealingMapper(
-                evaluator,
-                SEUObjective(),
-                config=config,
-                seed=seed,
-                deadline_penalty=True,
-                require_all_cores=True,
-            )
-            return mapper.run(initial, scaling)
-        search = OptimizedMappingSearch(
+        initial = Mapping.round_robin(evaluator.graph, evaluator.platform.num_cores)
+        # Match the proposed flow's size-scaled budget for fairness.
+        base = self.config or AnnealingConfig()
+        iterations = max(base.max_iterations, 100 * evaluator.graph.num_tasks)
+        mapper = SimulatedAnnealingMapper(
             evaluator,
-            max_iterations=search_iterations,
-            time_limit_s=time_limit_s,
-            walk_probability=walk_probability,
+            self.objective,
+            config=replace(base, max_iterations=iterations),
             seed=seed,
+            deadline_penalty=self.deadline_penalty,
+            require_all_cores=self.require_all_cores,
+            screening=self.screen_moves,
         )
-        return search.run(initial, scaling).best
-
-    return _map
+        return mapper.run(initial, scaling)
 
 
 def baseline_mapper(
@@ -110,6 +177,7 @@ def baseline_mapper(
     config: Optional[AnnealingConfig] = None,
     deadline_penalty: bool = False,
     require_all_cores: bool = True,
+    screen_moves: bool = False,
 ) -> Mapper:
     """A soft error-unaware SA mapper for ``objective`` (Exp:1-3).
 
@@ -117,27 +185,62 @@ def baseline_mapper(
     its objective without deadline awareness (the scaling sweep
     handles timing) and keeps every core populated.
     """
+    return BaselineMapper(
+        objective=objective,
+        config=config,
+        deadline_penalty=deadline_penalty,
+        require_all_cores=require_all_cores,
+        screen_moves=screen_moves,
+    )
 
-    def _map(
-        evaluator: MappingEvaluator, scaling: Tuple[int, ...], seed: Optional[int]
-    ) -> DesignPoint:
-        from dataclasses import replace
 
-        initial = Mapping.round_robin(evaluator.graph, evaluator.platform.num_cores)
-        # Match the proposed flow's size-scaled budget for fairness.
-        base = config or AnnealingConfig()
-        iterations = max(base.max_iterations, 100 * evaluator.graph.num_tasks)
-        mapper = SimulatedAnnealingMapper(
-            evaluator,
-            objective,
-            config=replace(base, max_iterations=iterations),
-            seed=seed,
-            deadline_penalty=deadline_penalty,
-            require_all_cores=require_all_cores,
+def _expected_seus_tiebreak(point: DesignPoint) -> float:
+    """Default step-3 tie-break: the expected SEU count (picklable)."""
+    return point.expected_seus
+
+
+@dataclass(frozen=True)
+class _ScalingJob:
+    """One worker-side scaling assessment, self-contained and picklable.
+
+    Rebuilds a private :class:`MappingEvaluator` in the worker — the
+    points it produces are a pure function of ``(graph, platform,
+    mapper, scaling, seed)``, so a fresh evaluator returns exactly
+    what the shared serial evaluator would.
+    """
+
+    graph: TaskGraph
+    platform: MPSoC
+    deadline_s: float
+    ser_model: SERModel
+    power_model: PowerModel
+    comm_model: str
+    mapper: Optional[Mapper]  # ``None``: re-time ``fixed_mapping`` instead
+    fixed_mapping: Optional[Mapping]
+    scaling: Tuple[int, ...]
+    seed: Optional[int]
+
+    def run(self) -> Tuple[DesignPoint, int]:
+        """Assess the scaling; returns (point, evaluations spent)."""
+        evaluator = MappingEvaluator(
+            self.graph,
+            self.platform,
+            ser_model=self.ser_model,
+            power_model=self.power_model,
+            deadline_s=self.deadline_s,
+            comm_model=self.comm_model,
         )
-        return mapper.run(initial, scaling)
+        if self.mapper is not None:
+            point = self.mapper(evaluator, self.scaling, self.seed)
+        else:
+            assert self.fixed_mapping is not None
+            point = evaluator.evaluate(self.fixed_mapping, self.scaling)
+        return point, evaluator.evaluations
 
-    return _map
+
+def _run_scaling_job(job: _ScalingJob) -> Tuple[DesignPoint, int]:
+    """Module-level trampoline so process pools can pickle the call."""
+    return job.run()
 
 
 @dataclass(frozen=True)
@@ -234,6 +337,14 @@ class DesignOptimizer:
         baseline flow of Section V: the mapping is optimized once for
         its objective at nominal scaling, then the scaling sweep only
         re-times that fixed mapping.
+    backend:
+        Execution backend for the scaling sweep: ``None``/``"serial"``
+        (default), ``"thread"``, ``"process"``, ``"auto"`` or an
+        :class:`~repro.exec.backends.ExecutionBackend` instance.
+        Scalings are independent (per-scaling seeds, private
+        evaluators), and the serial early-exit policy is replayed
+        over the ordered parallel results, so every backend selects
+        the **identical** design; only wall-clock changes.
     """
 
     def __init__(
@@ -249,6 +360,7 @@ class DesignOptimizer:
         seed: Optional[int] = 0,
         tiebreak: Optional[Objective] = None,
         remap_per_scaling: bool = True,
+        backend: BackendSpec = None,
     ) -> None:
         if deadline_s <= 0:
             raise ValueError("deadline must be positive")
@@ -265,11 +377,12 @@ class DesignOptimizer:
             deadline_s=deadline_s,
         )
         self.mapper = mapper or sea_mapper()
-        self.tiebreak: Objective = tiebreak or (lambda point: point.expected_seus)
+        self.tiebreak: Objective = tiebreak or _expected_seus_tiebreak
         self.power_tolerance = power_tolerance
         self.stop_after_feasible = stop_after_feasible
         self.seed = seed
         self.remap_per_scaling = remap_per_scaling
+        self.backend: BackendSpec = backend
 
     def power_proxy(self, scaling: Tuple[int, ...]) -> float:
         """Cheap analytic power estimate for ordering the sweep.
@@ -295,7 +408,9 @@ class DesignOptimizer:
         return power / makespan
 
     def optimize(
-        self, scalings: Optional[Sequence[Tuple[int, ...]]] = None
+        self,
+        scalings: Optional[Sequence[Tuple[int, ...]]] = None,
+        backend: BackendSpec = None,
     ) -> OptimizationOutcome:
         """Run the loop over ``scalings``.
 
@@ -304,6 +419,17 @@ class DesignOptimizer:
         paper sweeps, but ordered so the earliest feasible designs are
         also the cheapest, which both matches the paper's
         lowest-power-first intent and makes early stopping sound.
+
+        ``backend`` overrides the optimizer's configured execution
+        backend for this call.  Parallel runs assess scalings
+        concurrently in ordered waves (each job with the same
+        per-scaling deterministic seed and a private evaluator), then
+        replay the serial early-exit policy over the ordered results,
+        so the returned assessments and the selected design are
+        identical to a serial run; ``evaluations`` additionally counts
+        the bounded tail of work (at most one wave past the serial
+        stop point) that an early-exiting serial sweep would have
+        skipped.
         """
         platform = self.platform
         if scalings is None:
@@ -313,47 +439,157 @@ class DesignOptimizer:
                 )
             )
             scalings.sort(key=self.power_proxy)
-        outcome = OptimizationOutcome(best=None)
+        scalings = [tuple(scaling) for scaling in scalings]
         fixed_mapping = None
         if not self.remap_per_scaling:
             # Baseline flow: optimize the mapping once at nominal
             # scaling, deadline-free, then only re-time it below.
             nominal = (1,) * platform.num_cores
             fixed_mapping = self.mapper(self.evaluator, nominal, self.seed).mapping
+
+        spec = backend if backend is not None else self.backend
+        resolved = resolve_backend(
+            spec,
+            task_count=len(scalings),
+            payload_probe=self._scaling_job(scalings[0], fixed_mapping)
+            if scalings
+            else None,
+        )
+        if isinstance(resolved, SerialBackend):
+            outcome = self._optimize_serial(scalings, fixed_mapping)
+        else:
+            try:
+                outcome = self._optimize_parallel(scalings, fixed_mapping, resolved)
+            finally:
+                if resolved is not spec:  # close pools we created here
+                    resolved.close()
+        outcome.best = self._select(outcome)
+        return outcome
+
+    def _optimize_serial(
+        self,
+        scalings: Sequence[Tuple[int, ...]],
+        fixed_mapping: Optional[Mapping],
+    ) -> OptimizationOutcome:
+        """The reference sweep: assess in order, stop on a futile streak."""
+        outcome = OptimizationOutcome(best=None)
         unhelpful_streak = 0
         min_feasible_power: Optional[float] = None
         for scaling in scalings:
             seed = None if self.seed is None else self.seed + self._scaling_seed(scaling)
             if fixed_mapping is None:
-                point = self.mapper(self.evaluator, tuple(scaling), seed)
+                point = self.mapper(self.evaluator, scaling, seed)
             else:
-                point = self.evaluator.evaluate(fixed_mapping, tuple(scaling))
+                point = self.evaluator.evaluate(fixed_mapping, scaling)
             feasible = point.makespan_s <= self.deadline_s + 1e-12
             outcome.assessments.append(
-                ScalingAssessment(scaling=tuple(scaling), point=point, feasible=feasible)
+                ScalingAssessment(scaling=scaling, point=point, feasible=feasible)
             )
-            if feasible:
-                band = (
-                    min_feasible_power * (1.0 + self.power_tolerance)
-                    if min_feasible_power is not None
-                    else None
-                )
-                if band is not None and point.power_mw > band:
-                    unhelpful_streak += 1  # cannot be selected
-                else:
-                    unhelpful_streak = 0
-                if min_feasible_power is None or point.power_mw < min_feasible_power:
-                    min_feasible_power = point.power_mw
-                if (
-                    self.stop_after_feasible is not None
-                    and unhelpful_streak >= self.stop_after_feasible
-                ):
-                    break
-            else:
-                unhelpful_streak = 0
-        outcome.best = self._select(outcome)
+            stop, unhelpful_streak, min_feasible_power = self._streak_step(
+                point, feasible, unhelpful_streak, min_feasible_power
+            )
+            if stop:
+                break
         outcome.evaluations = self.evaluator.evaluations
         return outcome
+
+    def _optimize_parallel(
+        self,
+        scalings: Sequence[Tuple[int, ...]],
+        fixed_mapping: Optional[Mapping],
+        backend: ExecutionBackend,
+    ) -> OptimizationOutcome:
+        """Assess scalings concurrently, then replay the serial policy.
+
+        Each job carries its own deterministic seed and rebuilds a
+        private evaluator, so the produced design points match the
+        serial sweep's exactly; replaying the ordered results through
+        the same unhelpful-streak rule yields the identical
+        assessment list — and therefore the identical selection.
+
+        Jobs are dispatched in ordered *waves* (not all at once) when
+        the early exit is armed: once the replay stops inside a wave,
+        later waves are never dispatched, bounding the extra work a
+        parallel sweep spends past the serial stop point to one wave.
+        """
+        outcome = OptimizationOutcome(best=None)
+        child_evaluations = 0
+        unhelpful_streak = 0
+        min_feasible_power: Optional[float] = None
+        stopped = False
+        if self.stop_after_feasible is None:
+            wave_size = len(scalings)  # no early exit: one full wave
+        else:
+            wave_size = max(2 * self.stop_after_feasible, 8)
+        cursor = 0
+        while cursor < len(scalings) and not stopped:
+            wave = scalings[cursor : cursor + wave_size]
+            cursor += len(wave)
+            jobs = [self._scaling_job(scaling, fixed_mapping) for scaling in wave]
+            results = backend.map(_run_scaling_job, jobs)
+            for scaling, (point, spent) in zip(wave, results):
+                child_evaluations += spent
+                if stopped:
+                    continue  # tail of the wave the serial sweep would skip
+                feasible = point.makespan_s <= self.deadline_s + 1e-12
+                outcome.assessments.append(
+                    ScalingAssessment(scaling=scaling, point=point, feasible=feasible)
+                )
+                stopped, unhelpful_streak, min_feasible_power = self._streak_step(
+                    point, feasible, unhelpful_streak, min_feasible_power
+                )
+        outcome.evaluations = self.evaluator.evaluations + child_evaluations
+        return outcome
+
+    def _scaling_job(
+        self, scaling: Tuple[int, ...], fixed_mapping: Optional[Mapping]
+    ) -> _ScalingJob:
+        evaluator = self.evaluator
+        return _ScalingJob(
+            graph=self.graph,
+            platform=self.platform,
+            deadline_s=self.deadline_s,
+            ser_model=evaluator.ser_model,
+            power_model=evaluator.power_model,
+            comm_model=evaluator.comm_model,
+            mapper=self.mapper if fixed_mapping is None else None,
+            fixed_mapping=fixed_mapping,
+            scaling=scaling,
+            seed=None if self.seed is None else self.seed + self._scaling_seed(scaling),
+        )
+
+    def _streak_step(
+        self,
+        point: DesignPoint,
+        feasible: bool,
+        unhelpful_streak: int,
+        min_feasible_power: Optional[float],
+    ) -> Tuple[bool, int, Optional[float]]:
+        """One step of the early-exit bookkeeping (see class docstring).
+
+        Shared verbatim between the serial sweep and the parallel
+        replay so the two can never drift apart.
+        """
+        if feasible:
+            band = (
+                min_feasible_power * (1.0 + self.power_tolerance)
+                if min_feasible_power is not None
+                else None
+            )
+            if band is not None and point.power_mw > band:
+                unhelpful_streak += 1  # cannot be selected
+            else:
+                unhelpful_streak = 0
+            if min_feasible_power is None or point.power_mw < min_feasible_power:
+                min_feasible_power = point.power_mw
+            stop = (
+                self.stop_after_feasible is not None
+                and unhelpful_streak >= self.stop_after_feasible
+            )
+        else:
+            unhelpful_streak = 0
+            stop = False
+        return stop, unhelpful_streak, min_feasible_power
 
     def _scaling_seed(self, scaling: Tuple[int, ...]) -> int:
         """A stable seed derived from the *physical* operating points.

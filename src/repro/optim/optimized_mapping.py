@@ -26,6 +26,7 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro.mapping.incremental import IncrementalMappingState
 from repro.mapping.mapping import Mapping
 from repro.mapping.metrics import DesignPoint, MappingEvaluator
 from repro.optim.moves import random_neighbor
@@ -85,6 +86,16 @@ class OptimizedMappingSearch:
         Seed for the move generator.
     record_history:
         Keep (iteration, best Gamma) checkpoints in the result.
+    screen_moves:
+        Opt-in incremental move screening: once a feasible best is
+        known, neighbours whose certified makespan lower bound
+        (:class:`~repro.mapping.incremental.IncrementalMappingState`)
+        already exceeds the deadline are skipped without the full
+        step-D list scheduling — they can neither become the best
+        point nor (except through the rare random-walk draw) the
+        current one.  Pruning changes which neighbours a run visits,
+        so results can differ from an unscreened run with the same
+        seed; the paper artifacts use unscreened search.
     """
 
     def __init__(
@@ -97,6 +108,7 @@ class OptimizedMappingSearch:
         require_all_cores: bool = True,
         seed: Optional[int] = None,
         record_history: bool = False,
+        screen_moves: bool = False,
     ) -> None:
         if evaluator.deadline_s is None:
             raise ValueError("OptimizedMapping needs an evaluator with a deadline")
@@ -112,6 +124,8 @@ class OptimizedMappingSearch:
         self.require_all_cores = require_all_cores
         self.seed = seed
         self.record_history = record_history
+        self.screen_moves = screen_moves
+        self.screened_moves = 0  # neighbours pruned without evaluation
 
     def run(
         self, initial: Mapping, scaling: Optional[Tuple[int, ...]] = None
@@ -125,6 +139,9 @@ class OptimizedMappingSearch:
         current = evaluator.evaluate(initial, scaling)  # step A: list schedule M
         best = current
         best_feasible = bool(current.meets_deadline)
+        state: Optional[IncrementalMappingState] = None
+        if self.screen_moves:
+            state = IncrementalMappingState(evaluator, current.mapping, scaling)
         improvements = 0
         history: List[Tuple[int, float]] = []
         focus: Optional[str] = None
@@ -149,6 +166,14 @@ class OptimizedMappingSearch:
             if self.require_all_cores and len(neighbor.used_cores()) < min(
                 neighbor.num_cores, graph.num_tasks
             ):
+                continue
+            if (
+                state is not None
+                and best_feasible
+                and state.estimate_mapping(neighbor).feasible_possible is False
+            ):
+                # Provably over deadline: cannot improve the best point.
+                self.screened_moves += 1
                 continue
             # Step D: list scheduling of the neighbour.
             candidate = evaluator.evaluate(neighbor, scaling)
@@ -191,6 +216,8 @@ class OptimizedMappingSearch:
                     if neighbor.core_of(name) != current.mapping.core_of(name)
                 ]
                 focus = moved[0] if moved else None
+                if state is not None:
+                    state.apply_mapping(neighbor)
                 current = candidate
 
             # Intensification: return to the best point after a long
@@ -199,6 +226,8 @@ class OptimizedMappingSearch:
                 current = best
                 focus = None
                 stale = 0
+                if state is not None:
+                    state.rebuild(best.mapping)
 
         return SearchResult(
             best=best,

@@ -6,6 +6,15 @@ the cycle counts that produced them.  It answers the timing questions
 the metrics and optimizers ask — makespan (``T_M``), per-core busy time
 (``T_i``), activity factors (``alpha_i``) — and can verify its own
 consistency (precedence respected, no per-core overlap).
+
+Internally the timeline is stored as parallel arrays (names, cores,
+starts, finishes, cycle counts) in canonical ``(start, core, name)``
+order; the :class:`ScheduledTask` objects are materialized lazily the
+first time entries are iterated.  The aggregate queries the evaluation
+hot path hammers — makespan, per-core busy sums, activity factors —
+are answered from the arrays in a single cached pass, so a
+:class:`~repro.mapping.metrics.MappingEvaluator` never pays for entry
+objects it does not look at.
 """
 
 from __future__ import annotations
@@ -76,11 +85,91 @@ class Schedule:
         cycle/second conversions stay consistent downstream.
     """
 
+    __slots__ = (
+        "_names",
+        "_cores",
+        "_starts",
+        "_finishes",
+        "_compute",
+        "_receive",
+        "_num_cores",
+        "_frequencies_hz",
+        "_position",
+        "_entries_cache",
+        "_makespan_cache",
+        "_busy_s_cache",
+        "_busy_cycles_cache",
+    )
+
     def __init__(
         self,
         entries: Sequence[ScheduledTask],
         num_cores: int,
         frequencies_hz: Sequence[float],
+    ) -> None:
+        ordered = sorted(
+            entries, key=lambda entry: (entry.start_s, entry.core, entry.name)
+        )
+        self._init_from_arrays(
+            [entry.name for entry in ordered],
+            [entry.core for entry in ordered],
+            [entry.start_s for entry in ordered],
+            [entry.finish_s for entry in ordered],
+            [entry.compute_cycles for entry in ordered],
+            [entry.receive_cycles for entry in ordered],
+            num_cores,
+            frequencies_hz,
+        )
+        self._entries_cache = tuple(ordered)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        names: Sequence[str],
+        cores: Sequence[int],
+        starts: Sequence[float],
+        finishes: Sequence[float],
+        compute_cycles: Sequence[int],
+        receive_cycles: Sequence[int],
+        num_cores: int,
+        frequencies_hz: Sequence[float],
+    ) -> "Schedule":
+        """Build a schedule straight from parallel arrays.
+
+        The fast-path constructor used by the compiled list scheduler:
+        no :class:`ScheduledTask` objects are created until somebody
+        iterates the schedule.  Rows may arrive in any order; they are
+        put into canonical ``(start, core, name)`` order here.
+        """
+        order = sorted(
+            range(len(names)), key=lambda i: (starts[i], cores[i], names[i])
+        )
+        schedule = cls.__new__(cls)
+        schedule._init_from_arrays(
+            [names[i] for i in order],
+            [cores[i] for i in order],
+            [starts[i] for i in order],
+            [finishes[i] for i in order],
+            [compute_cycles[i] for i in order],
+            [receive_cycles[i] for i in order],
+            num_cores,
+            frequencies_hz,
+            validate=False,  # rows come from the scheduler's own state
+        )
+        schedule._entries_cache = None
+        return schedule
+
+    def _init_from_arrays(
+        self,
+        names: List[str],
+        cores: List[int],
+        starts: List[float],
+        finishes: List[float],
+        compute_cycles: List[int],
+        receive_cycles: List[int],
+        num_cores: int,
+        frequencies_hz: Sequence[float],
+        validate: bool = True,
     ) -> None:
         if num_cores <= 0:
             raise ValueError("num_cores must be positive")
@@ -88,29 +177,65 @@ class Schedule:
             raise ValueError(
                 f"{len(frequencies_hz)} frequencies for {num_cores} cores"
             )
-        self._entries: Tuple[ScheduledTask, ...] = tuple(
-            sorted(entries, key=lambda entry: (entry.start_s, entry.core, entry.name))
-        )
+        position: Optional[Dict[str, int]] = None
+        if validate:
+            position = {}
+            for index, name in enumerate(names):
+                if name in position:
+                    raise ValueError(f"task {name!r} scheduled twice")
+                if not 0 <= cores[index] < num_cores:
+                    raise ValueError(f"task {name!r} on invalid core {cores[index]}")
+                position[name] = index
+        self._names = names
+        self._cores = cores
+        self._starts = starts
+        self._finishes = finishes
+        self._compute = compute_cycles
+        self._receive = receive_cycles
         self._num_cores = num_cores
         self._frequencies_hz = tuple(float(f) for f in frequencies_hz)
-        self._by_name: Dict[str, ScheduledTask] = {}
-        for entry in self._entries:
-            if entry.name in self._by_name:
-                raise ValueError(f"task {entry.name!r} scheduled twice")
-            if not 0 <= entry.core < num_cores:
-                raise ValueError(f"task {entry.name!r} on invalid core {entry.core}")
-            self._by_name[entry.name] = entry
+        self._position = position
+        self._makespan_cache: Optional[float] = None
+        self._busy_s_cache: Optional[List[float]] = None
+        self._busy_cycles_cache: Optional[List[int]] = None
+
+    def _positions(self) -> Dict[str, int]:
+        position = self._position
+        if position is None:
+            position = {name: index for index, name in enumerate(self._names)}
+            self._position = position
+        return position
+
+    # -- entry materialization ----------------------------------------------
+
+    @property
+    def _entries(self) -> Tuple[ScheduledTask, ...]:
+        cached = self._entries_cache
+        if cached is None:
+            cached = tuple(self._materialize(i) for i in range(len(self._names)))
+            self._entries_cache = cached
+        return cached
+
+    def _materialize(self, index: int) -> ScheduledTask:
+        return ScheduledTask(
+            name=self._names[index],
+            core=self._cores[index],
+            start_s=self._starts[index],
+            finish_s=self._finishes[index],
+            compute_cycles=self._compute[index],
+            receive_cycles=self._receive[index],
+        )
 
     # -- container protocol -------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._names)
 
     def __iter__(self) -> Iterator[ScheduledTask]:
         return iter(self._entries)
 
     def __contains__(self, task_name: str) -> bool:
-        return task_name in self._by_name
+        return task_name in self._positions()
 
     # -- queries ----------------------------------------------------------
 
@@ -127,19 +252,26 @@ class Schedule:
     def entry(self, task_name: str) -> ScheduledTask:
         """The scheduled instance of ``task_name``."""
         try:
-            return self._by_name[task_name]
+            index = self._positions()[task_name]
         except KeyError:
             raise KeyError(f"task {task_name!r} not in schedule") from None
+        if self._entries_cache is not None:
+            return self._entries_cache[index]
+        return self._materialize(index)
 
     def core_entries(self, core_index: int) -> Tuple[ScheduledTask, ...]:
         """Entries on ``core_index``, ordered by start time."""
-        return tuple(entry for entry in self._entries if entry.core == core_index)
+        return tuple(
+            entry for entry in self._entries if entry.core == core_index
+        )
 
     def makespan_s(self) -> float:
         """The multiprocessor execution time ``T_M`` in seconds."""
-        if not self._entries:
-            return 0.0
-        return max(entry.finish_s for entry in self._entries)
+        cached = self._makespan_cache
+        if cached is None:
+            cached = max(self._finishes) if self._finishes else 0.0
+            self._makespan_cache = cached
+        return cached
 
     def makespan_cycles(self, reference_frequency_hz: Optional[float] = None) -> int:
         """``T_M`` expressed in cycles of a reference clock.
@@ -149,13 +281,32 @@ class Schedule:
         frequency = reference_frequency_hz or max(self._frequencies_hz)
         return int(round(self.makespan_s() * frequency))
 
+    def _busy_sums(self) -> Tuple[List[float], List[int]]:
+        busy_s = self._busy_s_cache
+        busy_cycles = self._busy_cycles_cache
+        if busy_s is None or busy_cycles is None:
+            busy_s = [0.0] * self._num_cores
+            busy_cycles = [0] * self._num_cores
+            cores = self._cores
+            starts = self._starts
+            finishes = self._finishes
+            compute = self._compute
+            receive = self._receive
+            for index in range(len(cores)):
+                core = cores[index]
+                busy_s[core] += finishes[index] - starts[index]
+                busy_cycles[core] += compute[index] + receive[index]
+            self._busy_s_cache = busy_s
+            self._busy_cycles_cache = busy_cycles
+        return busy_s, busy_cycles
+
     def busy_s(self, core_index: int) -> float:
         """Total busy seconds of ``core_index`` (``T_i`` in wall time)."""
-        return sum(entry.duration_s for entry in self.core_entries(core_index))
+        return self._busy_sums()[0][core_index]
 
     def busy_cycles(self, core_index: int) -> int:
         """Total busy cycles of ``core_index`` (``T_i`` of Eq. 7)."""
-        return sum(entry.busy_cycles for entry in self.core_entries(core_index))
+        return self._busy_sums()[1][core_index]
 
     def activity(self, core_index: int) -> float:
         """Activity factor ``alpha_i = busy_i / T_M`` (0 for empty span)."""
@@ -166,7 +317,13 @@ class Schedule:
 
     def activities(self) -> Tuple[float, ...]:
         """Per-core activity factors."""
-        return tuple(self.activity(core) for core in range(self._num_cores))
+        makespan = self.makespan_s()
+        if makespan <= 0.0:
+            return (0.0,) * self._num_cores
+        busy_s, _ = self._busy_sums()
+        return tuple(
+            min(busy / makespan, 1.0) for busy in busy_s
+        )
 
     # -- verification --------------------------------------------------------
 
@@ -178,7 +335,7 @@ class Schedule:
         starts at or after its producer finishes.
         """
         graph_tasks = set(graph.task_names())
-        scheduled = set(self._by_name)
+        scheduled = set(self._positions())
         if graph_tasks != scheduled:
             raise ValueError(
                 f"schedule covers {sorted(scheduled)} but graph has "
@@ -216,14 +373,14 @@ class Schedule:
         """
         return [
             (
-                entry.name,
-                entry.core,
-                entry.start_s,
-                entry.finish_s,
-                entry.compute_cycles,
-                entry.receive_cycles,
+                self._names[i],
+                self._cores[i],
+                self._starts[i],
+                self._finishes[i],
+                self._compute[i],
+                self._receive[i],
             )
-            for entry in self._entries
+            for i in range(len(self._names))
         ]
 
     def gantt_text(self, width: int = 72) -> str:

@@ -18,6 +18,7 @@ Provided graphs:
 """
 
 from repro.taskgraph.graph import Task, TaskGraph
+from repro.taskgraph.compiled import CompiledTaskGraph
 from repro.taskgraph.registers import Register, RegisterMap
 from repro.taskgraph.mpeg2 import mpeg2_decoder, MPEG2_COST_UNIT_CYCLES
 from repro.taskgraph.examples import fig8_example, FIG8_COST_UNIT_CYCLES
@@ -36,6 +37,7 @@ from repro.taskgraph.workloads import (
 )
 
 __all__ = [
+    "CompiledTaskGraph",
     "FIG8_COST_UNIT_CYCLES",
     "MPEG2_COST_UNIT_CYCLES",
     "RandomGraphConfig",

@@ -1,0 +1,203 @@
+"""Compiled, integer-indexed view of a :class:`~repro.taskgraph.graph.TaskGraph`.
+
+The evaluation hot path (list scheduling, Eq. 3-8 metrics, mapping
+search) historically walked the graph through its string-keyed dicts:
+``task_names()`` tuples, per-call ``predecessors()`` allocations and a
+fresh ``RegisterMap`` per evaluation.  A :class:`CompiledTaskGraph`
+lowers the graph once into contiguous arrays:
+
+* ``names`` / ``index`` — the task name <-> dense integer id bijection
+  (insertion order, matching ``task_names()``);
+* ``cycles`` — per-task computation cost;
+* CSR-style adjacency — ``pred_ptr``/``pred_idx``/``pred_comm`` and
+  ``succ_ptr``/``succ_idx``/``succ_comm``, preserving the graph's edge
+  insertion order so schedules that depend on iteration order (the
+  shared-bus serialization) are bit-for-bit reproducible;
+* ``bottom_levels`` — the list-scheduling priorities, precomputed once
+  instead of per :class:`~repro.sched.list_scheduler.ListScheduler`;
+* per-task register-set **bitmasks** — every distinct register gets one
+  bit, so the Eq. (8) union over a core's tasks is a bitwise OR and the
+  bit-cardinality query is a popcount-style sum over set bits.
+
+The view is immutable and cached on the graph (see
+:meth:`~repro.taskgraph.graph.TaskGraph.compiled`); any graph mutation
+invalidates the cache.  All values are plain Python ints/floats — no
+third-party array dependency — which keeps the view picklable for the
+process execution backend.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.taskgraph.registers import Register
+
+
+class CompiledTaskGraph:
+    """Immutable indexed arrays for one :class:`TaskGraph` snapshot.
+
+    Build via :meth:`TaskGraph.compiled` (cached) rather than directly;
+    construction walks the whole graph once.
+    """
+
+    __slots__ = (
+        "graph_name",
+        "num_tasks",
+        "names",
+        "index",
+        "cycles",
+        "pred_ptr",
+        "pred_idx",
+        "pred_comm",
+        "succ_ptr",
+        "succ_idx",
+        "succ_comm",
+        "topo_order",
+        "bottom_levels",
+        "entry_indices",
+        "exit_indices",
+        "registers",
+        "register_bits",
+        "task_register_masks",
+        "total_cycles",
+        "critical_path_cycles",
+        "_mask_bits_cache",
+    )
+
+    def __init__(self, graph) -> None:
+        graph.validate()
+        self.graph_name: str = graph.name
+        names: Tuple[str, ...] = graph.task_names()
+        self.names = names
+        n = len(names)
+        self.num_tasks = n
+        index: Dict[str, int] = {name: i for i, name in enumerate(names)}
+        self.index = index
+        self.cycles: Tuple[int, ...] = tuple(graph.task(name).cycles for name in names)
+        self.total_cycles = sum(self.cycles)
+
+        # -- CSR adjacency (edge insertion order preserved) ------------------
+        pred_ptr: List[int] = [0]
+        pred_idx: List[int] = []
+        pred_comm: List[int] = []
+        succ_ptr: List[int] = [0]
+        succ_idx: List[int] = []
+        succ_comm: List[int] = []
+        for name in names:
+            for producer in graph.predecessors(name):
+                pred_idx.append(index[producer])
+                pred_comm.append(graph.comm_cycles(producer, name))
+            pred_ptr.append(len(pred_idx))
+        for name in names:
+            for consumer in graph.successors(name):
+                succ_idx.append(index[consumer])
+                succ_comm.append(graph.comm_cycles(name, consumer))
+            succ_ptr.append(len(succ_idx))
+        self.pred_ptr = tuple(pred_ptr)
+        self.pred_idx = tuple(pred_idx)
+        self.pred_comm = tuple(pred_comm)
+        self.succ_ptr = tuple(succ_ptr)
+        self.succ_idx = tuple(succ_idx)
+        self.succ_comm = tuple(succ_comm)
+
+        self.topo_order: Tuple[int, ...] = tuple(
+            index[name] for name in graph.topological_order()
+        )
+        self.entry_indices: Tuple[int, ...] = tuple(
+            i for i in range(n) if pred_ptr[i] == pred_ptr[i + 1]
+        )
+        self.exit_indices: Tuple[int, ...] = tuple(
+            i for i in range(n) if succ_ptr[i] == succ_ptr[i + 1]
+        )
+
+        # -- list-scheduling priorities (identical ints to bottom_levels()) --
+        levels = [0] * n
+        for i in reversed(self.topo_order):
+            best_tail = 0
+            for e in range(succ_ptr[i], succ_ptr[i + 1]):
+                tail = succ_comm[e] + levels[succ_idx[e]]
+                if tail > best_tail:
+                    best_tail = tail
+            levels[i] = self.cycles[i] + best_tail
+        self.bottom_levels: Tuple[int, ...] = tuple(levels)
+        self.critical_path_cycles = max(
+            (levels[i] for i in self.entry_indices), default=0
+        )
+
+        # -- register bitmasks ----------------------------------------------
+        # Distinct registers get stable bit positions (sorted by name/bits,
+        # the Register dataclass ordering) so masks are deterministic for a
+        # given graph regardless of task insertion order.
+        all_registers = set()
+        per_task = []
+        for name in names:
+            regs = graph.registers_of(name)
+            per_task.append(regs)
+            all_registers.update(regs)
+        ordered: Tuple[Register, ...] = tuple(sorted(all_registers))
+        self.registers = ordered
+        self.register_bits: Tuple[int, ...] = tuple(r.bits for r in ordered)
+        position = {register: bit for bit, register in enumerate(ordered)}
+        masks: List[int] = []
+        for regs in per_task:
+            mask = 0
+            for register in regs:
+                mask |= 1 << position[register]
+            masks.append(mask)
+        self.task_register_masks: Tuple[int, ...] = tuple(masks)
+        self._mask_bits_cache: Dict[int, int] = {0: 0}
+
+    # -- queries -------------------------------------------------------------
+
+    def mask_bits(self, mask: int) -> int:
+        """Bit-cardinality of a register mask: Eq. (8)'s ``R_i`` in bits.
+
+        Memoized — mapping search revisits the same per-core unions
+        constantly.
+        """
+        cached = self._mask_bits_cache.get(mask)
+        if cached is not None:
+            return cached
+        bits = 0
+        register_bits = self.register_bits
+        remaining = mask
+        while remaining:
+            low = remaining & -remaining
+            bits += register_bits[low.bit_length() - 1]
+            remaining ^= low
+        if len(self._mask_bits_cache) > 1 << 16:  # unbounded search safety valve
+            self._mask_bits_cache.clear()
+            self._mask_bits_cache[0] = 0
+        self._mask_bits_cache[mask] = bits
+        return bits
+
+    def union_bits(self, task_indices: Sequence[int]) -> int:
+        """``R_i`` for a core holding exactly ``task_indices``."""
+        mask = 0
+        task_masks = self.task_register_masks
+        for i in task_indices:
+            mask |= task_masks[i]
+        return self.mask_bits(mask)
+
+    def core_masks(self, cores: Sequence[int], num_cores: int) -> List[int]:
+        """Per-core register-union masks for a dense core assignment."""
+        masks = [0] * num_cores
+        task_masks = self.task_register_masks
+        for i, core in enumerate(cores):
+            masks[core] |= task_masks[i]
+        return masks
+
+    def signature(self, mapping) -> Tuple[int, ...]:
+        """Canonical cache key: the core of every task in index order.
+
+        Raises ``ValueError`` (same wording as
+        ``Mapping.validate_against``) when the mapping does not cover
+        exactly this graph's tasks.
+        """
+        return tuple(mapping.core_index_list(self.names))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CompiledTaskGraph({self.graph_name!r}, tasks={self.num_tasks}, "
+            f"edges={len(self.pred_idx)}, registers={len(self.registers)})"
+        )

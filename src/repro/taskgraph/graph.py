@@ -83,6 +83,7 @@ class TaskGraph:
             for task_name in register_map.tasks():
                 self._registers[task_name] = set(register_map.registers_of(task_name))
         self._topo_cache: Optional[Tuple[str, ...]] = None
+        self._compiled_cache = None
 
     # -- construction -------------------------------------------------------
 
@@ -117,6 +118,7 @@ class TaskGraph:
             register_set.add(Register(name=f"{name}.private", bits=private_register_bits))
         self._registers[name] = register_set | self._registers.get(name, set())
         self._topo_cache = None
+        self._compiled_cache = None
         return task
 
     def add_edge(self, producer: str, consumer: str, comm_cycles: int = 0) -> None:
@@ -137,12 +139,14 @@ class TaskGraph:
         self._succ[producer][consumer] = comm_cycles
         self._pred[consumer][producer] = comm_cycles
         self._topo_cache = None
+        self._compiled_cache = None
 
     def attach_registers(self, task_name: str, registers: Iterable[Register]) -> None:
         """Attach (additional) registers to an existing task."""
         if task_name not in self._tasks:
             raise KeyError(f"unknown task {task_name!r}")
         self._registers[task_name].update(registers)
+        self._compiled_cache = None
 
     # -- container protocol -------------------------------------------------
 
@@ -307,6 +311,22 @@ class TaskGraph:
         """Length (cycles) of the longest path, computation + communication."""
         levels = self.bottom_levels()
         return max(levels[name] for name in self.entry_tasks())
+
+    def compiled(self) -> "CompiledTaskGraph":
+        """The cached :class:`~repro.taskgraph.compiled.CompiledTaskGraph`.
+
+        Built lazily on first use and invalidated whenever the graph
+        mutates (new task, new edge, extra registers), so holders of
+        the graph always see a view consistent with the current
+        structure.
+        """
+        cached = self._compiled_cache
+        if cached is None:
+            from repro.taskgraph.compiled import CompiledTaskGraph
+
+            cached = CompiledTaskGraph(self)
+            self._compiled_cache = cached
+        return cached
 
     def ancestors(self, name: str) -> FrozenSet[str]:
         """All transitive predecessors of ``name``."""

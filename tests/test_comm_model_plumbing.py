@@ -4,8 +4,51 @@ import pytest
 
 from repro.arch import MPSoC
 from repro.mapping import Mapping, MappingEvaluator
+from repro.sched import ListScheduler
 from repro.sim import MPSoCSimulator
 from repro.taskgraph.mpeg2 import MPEG2_DEADLINE_S
+
+
+class TestForPlatformCommModel:
+    """``ListScheduler.for_platform`` must thread the comm parameters."""
+
+    def test_default_stays_dedicated(self, mpeg2, platform4):
+        scheduler = ListScheduler.for_platform(mpeg2, platform4)
+        assert scheduler.comm_model == "dedicated"
+
+    def test_shared_bus_reaches_scheduler(self, mpeg2, platform4, rr_mapping4):
+        dedicated = ListScheduler.for_platform(mpeg2, platform4)
+        bus = ListScheduler.for_platform(mpeg2, platform4, comm_model="shared-bus")
+        assert bus.comm_model == "shared-bus"
+        assert bus.makespan_s(rr_mapping4) != dedicated.makespan_s(rr_mapping4)
+
+    def test_bus_frequency_reaches_scheduler(self, mpeg2, platform4, rr_mapping4):
+        fast_bus = ListScheduler.for_platform(
+            mpeg2, platform4, comm_model="shared-bus"
+        )
+        slow_bus = ListScheduler.for_platform(
+            mpeg2, platform4, comm_model="shared-bus", bus_frequency_hz=1e6
+        )
+        assert slow_bus.makespan_s(rr_mapping4) > fast_bus.makespan_s(rr_mapping4)
+
+    def test_matches_direct_construction(self, mpeg2, platform4, rr_mapping4):
+        scaling = (2, 1, 2, 1)
+        via_platform = ListScheduler.for_platform(
+            mpeg2, platform4, scaling=scaling, comm_model="shared-bus"
+        )
+        table = platform4.scaling_table
+        direct = ListScheduler(
+            mpeg2,
+            [table.frequency_hz(s) for s in scaling],
+            comm_model="shared-bus",
+        )
+        assert tuple(via_platform.schedule(rr_mapping4)) == tuple(
+            direct.schedule(rr_mapping4)
+        )
+
+    def test_rejects_unknown_model(self, mpeg2, platform4):
+        with pytest.raises(ValueError):
+            ListScheduler.for_platform(mpeg2, platform4, comm_model="bogus")
 
 
 class TestEvaluatorCommModel:

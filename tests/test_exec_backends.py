@@ -1,0 +1,198 @@
+"""Execution backends and the parallel design-sweep determinism contract."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.exec import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    payload_picklable,
+    resolve_backend,
+)
+from repro.arch import MPSoC
+from repro.experiments import ExperimentProfile
+from repro.optim import (
+    DesignOptimizer,
+    RegisterUsageObjective,
+    baseline_mapper,
+    sea_mapper,
+)
+from repro.taskgraph import mpeg2_decoder
+from repro.taskgraph.mpeg2 import MPEG2_DEADLINE_S
+
+
+def _square(value):
+    return value * value
+
+
+class TestBackends:
+    @pytest.mark.parametrize(
+        "backend", [SerialBackend(), ThreadBackend(max_workers=2)]
+    )
+    def test_map_preserves_order(self, backend):
+        with backend:
+            assert backend.map(_square, list(range(20))) == [
+                value * value for value in range(20)
+            ]
+
+    def test_process_map_preserves_order(self):
+        with ProcessBackend(max_workers=2) as backend:
+            assert backend.map(_square, list(range(8))) == [
+                value * value for value in range(8)
+            ]
+
+    def test_empty_and_single_item(self):
+        with ThreadBackend() as backend:
+            assert backend.map(_square, []) == []
+            assert backend.map(_square, [3]) == [9]
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            ThreadBackend(max_workers=0)
+
+    def test_pool_not_sized_by_first_batch(self):
+        # Regression: a small first map() must not throttle later,
+        # larger batches for the lifetime of the pool.
+        with ThreadBackend(max_workers=4) as backend:
+            backend.map(_square, [1, 2])
+            assert backend._executor._max_workers == 4
+            backend.map(_square, list(range(16)))
+            assert backend._executor._max_workers == 4
+
+
+class TestResolveBackend:
+    def test_none_and_serial(self):
+        assert isinstance(resolve_backend(None), SerialBackend)
+        assert isinstance(resolve_backend("serial"), SerialBackend)
+
+    def test_explicit_names(self):
+        assert isinstance(resolve_backend("thread"), ThreadBackend)
+        assert isinstance(resolve_backend("process"), ProcessBackend)
+
+    def test_instance_passthrough(self):
+        backend = SerialBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("gpu")
+        with pytest.raises(TypeError):
+            resolve_backend(42)
+
+    def test_auto_serial_for_tiny_batches(self):
+        assert isinstance(resolve_backend("auto", task_count=1), SerialBackend)
+
+    def test_auto_respects_cpu_count(self):
+        resolved = resolve_backend("auto", task_count=8, payload_probe=(1, 2))
+        if (os.cpu_count() or 1) <= 1:
+            assert isinstance(resolved, SerialBackend)
+        else:
+            assert isinstance(resolved, (ThreadBackend, ProcessBackend))
+
+    def test_auto_goes_serial_for_unpicklable_payload(self):
+        # Unpicklable work can't reach processes, and the search loops
+        # are GIL-bound, so threads would be pure overhead.
+        probe = lambda: None  # noqa: E731 - deliberately unpicklable
+        resolved = resolve_backend("auto", task_count=8, payload_probe=probe)
+        assert isinstance(resolved, SerialBackend)
+
+    def test_backend_names_constant(self):
+        assert set(BACKEND_NAMES) == {"serial", "thread", "process", "auto"}
+
+    def test_payload_picklable(self):
+        assert payload_picklable((1, "a"))
+        assert not payload_picklable(lambda: None)
+
+
+class TestParallelDesignSweep:
+    """Serial and parallel sweeps must select the identical design."""
+
+    def _optimizer(self, **kwargs):
+        return DesignOptimizer(
+            mpeg2_decoder(),
+            MPSoC.paper_reference(4),
+            deadline_s=MPEG2_DEADLINE_S,
+            mapper=sea_mapper(search_iterations=200),
+            stop_after_feasible=3,
+            seed=0,
+            **kwargs,
+        )
+
+    def _assert_same_outcome(self, first, second):
+        assert first.best is not None and second.best is not None
+        assert first.best.mapping == second.best.mapping
+        assert first.best.scaling == second.best.scaling
+        assert first.best.power_mw == second.best.power_mw
+        assert first.best.expected_seus == second.best.expected_seus
+        assert len(first.assessments) == len(second.assessments)
+        for a, b in zip(first.assessments, second.assessments):
+            assert a.scaling == b.scaling
+            assert a.feasible == b.feasible
+            assert a.point.makespan_s == b.point.makespan_s
+            assert a.point.power_mw == b.point.power_mw
+
+    def test_thread_matches_serial(self):
+        serial = self._optimizer().optimize()
+        threaded = self._optimizer(backend="thread").optimize()
+        self._assert_same_outcome(serial, threaded)
+
+    def test_process_matches_serial(self):
+        serial = self._optimizer().optimize()
+        processed = self._optimizer().optimize(backend="process")
+        self._assert_same_outcome(serial, processed)
+
+    def test_fixed_mapping_flow_matches_serial(self):
+        def build():
+            return DesignOptimizer(
+                mpeg2_decoder(),
+                MPSoC.paper_reference(4),
+                deadline_s=MPEG2_DEADLINE_S,
+                mapper=baseline_mapper(RegisterUsageObjective()),
+                remap_per_scaling=False,
+                seed=1,
+            )
+
+        serial = build().optimize()
+        threaded = build().optimize(backend="thread")
+        self._assert_same_outcome(serial, threaded)
+
+    def test_auto_backend_runs(self):
+        outcome = self._optimizer(backend="auto").optimize()
+        assert outcome.best is not None
+
+    def test_parallel_evaluations_cover_serial_work(self):
+        serial = self._optimizer().optimize()
+        threaded = self._optimizer(backend="thread").optimize()
+        # A parallel sweep cannot early-exit mid-flight, so it spends
+        # at least the serial effort.
+        assert threaded.evaluations >= serial.evaluations
+
+    def test_scaling_jobs_are_picklable(self):
+        optimizer = self._optimizer()
+        job = optimizer._scaling_job((1, 1, 1, 1), None)
+        assert pickle.loads(pickle.dumps(job)).scaling == (1, 1, 1, 1)
+
+
+class TestProfilePlumbing:
+    def test_profile_backend_reaches_optimizer(self):
+        from repro.experiments.common import build_optimizer
+
+        profile = ExperimentProfile.fast().with_backend("thread")
+        optimizer = build_optimizer(
+            mpeg2_decoder(), 4, MPEG2_DEADLINE_S, profile
+        )
+        assert optimizer.backend == "thread"
+
+    def test_with_backend_keeps_other_fields(self):
+        profile = ExperimentProfile.fast(seed=3).with_backend("auto")
+        assert profile.exec_backend == "auto"
+        assert profile.seed == 3
+        assert profile.name == "fast"
+
+    def test_default_profile_is_serial(self):
+        assert ExperimentProfile.fast().exec_backend == "serial"

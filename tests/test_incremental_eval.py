@@ -1,0 +1,241 @@
+"""Incremental evaluation: exactness, bound soundness and screening.
+
+``IncrementalMappingState`` promises two exact quantities (per-core
+register bits and Eq. 7 cycles, maintained under move/swap deltas) and
+two certified lower bounds (makespan, Gamma).  The exact parts must
+match the seed metric functions bit-for-bit after arbitrary move
+sequences; the bounds must never exceed the list-scheduled truth.
+Screening in the mappers is opt-in and must stay deterministic and
+feasible-preserving.
+"""
+
+import random
+
+import pytest
+
+from repro.arch import MPSoC
+from repro.mapping import (
+    IncrementalMappingState,
+    Mapping,
+    MappingEvaluator,
+    MoveEstimate,
+    screen_lower_bound,
+)
+from repro.mapping.metrics import (
+    per_core_execution_cycles,
+    per_core_register_bits,
+)
+from repro.optim import (
+    AnnealingConfig,
+    MakespanObjective,
+    OptimizedMappingSearch,
+    RegisterTimeProductObjective,
+    RegisterUsageObjective,
+    SEUObjective,
+    SimulatedAnnealingMapper,
+)
+from repro.optim.initial_mapping import initial_sea_mapping
+from repro.taskgraph import RandomGraphConfig, mpeg2_decoder, random_task_graph
+from repro.taskgraph.mpeg2 import MPEG2_DEADLINE_S
+
+
+def _make_case(trial, rng):
+    if trial % 2 == 0:
+        graph = mpeg2_decoder()
+    else:
+        graph = random_task_graph(
+            RandomGraphConfig(num_tasks=rng.randrange(6, 25)), seed=trial
+        )
+    num_cores = rng.randrange(2, 5)
+    platform = MPSoC.paper_reference(num_cores)
+    comm_model = "dedicated" if trial % 3 else "shared-bus"
+    evaluator = MappingEvaluator(
+        graph, platform, deadline_s=MPEG2_DEADLINE_S, comm_model=comm_model
+    )
+    mapping = Mapping(
+        {name: rng.randrange(num_cores) for name in graph.task_names()}, num_cores
+    )
+    scaling = tuple(rng.randrange(1, 4) for _ in range(num_cores))
+    return graph, evaluator, mapping, scaling, num_cores
+
+
+class TestIncrementalExactness:
+    def test_moves_and_swaps_track_seed_metrics(self):
+        rng = random.Random(42)
+        for trial in range(25):
+            graph, evaluator, mapping, scaling, num_cores = _make_case(trial, rng)
+            names = list(graph.task_names())
+            state = IncrementalMappingState(evaluator, mapping, scaling)
+            for _ in range(25):
+                if rng.random() < 0.5:
+                    task = rng.choice(names)
+                    core = rng.randrange(num_cores)
+                    estimate = state.estimate_move(task, core)
+                    mapping = mapping.move(task, core)
+                    state.apply_move(task, core)
+                else:
+                    task_a, task_b = rng.sample(names, 2)
+                    estimate = state.estimate_swap(task_a, task_b)
+                    mapping = mapping.swap(task_a, task_b)
+                    state.apply_swap(task_a, task_b)
+                # Exact parity with the seed metric functions.
+                assert state.register_bits_per_core == per_core_register_bits(
+                    graph, mapping
+                )
+                assert state.busy_cycles_per_core == per_core_execution_cycles(
+                    graph, mapping
+                )
+                # The committed state matches its own preview.
+                assert estimate.register_bits_per_core == state.register_bits_per_core
+                assert estimate.busy_cycles_per_core == state.busy_cycles_per_core
+
+    def test_bounds_never_exceed_scheduled_truth(self):
+        rng = random.Random(7)
+        for trial in range(15):
+            graph, evaluator, mapping, scaling, num_cores = _make_case(trial, rng)
+            names = list(graph.task_names())
+            state = IncrementalMappingState(evaluator, mapping, scaling)
+            for _ in range(10):
+                task = rng.choice(names)
+                core = rng.randrange(num_cores)
+                estimate = state.estimate_move(task, core)
+                mapping = mapping.move(task, core)
+                state.apply_move(task, core)
+                point = evaluator.evaluate(mapping, scaling)
+                assert estimate.makespan_lb_s <= point.makespan_s + 1e-12
+                assert estimate.gamma_lb <= point.expected_seus * (1 + 1e-12) + 1e-12
+
+    def test_estimate_mapping_matches_explicit_moves(self, mpeg2):
+        platform = MPSoC.paper_reference(4)
+        evaluator = MappingEvaluator(mpeg2, platform, deadline_s=MPEG2_DEADLINE_S)
+        mapping = Mapping.round_robin(mpeg2, 4)
+        state = IncrementalMappingState(evaluator, mapping, (2, 2, 2, 2))
+        neighbor = mapping.swap("t1", "t2")
+        via_mapping = state.estimate_mapping(neighbor)
+        via_swap = state.estimate_swap("t1", "t2")
+        assert via_mapping == via_swap
+
+    def test_rebuild_equals_incremental_path(self, mpeg2):
+        platform = MPSoC.paper_reference(4)
+        evaluator = MappingEvaluator(mpeg2, platform, deadline_s=MPEG2_DEADLINE_S)
+        mapping = Mapping.round_robin(mpeg2, 4)
+        state = IncrementalMappingState(evaluator, mapping, (1, 1, 1, 1))
+        mapping = mapping.move("t5", 0).move("t7", 2)
+        state.apply_move("t5", 0)
+        state.apply_move("t7", 2)
+        rebuilt = IncrementalMappingState(evaluator, mapping, (1, 1, 1, 1))
+        assert state.register_bits_per_core == rebuilt.register_bits_per_core
+        assert state.busy_cycles_per_core == rebuilt.busy_cycles_per_core
+
+    def test_noop_move_returns_current_estimate(self, mpeg2):
+        platform = MPSoC.paper_reference(4)
+        evaluator = MappingEvaluator(mpeg2, platform, deadline_s=MPEG2_DEADLINE_S)
+        mapping = Mapping.round_robin(mpeg2, 4)
+        state = IncrementalMappingState(evaluator, mapping, (1, 1, 1, 1))
+        current_core = mapping.core_of("t3")
+        assert state.estimate_move("t3", current_core) == state.estimate_current()
+
+    def test_rejects_bad_core_index(self, mpeg2):
+        platform = MPSoC.paper_reference(4)
+        evaluator = MappingEvaluator(mpeg2, platform, deadline_s=MPEG2_DEADLINE_S)
+        state = IncrementalMappingState(
+            evaluator, Mapping.round_robin(mpeg2, 4), (1, 1, 1, 1)
+        )
+        with pytest.raises(ValueError, match="core index"):
+            state.estimate_move("t1", 7)
+
+
+class TestScreenLowerBound:
+    def _estimate(self):
+        return MoveEstimate(
+            register_bits_per_core=(100, 50),
+            register_bits_total=150,
+            busy_cycles_per_core=(1000, 2000),
+            makespan_lb_s=0.25,
+            gamma_lb=3.5,
+            feasible_possible=True,
+        )
+
+    def test_known_objectives(self):
+        estimate = self._estimate()
+        assert screen_lower_bound(RegisterUsageObjective(), estimate) == 150.0
+        assert screen_lower_bound(MakespanObjective(), estimate) == 0.25
+        assert screen_lower_bound(SEUObjective(), estimate) == 3.5
+        assert screen_lower_bound(
+            RegisterTimeProductObjective(), estimate
+        ) == pytest.approx(0.25 * 150)
+
+    def test_unknown_objective_returns_none(self):
+        assert screen_lower_bound(lambda point: 1.0, self._estimate()) is None
+
+
+class TestScreenedSearch:
+    def test_screened_annealer_is_deterministic_and_feasible(self, mpeg2):
+        platform = MPSoC.paper_reference(4)
+
+        def run():
+            evaluator = MappingEvaluator(
+                mpeg2, platform, deadline_s=MPEG2_DEADLINE_S
+            )
+            mapper = SimulatedAnnealingMapper(
+                evaluator,
+                SEUObjective(),
+                config=AnnealingConfig(max_iterations=800),
+                seed=5,
+                require_all_cores=True,
+                screening=True,
+            )
+            point = mapper.run(Mapping.round_robin(mpeg2, 4), (2, 2, 2, 2))
+            return point, mapper.screened_moves
+
+        first_point, first_screened = run()
+        second_point, second_screened = run()
+        assert first_point.meets_deadline
+        assert first_point.mapping == second_point.mapping
+        assert first_point.expected_seus == second_point.expected_seus
+        assert first_screened == second_screened
+
+    def test_screened_walk_is_deterministic_and_feasible(self, mpeg2):
+        platform = MPSoC.paper_reference(4)
+
+        def run():
+            evaluator = MappingEvaluator(
+                mpeg2, platform, deadline_s=MPEG2_DEADLINE_S
+            )
+            initial = initial_sea_mapping(
+                mpeg2, platform, deadline_s=MPEG2_DEADLINE_S, scaling=(2, 2, 2, 2)
+            )
+            search = OptimizedMappingSearch(
+                evaluator, max_iterations=800, seed=5, screen_moves=True
+            )
+            result = search.run(initial, (2, 2, 2, 2))
+            return result, search.screened_moves
+
+        first, first_screened = run()
+        second, second_screened = run()
+        assert first.feasible
+        assert first.best.mapping == second.best.mapping
+        assert first_screened == second_screened
+
+    def test_screened_annealer_matches_unscreened_quality_band(self, mpeg2):
+        # Screening changes trajectories, not correctness: the result
+        # must still be feasible and in the same quality ballpark.
+        platform = MPSoC.paper_reference(4)
+        results = {}
+        for screening in (False, True):
+            evaluator = MappingEvaluator(
+                mpeg2, platform, deadline_s=MPEG2_DEADLINE_S
+            )
+            mapper = SimulatedAnnealingMapper(
+                evaluator,
+                SEUObjective(),
+                config=AnnealingConfig(max_iterations=1500),
+                seed=0,
+                require_all_cores=True,
+                screening=screening,
+            )
+            results[screening] = mapper.run(
+                Mapping.round_robin(mpeg2, 4), (2, 2, 2, 2)
+            )
+        assert results[True].meets_deadline
+        assert results[True].expected_seus <= results[False].expected_seus * 1.5

@@ -130,6 +130,61 @@ class TestMappingEvaluator:
         mpeg2_evaluator.clear_cache()
         assert mpeg2_evaluator.cache_entries == 0
 
+    def test_hit_miss_counters(self, mpeg2_evaluator, rr_mapping4):
+        mpeg2_evaluator.evaluate(rr_mapping4, (1, 1, 1, 1))
+        mpeg2_evaluator.evaluate(rr_mapping4, (1, 1, 1, 1))
+        mpeg2_evaluator.evaluate(rr_mapping4, (2, 2, 2, 2))
+        assert mpeg2_evaluator.cache_hits == 1
+        assert mpeg2_evaluator.cache_misses == 2
+        info = mpeg2_evaluator.cache_info
+        assert info["hits"] == 1 and info["misses"] == 2
+        assert info["entries"] == 2
+
+    def test_cache_key_is_canonical_across_equal_mappings(
+        self, mpeg2, mpeg2_evaluator
+    ):
+        names = list(mpeg2.task_names())
+        forward = Mapping({name: i % 4 for i, name in enumerate(names)}, 4)
+        backward = Mapping(
+            {name: i % 4 for i, name in reversed(list(enumerate(names)))}, 4
+        )
+        first = mpeg2_evaluator.evaluate(forward, (1, 1, 1, 1))
+        second = mpeg2_evaluator.evaluate(backward, (1, 1, 1, 1))
+        assert first is second  # same canonical signature -> cache hit
+        assert mpeg2_evaluator.cache_hits == 1
+
+    def test_cache_hit_cannot_mask_core_count_mismatch(self, mpeg2, platform4):
+        # Regression: same per-task assignment, wider num_cores — the
+        # cache must miss so the scheduler's width check still fires.
+        evaluator = MappingEvaluator(mpeg2, platform4)
+        assignment = {name: i % 4 for i, name in enumerate(mpeg2.task_names())}
+        evaluator.evaluate(Mapping(assignment, 4), (1, 1, 1, 1))
+        with pytest.raises(ValueError, match="cores"):
+            evaluator.evaluate(Mapping(assignment, 8), (1, 1, 1, 1))
+
+    def test_true_lru_eviction(self, mpeg2, platform4):
+        evaluator = MappingEvaluator(mpeg2, platform4, cache_size=2)
+        mapping = Mapping.round_robin(mpeg2, 4)
+        evaluator.evaluate(mapping, (1, 1, 1, 1))  # A
+        evaluator.evaluate(mapping, (2, 2, 2, 2))  # B
+        evaluator.evaluate(mapping, (1, 1, 1, 1))  # touch A -> B is now LRU
+        evaluator.evaluate(mapping, (3, 3, 3, 3))  # C evicts B, not A
+        assert evaluator.cache_entries == 2
+        hits_before = evaluator.cache_hits
+        evaluator.evaluate(mapping, (1, 1, 1, 1))  # A still cached
+        assert evaluator.cache_hits == hits_before + 1
+        misses_before = evaluator.cache_misses
+        evaluator.evaluate(mapping, (2, 2, 2, 2))  # B was evicted
+        assert evaluator.cache_misses == misses_before + 1
+
+    def test_cache_never_exceeds_size(self, mpeg2, platform4):
+        evaluator = MappingEvaluator(mpeg2, platform4, cache_size=3)
+        mapping = Mapping.round_robin(mpeg2, 4)
+        for level in (1, 2, 3):
+            for uniform in ((level,) * 4, (level, 1, level, 1)):
+                evaluator.evaluate(mapping, uniform)
+        assert evaluator.cache_entries <= 3
+
     def test_default_scaling_is_platform_state(self, mpeg2_evaluator, rr_mapping4):
         explicit = mpeg2_evaluator.evaluate(
             rr_mapping4, mpeg2_evaluator.platform.scaling_vector()

@@ -11,7 +11,15 @@ import pytest
 from repro.arch import MPSoC
 from repro.faults import FaultInjector
 from repro.mapping import IncrementalMappingState, Mapping, MappingEvaluator
-from repro.optim import DesignOptimizer, initial_sea_mapping, sea_mapper
+from repro.mapping.enumeration import stratified_mappings
+from repro.optim import (
+    AnnealingConfig,
+    DesignOptimizer,
+    SEUObjective,
+    SimulatedAnnealingMapper,
+    initial_sea_mapping,
+    sea_mapper,
+)
 from repro.optim.scaling_algorithm import all_scalings_list
 from repro.sched import ListScheduler
 from repro.sim import MPSoCSimulator
@@ -124,6 +132,56 @@ def test_bench_design_optimizer_sweep_auto_backend(benchmark, mpeg2):
 
     outcome = benchmark.pedantic(_sweep, rounds=3, iterations=1)
     assert outcome.best is not None
+
+
+def _restart_sweep(graph60, backend):
+    evaluator = MappingEvaluator(
+        graph60,
+        MPSoC.paper_reference(6),
+        deadline_s=RandomGraphConfig(num_tasks=60).deadline_s,
+    )
+    mapper = SimulatedAnnealingMapper(
+        evaluator,
+        SEUObjective(),
+        config=AnnealingConfig(max_iterations=400, restarts=4),
+        seed=0,
+        deadline_penalty=True,
+        require_all_cores=True,
+        backend=backend,
+    )
+    return mapper.run(Mapping.round_robin(graph60, 6), (2,) * 6)
+
+
+def test_bench_sa_restart_sweep_serial(benchmark, graph60):
+    """Four independent annealing restarts on the serial reference path."""
+    point = benchmark.pedantic(_restart_sweep, args=(graph60, None), rounds=3, iterations=1)
+    assert point.expected_seus > 0
+
+
+def test_bench_sa_restart_sweep_auto_backend(benchmark, graph60):
+    """The same restarts dispatched through the auto-selected backend.
+
+    Bit-identical selected design by the restart determinism contract;
+    on a multi-core machine this row tracks the restart-level speedup
+    over the serial sweep above (single-core boxes degrade to serial).
+    """
+    point = benchmark.pedantic(
+        _restart_sweep, args=(graph60, "auto"), rounds=3, iterations=1
+    )
+    assert point.expected_seus > 0
+
+
+def test_bench_evaluate_batch(benchmark, mpeg2):
+    """Batch evaluation of a mapping sample (the fig3-style workload)."""
+    evaluator = MappingEvaluator(
+        mpeg2,
+        MPSoC.paper_reference(4),
+        deadline_s=MPEG2_DEADLINE_S,
+        cache_size=0,  # measure the evaluation work, not cache hits
+    )
+    mappings = stratified_mappings(mpeg2, 4, 64, seed=0)
+    points = benchmark(evaluator.evaluate_batch, mappings, (2, 2, 3, 2))
+    assert len(points) == len(mappings)
 
 
 def test_bench_scaling_enumeration(benchmark):

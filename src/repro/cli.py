@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from typing import List, Optional
 
 from repro.experiments.common import ExperimentProfile
@@ -41,6 +42,43 @@ def _add_profile_arguments(parser: argparse.ArgumentParser) -> None:
             "multi-core machines (default: serial)"
         ),
     )
+    parser.add_argument(
+        "--experiment-backend",
+        choices=["serial", "thread", "process", "auto"],
+        default="serial",
+        help=(
+            "execution backend for fanning out whole experiment cells "
+            "(table3's app x core-count grid, fig10's core-count pairs); "
+            "reports stay byte-identical to serial runs (default: serial)"
+        ),
+    )
+    parser.add_argument(
+        "--restart-backend",
+        choices=["serial", "thread", "process", "auto"],
+        default="serial",
+        help=(
+            "execution backend for annealing restarts inside one scaling's "
+            "mapping search; selections stay bit-identical (default: serial)"
+        ),
+    )
+    parser.add_argument(
+        "--restarts",
+        type=int,
+        default=None,
+        help=(
+            "annealing restart count per scaling (default: the mappers' "
+            "size-derived choice)"
+        ),
+    )
+    parser.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        help=(
+            "pool size cap for parallel backends "
+            "(default: the machine's CPU count)"
+        ),
+    )
 
 
 def _profile_from(args: argparse.Namespace) -> ExperimentProfile:
@@ -49,8 +87,20 @@ def _profile_from(args: argparse.Namespace) -> ExperimentProfile:
     else:
         profile = ExperimentProfile.fast(seed=args.seed)
     backend = getattr(args, "backend", "serial")
-    if backend != "serial":
-        profile = profile.with_backend(backend)
+    experiment_backend = getattr(args, "experiment_backend", "serial")
+    restart_backend = getattr(args, "restart_backend", "serial")
+    if (backend, experiment_backend, restart_backend) != ("serial",) * 3:
+        profile = profile.with_backend(
+            exec_backend=backend,
+            experiment_backend=experiment_backend,
+            restart_backend=restart_backend,
+        )
+    restarts = getattr(args, "restarts", None)
+    if restarts is not None:
+        profile = replace(profile, sa_restarts=restarts)
+    max_workers = getattr(args, "max_workers", None)
+    if max_workers is not None:
+        profile = profile.with_max_workers(max_workers)
     return profile
 
 

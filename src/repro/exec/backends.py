@@ -139,6 +139,7 @@ def resolve_backend(
     task_count: Optional[int] = None,
     payload_probe: Any = None,
     max_workers: Optional[int] = None,
+    probe_factory: Optional[Callable[[], Any]] = None,
 ) -> ExecutionBackend:
     """Turn a backend spec into a backend instance.
 
@@ -155,6 +156,12 @@ def resolve_backend(
         when it pickles.
     max_workers:
         Pool size cap for pooled backends.
+    probe_factory:
+        Lazy alternative to ``payload_probe``: a zero-argument callable
+        producing the probe, invoked only if the ``auto`` branch
+        actually needs one.  Callers whose probes are expensive to
+        build (e.g. a full worker job) should prefer this so serial
+        and explicit specs pay nothing.
     """
     if isinstance(spec, ExecutionBackend):
         return spec
@@ -175,6 +182,8 @@ def resolve_backend(
     cpus = os.cpu_count() or 1
     if cpus <= 1 or (task_count is not None and task_count <= 1):
         return SerialBackend()
+    if payload_probe is None and probe_factory is not None:
+        payload_probe = probe_factory()
     if payload_probe is not None and not payload_picklable(payload_probe):
         # The work is pure Python (GIL-bound), so threads would add
         # dispatch overhead without parallelism — stay serial.

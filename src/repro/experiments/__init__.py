@@ -20,13 +20,14 @@ paper-scale search budgets — and return plain dataclasses with
 print the same rows the paper reports.
 """
 
-from repro.experiments.common import ExperimentProfile
+from repro.experiments.common import ExperimentProfile, run_cells, worker_profile
 from repro.experiments.fig3 import Fig3Result, run_fig3
 from repro.experiments.table2 import Table2Result, run_table2
 from repro.experiments.fig9 import Fig9Result, run_fig9
 from repro.experiments.table3 import Table3Result, run_table3
 from repro.experiments.fig10 import Fig10Result, run_fig10
 from repro.experiments.fig11 import Fig11Result, run_fig11
+from repro.experiments.runner import run_all, run_experiment
 
 __all__ = [
     "ExperimentProfile",
@@ -36,10 +37,14 @@ __all__ = [
     "Fig9Result",
     "Table2Result",
     "Table3Result",
+    "run_all",
+    "run_cells",
+    "run_experiment",
     "run_fig10",
     "run_fig11",
     "run_fig3",
     "run_fig9",
     "run_table2",
     "run_table3",
+    "worker_profile",
 ]

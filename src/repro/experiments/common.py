@@ -11,10 +11,11 @@ reporting units (P in mW, R in kbit, T_M in cycles, Gamma in SEUs).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
 from repro.arch.dvs import ScalingTable
 from repro.arch.mpsoc import MPSoC
+from repro.exec.backends import BackendSpec, SerialBackend, resolve_backend
 from repro.faults.ser import SERModel
 from repro.mapping.metrics import MappingEvaluator
 from repro.optim.annealing import AnnealingConfig
@@ -54,6 +55,27 @@ class ExperimentProfile:
         selects the identical designs (the exec subsystem's
         determinism contract); parallel backends only change
         wall-clock on multi-core machines.
+    experiment_backend:
+        Execution backend the experiment grids fan out on — Table
+        III's application × core-count cells, Fig. 10's per-core-count
+        pairs and :func:`~repro.experiments.runner.run_all`'s whole
+        experiments.  Cells carry per-cell seeds and run in private
+        evaluators, and results are reassembled in grid order, so the
+        reports are byte-identical to a serial run.  When cells run on
+        a parallel backend their inner sweeps are forced serial (see
+        :func:`worker_profile`) to avoid nested pools.
+    exec_max_workers:
+        Pool size cap for every pooled backend resolved from this
+        profile (scaling sweeps, restart dispatch and experiment
+        fan-out); ``None`` sizes pools from the machine.
+    sa_restarts:
+        Override for the annealing restart count used by both the
+        proposed stage-2 annealer and the Exp:1-3 baselines; ``None``
+        keeps the mappers' size-derived defaults.
+    restart_backend:
+        Execution backend the annealing restarts run on (the third
+        parallel cut, inside one scaling's mapping search).  Identical
+        selections on every backend, like the other two cuts.
     """
 
     name: str = "fast"
@@ -63,6 +85,10 @@ class ExperimentProfile:
     stop_after_feasible: Optional[int] = 6
     seed: int = 0
     exec_backend: str = "serial"
+    experiment_backend: str = "serial"
+    exec_max_workers: Optional[int] = None
+    sa_restarts: Optional[int] = None
+    restart_backend: str = "serial"
 
     @classmethod
     def fast(cls, seed: int = 0) -> "ExperimentProfile":
@@ -85,13 +111,43 @@ class ExperimentProfile:
         """A copy with a different base seed."""
         return replace(self, seed=seed)
 
-    def with_backend(self, exec_backend: str) -> "ExperimentProfile":
-        """A copy running its sweeps on a different execution backend."""
-        return replace(self, exec_backend=exec_backend)
+    def with_backend(
+        self,
+        exec_backend: Optional[str] = None,
+        experiment_backend: Optional[str] = None,
+        restart_backend: Optional[str] = None,
+    ) -> "ExperimentProfile":
+        """A copy running on different execution backends.
+
+        Positional use (``with_backend("thread")``) keeps its original
+        meaning — the scaling-sweep backend; the keyword arguments
+        retarget the experiment fan-out and restart cuts.
+        """
+        updates = {}
+        if exec_backend is not None:
+            updates["exec_backend"] = exec_backend
+        if experiment_backend is not None:
+            updates["experiment_backend"] = experiment_backend
+        if restart_backend is not None:
+            updates["restart_backend"] = restart_backend
+        return replace(self, **updates)
+
+    def with_max_workers(self, exec_max_workers: Optional[int]) -> "ExperimentProfile":
+        """A copy with a different pool-size cap."""
+        return replace(self, exec_max_workers=exec_max_workers)
 
     def annealing_config(self) -> AnnealingConfig:
         """The SA configuration implied by this profile."""
-        return AnnealingConfig(max_iterations=self.sa_iterations)
+        # "serial" passes straight through: AnnealingConfig accepts any
+        # BACKEND_NAMES entry and resolve_backend("serial") is the
+        # in-process loop.
+        config = AnnealingConfig(
+            max_iterations=self.sa_iterations,
+            restart_backend=self.restart_backend,
+        )
+        if self.sa_restarts is not None:
+            config = replace(config, restarts=self.sa_restarts)
+        return config
 
 
 def build_platform(num_cores: int, num_levels: int = 3) -> MPSoC:
@@ -128,7 +184,11 @@ def build_optimizer(
     ``objective`` is given (Exp:1-3 style)."""
     mapper: Mapper
     if objective is None:
-        mapper = sea_mapper(search_iterations=profile.search_iterations)
+        mapper = sea_mapper(
+            search_iterations=profile.search_iterations,
+            restarts=profile.sa_restarts,
+            restart_backend=profile.restart_backend,
+        )
     else:
         mapper = baseline_mapper(objective, config=profile.annealing_config())
     return DesignOptimizer(
@@ -141,12 +201,73 @@ def build_optimizer(
         tiebreak=objective,
         remap_per_scaling=objective is None,
         backend=profile.exec_backend,
+        max_workers=profile.exec_max_workers,
         # The proposed flow trades a modest amount of power for fewer
         # SEUs (Table II: Exp:4 consumes ~5% more than the cheapest
         # baseline design while cutting SEUs substantially); the
         # baselines stay strictly power-first.
         power_tolerance=0.15 if objective is None else 0.02,
     )
+
+
+def worker_profile(profile: ExperimentProfile) -> ExperimentProfile:
+    """The profile a fanned-out cell runs under inside a worker.
+
+    All inner parallel cuts are forced serial: a cell dispatched to a
+    thread or process pool must not open nested pools of its own (the
+    outer fan-out already owns the machine's parallelism).  By the
+    exec determinism contract this changes wall-clock only, never
+    results.
+    """
+    return replace(
+        profile,
+        exec_backend="serial",
+        experiment_backend="serial",
+        restart_backend="serial",
+    )
+
+
+def _run_cell(cell: Any) -> Any:
+    """Module-level trampoline so process pools can pickle the call."""
+    return cell.run()
+
+
+def run_cells(
+    cells: Sequence[Any],
+    profile: ExperimentProfile,
+    backend: BackendSpec = None,
+) -> List[Any]:
+    """Fan experiment cells out through an execution backend, in order.
+
+    A *cell* is a picklable object with a ``run()`` method and a
+    ``profile`` field (a frozen dataclass).  Cells must be independent
+    — each carries its own seeds and builds private evaluators — so
+    results are a pure function of the cell itself and
+    ``backend.map``'s item-order guarantee makes the returned list
+    identical to a serial loop whatever backend executes it.
+
+    ``backend`` overrides ``profile.experiment_backend``.  On a
+    parallel backend every cell is re-profiled via
+    :func:`worker_profile` so inner sweeps stay serial in the workers.
+    """
+    cells = list(cells)
+    if not cells:
+        return []
+    spec = backend if backend is not None else profile.experiment_backend
+    resolved = resolve_backend(
+        spec,
+        task_count=len(cells),
+        probe_factory=lambda: cells[0],
+        max_workers=profile.exec_max_workers,
+    )
+    if isinstance(resolved, SerialBackend):
+        return [cell.run() for cell in cells]
+    jobs = [replace(cell, profile=worker_profile(cell.profile)) for cell in cells]
+    try:
+        return resolved.map(_run_cell, jobs)
+    finally:
+        if resolved is not spec:  # close pools we created here
+            resolved.close()
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:

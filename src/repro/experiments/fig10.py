@@ -13,11 +13,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.exec.backends import BackendSpec
 from repro.experiments.common import (
     ExperimentProfile,
     build_optimizer,
     format_table,
     percent_delta,
+    run_cells,
 )
 from repro.mapping.metrics import DesignPoint
 from repro.optim.objectives import RegisterTimeProductObjective
@@ -111,29 +113,31 @@ class Fig10Result:
         return format_table(headers, rows)
 
 
-def run_fig10(
-    profile: Optional[ExperimentProfile] = None,
-    graph: Optional[TaskGraph] = None,
-    deadline_s: Optional[float] = None,
-    core_counts: Sequence[int] = CORE_COUNTS,
-) -> Fig10Result:
-    """Regenerate the Fig. 10 comparison."""
-    profile = profile or ExperimentProfile.fast()
-    if graph is None:
-        config = RandomGraphConfig(num_tasks=NUM_TASKS)
-        graph = random_task_graph(config, seed=profile.seed + NUM_TASKS)
-        deadline_s = deadline_s if deadline_s is not None else config.deadline_s
-    elif deadline_s is None:
-        raise ValueError("deadline_s is required with a custom graph")
+@dataclass(frozen=True)
+class _Fig10CellJob:
+    """One core count's Exp:3 + Exp:4 pair, picklable for fan-out."""
 
-    result = Fig10Result()
-    objective = RegisterTimeProductObjective()
-    for cores in core_counts:
+    graph: TaskGraph
+    deadline_s: float
+    num_cores: int
+    profile: ExperimentProfile
+
+    def run(self) -> Fig10Cell:
+        objective = RegisterTimeProductObjective()
         exp3 = build_optimizer(
-            graph, cores, deadline_s, profile, objective=objective, seed_offset=cores
+            self.graph,
+            self.num_cores,
+            self.deadline_s,
+            self.profile,
+            objective=objective,
+            seed_offset=self.num_cores,
         ).optimize()
         exp4_outcome = build_optimizer(
-            graph, cores, deadline_s, profile, seed_offset=cores
+            self.graph,
+            self.num_cores,
+            self.deadline_s,
+            self.profile,
+            seed_offset=self.num_cores,
         ).optimize()
         # Power-parity comparison (the paper's framing: up to 7% fewer
         # SEUs at only ~3% more power): among the proposed flow's
@@ -146,7 +150,37 @@ def run_fig10(
             )
             if matched is not None:
                 exp4 = matched
-        result.cells.append(
-            Fig10Cell(num_cores=cores, exp3=exp3.best, exp4=exp4)
+        return Fig10Cell(num_cores=self.num_cores, exp3=exp3.best, exp4=exp4)
+
+
+def run_fig10(
+    profile: Optional[ExperimentProfile] = None,
+    graph: Optional[TaskGraph] = None,
+    deadline_s: Optional[float] = None,
+    core_counts: Sequence[int] = CORE_COUNTS,
+    backend: BackendSpec = None,
+) -> Fig10Result:
+    """Regenerate the Fig. 10 comparison.
+
+    Each core count's Exp:3/Exp:4 pair is one independent cell; cells
+    fan out through ``backend`` (defaulting to
+    ``profile.experiment_backend``) and are reassembled in core-count
+    order, byte-identical to a serial run.
+    """
+    profile = profile or ExperimentProfile.fast()
+    if graph is None:
+        config = RandomGraphConfig(num_tasks=NUM_TASKS)
+        graph = random_task_graph(config, seed=profile.seed + NUM_TASKS)
+        deadline_s = deadline_s if deadline_s is not None else config.deadline_s
+    elif deadline_s is None:
+        raise ValueError("deadline_s is required with a custom graph")
+
+    jobs = [
+        _Fig10CellJob(
+            graph=graph, deadline_s=deadline_s, num_cores=cores, profile=profile
         )
+        for cores in core_counts
+    ]
+    result = Fig10Result()
+    result.cells.extend(run_cells(jobs, profile, backend=backend))
     return result

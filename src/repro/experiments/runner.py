@@ -9,9 +9,11 @@ both go through here.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
-from repro.experiments.common import ExperimentProfile
+from repro.exec.backends import BackendSpec
+from repro.experiments.common import ExperimentProfile, run_cells
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.fig9 import run_fig9
 from repro.experiments.fig10 import run_fig10
@@ -81,10 +83,38 @@ def render_report(experiment_id: str, result: Any, profile: ExperimentProfile) -
     return "\n".join(lines)
 
 
-def run_all(profile: Optional[ExperimentProfile] = None) -> Dict[str, Tuple[Any, str]]:
-    """Run every experiment; return id -> (result, report)."""
+@dataclass(frozen=True)
+class _ExperimentJob:
+    """One whole experiment as a picklable fan-out cell."""
+
+    experiment_id: str
+    profile: ExperimentProfile
+
+    def run(self) -> Tuple[Any, str]:
+        return run_experiment(self.experiment_id, self.profile)
+
+
+def run_all(
+    profile: Optional[ExperimentProfile] = None,
+    backend: BackendSpec = None,
+    ids: Optional[Sequence[str]] = None,
+) -> Dict[str, Tuple[Any, str]]:
+    """Run every experiment (or the ``ids`` subset); id -> (result, report).
+
+    Experiments are mutually independent, so whole experiments fan out
+    through ``backend`` (defaulting to ``profile.experiment_backend``)
+    and the returned dict keeps paper order — reports are
+    byte-identical to a serial run whichever backend executes them.
+    """
     profile = profile or ExperimentProfile.fast()
+    selected = tuple(ids) if ids is not None else experiment_ids()
+    for experiment_id in selected:
+        if experiment_id not in _RUNNERS:
+            raise KeyError(
+                f"unknown experiment {experiment_id!r}; choose from {sorted(_RUNNERS)}"
+            )
+    jobs = [_ExperimentJob(experiment_id, profile) for experiment_id in selected]
+    results = run_cells(jobs, profile, backend=backend)
     return {
-        experiment_id: run_experiment(experiment_id, profile)
-        for experiment_id in experiment_ids()
+        experiment_id: result for experiment_id, result in zip(selected, results)
     }

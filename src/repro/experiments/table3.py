@@ -20,7 +20,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.common import ExperimentProfile, build_optimizer, format_table
+from repro.exec.backends import BackendSpec
+from repro.experiments.common import (
+    ExperimentProfile,
+    build_optimizer,
+    format_table,
+    run_cells,
+)
 from repro.mapping.metrics import DesignPoint
 from repro.taskgraph.graph import TaskGraph
 from repro.taskgraph.mpeg2 import MPEG2_DEADLINE_S, mpeg2_decoder
@@ -153,27 +159,65 @@ def table3_applications(
     return apps
 
 
+@dataclass(frozen=True)
+class _Table3CellJob:
+    """One (application, core count) optimization, picklable for fan-out.
+
+    The cell rebuilds its optimizer from scratch with the serial
+    loop's exact per-cell seed (``app_index * 101 + cores``), so the
+    produced design is identical wherever it runs.
+    """
+
+    label: str
+    graph: TaskGraph
+    deadline_s: float
+    num_cores: int
+    seed_offset: int
+    profile: ExperimentProfile
+
+    def run(self) -> Table3Cell:
+        outcome = build_optimizer(
+            self.graph,
+            self.num_cores,
+            self.deadline_s,
+            self.profile,
+            seed_offset=self.seed_offset,
+        ).optimize()
+        return Table3Cell(
+            app=self.label, num_cores=self.num_cores, point=outcome.best
+        )
+
+
 def run_table3(
     profile: Optional[ExperimentProfile] = None,
     core_counts: Sequence[int] = CORE_COUNTS,
     applications: Optional[List[Tuple[str, TaskGraph, float]]] = None,
+    backend: BackendSpec = None,
 ) -> Table3Result:
-    """Run the architecture-allocation sweep."""
+    """Run the architecture-allocation sweep.
+
+    The application × core-count grid is embarrassingly parallel:
+    cells fan out through ``backend`` (defaulting to
+    ``profile.experiment_backend``) with per-cell seeds and are
+    reassembled in grid order, so the resulting table — and every
+    shape check over it — is byte-identical to a serial run.
+    """
     profile = profile or ExperimentProfile.fast()
     applications = applications or table3_applications(profile)
+    jobs = [
+        _Table3CellJob(
+            label=label,
+            graph=graph,
+            deadline_s=deadline_s,
+            num_cores=cores,
+            seed_offset=app_index * 101 + cores,
+            profile=profile,
+        )
+        for app_index, (label, graph, deadline_s) in enumerate(applications)
+        for cores in core_counts
+    ]
+    cells = run_cells(jobs, profile, backend=backend)
     result = Table3Result(core_counts=tuple(core_counts))
-    for app_index, (label, graph, deadline_s) in enumerate(applications):
-        result.cells[label] = {}
-        for cores in core_counts:
-            optimizer = build_optimizer(
-                graph,
-                cores,
-                deadline_s,
-                profile,
-                seed_offset=app_index * 101 + cores,
-            )
-            outcome = optimizer.optimize()
-            result.cells[label][cores] = Table3Cell(
-                app=label, num_cores=cores, point=outcome.best
-            )
+    for cell in cells:
+        result.cells.setdefault(cell.app, {})[cell.num_cores] = cell
     return result

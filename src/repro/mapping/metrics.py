@@ -34,7 +34,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.arch.mpsoc import MPSoC
 from repro.arch.power import PowerModel
@@ -271,39 +271,93 @@ class MappingEvaluator:
 
     # -- main entry point -----------------------------------------------------
 
+    def _resolve_scaling(self, scaling: Optional[Sequence[int]]) -> Tuple[int, ...]:
+        """Validate a scaling vector (``None`` means the platform's)."""
+        if scaling is None:
+            return self.platform.scaling_vector()
+        scaling_vector = self.platform.scaling_table.validate_assignment(scaling)
+        if len(scaling_vector) != self.platform.num_cores:
+            raise ValueError(
+                f"scaling vector has {len(scaling_vector)} entries for "
+                f"{self.platform.num_cores} cores"
+            )
+        return scaling_vector
+
+    def _cache_key(self, compiled, mapping: Mapping, scaling: Tuple[int, ...]):
+        # num_cores is part of the key: two mappings with the same
+        # per-task assignment but different platform widths must
+        # not alias (the narrower one may be valid, the wider not).
+        return (compiled.signature(mapping), mapping.num_cores, scaling)
+
+    def _cache_lookup(self, key) -> Optional[DesignPoint]:
+        """LRU get: counts the hit and refreshes recency on success."""
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            self._cache.move_to_end(key)
+        return cached
+
+    def _cache_store(self, key, point: DesignPoint) -> None:
+        """LRU put: inserts and evicts the oldest entry past capacity."""
+        self._cache[key] = point
+        if len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)  # true LRU: evict the oldest
+
     def evaluate(
         self, mapping: Mapping, scaling: Optional[Sequence[int]] = None
     ) -> DesignPoint:
         """Evaluate a mapping under a scaling vector (defaults to platform's)."""
-        if scaling is None:
-            scaling_vector = self.platform.scaling_vector()
-        else:
-            scaling_vector = self.platform.scaling_table.validate_assignment(scaling)
-            if len(scaling_vector) != self.platform.num_cores:
-                raise ValueError(
-                    f"scaling vector has {len(scaling_vector)} entries for "
-                    f"{self.platform.num_cores} cores"
-                )
+        scaling_vector = self._resolve_scaling(scaling)
         self.evaluations += 1
         compiled = self._sync_compiled()
-        cache = self._cache
         if self._cache_size:
-            # num_cores is part of the key: two mappings with the same
-            # per-task assignment but different platform widths must
-            # not alias (the narrower one may be valid, the wider not).
-            key = (compiled.signature(mapping), mapping.num_cores, scaling_vector)
-            cached = cache.get(key)
+            key = self._cache_key(compiled, mapping, scaling_vector)
+            cached = self._cache_lookup(key)
             if cached is not None:
-                self.cache_hits += 1
-                cache.move_to_end(key)
                 return cached
         self.cache_misses += 1
         point = self._evaluate_uncached(mapping, scaling_vector)
         if self._cache_size:
-            cache[key] = point
-            if len(cache) > self._cache_size:
-                cache.popitem(last=False)  # true LRU: evict the oldest
+            self._cache_store(key, point)
         return point
+
+    def evaluate_batch(
+        self, mappings: Sequence[Mapping], scaling: Optional[Sequence[int]] = None
+    ) -> List[DesignPoint]:
+        """Evaluate many mappings under one scaling vector.
+
+        Returns one :class:`DesignPoint` per mapping, in input order,
+        with results, cache contents and the ``evaluations`` /
+        ``cache_hits`` / ``cache_misses`` counters exactly as if
+        :meth:`evaluate` had been called per mapping.  The batch form
+        amortizes the per-call fixed costs — scaling validation, the
+        compiled-graph sync and the operating-point / scheduler memo
+        lookups happen once for the whole batch — and is the substrate
+        a future vectorized backend can drop into (the compiled arrays
+        are layout-ready for evaluating many mappings at once).
+        """
+        scaling_vector = self._resolve_scaling(scaling)
+        compiled = self._sync_compiled()
+        frequencies, _, rates = self._operating_point(scaling_vector)
+        scheduler = self.scheduler_for(scaling_vector)
+        cache_size = self._cache_size
+        points: List[DesignPoint] = []
+        for mapping in mappings:
+            self.evaluations += 1
+            if cache_size:
+                key = self._cache_key(compiled, mapping, scaling_vector)
+                cached = self._cache_lookup(key)
+                if cached is not None:
+                    points.append(cached)
+                    continue
+            self.cache_misses += 1
+            point = self._evaluate_with(
+                mapping, scaling_vector, frequencies, rates, scheduler
+            )
+            if cache_size:
+                self._cache_store(key, point)
+            points.append(point)
+        return points
 
     def _operating_point(
         self, scaling: Tuple[int, ...]
@@ -336,10 +390,20 @@ class MappingEvaluator:
     def _evaluate_uncached(
         self, mapping: Mapping, scaling: Tuple[int, ...]
     ) -> DesignPoint:
-        platform = self.platform
         frequencies, _, rates = self._operating_point(scaling)
-
         scheduler = self.scheduler_for(scaling)
+        return self._evaluate_with(mapping, scaling, frequencies, rates, scheduler)
+
+    def _evaluate_with(
+        self,
+        mapping: Mapping,
+        scaling: Tuple[int, ...],
+        frequencies: Tuple[float, ...],
+        rates: Tuple[float, ...],
+        scheduler: ListScheduler,
+    ) -> DesignPoint:
+        """The evaluation body, with the per-scaling lookups prefetched."""
+        platform = self.platform
         schedule = scheduler.schedule(mapping)  # validates mapping coverage
         makespan_s = schedule.makespan_s()
         activities = schedule.activities()

@@ -17,13 +17,23 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
+from repro.arch.mpsoc import MPSoC
+from repro.arch.power import PowerModel
+from repro.exec.backends import (
+    BACKEND_NAMES,
+    BackendSpec,
+    SerialBackend,
+    resolve_backend,
+)
+from repro.faults.ser import SERModel
 from repro.mapping.incremental import IncrementalMappingState, screen_lower_bound
 from repro.mapping.mapping import Mapping
 from repro.mapping.metrics import DesignPoint, MappingEvaluator
 from repro.optim.moves import random_neighbor
 from repro.optim.objectives import Objective, deadline_penalized
+from repro.taskgraph.graph import TaskGraph
 
 
 @dataclass(frozen=True)
@@ -43,6 +53,15 @@ class AnnealingConfig:
         Independent annealing runs; the best result wins.
     deadline_penalty_weight:
         Weight of the deadline-violation penalty.
+    restart_backend:
+        Execution backend the restarts are dispatched through
+        (``None``/``"serial"``, ``"thread"``, ``"process"`` or
+        ``"auto"``).  Restarts are independent seeded runs (restart
+        *r* draws from ``seed + r``), and the serial best-of ranking
+        is replayed over the restart-ordered results, so every backend
+        selects the bit-identical design point; only wall-clock
+        changes.  Kept as a plain string so the config itself stays
+        picklable (restart jobs ship their config to workers).
     """
 
     max_iterations: int = 3000
@@ -50,6 +69,7 @@ class AnnealingConfig:
     cooling: float = 0.999
     restarts: int = 1
     deadline_penalty_weight: float = 10.0
+    restart_backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.max_iterations <= 0:
@@ -60,6 +80,78 @@ class AnnealingConfig:
             raise ValueError("cooling must be in (0, 1)")
         if self.restarts <= 0:
             raise ValueError("restarts must be positive")
+        if self.restart_backend is not None and self.restart_backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown restart_backend {self.restart_backend!r}; "
+                f"choose from {BACKEND_NAMES}"
+            )
+
+
+@dataclass(frozen=True)
+class _RestartJob:
+    """One worker-side annealing restart, self-contained and picklable.
+
+    Rebuilds a private evaluator and mapper in the worker; the restart
+    result is a pure function of ``(graph, platform, objective,
+    config, seed + restart)``, so a worker restart returns exactly
+    what the same restart of a serial :meth:`run` loop would.
+    """
+
+    graph: TaskGraph
+    platform: MPSoC
+    deadline_s: Optional[float]
+    ser_model: SERModel
+    power_model: PowerModel
+    comm_model: str
+    objective: Objective
+    config: AnnealingConfig
+    seed: Optional[int]
+    deadline_penalty: bool
+    require_all_cores: bool
+    screening: bool
+    screen_threshold: float
+    initial: Mapping
+    scaling: Tuple[int, ...]
+    restart: int
+
+    def run(self) -> Tuple[DesignPoint, int, int, int, int]:
+        """Run the restart.
+
+        Returns ``(point, screened moves, evaluations, cache hits,
+        cache misses)`` — the full evaluator traffic, so the parent
+        can fold worker stats back into its shared evaluator.
+        """
+        evaluator = MappingEvaluator(
+            self.graph,
+            self.platform,
+            ser_model=self.ser_model,
+            power_model=self.power_model,
+            deadline_s=self.deadline_s,
+            comm_model=self.comm_model,
+        )
+        mapper = SimulatedAnnealingMapper(
+            evaluator,
+            self.objective,
+            config=self.config,
+            seed=self.seed,
+            deadline_penalty=self.deadline_penalty,
+            require_all_cores=self.require_all_cores,
+            screening=self.screening,
+            screen_threshold=self.screen_threshold,
+        )
+        point = mapper._run_once(self.initial, self.scaling, self.restart)
+        return (
+            point,
+            mapper.screened_moves,
+            evaluator.evaluations,
+            evaluator.cache_hits,
+            evaluator.cache_misses,
+        )
+
+
+def _run_restart_job(job: _RestartJob) -> Tuple[DesignPoint, int, int, int, int]:
+    """Module-level trampoline so process pools can pickle the call."""
+    return job.run()
 
 
 class SimulatedAnnealingMapper:
@@ -89,6 +181,13 @@ class SimulatedAnnealingMapper:
     screen_threshold:
         Acceptance-probability cutoff below which a bounded-worse
         neighbour is pruned.
+    backend:
+        Execution backend for dispatching the restarts; overrides
+        ``config.restart_backend`` when given.  Any choice returns the
+        bit-identical best design (see
+        :attr:`AnnealingConfig.restart_backend`).
+    max_workers:
+        Pool size cap when the restart backend is pooled.
     """
 
     def __init__(
@@ -101,6 +200,8 @@ class SimulatedAnnealingMapper:
         require_all_cores: bool = False,
         screening: bool = False,
         screen_threshold: float = 1e-3,
+        backend: BackendSpec = None,
+        max_workers: Optional[int] = None,
     ) -> None:
         self.evaluator = evaluator
         self.raw_objective = objective
@@ -112,7 +213,11 @@ class SimulatedAnnealingMapper:
         if not 0.0 <= screen_threshold < 1.0:
             raise ValueError("screen_threshold must be in [0, 1)")
         self.screen_threshold = screen_threshold
+        self.backend: BackendSpec = backend
+        self.max_workers = max_workers
         self.screened_moves = 0  # neighbours pruned without evaluation
+        self.screened_moves_per_restart: List[int] = []  # per run(), in restart order
+        self.restart_evaluations: List[int] = []  # evaluate() calls per restart
         deadline = evaluator.deadline_s
         if deadline is not None and deadline_penalty:
             self.objective = deadline_penalized(
@@ -130,19 +235,101 @@ class SimulatedAnnealingMapper:
 
         Feasible points dominate infeasible ones regardless of raw
         score; among feasible points the raw objective decides.
+
+        Restarts are independent seeded runs (restart *r* draws from
+        ``seed + r``), so they can be dispatched through an execution
+        backend; the serial best-of ranking is replayed over the
+        restart-ordered results, making the selection bit-identical to
+        a serial loop whatever backend runs the restarts.  Screening
+        stats reset on every call: ``screened_moves`` totals this
+        run's pruned neighbours and ``screened_moves_per_restart`` /
+        ``restart_evaluations`` break the work down per restart.
         """
-        best: Optional[DesignPoint] = None
-        best_key: Optional[Tuple[int, float]] = None
         scaling_tuple = (
             tuple(scaling) if scaling is not None else self.evaluator.platform.scaling_vector()
         )
-        for restart in range(self.config.restarts):
-            candidate = self._run_once(initial, scaling_tuple, restart)
+        restarts = self.config.restarts
+        self.screened_moves = 0
+        self.screened_moves_per_restart = []
+        self.restart_evaluations = []
+        spec = self.backend if self.backend is not None else self.config.restart_backend
+        resolved = resolve_backend(
+            spec,
+            task_count=restarts,
+            probe_factory=lambda: self._restart_job(initial, scaling_tuple, 0),
+            max_workers=self.max_workers,
+        )
+        if restarts == 1 or isinstance(resolved, SerialBackend):
+            candidates = []
+            for restart in range(restarts):
+                screened_before = self.screened_moves
+                evaluations_before = self.evaluator.evaluations
+                candidates.append(self._run_once(initial, scaling_tuple, restart))
+                self.screened_moves_per_restart.append(
+                    self.screened_moves - screened_before
+                )
+                self.restart_evaluations.append(
+                    self.evaluator.evaluations - evaluations_before
+                )
+        else:
+            jobs = [
+                self._restart_job(initial, scaling_tuple, restart)
+                for restart in range(restarts)
+            ]
+            try:
+                results = resolved.map(_run_restart_job, jobs)
+            finally:
+                if resolved is not spec:  # close pools we created here
+                    resolved.close()
+            candidates = [result[0] for result in results]
+            self.screened_moves_per_restart = [result[1] for result in results]
+            self.restart_evaluations = [result[2] for result in results]
+            self.screened_moves = sum(self.screened_moves_per_restart)
+            # Fold the workers' evaluator traffic back into the shared
+            # evaluator so ``evaluations == cache_hits + cache_misses``
+            # keeps holding and totals match a serial run.  The
+            # hit/miss *split* can still differ from serial — serial
+            # restarts share one cache while workers each start cold —
+            # but the evaluation totals agree (evaluate() counts hits
+            # and misses alike).
+            self.evaluator.evaluations += sum(self.restart_evaluations)
+            self.evaluator.cache_hits += sum(result[3] for result in results)
+            self.evaluator.cache_misses += sum(result[4] for result in results)
+        # Replay of the serial best-of ranking: candidates arrive in
+        # restart order whatever the completion order, and strict `<`
+        # keeps the earliest restart on rank ties — exactly the serial
+        # loop's choice.
+        best: Optional[DesignPoint] = None
+        best_key: Optional[Tuple[int, float]] = None
+        for candidate in candidates:
             key = self._rank_key(candidate)
             if best_key is None or key < best_key:
                 best, best_key = candidate, key
         assert best is not None
         return best
+
+    def _restart_job(
+        self, initial: Mapping, scaling: Tuple[int, ...], restart: int
+    ) -> _RestartJob:
+        evaluator = self.evaluator
+        return _RestartJob(
+            graph=evaluator.graph,
+            platform=evaluator.platform,
+            deadline_s=evaluator.deadline_s,
+            ser_model=evaluator.ser_model,
+            power_model=evaluator.power_model,
+            comm_model=evaluator.comm_model,
+            objective=self.raw_objective,
+            config=self.config,
+            seed=self.seed,
+            deadline_penalty=self.deadline_penalty,
+            require_all_cores=self.require_all_cores,
+            screening=self.screening,
+            screen_threshold=self.screen_threshold,
+            initial=initial,
+            scaling=scaling,
+            restart=restart,
+        )
 
     def _rank_key(self, point: DesignPoint) -> Tuple[int, float]:
         if not self.deadline_penalty:

@@ -18,7 +18,7 @@ makespan / product objective — Exp:1-3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, is_dataclass, replace
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.arch.mpsoc import MPSoC
@@ -50,6 +50,11 @@ class SEAMapper:
     A picklable callable (the process execution backend ships mappers
     to workers); build via :func:`sea_mapper` for the documented
     defaults.
+
+    ``restarts`` overrides the size-derived restart count of the
+    stage-2 annealer; ``restart_backend`` dispatches those restarts
+    through an execution backend (any choice selects the bit-identical
+    design — see :class:`~repro.optim.annealing.AnnealingConfig`).
     """
 
     search_iterations: int = 1500
@@ -57,10 +62,14 @@ class SEAMapper:
     time_limit_s: Optional[float] = None
     engine: str = "anneal"
     screen_moves: bool = False
+    restarts: Optional[int] = None
+    restart_backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.engine not in ("anneal", "walk"):
             raise ValueError(f"unknown stage-2 engine {self.engine!r}")
+        if self.restarts is not None and self.restarts <= 0:
+            raise ValueError("restarts must be positive")
 
     def __call__(
         self, evaluator: MappingEvaluator, scaling: Tuple[int, ...], seed: Optional[int]
@@ -80,8 +89,16 @@ class SEAMapper:
             # basins and best-of-two is markedly more reliable — and a
             # single longer run once the budget is already large.
             iterations = max(self.search_iterations, 100 * evaluator.graph.num_tasks)
-            restarts = 2 if 1000 <= iterations <= 4000 else 1
-            config = AnnealingConfig(max_iterations=iterations, restarts=restarts)
+            restarts = (
+                self.restarts
+                if self.restarts is not None
+                else (2 if 1000 <= iterations <= 4000 else 1)
+            )
+            config = AnnealingConfig(
+                max_iterations=iterations,
+                restarts=restarts,
+                restart_backend=self.restart_backend,
+            )
             mapper = SimulatedAnnealingMapper(
                 evaluator,
                 SEUObjective(),
@@ -109,6 +126,8 @@ def sea_mapper(
     time_limit_s: Optional[float] = None,
     engine: str = "anneal",
     screen_moves: bool = False,
+    restarts: Optional[int] = None,
+    restart_backend: Optional[str] = None,
 ) -> Mapper:
     """The proposed two-stage soft error-aware mapper (Exp:4).
 
@@ -130,6 +149,10 @@ def sea_mapper(
         :mod:`repro.mapping.incremental`).  Faster, but a screened run
         visits different neighbours than an unscreened one; the paper
         artifacts keep it off.
+    restarts / restart_backend:
+        Stage-2 annealer restart count (``None`` keeps the
+        size-derived default) and the execution backend its restarts
+        run on; any backend selects the bit-identical design.
     """
     return SEAMapper(
         search_iterations=search_iterations,
@@ -137,6 +160,8 @@ def sea_mapper(
         time_limit_s=time_limit_s,
         engine=engine,
         screen_moves=screen_moves,
+        restarts=restarts,
+        restart_backend=restart_backend,
     )
 
 
@@ -152,6 +177,12 @@ class BaselineMapper:
     deadline_penalty: bool = False
     require_all_cores: bool = True
     screen_moves: bool = False
+    restarts: Optional[int] = None
+    restart_backend: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.restarts is not None and self.restarts <= 0:
+            raise ValueError("restarts must be positive")
 
     def __call__(
         self, evaluator: MappingEvaluator, scaling: Tuple[int, ...], seed: Optional[int]
@@ -159,11 +190,20 @@ class BaselineMapper:
         initial = Mapping.round_robin(evaluator.graph, evaluator.platform.num_cores)
         # Match the proposed flow's size-scaled budget for fairness.
         base = self.config or AnnealingConfig()
-        iterations = max(base.max_iterations, 100 * evaluator.graph.num_tasks)
+        config = replace(
+            base,
+            max_iterations=max(base.max_iterations, 100 * evaluator.graph.num_tasks),
+            restarts=self.restarts if self.restarts is not None else base.restarts,
+            restart_backend=(
+                self.restart_backend
+                if self.restart_backend is not None
+                else base.restart_backend
+            ),
+        )
         mapper = SimulatedAnnealingMapper(
             evaluator,
             self.objective,
-            config=replace(base, max_iterations=iterations),
+            config=config,
             seed=seed,
             deadline_penalty=self.deadline_penalty,
             require_all_cores=self.require_all_cores,
@@ -178,12 +218,16 @@ def baseline_mapper(
     deadline_penalty: bool = False,
     require_all_cores: bool = True,
     screen_moves: bool = False,
+    restarts: Optional[int] = None,
+    restart_backend: Optional[str] = None,
 ) -> Mapper:
     """A soft error-unaware SA mapper for ``objective`` (Exp:1-3).
 
     Defaults follow the paper's baseline [13]: the annealer optimizes
     its objective without deadline awareness (the scaling sweep
-    handles timing) and keeps every core populated.
+    handles timing) and keeps every core populated.  ``restarts`` /
+    ``restart_backend`` override the annealing config's restart count
+    and dispatch backend (results stay bit-identical across backends).
     """
     return BaselineMapper(
         objective=objective,
@@ -191,6 +235,8 @@ def baseline_mapper(
         deadline_penalty=deadline_penalty,
         require_all_cores=require_all_cores,
         screen_moves=screen_moves,
+        restarts=restarts,
+        restart_backend=restart_backend,
     )
 
 
@@ -241,6 +287,26 @@ class _ScalingJob:
 def _run_scaling_job(job: _ScalingJob) -> Tuple[DesignPoint, int]:
     """Module-level trampoline so process pools can pickle the call."""
     return job.run()
+
+
+def _serial_restart_mapper(mapper: Optional[Mapper]) -> Optional[Mapper]:
+    """A copy of ``mapper`` with its restart dispatch forced serial.
+
+    A scaling job shipped to a parallel backend must not open a second
+    pool for its annealing restarts — the outer sweep already owns the
+    machine's parallelism, and nested pools would only oversubscribe
+    it.  By the restart determinism contract this changes wall-clock
+    only, never the selected design.  Mappers without the knob
+    (arbitrary callables) pass through unchanged.
+
+    Forced unconditionally on mappers that have the field: a
+    ``BaselineMapper`` may carry the backend inside its ``config``
+    with the field itself ``None``, and the field override always
+    wins in ``__call__``.
+    """
+    if is_dataclass(mapper) and hasattr(mapper, "restart_backend"):
+        return replace(mapper, restart_backend="serial")
+    return mapper
 
 
 @dataclass(frozen=True)
@@ -345,6 +411,10 @@ class DesignOptimizer:
         evaluators), and the serial early-exit policy is replayed
         over the ordered parallel results, so every backend selects
         the **identical** design; only wall-clock changes.
+    max_workers:
+        Pool size cap for pooled backends resolved from a string spec
+        (``None`` sizes pools from the machine).  Ignored when
+        ``backend`` is already an :class:`ExecutionBackend` instance.
     """
 
     def __init__(
@@ -361,6 +431,7 @@ class DesignOptimizer:
         tiebreak: Optional[Objective] = None,
         remap_per_scaling: bool = True,
         backend: BackendSpec = None,
+        max_workers: Optional[int] = None,
     ) -> None:
         if deadline_s <= 0:
             raise ValueError("deadline must be positive")
@@ -383,6 +454,9 @@ class DesignOptimizer:
         self.seed = seed
         self.remap_per_scaling = remap_per_scaling
         self.backend: BackendSpec = backend
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError(f"max_workers must be positive, got {max_workers}")
+        self.max_workers = max_workers
 
     def power_proxy(self, scaling: Tuple[int, ...]) -> float:
         """Cheap analytic power estimate for ordering the sweep.
@@ -448,12 +522,18 @@ class DesignOptimizer:
             fixed_mapping = self.mapper(self.evaluator, nominal, self.seed).mapping
 
         spec = backend if backend is not None else self.backend
+        # The probe is only built if the "auto" branch needs to pickle
+        # one — constructing a full _ScalingJob for a serial run (or a
+        # spec that never probes) would be pure waste.
         resolved = resolve_backend(
             spec,
             task_count=len(scalings),
-            payload_probe=self._scaling_job(scalings[0], fixed_mapping)
-            if scalings
-            else None,
+            probe_factory=(
+                (lambda: self._scaling_job(scalings[0], fixed_mapping))
+                if scalings
+                else None
+            ),
+            max_workers=self.max_workers,
         )
         if isinstance(resolved, SerialBackend):
             outcome = self._optimize_serial(scalings, fixed_mapping)
@@ -525,7 +605,10 @@ class DesignOptimizer:
         while cursor < len(scalings) and not stopped:
             wave = scalings[cursor : cursor + wave_size]
             cursor += len(wave)
-            jobs = [self._scaling_job(scaling, fixed_mapping) for scaling in wave]
+            jobs = [
+                self._scaling_job(scaling, fixed_mapping, serial_restarts=True)
+                for scaling in wave
+            ]
             results = backend.map(_run_scaling_job, jobs)
             for scaling, (point, spent) in zip(wave, results):
                 child_evaluations += spent
@@ -542,9 +625,15 @@ class DesignOptimizer:
         return outcome
 
     def _scaling_job(
-        self, scaling: Tuple[int, ...], fixed_mapping: Optional[Mapping]
+        self,
+        scaling: Tuple[int, ...],
+        fixed_mapping: Optional[Mapping],
+        serial_restarts: bool = False,
     ) -> _ScalingJob:
         evaluator = self.evaluator
+        mapper = self.mapper if fixed_mapping is None else None
+        if serial_restarts:
+            mapper = _serial_restart_mapper(mapper)
         return _ScalingJob(
             graph=self.graph,
             platform=self.platform,
@@ -552,7 +641,7 @@ class DesignOptimizer:
             ser_model=evaluator.ser_model,
             power_model=evaluator.power_model,
             comm_model=evaluator.comm_model,
-            mapper=self.mapper if fixed_mapping is None else None,
+            mapper=mapper,
             fixed_mapping=fixed_mapping,
             scaling=scaling,
             seed=None if self.seed is None else self.seed + self._scaling_seed(scaling),

@@ -50,6 +50,9 @@ class SearchResult:
         Times the best point improved.
     history:
         Optional (iteration, Gamma of best) checkpoints.
+    screened_moves:
+        Neighbours pruned by incremental screening during *this* run
+        (0 when screening is off).
     """
 
     best: DesignPoint
@@ -57,6 +60,7 @@ class SearchResult:
     iterations: int
     improvements: int
     history: List[Tuple[int, float]] = field(default_factory=list)
+    screened_moves: int = 0
 
 
 class OptimizedMappingSearch:
@@ -132,6 +136,8 @@ class OptimizedMappingSearch:
     ) -> SearchResult:
         """Optimize from ``initial`` under ``scaling`` (defaults to platform's)."""
         rng = random.Random(self.seed)
+        # Per-run stat: a second run() must not inherit the first's count.
+        self.screened_moves = 0
         evaluator = self.evaluator
         deadline = evaluator.deadline_s
         graph = evaluator.graph
@@ -235,4 +241,5 @@ class OptimizedMappingSearch:
             iterations=iterations,
             improvements=improvements,
             history=history,
+            screened_moves=self.screened_moves,
         )

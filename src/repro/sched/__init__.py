@@ -12,7 +12,18 @@ incoming edge (the receive), all executed at the core's scaled clock.
 Same-core edges cost nothing.
 """
 
-from repro.sched.schedule import Schedule, ScheduledTask
+from repro.sched.schedule import (
+    Schedule,
+    ScheduledTask,
+    from_arrays_validation_enabled,
+    set_from_arrays_validation,
+)
 from repro.sched.list_scheduler import ListScheduler
 
-__all__ = ["ListScheduler", "Schedule", "ScheduledTask"]
+__all__ = [
+    "ListScheduler",
+    "Schedule",
+    "ScheduledTask",
+    "from_arrays_validation_enabled",
+    "set_from_arrays_validation",
+]

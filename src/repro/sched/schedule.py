@@ -19,11 +19,48 @@ objects it does not look at.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.mapping.mapping import Mapping
 from repro.taskgraph.graph import TaskGraph
+
+#: Debug-mode row validation for :meth:`Schedule.from_arrays`.  The
+#: compiled list scheduler's rows are trusted by construction, but
+#: schedules now also cross process boundaries (restart and experiment
+#: fan-out jobs) and other producers may appear; flipping this on makes
+#: ``from_arrays`` run the same duplicate/core-range/array-shape checks
+#: the entry-based constructor performs.  Seed it from the environment
+#: (``REPRO_VALIDATE_SCHEDULES=1``) so whole test runs can opt in
+#: without code changes.
+_VALIDATE_FROM_ARRAYS = os.environ.get(
+    "REPRO_VALIDATE_SCHEDULES", ""
+).strip().lower() in ("1", "true", "yes", "on")
+
+
+def set_from_arrays_validation(enabled: bool) -> bool:
+    """Toggle debug validation of :meth:`Schedule.from_arrays` rows.
+
+    Returns the previous setting so callers (tests, debug sessions)
+    can restore it.
+
+    Per-process only: process-pool workers import this module afresh
+    and never see the parent's toggle.  To vet producers that build
+    schedules *inside* workers (restart or experiment fan-out jobs on
+    the process backend), set ``REPRO_VALIDATE_SCHEDULES=1`` in the
+    environment instead — workers inherit the environment, so the
+    flag arms validation everywhere.
+    """
+    global _VALIDATE_FROM_ARRAYS
+    previous = _VALIDATE_FROM_ARRAYS
+    _VALIDATE_FROM_ARRAYS = bool(enabled)
+    return previous
+
+
+def from_arrays_validation_enabled() -> bool:
+    """Whether :meth:`Schedule.from_arrays` currently validates rows."""
+    return _VALIDATE_FROM_ARRAYS
 
 
 @dataclass(frozen=True)
@@ -140,7 +177,27 @@ class Schedule:
         no :class:`ScheduledTask` objects are created until somebody
         iterates the schedule.  Rows may arrive in any order; they are
         put into canonical ``(start, core, name)`` order here.
+
+        Rows are trusted by default (they come from the scheduler's own
+        state); :func:`set_from_arrays_validation` — or
+        ``REPRO_VALIDATE_SCHEDULES=1`` in the environment — turns on
+        the entry-constructor's duplicate/core-range checks plus an
+        array-shape check for debugging new producers.
         """
+        validate = _VALIDATE_FROM_ARRAYS
+        if validate:
+            lengths = {
+                len(names),
+                len(cores),
+                len(starts),
+                len(finishes),
+                len(compute_cycles),
+                len(receive_cycles),
+            }
+            if len(lengths) != 1:
+                raise ValueError(
+                    f"parallel schedule arrays disagree on length: {sorted(lengths)}"
+                )
         order = sorted(
             range(len(names)), key=lambda i: (starts[i], cores[i], names[i])
         )
@@ -154,7 +211,7 @@ class Schedule:
             [receive_cycles[i] for i in order],
             num_cores,
             frequencies_hz,
-            validate=False,  # rows come from the scheduler's own state
+            validate=validate,
         )
         schedule._entries_cache = None
         return schedule

@@ -72,3 +72,46 @@ class TestCommands:
         assert code == 0
         assert "shape checks" in captured.out
         assert "[PASS]" in captured.out
+
+
+class TestParallelFlags:
+    def test_defaults(self):
+        args = build_parser().parse_args(["experiment", "fig3"])
+        assert args.backend == "serial"
+        assert args.experiment_backend == "serial"
+        assert args.restart_backend == "serial"
+        assert args.max_workers is None
+        assert args.restarts is None
+
+    def test_profile_plumbing(self):
+        from repro.cli import _profile_from
+
+        args = build_parser().parse_args(
+            [
+                "experiment",
+                "table3",
+                "--backend",
+                "thread",
+                "--experiment-backend",
+                "process",
+                "--restart-backend",
+                "auto",
+                "--max-workers",
+                "3",
+                "--restarts",
+                "2",
+            ]
+        )
+        profile = _profile_from(args)
+        assert profile.exec_backend == "thread"
+        assert profile.experiment_backend == "process"
+        assert profile.restart_backend == "auto"
+        assert profile.exec_max_workers == 3
+        assert profile.sa_restarts == 2
+
+    def test_serial_flags_leave_profile_defaults(self):
+        from repro.cli import _profile_from
+        from repro.experiments import ExperimentProfile
+
+        args = build_parser().parse_args(["experiment", "fig3"])
+        assert _profile_from(args) == ExperimentProfile.fast()

@@ -1,0 +1,97 @@
+"""The batch evaluation API: exact parity with per-call evaluate()."""
+
+import pytest
+
+from repro.arch import MPSoC
+from repro.mapping import Mapping, MappingEvaluator
+from repro.mapping.enumeration import stratified_mappings
+from repro.taskgraph import mpeg2_decoder
+from repro.taskgraph.mpeg2 import MPEG2_DEADLINE_S
+
+SCALING = (2, 2, 3, 2)
+
+
+@pytest.fixture(scope="module")
+def mpeg2():
+    return mpeg2_decoder()
+
+
+def _evaluator(mpeg2, **kwargs):
+    return MappingEvaluator(
+        mpeg2, MPSoC.paper_reference(4), deadline_s=MPEG2_DEADLINE_S, **kwargs
+    )
+
+
+def _sample(mpeg2, count=25):
+    return stratified_mappings(mpeg2, 4, count, seed=0)
+
+
+class TestEvaluateBatch:
+    def test_matches_per_call_evaluate(self, mpeg2):
+        mappings = _sample(mpeg2)
+        batch_evaluator = _evaluator(mpeg2)
+        single_evaluator = _evaluator(mpeg2)
+        batch = batch_evaluator.evaluate_batch(mappings, SCALING)
+        singles = [single_evaluator.evaluate(m, SCALING) for m in mappings]
+        assert len(batch) == len(singles)
+        for batched, single in zip(batch, singles):
+            assert batched == single
+
+    def test_cache_counters_match_per_call(self, mpeg2):
+        # Duplicates inside the batch must hit the cache exactly as a
+        # per-call loop would, and the counters must agree.
+        mappings = _sample(mpeg2)
+        mixed = mappings + mappings[:7] + [mappings[0]]
+        batch_evaluator = _evaluator(mpeg2)
+        single_evaluator = _evaluator(mpeg2)
+        batch_evaluator.evaluate_batch(mixed, SCALING)
+        for mapping in mixed:
+            single_evaluator.evaluate(mapping, SCALING)
+        assert batch_evaluator.cache_info == single_evaluator.cache_info
+        assert batch_evaluator.evaluations == single_evaluator.evaluations
+        assert batch_evaluator.cache_hits == 8
+
+    def test_batch_seeds_cache_for_evaluate(self, mpeg2):
+        evaluator = _evaluator(mpeg2)
+        mappings = _sample(mpeg2, count=5)
+        evaluator.evaluate_batch(mappings, SCALING)
+        misses = evaluator.cache_misses
+        evaluator.evaluate(mappings[0], SCALING)
+        assert evaluator.cache_misses == misses  # pure hit
+
+    def test_cache_disabled(self, mpeg2):
+        evaluator = _evaluator(mpeg2, cache_size=0)
+        mappings = _sample(mpeg2, count=4)
+        points = evaluator.evaluate_batch(mappings + mappings, SCALING)
+        assert len(points) == 8
+        assert evaluator.cache_hits == 0
+        assert evaluator.cache_misses == 8
+
+    def test_empty_batch(self, mpeg2):
+        evaluator = _evaluator(mpeg2)
+        assert evaluator.evaluate_batch([], SCALING) == []
+        assert evaluator.evaluations == 0
+
+    def test_default_scaling(self, mpeg2):
+        evaluator = _evaluator(mpeg2)
+        mapping = Mapping.round_robin(mpeg2, 4)
+        batched = evaluator.evaluate_batch([mapping])[0]
+        assert batched == evaluator.evaluate(mapping)
+        assert evaluator.cache_hits == 1
+
+    def test_rejects_bad_scaling_width(self, mpeg2):
+        evaluator = _evaluator(mpeg2)
+        with pytest.raises(ValueError, match="entries"):
+            evaluator.evaluate_batch([Mapping.round_robin(mpeg2, 4)], (1, 1))
+
+    def test_matches_reference_path(self, mpeg2):
+        # The batch path is still the compiled evaluation; spot-check
+        # one point against the seed implementation.
+        evaluator = _evaluator(mpeg2)
+        mapping = Mapping.round_robin(mpeg2, 4)
+        batched = evaluator.evaluate_batch([mapping], SCALING)[0]
+        reference = evaluator.evaluate_reference(mapping, SCALING)
+        assert batched.power_mw == reference.power_mw
+        assert batched.expected_seus == reference.expected_seus
+        assert batched.makespan_s == reference.makespan_s
+        assert batched.register_bits_per_core == reference.register_bits_per_core

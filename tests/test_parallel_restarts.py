@@ -1,0 +1,352 @@
+"""Restart-level parallelism: determinism contract and screening stats."""
+
+import pickle
+
+import pytest
+
+from repro.arch import MPSoC
+from repro.exec import SerialBackend, resolve_backend
+from repro.mapping import Mapping, MappingEvaluator
+from repro.optim import (
+    AnnealingConfig,
+    DesignOptimizer,
+    OptimizedMappingSearch,
+    RegisterUsageObjective,
+    SEUObjective,
+    SimulatedAnnealingMapper,
+    baseline_mapper,
+    sea_mapper,
+)
+from repro.optim.annealing import _RestartJob
+from repro.taskgraph import mpeg2_decoder
+from repro.taskgraph.mpeg2 import MPEG2_DEADLINE_S
+
+SCALING = (2, 2, 3, 2)
+
+
+@pytest.fixture(scope="module")
+def mpeg2():
+    return mpeg2_decoder()
+
+
+def _mapper(graph, backend=None, screening=False, restarts=3, **kwargs):
+    evaluator = MappingEvaluator(
+        graph, MPSoC.paper_reference(4), deadline_s=MPEG2_DEADLINE_S
+    )
+    return SimulatedAnnealingMapper(
+        evaluator,
+        SEUObjective(),
+        config=AnnealingConfig(max_iterations=250, restarts=restarts),
+        seed=11,
+        deadline_penalty=True,
+        require_all_cores=True,
+        screening=screening,
+        backend=backend,
+        **kwargs,
+    )
+
+
+def _assert_same_point(first, second):
+    assert first.mapping == second.mapping
+    assert first.scaling == second.scaling
+    assert first.power_mw == second.power_mw
+    assert first.expected_seus == second.expected_seus
+    assert first.makespan_s == second.makespan_s
+
+
+class TestParallelRestartParity:
+    """Thread and process restart dispatch select the serial design."""
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_backend_matches_serial(self, mpeg2, backend):
+        initial = Mapping.round_robin(mpeg2, 4)
+        serial_mapper = _mapper(mpeg2)
+        parallel_mapper = _mapper(mpeg2, backend=backend)
+        serial = serial_mapper.run(initial, SCALING)
+        parallel = parallel_mapper.run(initial, SCALING)
+        _assert_same_point(serial, parallel)
+        assert (
+            parallel_mapper.restart_evaluations == serial_mapper.restart_evaluations
+        )
+
+    def test_screened_stats_match_serial(self, mpeg2):
+        initial = Mapping.round_robin(mpeg2, 4)
+        serial_mapper = _mapper(mpeg2, screening=True, screen_threshold=0.5)
+        thread_mapper = _mapper(
+            mpeg2, backend="thread", screening=True, screen_threshold=0.5
+        )
+        _assert_same_point(
+            serial_mapper.run(initial, SCALING), thread_mapper.run(initial, SCALING)
+        )
+        assert serial_mapper.screened_moves > 0
+        assert (
+            thread_mapper.screened_moves_per_restart
+            == serial_mapper.screened_moves_per_restart
+        )
+        assert thread_mapper.screened_moves == serial_mapper.screened_moves
+
+    def test_single_restart_stays_serial(self, mpeg2):
+        # One restart never pays dispatch overhead, whatever the spec.
+        initial = Mapping.round_robin(mpeg2, 4)
+        mapper = _mapper(mpeg2, backend="process", restarts=1)
+        serial = _mapper(mpeg2, restarts=1)
+        _assert_same_point(serial.run(initial, SCALING), mapper.run(initial, SCALING))
+
+    def test_restart_jobs_are_picklable(self, mpeg2):
+        mapper = _mapper(mpeg2, screening=True)
+        job = mapper._restart_job(Mapping.round_robin(mpeg2, 4), SCALING, 2)
+        clone = pickle.loads(pickle.dumps(job))
+        assert clone.restart == 2
+        assert clone.scaling == SCALING
+
+    def test_restart_job_reproduces_run_once(self, mpeg2):
+        mapper = _mapper(mpeg2)
+        initial = Mapping.round_robin(mpeg2, 4)
+        job = mapper._restart_job(initial, SCALING, 1)
+        point, screened, evaluations, hits, misses = job.run()
+        _assert_same_point(point, mapper._run_once(initial, SCALING, 1))
+        assert screened == 0
+        assert evaluations > 0
+        assert evaluations == hits + misses
+
+
+class TestScreenedMovesReset:
+    """Regression: screening stats must reset on every run()."""
+
+    def test_annealer_second_run_not_inflated(self, mpeg2):
+        mapper = _mapper(mpeg2, screening=True, screen_threshold=0.5)
+        initial = Mapping.round_robin(mpeg2, 4)
+        mapper.run(initial, SCALING)
+        first = mapper.screened_moves
+        first_per_restart = list(mapper.screened_moves_per_restart)
+        assert first > 0
+        assert sum(first_per_restart) == first
+        assert len(first_per_restart) == mapper.config.restarts
+        mapper.run(initial, SCALING)
+        assert mapper.screened_moves == first
+        assert mapper.screened_moves_per_restart == first_per_restart
+
+    def test_optimized_search_second_run_not_inflated(self, mpeg2):
+        evaluator = MappingEvaluator(
+            mpeg2, MPSoC.paper_reference(4), deadline_s=MPEG2_DEADLINE_S
+        )
+        search = OptimizedMappingSearch(
+            evaluator, max_iterations=250, seed=3, screen_moves=True
+        )
+        initial = Mapping.round_robin(mpeg2, 4)
+        first = search.run(initial, SCALING)
+        count = search.screened_moves
+        second = search.run(initial, SCALING)
+        assert search.screened_moves == count
+        assert first.screened_moves == count
+        assert second.screened_moves == count
+
+
+class TestRestartKnobs:
+    def test_config_validates_restart_backend(self):
+        with pytest.raises(ValueError, match="restart_backend"):
+            AnnealingConfig(restart_backend="gpu")
+        assert AnnealingConfig(restart_backend="thread").restart_backend == "thread"
+
+    def test_config_stays_picklable(self):
+        config = AnnealingConfig(restarts=4, restart_backend="process")
+        assert pickle.loads(pickle.dumps(config)) == config
+
+    def test_sea_mapper_restart_override(self, mpeg2):
+        evaluator = MappingEvaluator(
+            mpeg2, MPSoC.paper_reference(4), deadline_s=MPEG2_DEADLINE_S
+        )
+        mapper = sea_mapper(search_iterations=120, restarts=3)
+        assert mapper.restarts == 3
+        with pytest.raises(ValueError, match="restarts"):
+            sea_mapper(restarts=0)
+        point = mapper(evaluator, (1, 1, 1, 1), 0)
+        assert point.expected_seus > 0
+
+    def test_sea_mapper_backend_parity(self, mpeg2):
+        evaluator = MappingEvaluator(
+            mpeg2, MPSoC.paper_reference(4), deadline_s=MPEG2_DEADLINE_S
+        )
+        serial = sea_mapper(search_iterations=120, restarts=2)(
+            evaluator, (1, 1, 1, 1), 5
+        )
+        threaded = sea_mapper(
+            search_iterations=120, restarts=2, restart_backend="thread"
+        )(evaluator, (1, 1, 1, 1), 5)
+        _assert_same_point(serial, threaded)
+
+    def test_baseline_mapper_restart_override(self, mpeg2):
+        evaluator = MappingEvaluator(
+            mpeg2, MPSoC.paper_reference(4), deadline_s=MPEG2_DEADLINE_S
+        )
+        config = AnnealingConfig(max_iterations=150)
+        serial = baseline_mapper(
+            RegisterUsageObjective(), config=config, restarts=2
+        )(evaluator, (1, 1, 1, 1), 5)
+        threaded = baseline_mapper(
+            RegisterUsageObjective(),
+            config=config,
+            restarts=2,
+            restart_backend="thread",
+        )(evaluator, (1, 1, 1, 1), 5)
+        _assert_same_point(serial, threaded)
+        with pytest.raises(ValueError, match="restarts"):
+            baseline_mapper(RegisterUsageObjective(), restarts=-1)
+
+
+class TestEvaluationAccounting:
+    def test_parallel_restarts_fold_counts_into_evaluator(self, mpeg2):
+        # The stats contract: a backend changes wall-clock only, so the
+        # shared evaluator must report the same total either way.
+        initial = Mapping.round_robin(mpeg2, 4)
+        serial_mapper = _mapper(mpeg2)
+        thread_mapper = _mapper(mpeg2, backend="thread")
+        serial_mapper.run(initial, SCALING)
+        thread_mapper.run(initial, SCALING)
+        assert (
+            thread_mapper.evaluator.evaluations
+            == serial_mapper.evaluator.evaluations
+        )
+        # The hit/miss *split* may differ (serial restarts share one
+        # cache, workers start cold) but the accounting invariant must
+        # hold on both sides.
+        for evaluator in (serial_mapper.evaluator, thread_mapper.evaluator):
+            assert (
+                evaluator.evaluations
+                == evaluator.cache_hits + evaluator.cache_misses
+            )
+
+
+class TestNestedPoolGuard:
+    """A parallel scaling sweep must not open restart pools in workers."""
+
+    def test_serial_restart_mapper_forces_the_field(self):
+        from repro.optim.design_optimizer import _serial_restart_mapper
+
+        forced = _serial_restart_mapper(
+            sea_mapper(search_iterations=120, restarts=2, restart_backend="process")
+        )
+        assert forced.restart_backend == "serial"
+        # The backend can also ride in via the annealing config with
+        # the field itself None; the field override must still win.
+        baseline = baseline_mapper(
+            RegisterUsageObjective(),
+            config=AnnealingConfig(max_iterations=150, restart_backend="process"),
+        )
+        assert baseline.restart_backend is None
+        assert _serial_restart_mapper(baseline).restart_backend == "serial"
+        assert _serial_restart_mapper(None) is None
+
+    def test_parallel_sweep_jobs_carry_serial_restarts(self, mpeg2):
+        optimizer = DesignOptimizer(
+            mpeg2,
+            MPSoC.paper_reference(4),
+            deadline_s=MPEG2_DEADLINE_S,
+            mapper=sea_mapper(
+                search_iterations=120, restarts=2, restart_backend="thread"
+            ),
+            seed=0,
+        )
+        job = optimizer._scaling_job((1, 1, 1, 1), None, serial_restarts=True)
+        assert job.mapper.restart_backend == "serial"
+
+    def test_combined_cuts_still_match_serial(self, mpeg2):
+        def build(backend, restart_backend):
+            return DesignOptimizer(
+                mpeg2,
+                MPSoC.paper_reference(4),
+                deadline_s=MPEG2_DEADLINE_S,
+                mapper=sea_mapper(
+                    search_iterations=120,
+                    restarts=2,
+                    restart_backend=restart_backend,
+                ),
+                stop_after_feasible=2,
+                seed=0,
+                backend=backend,
+            )
+
+        serial = build(None, None).optimize()
+        combined = build("thread", "thread").optimize()
+        assert serial.best is not None and combined.best is not None
+        _assert_same_point(serial.best, combined.best)
+
+
+class TestLazyProbe:
+    """Regression: probes are only built when the auto branch needs one."""
+
+    def test_probe_factory_untouched_for_explicit_specs(self):
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return (1, 2)
+
+        for spec in (None, "serial", "thread", "process", SerialBackend()):
+            backend = resolve_backend(spec, task_count=8, probe_factory=factory)
+            backend.close()
+        assert calls == []
+
+    def test_optimizer_serial_sweep_builds_no_jobs(self, mpeg2, monkeypatch):
+        optimizer = DesignOptimizer(
+            mpeg2,
+            MPSoC.paper_reference(4),
+            deadline_s=MPEG2_DEADLINE_S,
+            mapper=sea_mapper(search_iterations=120),
+            stop_after_feasible=2,
+            seed=0,
+        )
+        calls = []
+        original = optimizer._scaling_job
+
+        def counting(scaling, fixed_mapping):
+            calls.append(scaling)
+            return original(scaling, fixed_mapping)
+
+        monkeypatch.setattr(optimizer, "_scaling_job", counting)
+        assert optimizer.optimize().best is not None
+        assert calls == []
+
+    def test_annealer_serial_run_builds_no_jobs(self, mpeg2, monkeypatch):
+        mapper = _mapper(mpeg2)
+        monkeypatch.setattr(
+            mapper,
+            "_restart_job",
+            lambda *args, **kwargs: pytest.fail("serial run built a restart job"),
+        )
+        assert mapper.run(Mapping.round_robin(mpeg2, 4), SCALING) is not None
+
+
+class TestMaxWorkersPlumbing:
+    def test_optimizer_rejects_bad_max_workers(self, mpeg2):
+        with pytest.raises(ValueError, match="max_workers"):
+            DesignOptimizer(
+                mpeg2,
+                MPSoC.paper_reference(4),
+                deadline_s=MPEG2_DEADLINE_S,
+                max_workers=0,
+            )
+
+    def test_optimizer_max_workers_reaches_backend(self, mpeg2, monkeypatch):
+        import repro.optim.design_optimizer as module
+
+        seen = {}
+        original = module.resolve_backend
+
+        def capturing(spec, **kwargs):
+            seen.update(kwargs)
+            return original(spec, **kwargs)
+
+        monkeypatch.setattr(module, "resolve_backend", capturing)
+        optimizer = DesignOptimizer(
+            mpeg2,
+            MPSoC.paper_reference(4),
+            deadline_s=MPEG2_DEADLINE_S,
+            mapper=sea_mapper(search_iterations=120),
+            stop_after_feasible=2,
+            seed=0,
+            backend="thread",
+            max_workers=2,
+        )
+        assert optimizer.optimize().best is not None
+        assert seen["max_workers"] == 2

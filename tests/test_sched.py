@@ -195,3 +195,63 @@ class TestScheduleStructure:
         schedule = Schedule([], num_cores=1, frequencies_hz=[1.0])
         assert schedule.makespan_s() == 0.0
         assert schedule.gantt_text() == "(empty schedule)"
+
+
+class TestFromArraysValidation:
+    """The debug-mode row validation toggle for Schedule.from_arrays."""
+
+    @pytest.fixture(autouse=True)
+    def _restore_toggle(self):
+        from repro.sched import set_from_arrays_validation
+
+        previous = set_from_arrays_validation(False)
+        yield
+        set_from_arrays_validation(previous)
+
+    def _arrays(self):
+        # (names, cores, starts, finishes, compute, receive)
+        return (["a", "b"], [0, 1], [0.0, 0.0], [1.0, 2.0], [100, 200], [0, 0])
+
+    def test_off_by_default_trusts_rows(self):
+        from repro.sched import from_arrays_validation_enabled
+
+        assert not from_arrays_validation_enabled()
+        names, cores, starts, finishes, compute, receive = self._arrays()
+        # Duplicate name sails through when validation is off (rows are
+        # trusted to come from the scheduler's own state).
+        schedule = Schedule.from_arrays(
+            ["a", "a"], cores, starts, finishes, compute, receive, 2, [1.0, 1.0]
+        )
+        assert len(schedule) == 2
+
+    def test_toggle_catches_duplicates_and_bad_cores(self):
+        from repro.sched import set_from_arrays_validation
+
+        assert set_from_arrays_validation(True) is False
+        names, cores, starts, finishes, compute, receive = self._arrays()
+        with pytest.raises(ValueError, match="scheduled twice"):
+            Schedule.from_arrays(
+                ["a", "a"], cores, starts, finishes, compute, receive, 2, [1.0, 1.0]
+            )
+        with pytest.raises(ValueError, match="invalid core"):
+            Schedule.from_arrays(
+                names, [0, 7], starts, finishes, compute, receive, 2, [1.0, 1.0]
+            )
+
+    def test_toggle_catches_ragged_arrays(self):
+        from repro.sched import set_from_arrays_validation
+
+        set_from_arrays_validation(True)
+        names, cores, starts, finishes, compute, receive = self._arrays()
+        with pytest.raises(ValueError, match="disagree on length"):
+            Schedule.from_arrays(
+                names, cores, starts[:1], finishes, compute, receive, 2, [1.0, 1.0]
+            )
+
+    def test_valid_rows_pass_with_validation_on(self, mpeg2):
+        from repro.sched import set_from_arrays_validation
+
+        set_from_arrays_validation(True)
+        mapping = Mapping.round_robin(mpeg2, 4)
+        schedule = ListScheduler(mpeg2, [2e8] * 4).schedule(mapping)
+        schedule.verify(mpeg2, mapping)

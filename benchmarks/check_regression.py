@@ -1,0 +1,233 @@
+#!/usr/bin/env python
+"""CI perf-regression gate over pytest-benchmark JSON output.
+
+Compares the scheduling/evaluation rows of a fresh bench_micro run
+(``BENCH_latest.json``) against the committed baseline
+(``benchmarks/baseline.json``) and fails — exit code 1 — when any
+gated row's median slowed down by more than the tolerance (default
+25%).
+
+Usage::
+
+    python benchmarks/check_regression.py BENCH_latest.json
+    python benchmarks/check_regression.py BENCH_latest.json \
+        --baseline benchmarks/baseline.json --tolerance 0.25
+    python benchmarks/check_regression.py BENCH_latest.json --update
+
+Behaviour:
+
+* **Missing baseline** — the gate passes (exit 0) and prints the
+  bootstrap instruction; with ``--update`` it writes the latest run as
+  the first baseline so it can be committed.
+* **Gated rows** are the benchmarks whose name contains any of the
+  ``--patterns`` substrings (default: the list-scheduler, design-point
+  evaluation and batch-evaluation rows).  Other rows are reported for
+  context but never fail the gate.
+* **New rows** (in the latest run but not the baseline) are reported
+  and pass; refresh the baseline to start gating them.  **Missing
+  gated rows** (in the baseline but absent from the run) fail — a
+  silently dropped benchmark must be an explicit baseline refresh,
+  not an accident.
+* Speedups beyond the tolerance are flagged as candidates for a
+  baseline refresh so the gate keeps teeth after an optimization
+  lands.
+
+The medians are wall-clock on the runner executing the gate, so the
+committed baseline must come from the same class of machine that
+enforces it (CI refreshes: download the ``bench-micro-json`` artifact
+from a green run and commit it as ``benchmarks/baseline.json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Sequence
+
+#: Benchmark-name substrings the gate enforces (scheduling/evaluation
+#: hot paths).  Everything else is informational.
+DEFAULT_PATTERNS = (
+    "list_scheduler",
+    "design_point_evaluation",
+    "evaluate_batch",
+)
+
+DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "baseline.json")
+DEFAULT_METRIC = "median"
+
+
+def load_medians(path: str, metric: str = DEFAULT_METRIC) -> Dict[str, float]:
+    """Benchmark name -> stat (seconds) from a pytest-benchmark JSON."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    medians: Dict[str, float] = {}
+    for row in payload.get("benchmarks", []):
+        medians[row["name"]] = float(row["stats"][metric])
+    return medians
+
+
+def write_baseline(latest_path: str, baseline_path: str) -> None:
+    """Write ``latest_path`` as the committed baseline, slimmed.
+
+    pytest-benchmark JSON carries every round's raw timing (easily
+    100k+ lines); the gate only reads the aggregate stats, so the
+    committed baseline keeps name + stats (minus the raw ``data``
+    list) per benchmark plus the provenance header.
+    """
+    with open(latest_path) as handle:
+        payload = json.load(handle)
+    slim = {
+        "machine_info": payload.get("machine_info"),
+        "commit_info": payload.get("commit_info"),
+        "datetime": payload.get("datetime"),
+        "version": payload.get("version"),
+        "benchmarks": [
+            {
+                "name": row["name"],
+                "fullname": row.get("fullname"),
+                "stats": {
+                    key: value
+                    for key, value in row["stats"].items()
+                    if key != "data"
+                },
+            }
+            for row in payload.get("benchmarks", [])
+        ],
+    }
+    with open(baseline_path, "w") as handle:
+        json.dump(slim, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def is_gated(name: str, patterns: Sequence[str]) -> bool:
+    return any(pattern in name for pattern in patterns)
+
+
+def format_row(name: str, base: float, latest: float, note: str) -> str:
+    ratio = latest / base if base > 0 else float("inf")
+    return (
+        f"  {name:<55s} {base * 1e6:>10.1f} us {latest * 1e6:>10.1f} us "
+        f"{ratio:>7.2f}x  {note}"
+    )
+
+
+def main(argv: Sequence[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("latest", help="pytest-benchmark JSON of the fresh run")
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help="committed baseline JSON (default: benchmarks/baseline.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("BENCH_GATE_TOLERANCE", "0.25")),
+        help=(
+            "allowed relative slowdown before failing, e.g. 0.25 = 25%% "
+            "(default: 0.25, env override BENCH_GATE_TOLERANCE)"
+        ),
+    )
+    parser.add_argument(
+        "--metric",
+        default=DEFAULT_METRIC,
+        choices=["median", "mean", "min"],
+        help="pytest-benchmark stat to compare (default: median)",
+    )
+    parser.add_argument(
+        "--patterns",
+        nargs="*",
+        default=list(DEFAULT_PATTERNS),
+        help="benchmark-name substrings the gate enforces",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="write the latest run over the baseline (bootstrap/refresh)",
+    )
+    args = parser.parse_args(argv)
+    if args.tolerance < 0:
+        parser.error("tolerance must be non-negative")
+
+    if not os.path.exists(args.baseline):
+        print(f"no baseline at {args.baseline}; gate passes (first run).")
+        if args.update:
+            write_baseline(args.latest, args.baseline)
+            print(f"wrote first baseline: {args.baseline} <- {args.latest}")
+        else:
+            print(
+                "bootstrap: commit this run as the first baseline with\n"
+                f"  python {sys.argv[0]} {args.latest} --update"
+            )
+        return 0
+
+    baseline = load_medians(args.baseline, args.metric)
+    latest = load_medians(args.latest, args.metric)
+    bound = 1.0 + args.tolerance
+
+    regressions: List[str] = []
+    improvements: List[str] = []
+    lines: List[str] = []
+    for name in sorted(set(baseline) | set(latest)):
+        gated = is_gated(name, args.patterns)
+        if name not in latest:
+            if gated:
+                regressions.append(name)
+                lines.append(
+                    f"  {name:<55s} MISSING from the latest run (gated row "
+                    "dropped — refresh the baseline explicitly)"
+                )
+            continue
+        if name not in baseline:
+            lines.append(
+                format_row(name, latest[name], latest[name], "new row (ungated)")
+            )
+            continue
+        base, now = baseline[name], latest[name]
+        ratio = now / base if base > 0 else float("inf")
+        if not gated:
+            lines.append(format_row(name, base, now, "info"))
+        elif ratio > bound:
+            regressions.append(name)
+            lines.append(
+                format_row(name, base, now, f"REGRESSION (> {bound:.2f}x)")
+            )
+        elif ratio < 1.0 / bound:
+            improvements.append(name)
+            lines.append(format_row(name, base, now, "improved (refresh?)"))
+        else:
+            lines.append(format_row(name, base, now, "ok"))
+
+    header = (
+        f"perf gate: {args.metric} vs {args.baseline}, tolerance "
+        f"{args.tolerance:.0%}\n"
+        f"  {'benchmark':<55s} {'baseline':>13s} {'latest':>13s} "
+        f"{'ratio':>8s}"
+    )
+    print(header)
+    for line in lines:
+        print(line)
+
+    if args.update:
+        write_baseline(args.latest, args.baseline)
+        print(f"baseline refreshed: {args.baseline} <- {args.latest}")
+        return 0
+    if regressions:
+        print(
+            f"FAIL: {len(regressions)} gated row(s) regressed beyond "
+            f"{args.tolerance:.0%}: {', '.join(regressions)}"
+        )
+        return 1
+    if improvements:
+        print(
+            f"note: {len(improvements)} gated row(s) improved beyond the "
+            "tolerance — consider refreshing the baseline."
+        )
+    print("perf gate passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

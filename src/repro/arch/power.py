@@ -126,3 +126,62 @@ class PowerModel:
     ) -> float:
         """Total dynamic power in milliwatts (the paper's reporting unit)."""
         return 1.0e3 * self.platform_power_w(platform, scaling, activities)
+
+    # -- batched evaluation -------------------------------------------------
+
+    def platform_terms(
+        self, platform: MPSoC, scaling: Optional[Sequence[int]] = None
+    ) -> "PowerTerms":
+        """The per-scaling invariants of Eq. (5), validated once.
+
+        Batch evaluation reuses one scaling vector across many
+        mappings; resolving the (frequency, Vdd) operating points and
+        the capacitance per *batch* instead of per design point keeps
+        the per-mapping work down to the activity multiply-accumulate.
+        """
+        table: ScalingTable = platform.scaling_table
+        if scaling is None:
+            scaling = platform.scaling_vector()
+        elif len(scaling) != platform.num_cores:
+            raise ValueError(
+                f"scaling vector has {len(scaling)} entries for "
+                f"{platform.num_cores} cores"
+            )
+        cl = self._cl if self._cl is not None else platform.core_spec.switched_capacitance_f
+        levels = tuple(table.level(coefficient) for coefficient in scaling)
+        return PowerTerms(
+            switched_capacitance_f=cl,
+            operating_points=tuple(
+                (level.frequency_hz, level.vdd_v) for level in levels
+            ),
+        )
+
+    def platform_power_mw_from_terms(
+        self, terms: "PowerTerms", activities: Sequence[float]
+    ) -> float:
+        """Eq. (5) from precomputed terms — bit-identical to
+        :meth:`platform_power_mw` with the same inputs.
+
+        The float operations replay :meth:`core_power_w`'s expression
+        (``activity * C_L * f * Vdd * Vdd``, summed in core order), so
+        batched and per-call evaluation produce the same bits.  Range
+        validation is skipped: callers pass schedule-derived activity
+        factors, which are in [0, 1] by construction.
+        """
+        cl = terms.switched_capacitance_f
+        total = 0.0
+        for (frequency_hz, vdd_v), activity in zip(
+            terms.operating_points, activities
+        ):
+            total += activity * cl * frequency_hz * vdd_v * vdd_v
+        return 1.0e3 * total
+
+
+class PowerTerms:
+    """Precomputed Eq. (5) invariants for one scaling vector."""
+
+    __slots__ = ("switched_capacitance_f", "operating_points")
+
+    def __init__(self, switched_capacitance_f, operating_points) -> None:
+        self.switched_capacitance_f = switched_capacitance_f
+        self.operating_points = operating_points

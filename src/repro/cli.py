@@ -79,6 +79,26 @@ def _add_profile_arguments(parser: argparse.ArgumentParser) -> None:
             "(default: the machine's CPU count)"
         ),
     )
+    parser.add_argument(
+        "--batch-eval",
+        type=int,
+        default=0,
+        help=(
+            "batched candidate screening chunk size for the mapping "
+            "searchers (vectorized evaluate_batch); 1 is bit-identical "
+            "to the serial walk, 0 disables (default: 0)"
+        ),
+    )
+    parser.add_argument(
+        "--screen-moves",
+        choices=["off", "on", "auto"],
+        default="off",
+        help=(
+            "incremental move screening in the searchers; 'auto' screens "
+            "only on graphs with >= 100 tasks, where the preview cost "
+            "pays for itself (default: off)"
+        ),
+    )
 
 
 def _profile_from(args: argparse.Namespace) -> ExperimentProfile:
@@ -101,6 +121,24 @@ def _profile_from(args: argparse.Namespace) -> ExperimentProfile:
     max_workers = getattr(args, "max_workers", None)
     if max_workers is not None:
         profile = profile.with_max_workers(max_workers)
+    batch_eval = getattr(args, "batch_eval", 0)
+    screen_moves = getattr(args, "screen_moves", "off")
+    if batch_eval < 0:
+        raise SystemExit("repro-seu: error: --batch-eval must be non-negative")
+    if batch_eval and screen_moves != "off":
+        # Fail fast and unconditionally: with "auto" the conflict would
+        # otherwise only surface on the first >=100-task graph, aborting
+        # a mixed-size sweep partway through.
+        raise SystemExit(
+            "repro-seu: error: --batch-eval and --screen-moves are "
+            "mutually exclusive"
+        )
+    if batch_eval:
+        profile = replace(profile, batch_eval=batch_eval)
+    if screen_moves != "off":
+        profile = replace(
+            profile, screen_moves=True if screen_moves == "on" else "auto"
+        )
     return profile
 
 

@@ -76,6 +76,23 @@ class ExperimentProfile:
         Execution backend the annealing restarts run on (the third
         parallel cut, inside one scaling's mapping search).  Identical
         selections on every backend, like the other two cuts.
+    batch_eval:
+        Batched candidate screening chunk size for the mapping
+        searchers (table3 and every experiment built through
+        :func:`build_optimizer`): candidate neighbours are evaluated
+        through the vectorized
+        :meth:`~repro.mapping.metrics.MappingEvaluator.evaluate_batch`
+        in chunks of this size.  ``1`` is bit-identical to the serial
+        walk; larger chunks change the visit sequence (deterministic
+        under the profile seed).  0 (default) keeps the serial loops —
+        the paper artifacts.  fig3's mapping-sample study always rides
+        the vectorized batch path (it is bit-identical there).
+    screen_moves:
+        Incremental move screening for the searchers: ``False``
+        (default, the paper artifacts), ``True`` (always screen) or
+        ``"auto"`` (screen only on graphs with >= 100 tasks, where the
+        preview cost pays for itself — see ARCHITECTURE.md, "Screening
+        policy").  Mutually exclusive with ``batch_eval``.
     """
 
     name: str = "fast"
@@ -89,6 +106,8 @@ class ExperimentProfile:
     exec_max_workers: Optional[int] = None
     sa_restarts: Optional[int] = None
     restart_backend: str = "serial"
+    batch_eval: int = 0
+    screen_moves: object = False
 
     @classmethod
     def fast(cls, seed: int = 0) -> "ExperimentProfile":
@@ -188,9 +207,16 @@ def build_optimizer(
             search_iterations=profile.search_iterations,
             restarts=profile.sa_restarts,
             restart_backend=profile.restart_backend,
+            screen_moves=profile.screen_moves,
+            batch_size=profile.batch_eval,
         )
     else:
-        mapper = baseline_mapper(objective, config=profile.annealing_config())
+        mapper = baseline_mapper(
+            objective,
+            config=profile.annealing_config(),
+            screen_moves=profile.screen_moves,
+            batch_size=profile.batch_eval,
+        )
     return DesignOptimizer(
         graph,
         build_platform(num_cores, num_levels),

@@ -40,6 +40,32 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.mapping.mapping import Mapping
 from repro.mapping.metrics import MappingEvaluator
 
+#: Graph size at which ``"auto"`` screening turns on.  With the
+#: compiled core a full evaluation costs ~40 µs on sub-100-task
+#: graphs, so the per-neighbour preview (an O(N) mapping diff plus
+#: bound derivation) loses wall-clock there; on >= 100-task workloads
+#: evaluation grows enough for certified pruning to win.  See
+#: ARCHITECTURE.md ("Screening policy") for the measurement behind
+#: the threshold.
+SCREENING_MIN_TASKS = 100
+
+
+def resolve_screening(option: object, num_tasks: int) -> bool:
+    """Resolve a screening config value against a graph size.
+
+    ``False``/``True`` pass through (explicit opt-out/opt-in —
+    ``True`` always screens, whatever the size); ``"auto"`` enables
+    screening only for graphs with at least
+    :data:`SCREENING_MIN_TASKS` tasks, where it pays for itself.
+    """
+    if option == "auto":
+        return num_tasks >= SCREENING_MIN_TASKS
+    if isinstance(option, bool):
+        return option
+    raise ValueError(
+        f"screening must be True, False or 'auto', got {option!r}"
+    )
+
 
 @dataclass(frozen=True)
 class MoveEstimate:

@@ -32,6 +32,7 @@ and caches evaluations, since local search re-visits design points.
 
 from __future__ import annotations
 
+import dataclasses
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -40,6 +41,12 @@ from repro.arch.mpsoc import MPSoC
 from repro.arch.power import PowerModel
 from repro.faults.ser import SERModel
 from repro.mapping.mapping import Mapping
+from repro.sched.batched import BatchedListScheduler, numpy_available
+
+try:  # optional: the vectorized batch path degrades gracefully without it
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
 from repro.sched.list_scheduler import ListScheduler
 from repro.sched.schedule import Schedule
 from repro.taskgraph.graph import TaskGraph
@@ -188,6 +195,24 @@ class DesignPoint:
         )
 
 
+class _PendingPoint:
+    """A placeholder occupying a cache slot during one batched call.
+
+    :meth:`MappingEvaluator.evaluate_batch` replays the loop path's
+    exact cache-operation sequence before the vectorized evaluation
+    runs; placeholders hold the LRU positions in the meantime and are
+    swapped for the real :class:`DesignPoint` in place.  They never
+    escape a single ``evaluate_batch`` call.
+    """
+
+    __slots__ = ("mapping", "signature", "point")
+
+    def __init__(self, mapping: Mapping, signature: Tuple[int, ...]) -> None:
+        self.mapping = mapping
+        self.signature = signature
+        self.point: Optional[DesignPoint] = None
+
+
 class MappingEvaluator:
     """Evaluates mappings into :class:`DesignPoint` values.
 
@@ -252,6 +277,8 @@ class MappingEvaluator:
             Tuple[int, ...], Tuple[Tuple[float, ...], Tuple[float, ...], Tuple[float, ...]]
         ] = {}
         self._schedulers: Dict[Tuple[int, ...], ListScheduler] = {}
+        self._batched_schedulers: Dict[Tuple[int, ...], BatchedListScheduler] = {}
+        self._power_terms_memo: Dict[Tuple[int, ...], object] = {}
         self._compiled = graph.compiled()
 
     def _sync_compiled(self):
@@ -266,6 +293,7 @@ class MappingEvaluator:
         if compiled is not self._compiled:
             self._compiled = compiled
             self._schedulers.clear()
+            self._batched_schedulers.clear()
             self._cache.clear()
         return compiled
 
@@ -306,7 +334,14 @@ class MappingEvaluator:
     def evaluate(
         self, mapping: Mapping, scaling: Optional[Sequence[int]] = None
     ) -> DesignPoint:
-        """Evaluate a mapping under a scaling vector (defaults to platform's)."""
+        """Evaluate a mapping under a scaling vector (defaults to platform's).
+
+        Returned points always carry a full :class:`Schedule`: a cache
+        hit on a schedule-less point seeded by the vectorized
+        :meth:`evaluate_batch` is rehydrated in place (the schedule is
+        bit-identical to the one the miss path would have attached;
+        metrics and counters are untouched).
+        """
         scaling_vector = self._resolve_scaling(scaling)
         self.evaluations += 1
         compiled = self._sync_compiled()
@@ -314,6 +349,14 @@ class MappingEvaluator:
             key = self._cache_key(compiled, mapping, scaling_vector)
             cached = self._cache_lookup(key)
             if cached is not None:
+                if cached.schedule is None:
+                    schedule = self.scheduler_for(scaling_vector).schedule(
+                        cached.mapping
+                    )
+                    cached = dataclasses.replace(cached, schedule=schedule)
+                    # In-place assignment preserves the LRU position the
+                    # hit just refreshed.
+                    self._cache[key] = cached
                 return cached
         self.cache_misses += 1
         point = self._evaluate_uncached(mapping, scaling_vector)
@@ -322,19 +365,214 @@ class MappingEvaluator:
         return point
 
     def evaluate_batch(
-        self, mappings: Sequence[Mapping], scaling: Optional[Sequence[int]] = None
+        self,
+        mappings: Sequence[Mapping],
+        scaling: Optional[Sequence[int]] = None,
+        include_schedules: bool = False,
     ) -> List[DesignPoint]:
-        """Evaluate many mappings under one scaling vector.
+        """Evaluate many mappings under one scaling vector, vectorized.
 
         Returns one :class:`DesignPoint` per mapping, in input order,
         with results, cache contents and the ``evaluations`` /
         ``cache_hits`` / ``cache_misses`` counters exactly as if
-        :meth:`evaluate` had been called per mapping.  The batch form
-        amortizes the per-call fixed costs — scaling validation, the
-        compiled-graph sync and the operating-point / scheduler memo
-        lookups happen once for the whole batch — and is the substrate
-        a future vectorized backend can drop into (the compiled arrays
-        are layout-ready for evaluating many mappings at once).
+        :meth:`evaluate` had been called per mapping.  Internally the
+        whole batch of cache misses is list-scheduled in **one**
+        numpy pass through :class:`~repro.sched.batched.
+        BatchedListScheduler` — bit-identical metrics (same IEEE-754
+        operations, see the module docstring there), several times
+        faster than the per-mapping loop, which survives as
+        :meth:`evaluate_batch_reference` for parity testing and as the
+        fallback when numpy is unavailable.
+
+        ``include_schedules=False`` (the default) skips materializing
+        per-mapping :class:`Schedule` objects — the bulk consumers
+        (fig3's sample study, batched candidate screening in the
+        searchers) never look at them.  Points produced this way carry
+        ``schedule=None`` (also into the cache; a later
+        :meth:`evaluate` hit rehydrates the schedule in place, so
+        evaluate()'s full-schedule guarantee is preserved).  Pass
+        ``include_schedules=True`` when the batch results themselves
+        feed schedule consumers (recovery slack, Gantt rendering) —
+        the rows come straight from the batch arrays and remain
+        bit-identical.
+        """
+        scaling_vector = self._resolve_scaling(scaling)
+        compiled = self._sync_compiled()
+        mappings = list(mappings)
+        if not mappings:
+            return []
+        batched = self.batched_scheduler_for(scaling_vector)
+        if batched is None:  # numpy unavailable: the loop path is exact
+            return self.evaluate_batch_reference(mappings, scaling_vector)
+        num_cores = self.platform.num_cores
+        cache_size = self._cache_size
+        # Phase 1 — replay the per-call cache sequence (lookups, hit
+        # counting, LRU stores and evictions) with placeholder points,
+        # so cache state and counters end up exactly as a loop of
+        # evaluate() calls would leave them; only the evaluation work
+        # itself is deferred to one vectorized shot.
+        pending: "OrderedDict[Tuple[int, ...], _PendingPoint]" = OrderedDict()
+        slots: List[object] = []
+        stored: List[Tuple[object, "_PendingPoint"]] = []
+        try:
+            for mapping in mappings:
+                self.evaluations += 1
+                if cache_size:
+                    key = self._cache_key(compiled, mapping, scaling_vector)
+                    cached = self._cache_lookup(key)
+                    if cached is not None:
+                        slots.append(cached)
+                        continue
+                    signature = key[0]
+                    self.cache_misses += 1
+                else:
+                    self.cache_misses += 1
+                    signature = compiled.signature(mapping)
+                if mapping.num_cores != num_cores:
+                    raise ValueError(
+                        f"mapping targets {mapping.num_cores} cores, scheduler "
+                        f"has {num_cores}"
+                    )
+                placeholder = pending.get(signature)
+                if placeholder is None:
+                    placeholder = _PendingPoint(mapping, signature)
+                    pending[signature] = placeholder
+                if cache_size:
+                    self._cache_store(key, placeholder)
+                    stored.append((key, placeholder))
+                slots.append(placeholder)
+            # Phase 2 — one vectorized scheduling pass over the misses.
+            if pending:
+                self._evaluate_pending(
+                    pending, scaling_vector, batched, include_schedules
+                )
+        except Exception:
+            # Leave no placeholder behind: the cache must only ever
+            # hand out real design points.
+            for key, placeholder in stored:
+                if self._cache.get(key) is placeholder:
+                    del self._cache[key]
+            raise
+        # Phase 3 — swap computed points in under their keys without
+        # touching LRU order (in-place assignment preserves position).
+        for key, placeholder in stored:
+            if self._cache.get(key) is placeholder:
+                self._cache[key] = placeholder.point
+        return [
+            slot.point if isinstance(slot, _PendingPoint) else slot
+            for slot in slots
+        ]
+
+    def _evaluate_pending(
+        self,
+        pending: "OrderedDict[Tuple[int, ...], _PendingPoint]",
+        scaling: Tuple[int, ...],
+        batched: BatchedListScheduler,
+        include_schedules: bool,
+    ) -> None:
+        """Schedule all pending signatures in one shot and build points.
+
+        The per-row assembly replays :meth:`_evaluate_with`'s float
+        operations exactly (same expressions, same core order, power
+        through the precomputed Eq. (5) terms) so batched points are
+        bit-identical to the loop path's.
+        """
+        frequencies, _, rates = self._operating_point(scaling)
+        platform = self.platform
+        compiled = self._compiled
+        mask_bits = compiled.mask_bits
+        deadline = self.deadline_s
+        num_cores = platform.num_cores
+        power_model = self.power_model
+        power_terms = self._power_terms(scaling)
+        result = batched.run(list(pending.keys()))
+        # One bulk conversion to Python scalars for the whole batch —
+        # exact, and far cheaper than per-row numpy scalar reads.
+        makespans = result.makespans.tolist()
+        busy_cycles_rows = result.busy_cycles.tolist()
+        max_frequency = max(frequencies)
+        idle_activities = (0.0,) * num_cores
+        # Activities vectorize batch-wide (same divide and min ops as
+        # Schedule.activities); rows with an empty span fall back.
+        if min(makespans) > 0.0:
+            activity_rows = _np.minimum(
+                result.busy_s / result.makespans[:, None], 1.0
+            ).tolist()
+        else:
+            activity_rows = None
+            busy_s_rows = result.busy_s.tolist()
+        # Per-core register unions vectorize when every mask fits an
+        # int64 lane (<= 63 distinct registers); the bitwise ORs are
+        # the same ones core_masks performs, in any order.
+        mask_rows = None
+        if 0 < len(compiled.registers) <= 63:
+            task_masks = _np.asarray(
+                compiled.task_register_masks, dtype=_np.int64
+            )
+            cores_array = result.cores
+            mask_rows = _np.stack(
+                [
+                    _np.bitwise_or.reduce(
+                        _np.where(cores_array == core, task_masks, 0), axis=1
+                    )
+                    for core in range(num_cores)
+                ],
+                axis=1,
+            ).tolist()
+        for row, placeholder in enumerate(pending.values()):
+            makespan_s = makespans[row]
+            if activity_rows is not None:
+                activities = tuple(activity_rows[row])
+            elif makespan_s <= 0.0:
+                activities = idle_activities
+            else:
+                activities = tuple(
+                    min(busy / makespan_s, 1.0) for busy in busy_s_rows[row]
+                )
+            if mask_rows is not None:
+                core_masks = mask_rows[row]
+            else:
+                core_masks = compiled.core_masks(placeholder.signature, num_cores)
+            register_bits = tuple(mask_bits(mask) for mask in core_masks)
+            # Inlined Eq. (3) under full-window exposure: identical
+            # term order and float ops as exposure tuple + expected_seus.
+            gamma = 0.0
+            for bits, frequency, rate in zip(register_bits, frequencies, rates):
+                if bits:
+                    gamma += bits * (makespan_s * frequency) * rate
+            power_mw = power_model.platform_power_mw_from_terms(
+                power_terms, activities
+            )
+            meets = None
+            if deadline is not None:
+                meets = makespan_s <= deadline + 1e-12
+            placeholder.point = DesignPoint(
+                mapping=placeholder.mapping,
+                scaling=scaling,
+                power_mw=power_mw,
+                register_bits_per_core=register_bits,
+                register_bits_total=sum(register_bits),
+                execution_cycles_per_core=tuple(busy_cycles_rows[row]),
+                makespan_s=makespan_s,
+                makespan_cycles=int(round(makespan_s * max_frequency)),
+                expected_seus=gamma,
+                activities=activities,
+                meets_deadline=meets,
+                schedule=result.schedule(row) if include_schedules else None,
+            )
+
+    def evaluate_batch_reference(
+        self, mappings: Sequence[Mapping], scaling: Optional[Sequence[int]] = None
+    ) -> List[DesignPoint]:
+        """The per-mapping loop path (one compiled evaluation per entry).
+
+        Behaviourally identical to calling :meth:`evaluate` in a loop
+        (results, cache traffic and counters), with the per-call fixed
+        costs amortized.  Kept as the behavioural reference for the
+        vectorized :meth:`evaluate_batch` — the parity suite asserts
+        bit-identical points and counter parity between the two — and
+        as the fallback when numpy is unavailable.  Points carry full
+        schedules, exactly like :meth:`evaluate`'s.
         """
         scaling_vector = self._resolve_scaling(scaling)
         compiled = self._sync_compiled()
@@ -386,6 +624,34 @@ class MappingEvaluator:
             )
             self._schedulers[scaling] = scheduler
         return scheduler
+
+    def _power_terms(self, scaling: Tuple[int, ...]):
+        """Memoized Eq. (5) invariants (platform-only, graph-independent)."""
+        terms = self._power_terms_memo.get(scaling)
+        if terms is None:
+            terms = self.power_model.platform_terms(self.platform, scaling)
+            self._power_terms_memo[scaling] = terms
+        return terms
+
+    def batched_scheduler_for(
+        self, scaling: Tuple[int, ...]
+    ) -> Optional[BatchedListScheduler]:
+        """The (memoized) vectorized batch scheduler for one scaling.
+
+        ``None`` when numpy is unavailable — callers fall back to the
+        per-mapping loop path.
+        """
+        if not numpy_available():
+            return None
+        self._sync_compiled()
+        batched = self._batched_schedulers.get(scaling)
+        if batched is None:
+            frequencies, _, _ = self._operating_point(scaling)
+            batched = BatchedListScheduler(
+                self.graph, frequencies, comm_model=self.comm_model
+            )
+            self._batched_schedulers[scaling] = batched
+        return batched
 
     def _evaluate_uncached(
         self, mapping: Mapping, scaling: Tuple[int, ...]

@@ -28,7 +28,11 @@ from repro.exec.backends import (
     resolve_backend,
 )
 from repro.faults.ser import SERModel
-from repro.mapping.incremental import IncrementalMappingState, screen_lower_bound
+from repro.mapping.incremental import (
+    IncrementalMappingState,
+    resolve_screening,
+    screen_lower_bound,
+)
 from repro.mapping.mapping import Mapping
 from repro.mapping.metrics import DesignPoint, MappingEvaluator
 from repro.optim.moves import random_neighbor
@@ -110,6 +114,7 @@ class _RestartJob:
     require_all_cores: bool
     screening: bool
     screen_threshold: float
+    batch_size: int
     initial: Mapping
     scaling: Tuple[int, ...]
     restart: int
@@ -138,6 +143,7 @@ class _RestartJob:
             require_all_cores=self.require_all_cores,
             screening=self.screening,
             screen_threshold=self.screen_threshold,
+            batch_size=self.batch_size,
         )
         point = mapper._run_once(self.initial, self.scaling, self.restart)
         return (
@@ -178,9 +184,25 @@ class SimulatedAnnealingMapper:
         change which neighbours a run visits (and its RNG stream), so
         results differ from an unscreened run with the same seed.
         Off by default — the paper artifacts use unscreened search.
+        ``"auto"`` screens only on graphs with at least
+        :data:`~repro.mapping.incremental.SCREENING_MIN_TASKS` tasks,
+        where the preview cost pays for itself (sub-100-task compiled
+        evaluations are so cheap that screening loses wall-clock).
     screen_threshold:
         Acceptance-probability cutoff below which a bounded-worse
         neighbour is pruned.
+    batch_size:
+        Opt-in batched candidate screening: when positive, neighbours
+        are drawn ``batch_size`` at a time from the then-current
+        mapping and evaluated in one vectorized
+        :meth:`~repro.mapping.metrics.MappingEvaluator.evaluate_batch`
+        call; the Metropolis acceptance then replays over the batch in
+        draw order.  ``batch_size=1`` is bit-identical to the serial
+        walk (same RNG stream, same evaluations); larger batches draw
+        every candidate of a chunk from the chunk-start mapping, which
+        changes the visit sequence (like ``screening``, with which it
+        is mutually exclusive) but stays fully deterministic under a
+        seed.  0 (default) keeps the serial loop.
     backend:
         Execution backend for dispatching the restarts; overrides
         ``config.restart_backend`` when given.  Any choice returns the
@@ -198,8 +220,9 @@ class SimulatedAnnealingMapper:
         seed: Optional[int] = None,
         deadline_penalty: bool = True,
         require_all_cores: bool = False,
-        screening: bool = False,
+        screening: object = False,
         screen_threshold: float = 1e-3,
+        batch_size: int = 0,
         backend: BackendSpec = None,
         max_workers: Optional[int] = None,
     ) -> None:
@@ -209,10 +232,18 @@ class SimulatedAnnealingMapper:
         self.seed = seed
         self.deadline_penalty = deadline_penalty
         self.require_all_cores = require_all_cores
-        self.screening = screening
+        self.screening = resolve_screening(screening, evaluator.graph.num_tasks)
         if not 0.0 <= screen_threshold < 1.0:
             raise ValueError("screen_threshold must be in [0, 1)")
         self.screen_threshold = screen_threshold
+        if batch_size < 0:
+            raise ValueError("batch_size must be non-negative")
+        if batch_size and self.screening:
+            raise ValueError(
+                "batched candidate evaluation and incremental screening "
+                "are mutually exclusive"
+            )
+        self.batch_size = batch_size
         self.backend: BackendSpec = backend
         self.max_workers = max_workers
         self.screened_moves = 0  # neighbours pruned without evaluation
@@ -326,6 +357,7 @@ class SimulatedAnnealingMapper:
             require_all_cores=self.require_all_cores,
             screening=self.screening,
             screen_threshold=self.screen_threshold,
+            batch_size=self.batch_size,
             initial=initial,
             scaling=scaling,
             restart=restart,
@@ -343,6 +375,8 @@ class SimulatedAnnealingMapper:
     def _run_once(
         self, initial: Mapping, scaling: Tuple[int, ...], restart: int
     ) -> DesignPoint:
+        if self.batch_size:
+            return self._run_once_batched(initial, scaling, restart)
         rng = random.Random(None if self.seed is None else self.seed + restart)
         evaluator = self.evaluator
         graph = evaluator.graph
@@ -399,4 +433,69 @@ class SimulatedAnnealingMapper:
                 if key < best_key:
                     best, best_key = candidate, key
             temperature *= self.config.cooling
+        return best
+
+    def _run_once_batched(
+        self, initial: Mapping, scaling: Tuple[int, ...], restart: int
+    ) -> DesignPoint:
+        """The batched candidate-screening variant of :meth:`_run_once`.
+
+        Neighbours are drawn ``batch_size`` at a time from the
+        chunk-start mapping and evaluated in one vectorized
+        ``evaluate_batch`` call; the Metropolis walk then replays over
+        the chunk in draw order (acceptance updates ``current``
+        mid-chunk, later candidates of the same chunk still derive
+        from the chunk-start mapping).  With ``batch_size=1`` the RNG
+        stream, evaluator traffic and returned point are bit-identical
+        to the serial loop — the parity suite asserts it.
+        """
+        rng = random.Random(None if self.seed is None else self.seed + restart)
+        evaluator = self.evaluator
+        graph = evaluator.graph
+
+        current = evaluator.evaluate(initial, scaling)
+        current_score = self.objective(current)
+        best = current
+        best_key = self._rank_key(current)
+        temperature = self.config.initial_temperature
+        cooling = self.config.cooling
+        remaining = self.config.max_iterations
+        while remaining > 0:
+            draw = min(self.batch_size, remaining)
+            remaining -= draw
+            chunk: List[Optional[Mapping]] = []
+            for _ in range(draw):
+                neighbor = random_neighbor(current.mapping, graph, rng)
+                if neighbor == current.mapping:
+                    chunk.append(None)
+                elif self.require_all_cores and len(neighbor.used_cores()) < min(
+                    neighbor.num_cores, graph.num_tasks
+                ):
+                    chunk.append(None)
+                else:
+                    chunk.append(neighbor)
+            evaluated = iter(
+                evaluator.evaluate_batch(
+                    [mapping for mapping in chunk if mapping is not None],
+                    scaling,
+                )
+            )
+            for neighbor in chunk:
+                if neighbor is None:
+                    temperature *= cooling
+                    continue
+                candidate = next(evaluated)
+                candidate_score = self.objective(candidate)
+                if candidate_score <= current_score:
+                    accept = True
+                else:
+                    scale = max(abs(current_score), 1e-30)
+                    delta = (candidate_score - current_score) / scale
+                    accept = rng.random() < math.exp(-delta / max(temperature, 1e-12))
+                if accept:
+                    current, current_score = candidate, candidate_score
+                    key = self._rank_key(candidate)
+                    if key < best_key:
+                        best, best_key = candidate, key
+                temperature *= cooling
         return best

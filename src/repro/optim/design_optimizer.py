@@ -61,15 +61,18 @@ class SEAMapper:
     walk_probability: float = 0.15
     time_limit_s: Optional[float] = None
     engine: str = "anneal"
-    screen_moves: bool = False
+    screen_moves: object = False
     restarts: Optional[int] = None
     restart_backend: Optional[str] = None
+    batch_size: int = 0
 
     def __post_init__(self) -> None:
         if self.engine not in ("anneal", "walk"):
             raise ValueError(f"unknown stage-2 engine {self.engine!r}")
         if self.restarts is not None and self.restarts <= 0:
             raise ValueError("restarts must be positive")
+        if self.batch_size < 0:
+            raise ValueError("batch_size must be non-negative")
 
     def __call__(
         self, evaluator: MappingEvaluator, scaling: Tuple[int, ...], seed: Optional[int]
@@ -107,6 +110,7 @@ class SEAMapper:
                 deadline_penalty=True,
                 require_all_cores=True,
                 screening=self.screen_moves,
+                batch_size=self.batch_size,
             )
             return mapper.run(initial, scaling)
         search = OptimizedMappingSearch(
@@ -116,6 +120,7 @@ class SEAMapper:
             walk_probability=self.walk_probability,
             seed=seed,
             screen_moves=self.screen_moves,
+            batch_size=self.batch_size,
         )
         return search.run(initial, scaling).best
 
@@ -125,9 +130,10 @@ def sea_mapper(
     walk_probability: float = 0.15,
     time_limit_s: Optional[float] = None,
     engine: str = "anneal",
-    screen_moves: bool = False,
+    screen_moves: object = False,
     restarts: Optional[int] = None,
     restart_backend: Optional[str] = None,
+    batch_size: int = 0,
 ) -> Mapper:
     """The proposed two-stage soft error-aware mapper (Exp:4).
 
@@ -148,11 +154,19 @@ def sea_mapper(
         Enable incremental move screening in the stage-2 engine (see
         :mod:`repro.mapping.incremental`).  Faster, but a screened run
         visits different neighbours than an unscreened one; the paper
-        artifacts keep it off.
+        artifacts keep it off.  ``"auto"`` screens only on graphs with
+        >= 100 tasks, where the preview pays for itself.
     restarts / restart_backend:
         Stage-2 annealer restart count (``None`` keeps the
         size-derived default) and the execution backend its restarts
         run on; any backend selects the bit-identical design.
+    batch_size:
+        Batched candidate screening in the stage-2 engine: neighbours
+        are drawn in chunks of this size and evaluated through the
+        vectorized ``evaluate_batch``.  ``1`` is bit-identical to the
+        serial walk; larger chunks change the visit sequence (like
+        ``screen_moves``, with which it is mutually exclusive) but
+        stay deterministic under a seed.  0 keeps the serial loops.
     """
     return SEAMapper(
         search_iterations=search_iterations,
@@ -162,6 +176,7 @@ def sea_mapper(
         screen_moves=screen_moves,
         restarts=restarts,
         restart_backend=restart_backend,
+        batch_size=batch_size,
     )
 
 
@@ -176,13 +191,16 @@ class BaselineMapper:
     config: Optional[AnnealingConfig] = None
     deadline_penalty: bool = False
     require_all_cores: bool = True
-    screen_moves: bool = False
+    screen_moves: object = False
     restarts: Optional[int] = None
     restart_backend: Optional[str] = None
+    batch_size: int = 0
 
     def __post_init__(self) -> None:
         if self.restarts is not None and self.restarts <= 0:
             raise ValueError("restarts must be positive")
+        if self.batch_size < 0:
+            raise ValueError("batch_size must be non-negative")
 
     def __call__(
         self, evaluator: MappingEvaluator, scaling: Tuple[int, ...], seed: Optional[int]
@@ -208,6 +226,7 @@ class BaselineMapper:
             deadline_penalty=self.deadline_penalty,
             require_all_cores=self.require_all_cores,
             screening=self.screen_moves,
+            batch_size=self.batch_size,
         )
         return mapper.run(initial, scaling)
 
@@ -217,9 +236,10 @@ def baseline_mapper(
     config: Optional[AnnealingConfig] = None,
     deadline_penalty: bool = False,
     require_all_cores: bool = True,
-    screen_moves: bool = False,
+    screen_moves: object = False,
     restarts: Optional[int] = None,
     restart_backend: Optional[str] = None,
+    batch_size: int = 0,
 ) -> Mapper:
     """A soft error-unaware SA mapper for ``objective`` (Exp:1-3).
 
@@ -237,6 +257,7 @@ def baseline_mapper(
         screen_moves=screen_moves,
         restarts=restarts,
         restart_backend=restart_backend,
+        batch_size=batch_size,
     )
 
 

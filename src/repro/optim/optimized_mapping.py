@@ -26,7 +26,7 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-from repro.mapping.incremental import IncrementalMappingState
+from repro.mapping.incremental import IncrementalMappingState, resolve_screening
 from repro.mapping.mapping import Mapping
 from repro.mapping.metrics import DesignPoint, MappingEvaluator
 from repro.optim.moves import random_neighbor
@@ -99,7 +99,20 @@ class OptimizedMappingSearch:
         point nor (except through the rare random-walk draw) the
         current one.  Pruning changes which neighbours a run visits,
         so results can differ from an unscreened run with the same
-        seed; the paper artifacts use unscreened search.
+        seed; the paper artifacts use unscreened search.  ``"auto"``
+        screens only on graphs with at least
+        :data:`~repro.mapping.incremental.SCREENING_MIN_TASKS` tasks,
+        where the preview beats the (cheap) compiled evaluation.
+    batch_size:
+        Opt-in batched candidate screening: when positive, step-C
+        neighbours are drawn ``batch_size`` at a time and step-D
+        scheduled in one vectorized ``evaluate_batch`` call, with the
+        step-E/F acceptance replayed over the chunk in draw order.
+        ``batch_size=1`` is bit-identical to the serial walk; larger
+        chunks draw every candidate from the chunk-start point (and
+        focus), which changes the visit sequence but stays
+        deterministic under a seed.  Mutually exclusive with
+        ``screen_moves``; 0 (default) keeps the serial loop.
     """
 
     def __init__(
@@ -112,7 +125,8 @@ class OptimizedMappingSearch:
         require_all_cores: bool = True,
         seed: Optional[int] = None,
         record_history: bool = False,
-        screen_moves: bool = False,
+        screen_moves: object = False,
+        batch_size: int = 0,
     ) -> None:
         if evaluator.deadline_s is None:
             raise ValueError("OptimizedMapping needs an evaluator with a deadline")
@@ -128,13 +142,25 @@ class OptimizedMappingSearch:
         self.require_all_cores = require_all_cores
         self.seed = seed
         self.record_history = record_history
-        self.screen_moves = screen_moves
+        self.screen_moves = resolve_screening(
+            screen_moves, evaluator.graph.num_tasks
+        )
+        if batch_size < 0:
+            raise ValueError("batch_size must be non-negative")
+        if batch_size and self.screen_moves:
+            raise ValueError(
+                "batched candidate evaluation and incremental screening "
+                "are mutually exclusive"
+            )
+        self.batch_size = batch_size
         self.screened_moves = 0  # neighbours pruned without evaluation
 
     def run(
         self, initial: Mapping, scaling: Optional[Tuple[int, ...]] = None
     ) -> SearchResult:
         """Optimize from ``initial`` under ``scaling`` (defaults to platform's)."""
+        if self.batch_size:
+            return self._run_batched(initial, scaling)
         rng = random.Random(self.seed)
         # Per-run stat: a second run() must not inherit the first's count.
         self.screened_moves = 0
@@ -242,4 +268,116 @@ class OptimizedMappingSearch:
             improvements=improvements,
             history=history,
             screened_moves=self.screened_moves,
+        )
+
+    def _run_batched(
+        self, initial: Mapping, scaling: Optional[Tuple[int, ...]] = None
+    ) -> SearchResult:
+        """The batched candidate-screening variant of :meth:`run`.
+
+        Step-C neighbours are drawn ``batch_size`` at a time from the
+        chunk-start current point and step-D scheduled through one
+        vectorized ``evaluate_batch`` call; the step-E/F bookkeeping
+        and random-walk acceptance then replay over the chunk in draw
+        order.  ``batch_size=1`` reproduces the serial walk
+        bit-for-bit (asserted by the parity suite).
+        """
+        rng = random.Random(self.seed)
+        self.screened_moves = 0
+        evaluator = self.evaluator
+        deadline = evaluator.deadline_s
+        graph = evaluator.graph
+
+        current = evaluator.evaluate(initial, scaling)  # step A
+        best = current
+        best_feasible = bool(current.meets_deadline)
+        improvements = 0
+        history: List[Tuple[int, float]] = []
+        focus: Optional[str] = None
+        stale = 0
+
+        start_time = time.monotonic()
+        iterations = 0
+        while iterations < self.max_iterations:
+            if (
+                self.time_limit_s is not None
+                and time.monotonic() - start_time >= self.time_limit_s
+            ):
+                break
+            draw = min(self.batch_size, self.max_iterations - iterations)
+            chunk: List[Optional[Mapping]] = []
+            for _ in range(draw):
+                neighbor = random_neighbor(
+                    current.mapping, graph, rng, focus_task=focus
+                )
+                if neighbor == current.mapping:
+                    chunk.append(None)
+                elif self.require_all_cores and len(neighbor.used_cores()) < min(
+                    neighbor.num_cores, graph.num_tasks
+                ):
+                    chunk.append(None)
+                else:
+                    chunk.append(neighbor)
+            evaluated = iter(
+                evaluator.evaluate_batch(
+                    [mapping for mapping in chunk if mapping is not None],
+                    scaling,
+                )
+            )
+            for neighbor in chunk:
+                iterations += 1
+                if neighbor is None:
+                    continue
+                candidate = next(evaluated)
+
+                # Step E/F: best-so-far update under the constraint.
+                candidate_feasible = candidate.makespan_s <= deadline + 1e-12
+                stale += 1
+                if candidate_feasible and (
+                    not best_feasible
+                    or candidate.expected_seus < best.expected_seus
+                ):
+                    best = candidate
+                    best_feasible = True
+                    improvements += 1
+                    stale = 0
+                    if self.record_history:
+                        history.append((iterations, best.expected_seus))
+                elif not best_feasible and candidate.makespan_s < best.makespan_s:
+                    best = candidate
+                    improvements += 1
+                    stale = 0
+
+                # Random-walk acceptance for the current point.
+                accept = False
+                if candidate_feasible and (
+                    current.meets_deadline is False
+                    or candidate.expected_seus <= current.expected_seus
+                ):
+                    accept = True
+                elif not candidate_feasible and not current.meets_deadline:
+                    accept = candidate.makespan_s < current.makespan_s
+                if not accept and rng.random() < self.walk_probability:
+                    accept = True
+                if accept:
+                    moved = [
+                        name
+                        for name in graph.task_names()
+                        if neighbor.core_of(name) != current.mapping.core_of(name)
+                    ]
+                    focus = moved[0] if moved else None
+                    current = candidate
+
+                if self.intensify_every and stale >= self.intensify_every:
+                    current = best
+                    focus = None
+                    stale = 0
+
+        return SearchResult(
+            best=best,
+            feasible=best_feasible,
+            iterations=iterations,
+            improvements=improvements,
+            history=history,
+            screened_moves=0,
         )

@@ -19,11 +19,19 @@ from repro.sched.schedule import (
     set_from_arrays_validation,
 )
 from repro.sched.list_scheduler import ListScheduler
+from repro.sched.batched import (
+    BatchedListScheduler,
+    BatchScheduleResult,
+    numpy_available,
+)
 
 __all__ = [
+    "BatchedListScheduler",
+    "BatchScheduleResult",
     "ListScheduler",
     "Schedule",
     "ScheduledTask",
     "from_arrays_validation_enabled",
+    "numpy_available",
     "set_from_arrays_validation",
 ]

@@ -1,0 +1,447 @@
+"""Vectorized batch list scheduling: B mappings in one numpy shot.
+
+The key structural fact this module exploits: the list scheduler's pop
+order is **mapping-independent**.  The ready heap is keyed on
+``(-bottom_level, name)`` and readiness only tracks how many
+predecessors have been scheduled — neither depends on where tasks are
+mapped or on any start/finish time.  Every mapping of one graph is
+therefore scheduled in the *same* task order, and that order can be
+computed once per compiled graph.
+
+:class:`BatchedListScheduler` turns that into a stacked-array
+schedule: per-batch-row ``core_free``/``finish`` state evolves through
+one pass over the static order, with every timing update vectorized
+across the batch dimension (numpy, float64).  The per-step arithmetic
+replays :meth:`~repro.sched.list_scheduler.ListScheduler.schedule`'s
+float operations exactly —
+
+* ``earliest`` is a chain of IEEE-754 ``max`` operations (exact and
+  order-insensitive),
+* receive cycles are int64 sums (exact below 2**53, far above any
+  realistic cycle budget),
+* ``duration = (compute + receive) / frequency`` and ``finish =
+  earliest + duration`` are single float64 operations identical to the
+  scalar path,
+
+so the produced makespans, per-core busy sums and (when materialized)
+:class:`~repro.sched.schedule.Schedule` objects are **bit-identical**
+to scheduling each mapping through the serial compiled path.  Per-core
+busy seconds accumulate in scheduling order, which within any single
+core coincides with the canonical ``(start, core, name)`` order the
+serial ``Schedule`` sums in (starts are non-decreasing per core and a
+start tie forces a zero-length span, whose addition is a float
+identity), so even those float accumulations agree bitwise.
+
+Both communication models are supported.  ``"dedicated"`` vectorizes
+whole predecessor slices per step; ``"shared-bus"`` additionally walks
+the step's edges in insertion order (the bus serialization is
+order-sensitive) with the per-edge update still vectorized across the
+batch.
+
+numpy is an optional dependency: :func:`numpy_available` reports
+whether the fast path can run, and callers (see
+:meth:`~repro.mapping.metrics.MappingEvaluator.evaluate_batch`) fall
+back to the per-mapping loop when it cannot.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Sequence, Tuple
+
+from repro.mapping.mapping import Mapping
+from repro.sched.schedule import Schedule
+from repro.taskgraph.graph import TaskGraph
+
+try:  # gated: the container image may lack numpy
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via numpy_available()
+    _np = None
+
+
+def numpy_available() -> bool:
+    """Whether the vectorized batch path can run in this interpreter."""
+    return _np is not None
+
+
+class BatchScheduleResult:
+    """Stacked schedules of ``B`` mappings over one graph.
+
+    Arrays are indexed ``[row, task_id]`` (task ids are the compiled
+    graph's dense indices) or ``[row, core]``:
+
+    * ``starts`` / ``finishes`` — execution windows in seconds;
+    * ``receive`` — cross-core receive cycles charged per task (int64,
+      zero under the shared-bus model where transfers occupy the bus);
+    * ``makespans`` — per-row ``T_M`` in seconds;
+    * ``busy_s`` / ``busy_cycles`` — per-row per-core busy sums, the
+      ``T_i`` substrate, accumulated in scheduling order;
+    * ``cores`` — the core assignment rows the batch was run with.
+
+    ``order`` is the static pop order shared by every row.  Full
+    :class:`Schedule` objects are *not* built here; call
+    :meth:`schedule` for the rows that need one.
+    """
+
+    __slots__ = (
+        "order",
+        "names",
+        "cycles",
+        "cores",
+        "starts",
+        "finishes",
+        "receive",
+        "makespans",
+        "busy_s",
+        "busy_cycles",
+        "num_cores",
+        "frequencies_hz",
+    )
+
+    def __init__(
+        self,
+        order,
+        names,
+        cycles,
+        cores,
+        starts,
+        finishes,
+        receive,
+        makespans,
+        busy_s,
+        busy_cycles,
+        num_cores,
+        frequencies_hz,
+    ) -> None:
+        self.order = order
+        self.names = names
+        self.cycles = cycles
+        self.cores = cores
+        self.starts = starts
+        self.finishes = finishes
+        self.receive = receive
+        self.makespans = makespans
+        self.busy_s = busy_s
+        self.busy_cycles = busy_cycles
+        self.num_cores = num_cores
+        self.frequencies_hz = frequencies_hz
+
+    def __len__(self) -> int:
+        return len(self.makespans)
+
+    # -- per-row views (plain Python values, hot-path friendly) -----------
+
+    def makespan_s(self, row: int) -> float:
+        """``T_M`` of one batch row in seconds."""
+        return float(self.makespans[row])
+
+    def makespan_cycles(
+        self, row: int, reference_frequency_hz: Optional[float] = None
+    ) -> int:
+        """``T_M`` in cycles of a reference clock (fastest core default)."""
+        frequency = reference_frequency_hz or max(self.frequencies_hz)
+        return int(round(self.makespan_s(row) * frequency))
+
+    def busy_cycles_of(self, row: int) -> Tuple[int, ...]:
+        """Per-core busy cycles (``T_i`` of Eq. 7) of one row."""
+        return tuple(int(value) for value in self.busy_cycles[row])
+
+    def activities(self, row: int) -> Tuple[float, ...]:
+        """Per-core activity factors, matching ``Schedule.activities``."""
+        makespan = self.makespan_s(row)
+        if makespan <= 0.0:
+            return (0.0,) * self.num_cores
+        return tuple(
+            min(float(busy) / makespan, 1.0) for busy in self.busy_s[row]
+        )
+
+    def schedule(self, row: int) -> Schedule:
+        """Materialize one row as a full :class:`Schedule`.
+
+        Rows are handed to :meth:`Schedule.from_arrays` in pop order —
+        the same input order the serial scheduler produces — so the
+        resulting object is bit-identical to the serial path's,
+        including canonical-sort tie resolution.
+        """
+        order = self.order
+        cores_row = self.cores[row]
+        starts_row = self.starts[row]
+        finishes_row = self.finishes[row]
+        receive_row = self.receive[row]
+        cycles = self.cycles
+        names = self.names
+        return Schedule.from_arrays(
+            [names[t] for t in order],
+            [int(cores_row[t]) for t in order],
+            [float(starts_row[t]) for t in order],
+            [float(finishes_row[t]) for t in order],
+            [cycles[t] for t in order],
+            [int(receive_row[t]) for t in order],
+            self.num_cores,
+            self.frequencies_hz,
+        )
+
+
+class BatchedListScheduler:
+    """List-schedules a whole batch of mappings over one graph.
+
+    Construction mirrors :class:`~repro.sched.list_scheduler.
+    ListScheduler` (same validation, same comm models); the instance
+    additionally compiles the static pop order and per-step
+    predecessor slices into numpy arrays, shared by every
+    :meth:`run` call.
+
+    Raises
+    ------
+    RuntimeError
+        If numpy is not importable; gate call sites on
+        :func:`numpy_available`.
+    """
+
+    _COMM_MODELS = ("dedicated", "shared-bus")
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        frequencies_hz: Sequence[float],
+        comm_model: str = "dedicated",
+        bus_frequency_hz: Optional[float] = None,
+    ) -> None:
+        if _np is None:
+            raise RuntimeError(
+                "BatchedListScheduler needs numpy; gate on numpy_available()"
+            )
+        graph.validate()
+        if not frequencies_hz:
+            raise ValueError("need at least one core frequency")
+        for frequency in frequencies_hz:
+            if frequency <= 0:
+                raise ValueError(f"frequencies must be positive, got {frequency}")
+        if comm_model not in self._COMM_MODELS:
+            raise ValueError(
+                f"unknown comm model {comm_model!r}; choose from {self._COMM_MODELS}"
+            )
+        if bus_frequency_hz is not None and bus_frequency_hz <= 0:
+            raise ValueError("bus frequency must be positive")
+        self._graph = graph
+        self._compiled = graph.compiled()
+        self._frequencies = tuple(float(f) for f in frequencies_hz)
+        self.comm_model = comm_model
+        self._bus_frequency = bus_frequency_hz or max(self._frequencies)
+        self._compile_plan()
+
+    # -- static plan -------------------------------------------------------
+
+    def _compile_plan(self) -> None:
+        """Pop order + per-step predecessor arrays (mapping-independent)."""
+        compiled = self._compiled
+        n = compiled.num_tasks
+        pred_ptr = compiled.pred_ptr
+        succ_ptr = compiled.succ_ptr
+        succ_idx = compiled.succ_idx
+        names = compiled.names
+        priorities = compiled.bottom_levels
+
+        in_degree = [pred_ptr[i + 1] - pred_ptr[i] for i in range(n)]
+        ready = [
+            (-priorities[i], names[i], i) for i in compiled.entry_indices
+        ]
+        heapq.heapify(ready)
+        order: List[int] = []
+        while ready:
+            _, _, i = heapq.heappop(ready)
+            order.append(i)
+            for e in range(succ_ptr[i], succ_ptr[i + 1]):
+                successor = succ_idx[e]
+                in_degree[successor] -= 1
+                if in_degree[successor] == 0:
+                    heapq.heappush(
+                        ready, (-priorities[successor], names[successor], successor)
+                    )
+        if len(order) != n:
+            raise ValueError("scheduling incomplete: graph contains a cycle")
+        self._order: Tuple[int, ...] = tuple(order)
+        # Per-step predecessor id / comm-cycle arrays, in edge order.
+        pred_idx = compiled.pred_idx
+        pred_comm = compiled.pred_comm
+        self._step_preds = []
+        self._step_comm = []
+        for i in order:
+            begin, end = pred_ptr[i], pred_ptr[i + 1]
+            if end > begin:
+                self._step_preds.append(_np.array(pred_idx[begin:end], dtype=_np.intp))
+                self._step_comm.append(
+                    _np.array(pred_comm[begin:end], dtype=_np.int64)
+                )
+            else:
+                self._step_preds.append(None)
+                self._step_comm.append(None)
+        self._freq_array = _np.array(self._frequencies, dtype=_np.float64)
+        self._cycles_array = _np.array(compiled.cycles, dtype=_np.int64)
+
+    @property
+    def num_cores(self) -> int:
+        """Number of cores the scheduler targets."""
+        return len(self._frequencies)
+
+    @property
+    def frequencies_hz(self) -> Tuple[float, ...]:
+        """Per-core clock frequencies."""
+        return self._frequencies
+
+    @property
+    def order(self) -> Tuple[int, ...]:
+        """The static scheduling order (dense task ids, pop order)."""
+        return self._order
+
+    def _sync_compiled(self) -> None:
+        compiled = self._graph.compiled()
+        if compiled is not self._compiled:
+            self._compiled = compiled
+            self._compile_plan()
+
+    # -- batch scheduling --------------------------------------------------
+
+    def run(self, core_rows: Sequence[Sequence[int]]) -> BatchScheduleResult:
+        """Schedule every row of ``core_rows`` in one vectorized pass.
+
+        ``core_rows[b][t]`` is the core of task ``t`` (compiled dense
+        index) in batch row ``b`` — exactly the evaluator's canonical
+        mapping signature.  Returns the stacked
+        :class:`BatchScheduleResult`; ``B == 0`` yields an empty
+        result.
+        """
+        self._sync_compiled()
+        compiled = self._compiled
+        n = compiled.num_tasks
+        num_cores = self.num_cores
+        batch = len(core_rows)
+        cores = _np.asarray(core_rows, dtype=_np.int64)
+        if cores.size == 0:
+            cores = cores.reshape(batch, n if batch == 0 else -1)
+        if cores.ndim != 2 or (batch and cores.shape[1] != n):
+            raise ValueError(
+                f"core rows must each assign all {n} tasks, got shape "
+                f"{cores.shape}"
+            )
+        if batch and (cores.min() < 0 or cores.max() >= num_cores):
+            raise ValueError(
+                f"core indices must lie in 0..{num_cores - 1}"
+            )
+
+        starts = _np.zeros((batch, n), dtype=_np.float64)
+        finishes = _np.zeros((batch, n), dtype=_np.float64)
+        receive = _np.zeros((batch, n), dtype=_np.int64)
+        busy_s = _np.zeros((batch, num_cores), dtype=_np.float64)
+        if batch:
+            self._run_steps(cores, starts, finishes, receive, busy_s)
+            # Integer busy sums are order-insensitive (exact below
+            # 2**53), so they vectorize outside the timing loop.
+            occupancy = self._cycles_array + receive
+            busy_cycles = _np.stack(
+                [
+                    _np.where(cores == core, occupancy, 0).sum(axis=1)
+                    for core in range(num_cores)
+                ],
+                axis=1,
+            )
+        else:
+            busy_cycles = _np.zeros((batch, num_cores), dtype=_np.int64)
+        makespans = (
+            finishes.max(axis=1) if n and batch else _np.zeros(batch)
+        )
+        return BatchScheduleResult(
+            order=self._order,
+            names=compiled.names,
+            cycles=compiled.cycles,
+            cores=cores,
+            starts=starts,
+            finishes=finishes,
+            receive=receive,
+            makespans=makespans,
+            busy_s=busy_s,
+            busy_cycles=busy_cycles,
+            num_cores=num_cores,
+            frequencies_hz=self._frequencies,
+        )
+
+    def _run_steps(self, cores, starts, finishes, receive, busy_s) -> None:
+        """The sequential-over-tasks, vectorized-over-batch timing pass."""
+        np = _np
+        compiled = self._compiled
+        cycles = compiled.cycles
+        freq = self._freq_array
+        batch = cores.shape[0]
+        rows = np.arange(batch)
+        core_free = np.zeros((batch, self.num_cores), dtype=np.float64)
+        dedicated = self.comm_model == "dedicated"
+        bus_free = None if dedicated else np.zeros(batch, dtype=np.float64)
+        bus_frequency = self._bus_frequency
+
+        for step, task in enumerate(self._order):
+            core = cores[:, task]
+            earliest = core_free[rows, core]  # fancy indexing copies
+            preds = self._step_preds[step]
+            busy = cycles[task]
+            if preds is not None and dedicated and len(preds) == 1:
+                # Single-predecessor fast path: basic-slice views, no
+                # axis reductions (most tasks in chain-heavy graphs).
+                producer = preds[0]
+                np.maximum(earliest, finishes[:, producer], out=earliest)
+                cross = cores[:, producer] != core
+                recv = cross * int(self._step_comm[step][0])
+                receive[:, task] = recv
+                busy = busy + recv
+            elif preds is not None:
+                pred_finish = finishes[:, preds]
+                np.maximum(earliest, pred_finish.max(axis=1), out=earliest)
+                if dedicated:
+                    cross = cores[:, preds] != core[:, None]
+                    recv = (cross * self._step_comm[step]).sum(axis=1)
+                    receive[:, task] = recv
+                    busy = busy + recv
+                else:
+                    # Shared bus: edges serialize in insertion order;
+                    # per-edge update vectorized across the batch.
+                    comm = self._step_comm[step]
+                    for e in range(len(preds)):
+                        producer_finish = pred_finish[:, e]
+                        cross = cores[:, preds[e]] != core
+                        transfer_start = np.maximum(bus_free, producer_finish)
+                        transfer_finish = transfer_start + (
+                            int(comm[e]) / bus_frequency
+                        )
+                        bus_free = np.where(cross, transfer_finish, bus_free)
+                        np.maximum(
+                            earliest,
+                            np.where(cross, transfer_finish, earliest),
+                            out=earliest,
+                        )
+            duration = busy / freq[core]
+            finish = earliest + duration
+            core_free[rows, core] = finish
+            finishes[:, task] = finish
+            starts[:, task] = earliest
+            # Float busy sums accumulate in scheduling order — per core
+            # this is the canonical order the serial Schedule sums in.
+            busy_s[rows, core] += finish - earliest
+
+    # -- convenience -------------------------------------------------------
+
+    def run_mappings(self, mappings: Sequence[Mapping]) -> BatchScheduleResult:
+        """Validate and schedule a batch of :class:`Mapping` objects."""
+        compiled = self._graph.compiled()
+        rows = []
+        for mapping in mappings:
+            if mapping.num_cores != self.num_cores:
+                raise ValueError(
+                    f"mapping targets {mapping.num_cores} cores, scheduler has "
+                    f"{self.num_cores}"
+                )
+            rows.append(mapping.core_index_list(compiled.names))
+        return self.run(rows)
+
+    def schedules(self, mappings: Sequence[Mapping]) -> List[Schedule]:
+        """Full :class:`Schedule` objects for a batch of mappings."""
+        result = self.run_mappings(mappings)
+        return [result.schedule(row) for row in range(len(result))]

@@ -43,6 +43,13 @@ heap keys, float operations and predecessor iteration order are
 preserved exactly).  The original implementation is kept as
 :meth:`ListScheduler.schedule_reference` and the parity suite asserts
 equality on randomized inputs.
+
+The pop order is mapping-independent (the ready heap is keyed on
+``(-bottom_level, name)`` and readiness only counts scheduled
+predecessors), which is what lets
+:class:`~repro.sched.batched.BatchedListScheduler` schedule a whole
+batch of mappings through one static order in a single numpy pass —
+bit-identical to calling :meth:`ListScheduler.schedule` per mapping.
 """
 
 from __future__ import annotations

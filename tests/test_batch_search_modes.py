@@ -1,0 +1,205 @@
+"""Batched candidate screening in the searchers + the screening policy.
+
+Contract under test:
+
+* ``batch_size=1`` is **bit-identical** to the serial walk in both
+  searchers — same RNG stream, same evaluator traffic, same returned
+  design point;
+* larger batches are deterministic under a seed and produce feasible
+  designs;
+* batching and incremental screening are mutually exclusive;
+* the ``"auto"`` screening policy applies the >= 100-task threshold
+  (the ROADMAP-flagged regression fix: sub-100-task compiled
+  evaluations are too cheap for the preview to pay off).
+"""
+
+import pytest
+
+from repro.experiments.common import ExperimentProfile, build_optimizer
+from repro.mapping import Mapping, MappingEvaluator
+from repro.mapping.incremental import SCREENING_MIN_TASKS, resolve_screening
+from repro.optim import (
+    AnnealingConfig,
+    OptimizedMappingSearch,
+    SEUObjective,
+    SimulatedAnnealingMapper,
+)
+from repro.taskgraph import RandomGraphConfig, mpeg2_decoder, random_task_graph
+from repro.taskgraph.mpeg2 import MPEG2_DEADLINE_S
+
+from repro.arch import MPSoC
+
+
+@pytest.fixture(scope="module")
+def mpeg2():
+    return mpeg2_decoder()
+
+
+def _evaluator(mpeg2):
+    return MappingEvaluator(
+        mpeg2, MPSoC.paper_reference(4), deadline_s=MPEG2_DEADLINE_S
+    )
+
+
+def _annealer(evaluator, batch_size=0, **kwargs):
+    return SimulatedAnnealingMapper(
+        evaluator,
+        SEUObjective(),
+        config=AnnealingConfig(max_iterations=400),
+        seed=7,
+        deadline_penalty=True,
+        require_all_cores=True,
+        batch_size=batch_size,
+        **kwargs,
+    )
+
+
+class TestAnnealerBatchMode:
+    def test_batch_size_one_is_bit_identical(self, mpeg2):
+        serial_evaluator = _evaluator(mpeg2)
+        batch_evaluator = _evaluator(mpeg2)
+        initial = Mapping.round_robin(mpeg2, 4)
+        serial = _annealer(serial_evaluator).run(initial, (2, 2, 3, 2))
+        batched = _annealer(batch_evaluator, batch_size=1).run(
+            initial, (2, 2, 3, 2)
+        )
+        assert batched == serial
+        assert batched.mapping == serial.mapping
+        assert batch_evaluator.evaluations == serial_evaluator.evaluations
+        assert batch_evaluator.cache_info == serial_evaluator.cache_info
+
+    def test_larger_batches_deterministic_and_feasible(self, mpeg2):
+        initial = Mapping.round_robin(mpeg2, 4)
+        runs = [
+            _annealer(_evaluator(mpeg2), batch_size=16).run(initial, (2, 2, 3, 2))
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+        assert runs[0].meets_deadline
+        assert runs[0].expected_seus > 0
+
+    def test_batch_mode_survives_restarts(self, mpeg2):
+        evaluator = _evaluator(mpeg2)
+        mapper = SimulatedAnnealingMapper(
+            evaluator,
+            SEUObjective(),
+            config=AnnealingConfig(max_iterations=200, restarts=3),
+            seed=3,
+            require_all_cores=True,
+            batch_size=8,
+        )
+        point = mapper.run(Mapping.round_robin(mpeg2, 4), (2, 2, 3, 2))
+        assert point.expected_seus > 0
+        assert len(mapper.restart_evaluations) == 3
+
+    def test_screening_and_batching_are_exclusive(self, mpeg2):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            _annealer(_evaluator(mpeg2), batch_size=4, screening=True)
+
+    def test_negative_batch_size_rejected(self, mpeg2):
+        with pytest.raises(ValueError, match="non-negative"):
+            _annealer(_evaluator(mpeg2), batch_size=-1)
+
+
+class TestWalkBatchMode:
+    def _search(self, evaluator, batch_size=0, **kwargs):
+        return OptimizedMappingSearch(
+            evaluator,
+            max_iterations=300,
+            seed=11,
+            batch_size=batch_size,
+            **kwargs,
+        )
+
+    def test_batch_size_one_is_bit_identical(self, mpeg2):
+        initial = Mapping.round_robin(mpeg2, 4)
+        serial_evaluator = _evaluator(mpeg2)
+        batch_evaluator = _evaluator(mpeg2)
+        serial = self._search(serial_evaluator).run(initial)
+        batched = self._search(batch_evaluator, batch_size=1).run(initial)
+        assert batched.best == serial.best
+        assert batched.iterations == serial.iterations
+        assert batched.improvements == serial.improvements
+        assert batched.feasible == serial.feasible
+        assert batch_evaluator.evaluations == serial_evaluator.evaluations
+
+    def test_larger_batches_deterministic(self, mpeg2):
+        initial = Mapping.round_robin(mpeg2, 4)
+        first = self._search(_evaluator(mpeg2), batch_size=8).run(initial)
+        second = self._search(_evaluator(mpeg2), batch_size=8).run(initial)
+        assert first.best == second.best
+        assert first.iterations == second.iterations == 300
+
+    def test_history_matches_serial_at_batch_one(self, mpeg2):
+        initial = Mapping.round_robin(mpeg2, 4)
+        serial = self._search(_evaluator(mpeg2), record_history=True).run(initial)
+        batched = self._search(
+            _evaluator(mpeg2), batch_size=1, record_history=True
+        ).run(initial)
+        assert batched.history == serial.history
+
+    def test_screening_and_batching_are_exclusive(self, mpeg2):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            self._search(_evaluator(mpeg2), batch_size=4, screen_moves=True)
+
+
+class TestScreeningPolicy:
+    def test_resolve_values(self):
+        assert resolve_screening(False, 10) is False
+        assert resolve_screening(True, 10) is True  # explicit opt-in wins
+        assert resolve_screening("auto", SCREENING_MIN_TASKS - 1) is False
+        assert resolve_screening("auto", SCREENING_MIN_TASKS) is True
+        with pytest.raises(ValueError, match="screening"):
+            resolve_screening("sometimes", 10)
+
+    def test_auto_is_off_on_small_graphs(self, mpeg2):
+        mapper = _annealer(_evaluator(mpeg2), screening="auto")
+        assert mapper.screening is False
+        search = OptimizedMappingSearch(
+            _evaluator(mpeg2), max_iterations=10, screen_moves="auto"
+        )
+        assert search.screen_moves is False
+
+    def test_auto_is_on_at_threshold(self):
+        graph = random_task_graph(
+            RandomGraphConfig(num_tasks=SCREENING_MIN_TASKS), seed=1
+        )
+        evaluator = MappingEvaluator(
+            graph,
+            MPSoC.paper_reference(4),
+            deadline_s=RandomGraphConfig(
+                num_tasks=SCREENING_MIN_TASKS
+            ).deadline_s,
+        )
+        mapper = SimulatedAnnealingMapper(
+            evaluator, SEUObjective(), seed=0, screening="auto"
+        )
+        assert mapper.screening is True
+
+    def test_explicit_true_still_screens_small_graphs(self, mpeg2):
+        # Opt-in via config is preserved: True means always.
+        mapper = _annealer(_evaluator(mpeg2), screening=True)
+        assert mapper.screening is True
+
+
+class TestProfilePlumbing:
+    def test_batch_eval_reaches_the_mappers(self, mpeg2):
+        profile = ExperimentProfile.fast()
+        batched_profile = ExperimentProfile(batch_eval=8, screen_moves="auto")
+        optimizer = build_optimizer(mpeg2, 4, MPEG2_DEADLINE_S, batched_profile)
+        assert optimizer.mapper.batch_size == 8
+        assert optimizer.mapper.screen_moves == "auto"
+        baseline = build_optimizer(
+            mpeg2, 4, MPEG2_DEADLINE_S, batched_profile, objective=SEUObjective()
+        )
+        assert baseline.mapper.batch_size == 8
+        default = build_optimizer(mpeg2, 4, MPEG2_DEADLINE_S, profile)
+        assert default.mapper.batch_size == 0
+
+    def test_batched_optimize_selects_a_design(self, mpeg2):
+        profile = ExperimentProfile(
+            search_iterations=150, stop_after_feasible=2, batch_eval=8
+        )
+        outcome = build_optimizer(mpeg2, 4, MPEG2_DEADLINE_S, profile).optimize()
+        assert outcome.best is not None
+        assert outcome.best.meets_deadline

@@ -115,3 +115,51 @@ class TestParallelFlags:
 
         args = build_parser().parse_args(["experiment", "fig3"])
         assert _profile_from(args) == ExperimentProfile.fast()
+
+
+class TestBatchEvalFlags:
+    def test_defaults(self):
+        args = build_parser().parse_args(["experiment", "fig3"])
+        assert args.batch_eval == 0
+        assert args.screen_moves == "off"
+
+    def test_profile_plumbing(self):
+        from repro.cli import _profile_from
+
+        args = build_parser().parse_args(
+            ["experiment", "table3", "--batch-eval", "8"]
+        )
+        assert _profile_from(args).batch_eval == 8
+        args = build_parser().parse_args(
+            ["experiment", "table3", "--screen-moves", "auto"]
+        )
+        assert _profile_from(args).screen_moves == "auto"
+        args = build_parser().parse_args(
+            ["experiment", "table3", "--screen-moves", "on"]
+        )
+        assert _profile_from(args).screen_moves is True
+
+    def test_conflicting_flags_fail_fast(self):
+        from repro.cli import _profile_from
+
+        args = build_parser().parse_args(
+            [
+                "experiment",
+                "table3",
+                "--batch-eval",
+                "8",
+                "--screen-moves",
+                "auto",
+            ]
+        )
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            _profile_from(args)
+
+    def test_negative_batch_eval_fails_fast(self):
+        from repro.cli import _profile_from
+
+        args = build_parser().parse_args(
+            ["experiment", "table3", "--batch-eval", "-2"]
+        )
+        with pytest.raises(SystemExit, match="non-negative"):
+            _profile_from(args)

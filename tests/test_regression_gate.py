@@ -1,0 +1,145 @@
+"""The CI perf-regression gate (benchmarks/check_regression.py).
+
+Drives the gate as a CLI on synthetic pytest-benchmark JSON payloads:
+pass on flat numbers, fail on a >25% regression of a gated
+(scheduling/evaluation) row, ignore ungated rows, bootstrap when the
+baseline is missing, and refresh with ``--update``.  The synthetic
+regression test is the in-repo demonstration that the gate actually
+fails CI when the hot path slows down.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+GATE = os.path.join(REPO_ROOT, "benchmarks", "check_regression.py")
+
+
+def _payload(**medians):
+    return {
+        "benchmarks": [
+            {"name": name, "stats": {"median": value, "mean": value, "min": value}}
+            for name, value in medians.items()
+        ]
+    }
+
+
+def _write(path, **medians):
+    with open(path, "w") as handle:
+        json.dump(_payload(**medians), handle)
+    return str(path)
+
+
+def _run(*argv):
+    return subprocess.run(
+        [sys.executable, GATE, *argv], capture_output=True, text=True
+    )
+
+
+BASELINE_ROWS = dict(
+    test_bench_list_scheduler_mpeg2=20e-6,
+    test_bench_design_point_evaluation=40e-6,
+    test_bench_evaluate_batch_loop=2800e-6,
+    test_bench_simulation_and_injection=900e-6,  # ungated
+)
+
+
+@pytest.fixture
+def baseline(tmp_path):
+    return _write(tmp_path / "baseline.json", **BASELINE_ROWS)
+
+
+class TestGate:
+    def test_passes_on_flat_numbers(self, tmp_path, baseline):
+        latest = _write(tmp_path / "latest.json", **BASELINE_ROWS)
+        proc = _run(latest, "--baseline", baseline)
+        assert proc.returncode == 0, proc.stdout
+        assert "perf gate passed" in proc.stdout
+
+    def test_passes_within_tolerance(self, tmp_path, baseline):
+        rows = dict(BASELINE_ROWS)
+        rows["test_bench_list_scheduler_mpeg2"] *= 1.20  # +20% < 25%
+        latest = _write(tmp_path / "latest.json", **rows)
+        proc = _run(latest, "--baseline", baseline)
+        assert proc.returncode == 0, proc.stdout
+
+    def test_fails_on_synthetic_regression(self, tmp_path, baseline):
+        # The acceptance-criteria demonstration: a 30% slowdown on a
+        # scheduling row must fail the gate.
+        rows = dict(BASELINE_ROWS)
+        rows["test_bench_list_scheduler_mpeg2"] *= 1.30
+        latest = _write(tmp_path / "latest.json", **rows)
+        proc = _run(latest, "--baseline", baseline)
+        assert proc.returncode == 1, proc.stdout
+        assert "REGRESSION" in proc.stdout
+        assert "test_bench_list_scheduler_mpeg2" in proc.stdout.split("FAIL")[-1]
+
+    def test_ungated_rows_never_fail(self, tmp_path, baseline):
+        rows = dict(BASELINE_ROWS)
+        rows["test_bench_simulation_and_injection"] *= 3.0
+        latest = _write(tmp_path / "latest.json", **rows)
+        proc = _run(latest, "--baseline", baseline)
+        assert proc.returncode == 0, proc.stdout
+
+    def test_tolerance_flag(self, tmp_path, baseline):
+        rows = dict(BASELINE_ROWS)
+        rows["test_bench_design_point_evaluation"] *= 1.20
+        latest = _write(tmp_path / "latest.json", **rows)
+        proc = _run(latest, "--baseline", baseline, "--tolerance", "0.1")
+        assert proc.returncode == 1, proc.stdout
+
+    def test_missing_gated_row_fails(self, tmp_path, baseline):
+        rows = dict(BASELINE_ROWS)
+        del rows["test_bench_evaluate_batch_loop"]
+        latest = _write(tmp_path / "latest.json", **rows)
+        proc = _run(latest, "--baseline", baseline)
+        assert proc.returncode == 1, proc.stdout
+        assert "MISSING" in proc.stdout
+
+    def test_new_rows_pass_ungated(self, tmp_path, baseline):
+        rows = dict(BASELINE_ROWS)
+        rows["test_bench_evaluate_batch_vectorized[64]"] = 800e-6
+        latest = _write(tmp_path / "latest.json", **rows)
+        proc = _run(latest, "--baseline", baseline)
+        assert proc.returncode == 0, proc.stdout
+        assert "new row" in proc.stdout
+
+    def test_missing_baseline_bootstraps(self, tmp_path):
+        latest = _write(tmp_path / "latest.json", **BASELINE_ROWS)
+        absent = str(tmp_path / "no_baseline.json")
+        proc = _run(latest, "--baseline", absent)
+        assert proc.returncode == 0, proc.stdout
+        assert "first run" in proc.stdout
+        assert not os.path.exists(absent)
+        proc = _run(latest, "--baseline", absent, "--update")
+        assert proc.returncode == 0, proc.stdout
+        assert os.path.exists(absent)
+
+    def test_update_refreshes_baseline(self, tmp_path, baseline):
+        rows = {name: value * 0.5 for name, value in BASELINE_ROWS.items()}
+        latest = _write(tmp_path / "latest.json", **rows)
+        proc = _run(latest, "--baseline", baseline, "--update")
+        assert proc.returncode == 0, proc.stdout
+        with open(baseline) as handle:
+            refreshed = json.load(handle)
+        medians = {
+            row["name"]: row["stats"]["median"]
+            for row in refreshed["benchmarks"]
+        }
+        assert medians == rows
+
+    def test_committed_baseline_exists_and_gates_real_rows(self):
+        # The repo ships an armed gate: a committed baseline whose
+        # gated rows include the scheduler and batch-evaluation
+        # benchmarks bench_micro actually produces.
+        path = os.path.join(REPO_ROOT, "benchmarks", "baseline.json")
+        assert os.path.exists(path), "benchmarks/baseline.json must be committed"
+        with open(path) as handle:
+            names = {row["name"] for row in json.load(handle)["benchmarks"]}
+        assert any("list_scheduler" in name for name in names)
+        assert any("evaluate_batch_vectorized" in name for name in names)
+        assert any("evaluate_batch_loop" in name for name in names)

@@ -49,7 +49,6 @@ def main() -> None:
             print(f"{cores:>5}  {'infeasible':>8}")
             continue
         point = outcome.best
-        marker = ""
         if best_power is None or point.power_mw < best_power[0]:
             best_power = (point.power_mw, cores)
         print(

@@ -1,11 +1,43 @@
-"""Setup shim for environments without the ``wheel`` package.
+"""Package metadata for the DATE 2010 soft error-aware MPSoC reproduction.
 
-``pip install -e . --no-build-isolation`` falls back to the legacy
-``setup.py develop`` path when PEP 517 editable builds are unavailable
-(this sandbox has no network and no ``wheel``).  All metadata lives in
-``pyproject.toml``.
+Metadata lives here (not pyproject.toml) because the sandbox this repo
+grows in has no network and no ``wheel`` package: ``pip install -e .
+--no-build-isolation`` falls back to the legacy ``setup.py develop``
+path, which needs a self-contained setup script.
+
+The ``test`` extra is the single source of truth for what CI installs
+— every workflow job runs ``pip install -e ".[test]"`` instead of
+hand-maintained ``pip install`` lines.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-seu",
+    version="0.4.0",
+    description=(
+        "Soft error-aware energy minimization for embedded MPSoCs "
+        "(DATE 2010 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "networkx",
+        "numpy",
+    ],
+    extras_require={
+        "test": [
+            "hypothesis",
+            "networkx",
+            "numpy",
+            "pytest",
+            "pytest-benchmark",
+        ],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro-seu=repro.cli:main",
+        ],
+    },
+)

@@ -11,6 +11,10 @@ Subcommands
 ``inject``
     Simulate a design and run a Monte-Carlo SEU injection campaign,
     comparing the measured count against the Eq. (3) expectation.
+``runs``
+    List the run-store manifests under a store directory: per-run
+    status, cell completion counts, profile and fingerprint — the
+    operational view of streamed/resumable experiment runs.
 """
 
 from __future__ import annotations
@@ -27,9 +31,12 @@ from repro.experiments.runner import experiment_ids, run_experiment
 def _add_profile_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--profile",
-        choices=["fast", "full"],
+        choices=["smoke", "fast", "full"],
         default="fast",
-        help="search budget preset (default: fast)",
+        help=(
+            "search budget preset: smoke (pipeline e2e tests), fast (CI) "
+            "or full (paper scale) (default: fast)"
+        ),
     )
     parser.add_argument("--seed", type=int, default=0, help="determinism seed")
     parser.add_argument(
@@ -99,11 +106,32 @@ def _add_profile_arguments(parser: argparse.ArgumentParser) -> None:
             "pays for itself (default: off)"
         ),
     )
+    parser.add_argument(
+        "--store-dir",
+        default=None,
+        help=(
+            "stream every experiment grid to this directory as cells "
+            "complete (append-only records + manifest per run; crash-"
+            "resilient; inspect with `repro-seu runs`)"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "with --store-dir: skip cells already completed in the store "
+            "(same profile required) and re-dispatch only missing/failed "
+            "ones; the resumed report is byte-identical to an "
+            "uninterrupted run"
+        ),
+    )
 
 
 def _profile_from(args: argparse.Namespace) -> ExperimentProfile:
     if args.profile == "full":
         profile = ExperimentProfile.full(seed=args.seed)
+    elif args.profile == "smoke":
+        profile = ExperimentProfile.smoke(seed=args.seed)
     else:
         profile = ExperimentProfile.fast(seed=args.seed)
     backend = getattr(args, "backend", "serial")
@@ -139,6 +167,12 @@ def _profile_from(args: argparse.Namespace) -> ExperimentProfile:
         profile = replace(
             profile, screen_moves=True if screen_moves == "on" else "auto"
         )
+    store_dir = getattr(args, "store_dir", None)
+    resume = getattr(args, "resume", False)
+    if resume and store_dir is None:
+        raise SystemExit("repro-seu: error: --resume requires --store-dir")
+    if store_dir is not None:
+        profile = profile.with_store(store_dir, resume=resume)
     return profile
 
 
@@ -213,6 +247,54 @@ def _cmd_inject(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_runs(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.experiments.common import format_table
+    from repro.store import iter_manifests
+
+    root = Path(args.store_dir)
+    if not root.exists():
+        print(f"no such store directory: {root}", file=sys.stderr)
+        return 1
+    manifests = list(iter_manifests(root))
+    if args.run is not None:
+        manifests = [
+            (directory, manifest)
+            for directory, manifest in manifests
+            if manifest.get("label") == args.run or directory.name == args.run
+        ]
+        if not manifests:
+            print(f"no run {args.run!r} under {root}", file=sys.stderr)
+            return 1
+    if not manifests:
+        print(f"no run manifests under {root}")
+        return 0
+    rows = []
+    for directory, manifest in manifests:
+        profile = manifest.get("profile", {})
+        rows.append(
+            [
+                manifest.get("label", directory.name),
+                str(manifest.get("run_status", "?")),
+                f"{manifest.get('completed', 0)}/{manifest.get('total', 0)}",
+                str(manifest.get("failed", 0)),
+                str(profile.get("name", "?")),
+                str(profile.get("seed", "?")),
+                str(manifest.get("fingerprint", "?")),
+            ]
+        )
+    headers = ["Run", "Status", "Done", "Failed", "Profile", "Seed", "Fingerprint"]
+    print(format_table(headers, rows))
+    if args.run is not None and args.cells:
+        _directory, manifest = manifests[0]
+        print()
+        status = manifest.get("status", {})
+        for key in manifest.get("cells", []):
+            print(f"  [{status.get(key, '?'):>7}] {key}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro-seu`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -248,6 +330,26 @@ def build_parser() -> argparse.ArgumentParser:
     inject.add_argument("--runs", type=int, default=20)
     inject.add_argument("--seed", type=int, default=0)
     inject.set_defaults(func=_cmd_inject)
+
+    runs = subparsers.add_parser(
+        "runs", help="list run-store manifests (status, completion, fingerprint)"
+    )
+    runs.add_argument(
+        "--store-dir",
+        required=True,
+        help="store directory previous runs streamed into",
+    )
+    runs.add_argument(
+        "--run",
+        default=None,
+        help="show only this run label (e.g. table3, all)",
+    )
+    runs.add_argument(
+        "--cells",
+        action="store_true",
+        help="with --run: also print per-cell statuses in grid order",
+    )
+    runs.set_defaults(func=_cmd_runs)
     return parser
 
 

@@ -38,8 +38,12 @@ from __future__ import annotations
 import os
 import pickle
 from abc import ABC, abstractmethod
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Any, Callable, Iterable, List, Optional, Sequence, Union
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
+from typing import Any, Callable, List, Optional, Sequence, Union
 
 BackendSpec = Union[None, str, "ExecutionBackend"]
 
@@ -54,6 +58,30 @@ class ExecutionBackend(ABC):
     @abstractmethod
     def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
         """Apply ``fn`` to every item; results keep item order."""
+
+    def map_stream(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        callback: Optional[Callable[[int, Any], None]] = None,
+    ) -> List[Any]:
+        """Like :meth:`map`, but reports results as they land.
+
+        ``callback(index, result)`` fires once per item in *completion*
+        order — the streaming hook the run store uses to persist each
+        experiment cell the moment it finishes instead of after the
+        whole grid.  The returned list still keeps item order, so
+        ``map_stream(fn, items)`` with no callback is exactly ``map``.
+        Callbacks run in the caller's process/thread, never in workers.
+
+        This base implementation degrades to gather-then-notify for
+        backends that do not override it.
+        """
+        results = self.map(fn, items)
+        if callback is not None:
+            for index, result in enumerate(results):
+                callback(index, result)
+        return results
 
     def close(self) -> None:
         """Release pool resources (no-op for poolless backends)."""
@@ -75,6 +103,20 @@ class SerialBackend(ExecutionBackend):
 
     def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
         return [fn(item) for item in items]
+
+    def map_stream(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        callback: Optional[Callable[[int, Any], None]] = None,
+    ) -> List[Any]:
+        results: List[Any] = []
+        for index, item in enumerate(items):
+            result = fn(item)
+            if callback is not None:
+                callback(index, result)
+            results.append(result)
+        return results
 
 
 class _PoolBackend(ExecutionBackend):
@@ -104,6 +146,32 @@ class _PoolBackend(ExecutionBackend):
         if len(items) == 1:  # skip pool overhead for trivial batches
             return [fn(items[0])]
         return list(self._pool().map(fn, items))
+
+    def map_stream(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        callback: Optional[Callable[[int, Any], None]] = None,
+    ) -> List[Any]:
+        items = list(items)
+        if not items:
+            return []
+        if len(items) == 1:
+            result = fn(items[0])
+            if callback is not None:
+                callback(0, result)
+            return [result]
+        futures = {
+            self._pool().submit(fn, item): index
+            for index, item in enumerate(items)
+        }
+        results: List[Any] = [None] * len(items)
+        for future in as_completed(futures):
+            index = futures[future]
+            results[index] = future.result()
+            if callback is not None:
+                callback(index, results[index])
+        return results
 
     def close(self) -> None:
         if self._executor is not None:

@@ -11,6 +11,7 @@ reporting units (P in mW, R in kbit, T_M in cycles, Gamma in SEUs).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from pathlib import Path
 from typing import Any, List, Optional, Sequence
 
 from repro.arch.dvs import ScalingTable
@@ -93,6 +94,19 @@ class ExperimentProfile:
         ``"auto"`` (screen only on graphs with >= 100 tasks, where the
         preview cost pays for itself — see ARCHITECTURE.md, "Screening
         policy").  Mutually exclusive with ``batch_eval``.
+    store_dir:
+        When set, experiment grids stream to disk — each cell's result is
+        persisted to ``<store_dir>/<run label>/`` the moment it
+        completes (append-only JSONL records + a manifest; see
+        ARCHITECTURE.md §store) instead of living only in memory until
+        the grid finishes.  ``None`` (default) keeps the in-memory
+        behaviour.
+    resume:
+        With ``store_dir``: load completed cells from an existing
+        store (same profile fingerprint and grid required) and
+        re-dispatch only missing or failed ones.  Resumed runs
+        reassemble byte-identical reports — the store determinism
+        contract.  Without ``resume`` an existing store is overwritten.
     """
 
     name: str = "fast"
@@ -108,11 +122,30 @@ class ExperimentProfile:
     restart_backend: str = "serial"
     batch_eval: int = 0
     screen_moves: object = False
+    store_dir: Optional[str] = None
+    resume: bool = False
 
     @classmethod
     def fast(cls, seed: int = 0) -> "ExperimentProfile":
         """CI-scale budgets (seconds per experiment)."""
         return cls(name="fast", seed=seed)
+
+    @classmethod
+    def smoke(cls, seed: int = 0) -> "ExperimentProfile":
+        """Pipeline-smoke budgets (sub-minute full grids).
+
+        Small enough for end-to-end exercises of the whole pipeline —
+        the CI kill-and-resume job runs every grid through the CLI on
+        this profile — while still covering every cell of every grid.
+        """
+        return cls(
+            name="smoke",
+            search_iterations=150,
+            sa_iterations=300,
+            fig3_mappings=40,
+            stop_after_feasible=2,
+            seed=seed,
+        )
 
     @classmethod
     def full(cls, seed: int = 0) -> "ExperimentProfile":
@@ -154,6 +187,43 @@ class ExperimentProfile:
     def with_max_workers(self, exec_max_workers: Optional[int]) -> "ExperimentProfile":
         """A copy with a different pool-size cap."""
         return replace(self, exec_max_workers=exec_max_workers)
+
+    def with_store(
+        self, store_dir: Optional[str], resume: bool = False
+    ) -> "ExperimentProfile":
+        """A copy streaming its grids to ``store_dir`` (optionally resuming)."""
+        return replace(
+            self,
+            store_dir=None if store_dir is None else str(store_dir),
+            resume=resume,
+        )
+
+    def result_fingerprint(self) -> str:
+        """Hash of every profile field that determines results.
+
+        Execution fields (backends, worker caps, the store settings
+        themselves) are deliberately excluded: by the exec determinism
+        contract they change wall-clock only, so a store written by a
+        serial run may be resumed on a process backend and vice versa.
+        ``batch_eval``/``screen_moves`` *are* included — chunked
+        screening changes the candidate visit sequence.
+        """
+        from repro.store import fingerprint_payload
+
+        return fingerprint_payload(
+            {
+                "format": 1,
+                "name": self.name,
+                "search_iterations": self.search_iterations,
+                "sa_iterations": self.sa_iterations,
+                "fig3_mappings": self.fig3_mappings,
+                "stop_after_feasible": self.stop_after_feasible,
+                "seed": self.seed,
+                "sa_restarts": self.sa_restarts,
+                "batch_eval": self.batch_eval,
+                "screen_moves": repr(self.screen_moves),
+            }
+        )
 
     def annealing_config(self) -> AnnealingConfig:
         """The SA configuration implied by this profile."""
@@ -258,10 +328,42 @@ def _run_cell(cell: Any) -> Any:
     return cell.run()
 
 
+def _run_cell_guarded(cell: Any) -> Any:
+    """Trampoline that converts cell failures into recordable outcomes.
+
+    Store-backed runs must persist *partial* grids: one bad cell is
+    recorded as failed (and re-dispatched on resume) instead of losing
+    the completed cells with it.  Returns ``("ok", result)`` or
+    ``("error", message)``.
+    """
+    try:
+        return ("ok", cell.run())
+    except Exception as exc:
+        return ("error", f"{type(exc).__name__}: {exc}")
+
+
+def _open_cell_store(profile: ExperimentProfile, label: Optional[str], cells):
+    """The run store for a grid, or ``None`` when persistence is off."""
+    if not profile.store_dir or label is None:
+        return None
+    from repro.store import RunStore, cell_key
+
+    keys = [cell_key(cell, index) for index, cell in enumerate(cells)]
+    return RunStore.open(
+        Path(profile.store_dir) / label,
+        label=label,
+        fingerprint=profile.result_fingerprint(),
+        keys=keys,
+        profile_summary={"name": profile.name, "seed": profile.seed},
+        resume=profile.resume,
+    )
+
+
 def run_cells(
     cells: Sequence[Any],
     profile: ExperimentProfile,
     backend: BackendSpec = None,
+    label: Optional[str] = None,
 ) -> List[Any]:
     """Fan experiment cells out through an execution backend, in order.
 
@@ -275,25 +377,100 @@ def run_cells(
     ``backend`` overrides ``profile.experiment_backend``.  On a
     parallel backend every cell is re-profiled via
     :func:`worker_profile` so inner sweeps stay serial in the workers.
+
+    ``label`` names the grid for the streaming run store: when
+    ``profile.store_dir`` is set and a label is given, every cell's
+    result is appended to ``<store_dir>/<label>/records.jsonl`` the
+    moment it completes (completion order; the returned list keeps
+    grid order), and with ``profile.resume`` completed cells are
+    loaded from the store instead of re-run — byte-identical results
+    either way, because cells are pure functions of themselves.  A
+    failed cell is recorded as such and the grid raises *after* every
+    other cell has run and been persisted; resuming re-dispatches
+    only the failures.
     """
     cells = list(cells)
     if not cells:
         return []
     spec = backend if backend is not None else profile.experiment_backend
-    resolved = resolve_backend(
-        spec,
-        task_count=len(cells),
-        probe_factory=lambda: cells[0],
-        max_workers=profile.exec_max_workers,
-    )
-    if isinstance(resolved, SerialBackend):
-        return [cell.run() for cell in cells]
-    jobs = [replace(cell, profile=worker_profile(cell.profile)) for cell in cells]
-    try:
-        return resolved.map(_run_cell, jobs)
-    finally:
-        if resolved is not spec:  # close pools we created here
-            resolved.close()
+    store = _open_cell_store(profile, label, cells)
+    if store is None:
+        resolved = resolve_backend(
+            spec,
+            task_count=len(cells),
+            probe_factory=lambda: cells[0],
+            max_workers=profile.exec_max_workers,
+        )
+        if isinstance(resolved, SerialBackend):
+            return [cell.run() for cell in cells]
+        jobs = [
+            replace(cell, profile=worker_profile(cell.profile)) for cell in cells
+        ]
+        try:
+            return resolved.map(_run_cell, jobs)
+        finally:
+            if resolved is not spec:  # close pools we created here
+                resolved.close()
+    return _run_cells_stored(cells, profile, spec, store)
+
+
+def _run_cells_stored(cells, profile: ExperimentProfile, spec, store) -> List[Any]:
+    """Store-backed :func:`run_cells`: stream completions, skip loaded cells."""
+    keys = store.keys
+    loaded = store.load_results()
+    results: List[Any] = [None] * len(cells)
+    pending: List[int] = []
+    for index, key in enumerate(keys):
+        record = loaded.get(key)
+        if record is not None:
+            results[index] = record.payload
+        else:
+            pending.append(index)
+    if pending:
+        resolved = resolve_backend(
+            spec,
+            task_count=len(pending),
+            probe_factory=lambda: cells[pending[0]],
+            max_workers=profile.exec_max_workers,
+        )
+        if isinstance(resolved, SerialBackend):
+            jobs = [cells[index] for index in pending]
+        else:
+            jobs = [
+                replace(cells[index], profile=worker_profile(cells[index].profile))
+                for index in pending
+            ]
+
+        def persist(position: int, outcome) -> None:
+            index = pending[position]
+            status, value = outcome
+            if status == "ok":
+                store.record_result(keys[index], index, value)
+            else:
+                store.record_error(keys[index], index, value)
+
+        try:
+            outcomes = resolved.map_stream(_run_cell_guarded, jobs, callback=persist)
+        finally:
+            if resolved is not spec:
+                resolved.close()
+        failures: List[str] = []
+        for position, (status, value) in enumerate(outcomes):
+            index = pending[position]
+            if status == "ok":
+                results[index] = value
+            else:
+                failures.append(f"{keys[index]}: {value}")
+        if failures:
+            store.finalize()
+            raise RuntimeError(
+                f"{len(failures)} of {len(cells)} cell(s) failed; completed "
+                f"cells are persisted in {store.directory} — re-run with "
+                f"resume to re-dispatch only the failures: "
+                + "; ".join(failures)
+            )
+    store.finalize()
+    return results
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:

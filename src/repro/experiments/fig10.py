@@ -182,5 +182,5 @@ def run_fig10(
         for cores in core_counts
     ]
     result = Fig10Result()
-    result.cells.extend(run_cells(jobs, profile, backend=backend))
+    result.cells.extend(run_cells(jobs, profile, backend=backend, label="fig10"))
     return result

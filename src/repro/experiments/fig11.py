@@ -17,7 +17,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.common import ExperimentProfile, build_optimizer, format_table
+from repro.experiments.common import (
+    ExperimentProfile,
+    build_optimizer,
+    format_table,
+    run_cells,
+)
 from repro.mapping.metrics import DesignPoint
 from repro.taskgraph.graph import TaskGraph
 from repro.taskgraph.random_graphs import RandomGraphConfig, random_task_graph
@@ -83,6 +88,33 @@ class Fig11Result:
         return format_table(headers, rows)
 
 
+@dataclass(frozen=True)
+class _Fig11LevelJob:
+    """One scaling-level preset's optimization, picklable for fan-out.
+
+    Same seed offset for every preset: combined with the content-based
+    per-scaling seeding, identical physical configurations yield
+    identical designs across the presets, so the power orderings
+    reflect the tables, not search noise.
+    """
+
+    graph: TaskGraph
+    deadline_s: float
+    num_cores: int
+    num_levels: int
+    profile: ExperimentProfile
+
+    def run(self) -> Optional[DesignPoint]:
+        return build_optimizer(
+            self.graph,
+            self.num_cores,
+            self.deadline_s,
+            self.profile,
+            num_levels=self.num_levels,
+            seed_offset=0,
+        ).optimize().best
+
+
 def run_fig11(
     profile: Optional[ExperimentProfile] = None,
     graph: Optional[TaskGraph] = None,
@@ -109,20 +141,22 @@ def run_fig11(
     elif deadline_s is None:
         raise ValueError("deadline_s is required with a custom graph")
 
-    result = Fig11Result()
-    for levels in level_counts:
-        # Same seed offset for every preset: combined with the
-        # content-based per-scaling seeding, identical physical
-        # configurations yield identical designs across the presets,
-        # so the power orderings reflect the tables, not search noise.
-        optimizer = build_optimizer(
-            graph,
-            num_cores,
-            deadline_s,
-            profile,
+    # Each preset is an independent cell: fan out through
+    # ``profile.experiment_backend`` and stream to the run store when
+    # one is configured, reassembled in preset order — the same
+    # designs the former in-line loop produced.
+    jobs = [
+        _Fig11LevelJob(
+            graph=graph,
+            deadline_s=deadline_s,
+            num_cores=num_cores,
             num_levels=levels,
-            seed_offset=0,
+            profile=profile,
         )
-        outcome = optimizer.optimize()
-        result.points[levels] = outcome.best
+        for levels in level_counts
+    ]
+    points = run_cells(jobs, profile, label="fig11")
+    result = Fig11Result()
+    for levels, point in zip(level_counts, points):
+        result.points[levels] = point
     return result

@@ -20,7 +20,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.experiments.common import ExperimentProfile, build_evaluator, format_table
+from repro.experiments.common import (
+    ExperimentProfile,
+    build_evaluator,
+    format_table,
+    run_cells,
+)
 from repro.mapping.enumeration import stratified_mappings
 from repro.mapping.mapping import Mapping
 from repro.taskgraph.graph import TaskGraph
@@ -143,12 +148,52 @@ class Fig3Result:
         )
 
 
+@dataclass(frozen=True)
+class _Fig3PanelJob:
+    """One panel scaling's full mapping sweep, picklable for fan-out.
+
+    The job resamples the stratified mapping set (same seed, identical
+    sample) and batch-evaluates it at its panel's uniform scaling in a
+    private evaluator, so its point list is a pure function of the job
+    — what the run store's resume contract needs.
+    """
+
+    graph: TaskGraph
+    num_cores: int
+    scaling_level: int
+    deadline_s: float
+    profile: ExperimentProfile
+
+    def run(self):
+        evaluator = build_evaluator(
+            self.graph, self.num_cores, deadline_s=self.deadline_s
+        )
+        mappings = stratified_mappings(
+            self.graph,
+            self.num_cores,
+            self.profile.fig3_mappings,
+            seed=self.profile.seed,
+        )
+        scaling = (self.scaling_level,) * self.num_cores
+        # Batch evaluation: one vectorized call per panel scaling — the
+        # whole mapping sample is list-scheduled in a single numpy pass
+        # (bit-identical metrics; schedules are skipped, nothing here
+        # reads them).
+        return evaluator.evaluate_batch(mappings, scaling)
+
+
 def run_fig3(
     profile: Optional[ExperimentProfile] = None,
     graph: Optional[TaskGraph] = None,
     num_cores: int = 4,
 ) -> Fig3Result:
     """Reproduce the Fig. 3 study.
+
+    The two panel scalings are independent cells: they fan out through
+    ``profile.experiment_backend`` and stream to the run store when
+    one is configured, reassembled in panel order — results identical
+    to the former in-line loop (evaluation is a pure function, and the
+    per-panel evaluators see the same mapping sample).
 
     Parameters
     ----------
@@ -162,24 +207,22 @@ def run_fig3(
     """
     profile = profile or ExperimentProfile.fast()
     graph = graph or mpeg2_decoder()
-    evaluator = build_evaluator(graph, num_cores, deadline_s=MPEG2_DEADLINE_S)
-
-    mappings = stratified_mappings(
-        graph, num_cores, profile.fig3_mappings, seed=profile.seed
-    )
+    jobs = [
+        _Fig3PanelJob(
+            graph=graph,
+            num_cores=num_cores,
+            scaling_level=level,
+            deadline_s=MPEG2_DEADLINE_S,
+            profile=profile,
+        )
+        for level in (1, 2)
+    ]
+    points_1, points_2 = run_cells(jobs, profile, label="fig3")
     result = Fig3Result()
-    scaling_1 = (1,) * num_cores
-    scaling_2 = (2,) * num_cores
-    # Batch evaluation: one vectorized call per panel scaling — the
-    # whole mapping sample is list-scheduled in a single numpy pass
-    # (bit-identical metrics; schedules are skipped, nothing here
-    # reads them).
-    points_1 = evaluator.evaluate_batch(mappings, scaling_1)
-    points_2 = evaluator.evaluate_batch(mappings, scaling_2)
-    for mapping, point_1, point_2 in zip(mappings, points_1, points_2):
+    for point_1, point_2 in zip(points_1, points_2):
         result.points.append(
             Fig3Point(
-                mapping=mapping,
+                mapping=point_1.mapping,
                 makespan_s1_ms=point_1.makespan_s * 1e3,
                 register_kbits=point_1.register_kbits_total,
                 gamma_s1=point_1.expected_seus,

@@ -26,6 +26,7 @@ from repro.experiments.common import (
     build_evaluator,
     format_table,
     percent_delta,
+    run_cells,
 )
 from repro.experiments.table2 import EXPERIMENT_LABELS, EXPERIMENT_OBJECTIVES
 from repro.mapping.mapping import Mapping
@@ -130,6 +131,45 @@ class Fig9Result:
         return format_table(headers, rows)
 
 
+@dataclass(frozen=True)
+class _Fig9ExperimentJob:
+    """One experiment's fresh optimization at the fixed scaling.
+
+    Picklable fan-out cell: rebuilds its evaluator and mapper with the
+    serial loop's exact per-experiment seed, so the produced design
+    point is identical wherever (and whenever — resume) it runs.
+    """
+
+    experiment: str
+    offset: int
+    graph: TaskGraph
+    scaling: Tuple[int, ...]
+    deadline_s: float
+    profile: ExperimentProfile
+
+    def run(self) -> DesignPoint:
+        objective = EXPERIMENT_OBJECTIVES[self.experiment]
+        num_cores = len(self.scaling)
+        evaluator = build_evaluator(
+            self.graph, num_cores, deadline_s=self.deadline_s
+        )
+        seed = self.profile.seed + 7000 + self.offset * 131
+        if objective is None:  # Exp:4 — the proposed two-stage mapper
+            mapper = sea_mapper(search_iterations=self.profile.search_iterations)
+            return mapper(evaluator, self.scaling, seed)
+        # Exp:1-3 — deadline-unaware simulated annealing ([13])
+        initial = Mapping.round_robin(self.graph, num_cores)
+        mapper = SimulatedAnnealingMapper(
+            evaluator,
+            objective,
+            config=self.profile.annealing_config(),
+            seed=seed,
+            deadline_penalty=False,
+            require_all_cores=True,
+        )
+        return mapper.run(initial, self.scaling)
+
+
 def run_fig9(
     profile: Optional[ExperimentProfile] = None,
     graph: Optional[TaskGraph] = None,
@@ -170,23 +210,25 @@ def run_fig9(
             )
         return result
 
-    for offset, (experiment, objective) in enumerate(EXPERIMENT_OBJECTIVES.items()):
-        seed = profile.seed + 7000 + offset * 131
-        if objective is None:  # Exp:4 — the proposed two-stage mapper
-            mapper = sea_mapper(search_iterations=profile.search_iterations)
-            point = mapper(evaluator, tuple(scaling), seed)
-        else:  # Exp:1-3 — deadline-unaware simulated annealing ([13])
-            initial = Mapping.round_robin(graph, num_cores)
-            mapper = SimulatedAnnealingMapper(
-                evaluator,
-                objective,
-                config=profile.annealing_config(),
-                seed=seed,
-                deadline_penalty=False,
-                require_all_cores=True,
-            )
-            point = mapper.run(initial, scaling)
-        result.points[experiment] = point
+    # Fresh path: the four experiments are independent cells (the
+    # evaluator is pure, so private per-cell evaluators produce the
+    # exact designs the former shared-evaluator loop did); they fan
+    # out through ``profile.experiment_backend`` and stream to the
+    # run store when one is configured.
+    jobs = [
+        _Fig9ExperimentJob(
+            experiment=experiment,
+            offset=offset,
+            graph=graph,
+            scaling=tuple(scaling),
+            deadline_s=deadline_s,
+            profile=profile,
+        )
+        for offset, experiment in enumerate(EXPERIMENT_OBJECTIVES)
+    ]
+    points = run_cells(jobs, profile, label="fig9")
+    for job, point in zip(jobs, points):
+        result.points[job.experiment] = point
     return result
 
 

@@ -7,7 +7,7 @@ fig3`` can *show* the concave Gamma curve, not just tabulate it.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 
 def ascii_scatter(

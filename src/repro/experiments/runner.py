@@ -105,6 +105,13 @@ def run_all(
     through ``backend`` (defaulting to ``profile.experiment_backend``)
     and the returned dict keeps paper order — reports are
     byte-identical to a serial run whichever backend executes them.
+
+    With ``profile.store_dir`` the sweep streams twice over: each
+    finished experiment's ``(result, report)`` lands in the ``all``
+    run store as it completes, and the experiments that fan cells out
+    themselves (table3, fig10, fig3, fig9, fig11) additionally stream
+    their own grids cell-by-cell under their own labels — so a crash
+    mid-table3 resumes mid-table3, not from the sweep's start.
     """
     profile = profile or ExperimentProfile.fast()
     selected = tuple(ids) if ids is not None else experiment_ids()
@@ -114,7 +121,7 @@ def run_all(
                 f"unknown experiment {experiment_id!r}; choose from {sorted(_RUNNERS)}"
             )
     jobs = [_ExperimentJob(experiment_id, profile) for experiment_id in selected]
-    results = run_cells(jobs, profile, backend=backend)
+    results = run_cells(jobs, profile, backend=backend, label="all")
     return {
         experiment_id: result for experiment_id, result in zip(selected, results)
     }

@@ -216,7 +216,7 @@ def run_table3(
         for app_index, (label, graph, deadline_s) in enumerate(applications)
         for cores in core_counts
     ]
-    cells = run_cells(jobs, profile, backend=backend)
+    cells = run_cells(jobs, profile, backend=backend, label="table3")
     result = Table3Result(core_counts=tuple(core_counts))
     for cell in cells:
         result.cells.setdefault(cell.app, {})[cell.num_cores] = cell

@@ -19,9 +19,8 @@ vulnerability factor — most register upsets are masked):
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
-from repro.faults.ser import SERModel
 from repro.mapping.mapping import Mapping
 from repro.mapping.metrics import MappingEvaluator
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import random
 from math import comb
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional
 
 from repro.mapping.mapping import Mapping
 from repro.taskgraph.graph import TaskGraph

@@ -25,7 +25,7 @@ SEU exposure:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Optional, Sequence, Set, Tuple
 
 from repro.arch.mpsoc import MPSoC
 from repro.mapping.mapping import Mapping

@@ -1,0 +1,34 @@
+"""Durable, streaming persistence for experiment runs.
+
+See :mod:`repro.store.run_store` for the on-disk formats and the
+resume determinism contract, and ARCHITECTURE.md §store for the
+design discussion.
+"""
+
+from repro.store.run_store import (
+    FORMAT_VERSION,
+    MANIFEST_NAME,
+    RECORDS_NAME,
+    CellRecord,
+    RunStore,
+    RunStoreError,
+    StoreMismatchError,
+    cell_key,
+    fingerprint_payload,
+    iter_manifests,
+    read_manifest,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "RECORDS_NAME",
+    "CellRecord",
+    "RunStore",
+    "RunStoreError",
+    "StoreMismatchError",
+    "cell_key",
+    "fingerprint_payload",
+    "iter_manifests",
+    "read_manifest",
+]

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 from repro.taskgraph.graph import TaskGraph
 from repro.taskgraph.registers import Register

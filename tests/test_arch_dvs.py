@@ -1,6 +1,5 @@
 """Tests for the DVS model: Eq. (2), Table I and the level presets."""
 
-import math
 
 import pytest
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.arch import MPSoC, PowerModel
+from repro.arch import PowerModel
 
 
 class TestCorePower:

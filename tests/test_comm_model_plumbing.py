@@ -2,11 +2,9 @@
 
 import pytest
 
-from repro.arch import MPSoC
 from repro.mapping import Mapping, MappingEvaluator
 from repro.sched import ListScheduler
 from repro.sim import MPSoCSimulator
-from repro.taskgraph.mpeg2 import MPEG2_DEADLINE_S
 
 
 class TestForPlatformCommModel:

@@ -7,7 +7,6 @@ import pytest
 
 from repro.exec import (
     BACKEND_NAMES,
-    ExecutionBackend,
     ProcessBackend,
     SerialBackend,
     ThreadBackend,

@@ -13,7 +13,6 @@ from repro.experiments import (
 )
 from repro.experiments.common import (
     build_evaluator,
-    build_optimizer,
     build_platform,
     format_mapping_groups,
     format_table,

@@ -9,7 +9,6 @@ from repro.experiments.common import ExperimentProfile, format_table
 from repro.experiments.reporting import (
     ascii_table_to_csv,
     checks_markdown,
-    experiment_markdown,
     rows_to_csv,
     table_to_markdown,
     write_experiment_reports,
@@ -22,7 +21,6 @@ from repro.faults.reliability import (
     mean_executions_to_failure,
     ser_sweep,
 )
-from repro.mapping import Mapping
 from repro.optim.pareto import (
     dominates,
     explore_pareto,
@@ -30,7 +28,6 @@ from repro.optim.pareto import (
     pareto_front,
 )
 from repro.optim.design_optimizer import sea_mapper
-from repro.taskgraph import pipeline_graph
 from repro.taskgraph.mpeg2 import MPEG2_DEADLINE_S
 
 

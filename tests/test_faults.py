@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.faults import FaultInjector, SERModel, SEUEvent, sample_seu_count
-from repro.mapping import Mapping
 from repro.sim import MPSoCSimulator
 
 

@@ -4,7 +4,6 @@ fault-injection / analytic agreement, and a small end-to-end flow."""
 import pytest
 
 from repro import quick_optimize
-from repro.arch import MPSoC
 from repro.faults import FaultInjector
 from repro.mapping import Mapping, MappingEvaluator
 from repro.optim import (

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.mapping import Mapping
-from repro.taskgraph import pipeline_graph
 
 
 class TestConstruction:

@@ -17,7 +17,6 @@ from repro.optim import (
     baseline_mapper,
     sea_mapper,
 )
-from repro.optim.annealing import _RestartJob
 from repro.taskgraph import mpeg2_decoder
 from repro.taskgraph.mpeg2 import MPEG2_DEADLINE_S
 

@@ -17,7 +17,6 @@ from repro.faults import SERModel
 from repro.mapping import Mapping, MappingEvaluator
 from repro.mapping.metrics import (
     per_core_execution_cycles,
-    per_core_register_bits,
     total_register_bits,
 )
 from repro.optim import next_scaling, num_scaling_combinations, scaling_combinations

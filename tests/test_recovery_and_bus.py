@@ -1,6 +1,5 @@
 """Tests for the recovery-slack analysis and the shared-bus comm model."""
 
-import math
 
 import pytest
 
@@ -13,7 +12,7 @@ from repro.faults.recovery import (
 )
 from repro.mapping import Mapping
 from repro.sched import ListScheduler
-from repro.taskgraph import TaskGraph, fork_join_graph
+from repro.taskgraph import TaskGraph
 from repro.taskgraph.mpeg2 import MPEG2_DEADLINE_S
 
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.mapping import Mapping
 from repro.sched import ListScheduler, Schedule, ScheduledTask
-from repro.taskgraph import TaskGraph, fork_join_graph, pipeline_graph
+from repro.taskgraph import TaskGraph, fork_join_graph
 
 
 def two_task_graph(comm: int = 100) -> TaskGraph:

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.mapping import MappingEvaluator
 from repro.optim import sea_mapper
 from repro.taskgraph.mpeg2 import MPEG2_DEADLINE_S
 

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.taskgraph import graph_from_dict, graph_to_dict, mpeg2_decoder
+from repro.taskgraph import graph_from_dict, graph_to_dict
 from repro.taskgraph.serialize import load_graph, save_graph
 
 

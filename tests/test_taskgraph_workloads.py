@@ -4,10 +4,8 @@ import pytest
 
 from repro.taskgraph import (
     RandomGraphConfig,
-    fig8_example,
     fork_join_graph,
     layered_graph,
-    mpeg2_decoder,
     pipeline_graph,
     random_task_graph,
 )

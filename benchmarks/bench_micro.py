@@ -37,6 +37,12 @@ def graph60():
     return random_task_graph(RandomGraphConfig(num_tasks=60), seed=60)
 
 
+@pytest.fixture(scope="module")
+def graph120():
+    """The >=100-task profile the descriptor inner-loop rows run on."""
+    return random_task_graph(RandomGraphConfig(num_tasks=120), seed=120)
+
+
 def test_bench_list_scheduler_mpeg2(benchmark, mpeg2):
     scheduler = ListScheduler(mpeg2, [2e8] * 4)
     mapping = Mapping.round_robin(mpeg2, 4)
@@ -90,6 +96,80 @@ def test_bench_incremental_move_estimate(benchmark, graph60):
     task = graph60.task_names()[7]
     estimate = benchmark(state.estimate_move, task, 3)
     assert estimate.register_bits_total > 0
+
+
+def test_bench_neighbor_preview(benchmark, graph120):
+    """The descriptor walk's O(degree) preview on the 120-task profile.
+
+    ``estimate_move_index`` is the screening path the descriptor loop
+    pays per candidate: no name lookup, no mapping diff, per-edge
+    crossing deltas and mask-delta register bits.  Compare against
+    ``test_bench_design_point_evaluation``-class numbers to read the
+    screening economics (ARCHITECTURE "Screening policy").
+    """
+    platform = MPSoC.paper_reference(6)
+    evaluator = MappingEvaluator(
+        platform=platform,
+        graph=graph120,
+        deadline_s=RandomGraphConfig(num_tasks=120).deadline_s,
+    )
+    mapping = Mapping.round_robin(graph120, 6)
+    state = IncrementalMappingState(evaluator, mapping, (2,) * 6)
+    estimate = benchmark(state.estimate_move_index, 7, 3)
+    assert estimate.register_bits_total > 0
+
+
+def _inner_loop_mapper(graph120, iterations=600):
+    evaluator = MappingEvaluator(
+        graph120,
+        MPSoC.paper_reference(6),
+        deadline_s=RandomGraphConfig(num_tasks=120).deadline_s,
+    )
+    return SimulatedAnnealingMapper(
+        evaluator,
+        SEUObjective(),
+        config=AnnealingConfig(max_iterations=iterations, restarts=1),
+        seed=0,
+        deadline_penalty=True,
+        require_all_cores=True,
+    )
+
+
+def test_bench_sa_inner_loop_descriptor(benchmark, graph120):
+    """The descriptor annealing inner loop on the >=100-task profile.
+
+    One warm run makes the walk's whole trajectory cache-resident;
+    measured rounds then repeat the identical deterministic walk with
+    every evaluation an LRU hit, so the row isolates exactly what the
+    descriptor rewrite changed — drawing, occupancy checks and cache
+    probes — while the evaluation work (bit-identical on both paths
+    by the determinism contract) stays out of the numerator and
+    denominator alike.  The acceptance target is >= 2x over
+    ``test_bench_sa_inner_loop_reference`` (measured, and asserted in
+    the parity suite only for *results*, not timing).
+    """
+    mapper = _inner_loop_mapper(graph120)
+    initial = Mapping.round_robin(graph120, 6)
+    mapper.run(initial, (2,) * 6)  # warm: trajectory becomes cache-resident
+    point = benchmark(mapper.run, initial, (2,) * 6)
+    assert point.expected_seus > 0
+    assert mapper.evaluator.cache_hits > 0
+
+
+def test_bench_sa_inner_loop_reference(benchmark, graph120):
+    """The retained Mapping-per-neighbour loop on the same trajectory.
+
+    The denominator of the descriptor speedup: same seed, same
+    accepted points, same cache-resident trajectory — but every
+    neighbour pays the O(N) draw, Mapping copy, equality check,
+    occupancy scan and signature walk the descriptor loop eliminated.
+    """
+    mapper = _inner_loop_mapper(graph120)
+    initial = Mapping.round_robin(graph120, 6)
+    mapper.run_reference(initial, (2,) * 6)  # warm, as above
+    point = benchmark(mapper.run_reference, initial, (2,) * 6)
+    assert point.expected_seus > 0
+    assert mapper.evaluator.cache_hits > 0
 
 
 def test_bench_design_optimizer_sweep(benchmark, mpeg2):

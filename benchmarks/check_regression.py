@@ -47,11 +47,14 @@ import sys
 from typing import Dict, List, Sequence
 
 #: Benchmark-name substrings the gate enforces (scheduling/evaluation
-#: hot paths).  Everything else is informational.
+#: hot paths plus the descriptor search inner loop).  Everything else
+#: is informational.
 DEFAULT_PATTERNS = (
     "list_scheduler",
     "design_point_evaluation",
     "evaluate_batch",
+    "sa_inner_loop",
+    "neighbor_preview",
 )
 
 DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "baseline.json")

@@ -13,6 +13,7 @@
 
 from repro.mapping.mapping import Mapping
 from repro.mapping.incremental import (
+    REBUILD_TASK_THRESHOLD,
     IncrementalMappingState,
     MoveEstimate,
     screen_lower_bound,
@@ -20,10 +21,13 @@ from repro.mapping.incremental import (
 from repro.mapping.metrics import (
     DesignPoint,
     MappingEvaluator,
+    SignatureKey,
+    SignatureTracker,
     core_execution_cycles,
     core_register_bits,
     expected_seus,
     pooled_makespan_s,
+    set_signature_validation,
     total_register_bits,
 )
 from repro.mapping.enumeration import (
@@ -40,7 +44,11 @@ __all__ = [
     "Mapping",
     "MappingEvaluator",
     "MoveEstimate",
+    "REBUILD_TASK_THRESHOLD",
+    "SignatureKey",
+    "SignatureTracker",
     "screen_lower_bound",
+    "set_signature_validation",
     "contiguous_mappings",
     "core_execution_cycles",
     "core_register_bits",

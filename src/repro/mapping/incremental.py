@@ -40,14 +40,27 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.mapping.mapping import Mapping
 from repro.mapping.metrics import MappingEvaluator
 
-#: Graph size at which ``"auto"`` screening turns on.  With the
-#: compiled core a full evaluation costs ~40 µs on sub-100-task
-#: graphs, so the per-neighbour preview (an O(N) mapping diff plus
-#: bound derivation) loses wall-clock there; on >= 100-task workloads
-#: evaluation grows enough for certified pruning to win.  See
-#: ARCHITECTURE.md ("Screening policy") for the measurement behind
-#: the threshold.
-SCREENING_MIN_TASKS = 100
+#: Graph size at which ``"auto"`` screening turns on.  The descriptor
+#: search loop previews neighbours through the index-based
+#: O(degree) paths below (no mapping diff, no per-core count-row
+#: copies), which dropped the per-neighbour preview cost to a few
+#: microseconds — an order of magnitude below even a small graph's
+#: full compiled evaluation.  The threshold therefore sits where the
+#: preview reliably undercuts the evaluation it may save, with margin
+#: for bound-quality variance on tiny graphs; see ARCHITECTURE.md
+#: ("Screening policy") for the re-measured table behind the value.
+SCREENING_MIN_TASKS = 32
+
+#: Moved-task count up to which :meth:`IncrementalMappingState.
+#: apply_mapping` commits a delta instead of re-anchoring with a full
+#: :meth:`~IncrementalMappingState.rebuild`.  Search walks commit one
+#: move or one swap (<= 2 moved tasks); anything materially larger is
+#: a re-anchor (intensification, restart), where the O(N + E) rebuild
+#: is both simpler and cheaper than a wide delta whose affected-
+#: consumer set approaches the whole graph anyway.  The exact value is
+#: a heuristic crossover, not a correctness boundary — both branches
+#: are exact and the parity suite exercises each.
+REBUILD_TASK_THRESHOLD = 4
 
 
 def resolve_screening(option: object, num_tasks: int) -> bool:
@@ -206,12 +219,26 @@ class IncrementalMappingState:
         """Preview moving one task to ``core`` without committing."""
         return self._preview({self._compiled.index[task_name]: core})
 
+    def estimate_move_index(self, task: int, core: int) -> MoveEstimate:
+        """Index-based :meth:`estimate_move` — the descriptor hot path.
+
+        ``task`` is a compiled task index; no name lookup, no mapping
+        diff.  Cost is O(degree) plus the moved register mask's
+        popcount.
+        """
+        return self._preview({task: core})
+
     def estimate_swap(self, task_a: str, task_b: str) -> MoveEstimate:
         """Preview exchanging the cores of two tasks without committing."""
         index = self._compiled.index
         a, b = index[task_a], index[task_b]
         cores = self._cores
         return self._preview({a: cores[b], b: cores[a]})
+
+    def estimate_swap_index(self, task_a: int, task_b: int) -> MoveEstimate:
+        """Index-based :meth:`estimate_swap` — the descriptor hot path."""
+        cores = self._cores
+        return self._preview({task_a: cores[task_b], task_b: cores[task_a]})
 
     def estimate_mapping(self, mapping: Mapping) -> MoveEstimate:
         """Preview an arbitrary neighbour mapping by diffing the anchor.
@@ -234,12 +261,21 @@ class IncrementalMappingState:
         """Commit a single-task move into the state (O(degree))."""
         self._apply({self._compiled.index[task_name]: core})
 
+    def apply_move_index(self, task: int, core: int) -> None:
+        """Index-based :meth:`apply_move`."""
+        self._apply({task: core})
+
     def apply_swap(self, task_a: str, task_b: str) -> None:
         """Commit a two-task swap into the state (O(degree))."""
         index = self._compiled.index
         a, b = index[task_a], index[task_b]
         cores = self._cores
         self._apply({a: cores[b], b: cores[a]})
+
+    def apply_swap_index(self, task_a: int, task_b: int) -> None:
+        """Index-based :meth:`apply_swap`."""
+        cores = self._cores
+        self._apply({task_a: cores[task_b], task_b: cores[task_a]})
 
     def apply_mapping(self, mapping: Mapping) -> None:
         """Commit an arbitrary neighbour by diffing against the anchor.
@@ -256,7 +292,7 @@ class IncrementalMappingState:
                 assignment[i] = new_core
         if not assignment:
             return
-        if len(assignment) > 4:
+        if len(assignment) > REBUILD_TASK_THRESHOLD:
             self.rebuild(mapping)
             return
         self._apply(assignment)
@@ -273,58 +309,134 @@ class IncrementalMappingState:
 
     # -- internals -----------------------------------------------------------
 
-    def _affected_consumers(self, reassignment: Dict[int, int]) -> List[int]:
+    def _busy_after(self, reassignment: Dict[int, int]) -> List[int]:
+        """Per-core ``T_i`` after ``reassignment`` (exact).
+
+        True O(degree-of-moved): a moved task's own Eq. 7 term is
+        recomputed under the overlaid assignment (its receive edges
+        may all change), but an *unmoved* consumer's term can only
+        change through its edges from moved producers — so those
+        adjust per edge by the crossing-status delta instead of
+        re-walking the consumer's whole predecessor list.  Integer
+        arithmetic throughout, so the result is identical to a full
+        re-derivation whatever the accumulation order.
+        """
         compiled = self._compiled
+        cores = self._cores
+        cycles = compiled.cycles
+        pred_ptr = compiled.pred_ptr
+        pred_idx = compiled.pred_idx
+        pred_comm = compiled.pred_comm
         succ_ptr = compiled.succ_ptr
         succ_idx = compiled.succ_idx
-        affected = list(reassignment)
-        seen = set(affected)
-        for i in reassignment:
-            for e in range(succ_ptr[i], succ_ptr[i + 1]):
-                s = succ_idx[e]
-                if s not in seen:
-                    seen.add(s)
-                    affected.append(s)
-        return affected
-
-    def _busy_after(self, reassignment: Dict[int, int]) -> List[int]:
-        """Per-core ``T_i`` after ``reassignment`` (exact)."""
-        cores = self._cores
+        succ_comm = compiled.succ_comm
         busy = list(self._busy)
-        affected = self._affected_consumers(reassignment)
-        # Remove each affected consumer's old term, re-add the new one
-        # under the overlaid core assignment.
-        for i in affected:
-            busy[cores[i]] -= self._eq7_term(i, cores)
-        overlay = _OverlayCores(cores, reassignment)
-        for i in affected:
-            busy[overlay[i]] += self._eq7_term(i, overlay)
+        # Remove the moved tasks' own terms (old assignment)...
+        for i in reassignment:
+            core = cores[i]
+            term = cycles[i]
+            for e in range(pred_ptr[i], pred_ptr[i + 1]):
+                if cores[pred_idx[e]] != core:
+                    term += pred_comm[e]
+            busy[core] -= term
+        # ...adjust unmoved consumers by per-edge crossing deltas...
+        for i, new_core in reassignment.items():
+            old_core = cores[i]
+            for e in range(succ_ptr[i], succ_ptr[i + 1]):
+                consumer = succ_idx[e]
+                if consumer in reassignment:
+                    continue  # recomputed wholesale below
+                consumer_core = cores[consumer]
+                crossed = old_core != consumer_core
+                crosses = new_core != consumer_core
+                if crossed != crosses:
+                    if crosses:
+                        busy[consumer_core] += succ_comm[e]
+                    else:
+                        busy[consumer_core] -= succ_comm[e]
+        # ...and re-add the moved tasks' terms under the overlay
+        # (applied in place on the anchor's core list, restored before
+        # returning — plain C-level list indexing beats any overlay
+        # object by an order of magnitude).
+        saved = [(i, cores[i]) for i in reassignment]
+        for i, new_core in reassignment.items():
+            cores[i] = new_core
+        try:
+            for i in reassignment:
+                core = cores[i]
+                term = cycles[i]
+                for e in range(pred_ptr[i], pred_ptr[i + 1]):
+                    if cores[pred_idx[e]] != core:
+                        term += pred_comm[e]
+                busy[core] += term
+        finally:
+            for i, old_core in saved:
+                cores[i] = old_core
         return busy
 
     def _bits_after(self, reassignment: Dict[int, int]) -> List[int]:
-        """Per-core ``R_i`` after ``reassignment`` (exact)."""
+        """Per-core ``R_i`` after ``reassignment`` (exact).
+
+        Mask-delta only: untouched cores are never recomputed (their
+        entries are carried over), and touched cores adjust by the
+        register bits whose multiset count crosses zero — no per-core
+        count-row copies (rows are register-alphabet sized, far wider
+        than any single move's mask).
+        """
         compiled = self._compiled
         cores = self._cores
+        counts = self._counts
         register_bits = compiled.register_bits
-        touched = {cores[i] for i in reassignment} | set(reassignment.values())
-        rows = {core: self._counts[core].copy() for core in touched}
+        masks = compiled.task_register_masks
         bits = list(self._bits)
+        if len(reassignment) == 1:
+            # The descriptor walk's dominant case: one task moved.
+            [(i, new_core)] = reassignment.items()
+            old_core = cores[i]
+            mask = masks[i]
+            old_row, new_row = counts[old_core], counts[new_core]
+            removed = added = 0
+            while mask:
+                low = mask & -mask
+                bit = low.bit_length() - 1
+                if old_row[bit] == 1:
+                    removed += register_bits[bit]
+                if new_row[bit] == 0:
+                    added += register_bits[bit]
+                mask ^= low
+            bits[old_core] -= removed
+            bits[new_core] += added
+            return bits
+        # General case (swaps, multi-task deltas): aggregate per-core
+        # per-bit count deltas first — a task arriving where another
+        # departs must cancel before the zero-crossing test.
+        deltas: Dict[int, Dict[int, int]] = {}
         for i, new_core in reassignment.items():
             old_core = cores[i]
             if new_core == old_core:
                 continue
-            mask = compiled.task_register_masks[i]
-            old_row, new_row = rows[old_core], rows[new_core]
+            mask = masks[i]
+            departed = deltas.setdefault(old_core, {})
+            arrived = deltas.setdefault(new_core, {})
             while mask:
                 low = mask & -mask
                 bit = low.bit_length() - 1
-                old_row[bit] -= 1
-                if old_row[bit] == 0:
-                    bits[old_core] -= register_bits[bit]
-                if new_row[bit] == 0:
-                    bits[new_core] += register_bits[bit]
-                new_row[bit] += 1
+                departed[bit] = departed.get(bit, 0) - 1
+                arrived[bit] = arrived.get(bit, 0) + 1
                 mask ^= low
+        for core, bit_deltas in deltas.items():
+            row = counts[core]
+            total = bits[core]
+            for bit, delta in bit_deltas.items():
+                if not delta:
+                    continue
+                before = row[bit]
+                after = before + delta
+                if before == 0 and after > 0:
+                    total += register_bits[bit]
+                elif before > 0 and after == 0:
+                    total -= register_bits[bit]
+            bits[core] = total
         return bits
 
     def _preview(self, reassignment: Dict[int, int]) -> MoveEstimate:
@@ -404,20 +516,6 @@ class IncrementalMappingState:
             gamma_lb=gamma_lb,
             feasible_possible=feasible_possible,
         )
-
-
-class _OverlayCores:
-    """A core-assignment view with a few reassigned entries."""
-
-    __slots__ = ("_base", "_overlay")
-
-    def __init__(self, base: Sequence[int], overlay: Dict[int, int]) -> None:
-        self._base = base
-        self._overlay = overlay
-
-    def __getitem__(self, i: int) -> int:
-        value = self._overlay.get(i)
-        return self._base[i] if value is None else value
 
 
 def screen_lower_bound(objective, estimate: MoveEstimate) -> Optional[float]:

@@ -34,7 +34,7 @@ class Mapping:
         ``[0, num_cores)``.
     """
 
-    __slots__ = ("_assignment", "_num_cores", "_hash")
+    __slots__ = ("_assignment", "_num_cores", "_hash", "_sig_memo")
 
     def __init__(self, assignment: TMapping[str, int], num_cores: int) -> None:
         if num_cores <= 0:
@@ -52,6 +52,13 @@ class Mapping:
         self._assignment = frozen
         self._num_cores = num_cores
         self._hash: Optional[int] = None
+        self._sig_memo: Optional[Tuple[object, Tuple[int, ...], int]] = None
+
+    def __reduce__(self):
+        # Pickle only the assignment + core count: the signature memo
+        # holds a compiled-graph reference that must not ride along
+        # into process-pool workers (they rebuild their own views).
+        return (type(self), (self._assignment, self._num_cores))
 
     # -- value semantics -----------------------------------------------------
 
@@ -154,6 +161,25 @@ class Mapping:
         extra = sorted(set(assignment) - set(task_names))
         raise ValueError(f"mapping has unknown tasks: {extra}")
 
+    def signature_info(self, compiled) -> Tuple[Tuple[int, ...], int]:
+        """Canonical signature + hash of this mapping under ``compiled``.
+
+        The signature is the core of every task in compiled index
+        order (the evaluator's cache key); the hash is the compiled
+        view's Zobrist-style :meth:`~repro.taskgraph.compiled.
+        CompiledTaskGraph.signature_hash`.  Memoized on the mapping
+        (keyed by compiled-view identity) — search loops and
+        benchmarks re-present the same mapping object many times, and
+        the O(N) signature walk was the dominant cost of a cache hit.
+        """
+        memo = self._sig_memo
+        if memo is not None and memo[0] is compiled:
+            return memo[1], memo[2]
+        signature = tuple(self.core_index_list(compiled.names))
+        sig_hash = compiled.signature_hash(signature, self._num_cores)
+        self._sig_memo = (compiled, signature, sig_hash)
+        return signature, sig_hash
+
     # -- validation -----------------------------------------------------------
 
     def validate_against(self, graph: TaskGraph) -> None:
@@ -203,6 +229,36 @@ class Mapping:
                     raise ValueError(f"task {task_name!r} appears in two groups")
                 assignment[task_name] = core_index
         return cls(assignment, cores)
+
+    @classmethod
+    def from_signature(
+        cls,
+        names: Sequence[str],
+        signature: Sequence[int],
+        num_cores: int,
+        template: Optional["Mapping"] = None,
+    ) -> "Mapping":
+        """Build a mapping from a dense core signature over ``names``.
+
+        ``signature[i]`` is the core of ``names[i]`` (the evaluator's
+        canonical order).  When ``template`` is given, the assignment
+        dict reuses *its* task insertion order — neighbour mappings
+        derived via :meth:`move`/:meth:`swap` preserve their ancestor's
+        order, and rendered artifacts (``core_groups`` listings) must
+        not depend on whether a mapping came from the descriptor or
+        the Mapping-based search loop.
+        """
+        if len(signature) != len(names):
+            raise ValueError(
+                f"signature has {len(signature)} entries for {len(names)} tasks"
+            )
+        if template is None:
+            return cls(dict(zip(names, signature)), num_cores)
+        index = {name: i for i, name in enumerate(names)}
+        return cls(
+            {name: signature[index[name]] for name in template._assignment},
+            num_cores,
+        )
 
     @classmethod
     def round_robin(cls, graph: TaskGraph, num_cores: int) -> "Mapping":

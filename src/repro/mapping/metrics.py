@@ -33,6 +33,7 @@ and caches evaluations, since local search re-visits design points.
 from __future__ import annotations
 
 import dataclasses
+import os
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -149,6 +150,181 @@ def expected_seus(
 
 
 # ---------------------------------------------------------------------------
+# Incremental cache signatures
+# ---------------------------------------------------------------------------
+
+#: Debug toggle: when armed (``REPRO_VALIDATE_SIGNATURES=1`` or
+#: :func:`set_signature_validation`), every :class:`SignatureTracker`
+#: commit and rebuild re-derives the hash from scratch and asserts the
+#: incremental value matches — the runtime half of the signature-parity
+#: contract (the hypothesis suite is the offline half).
+_validate_signatures = os.environ.get("REPRO_VALIDATE_SIGNATURES", "") not in (
+    "",
+    "0",
+)
+
+
+def set_signature_validation(enabled: bool) -> None:
+    """Toggle incremental-signature parity assertions at runtime.
+
+    Per-process; workers of the process backend inherit the
+    ``REPRO_VALIDATE_SIGNATURES`` environment variable instead.
+    """
+    global _validate_signatures
+    _validate_signatures = bool(enabled)
+
+
+class SignatureKey:
+    """The evaluator's LRU cache key, with a precomputed hash.
+
+    Content is the canonical mapping signature (core of every task in
+    compiled index order), the mapping's core count and the scaling
+    vector — exactly the tuple key the PR-3-era cache used.  The hash,
+    however, is carried in: full builds derive it from the compiled
+    view's Zobrist tables (:meth:`CompiledTaskGraph.signature_hash`)
+    and the search inner loop maintains it under single-move deltas
+    (:class:`SignatureTracker`), so an LRU probe for a neighbour no
+    longer pays an O(N) signature walk + tuple hash.  Equality is by
+    content (tuple compares at C speed), reached only on hash-bucket
+    matches.
+    """
+
+    __slots__ = ("signature", "num_cores", "scaling", "hash_value")
+
+    def __init__(
+        self,
+        signature: Tuple[int, ...],
+        num_cores: int,
+        scaling: Tuple[int, ...],
+        signature_hash: int,
+    ) -> None:
+        self.signature = signature
+        self.num_cores = num_cores
+        self.scaling = scaling
+        # One small-tuple hash folds the scaling/core-count identity
+        # into the maintained signature hash; every construction site
+        # (full build or incremental) goes through here, so the mix is
+        # consistent by design.
+        self.hash_value = hash((signature_hash, num_cores, scaling))
+
+    def __hash__(self) -> int:
+        return self.hash_value
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SignatureKey):
+            return NotImplemented
+        return (
+            self.signature == other.signature
+            and self.num_cores == other.num_cores
+            and self.scaling == other.scaling
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SignatureKey(tasks={len(self.signature)}, "
+            f"cores={self.num_cores}, scaling={self.scaling})"
+        )
+
+
+class SignatureTracker:
+    """Incrementally maintained cache signature for a search walk.
+
+    Holds the canonical signature of the walk's *current* mapping as a
+    tuple plus its Zobrist hash, both updated in O(1)/O(popcount) under
+    single-move and swap deltas: :meth:`preview_move` /
+    :meth:`preview_swap` return the neighbour's ``(signature, hash)``
+    without touching the anchor (the tuple rebuild is one C-level
+    slice-copy; the hash is two/four XORs), :meth:`commit` adopts a
+    previewed neighbour on acceptance, and :meth:`rebuild` is the full
+    recompute fallback (re-anchoring on an arbitrary mapping, e.g.
+    intensification pulling the walk back to the best point).
+
+    With validation armed (``REPRO_VALIDATE_SIGNATURES=1``) every
+    commit re-derives the hash from scratch and asserts parity with
+    :meth:`CompiledTaskGraph.signature_hash`.
+    """
+
+    __slots__ = (
+        "_compiled",
+        "_table",
+        "_num_cores",
+        "signature",
+        "signature_hash",
+        "rebuilds",
+    )
+
+    def __init__(
+        self,
+        compiled,
+        signature: Sequence[int],
+        num_cores: int,
+        signature_hash: Optional[int] = None,
+    ) -> None:
+        self._compiled = compiled
+        self._table = compiled.signature_table(num_cores)
+        self._num_cores = num_cores
+        self.signature: Tuple[int, ...] = tuple(signature)
+        if len(self.signature) != compiled.num_tasks:
+            raise ValueError(
+                f"signature has {len(self.signature)} entries for "
+                f"{compiled.num_tasks} tasks"
+            )
+        if signature_hash is None:
+            signature_hash = compiled.signature_hash(self.signature, num_cores)
+        self.signature_hash: int = signature_hash
+        self.rebuilds = 0  # full-recompute fallbacks taken
+
+    def preview_move(self, task: int, core: int) -> Tuple[Tuple[int, ...], int]:
+        """(signature, hash) of the neighbour moving ``task`` to ``core``."""
+        signature = self.signature
+        row = self._table[task]
+        new_hash = self.signature_hash ^ row[signature[task]] ^ row[core]
+        new_signature = signature[:task] + (core,) + signature[task + 1 :]
+        return new_signature, new_hash
+
+    def preview_swap(self, task_a: int, task_b: int) -> Tuple[Tuple[int, ...], int]:
+        """(signature, hash) of the neighbour exchanging two tasks' cores."""
+        signature = self.signature
+        core_a, core_b = signature[task_a], signature[task_b]
+        row_a, row_b = self._table[task_a], self._table[task_b]
+        new_hash = (
+            self.signature_hash
+            ^ row_a[core_a]
+            ^ row_a[core_b]
+            ^ row_b[core_b]
+            ^ row_b[core_a]
+        )
+        entries = list(signature)
+        entries[task_a] = core_b
+        entries[task_b] = core_a
+        return tuple(entries), new_hash
+
+    def commit(self, signature: Tuple[int, ...], signature_hash: int) -> None:
+        """Adopt a previewed neighbour as the new anchor."""
+        if _validate_signatures:
+            expected = self._compiled.signature_hash(signature, self._num_cores)
+            assert signature_hash == expected, (
+                "incremental signature hash diverged from the rebuild path: "
+                f"{signature_hash} != {expected}"
+            )
+        self.signature = signature
+        self.signature_hash = signature_hash
+
+    def rebuild(self, signature: Sequence[int]) -> None:
+        """Re-anchor on an arbitrary signature (full O(N) recompute)."""
+        self.signature = tuple(signature)
+        if len(self.signature) != self._compiled.num_tasks:
+            raise ValueError(
+                f"signature has {len(self.signature)} entries for "
+                f"{self._compiled.num_tasks} tasks"
+            )
+        self.signature_hash = self._compiled.signature_hash(
+            self.signature, self._num_cores
+        )
+        self.rebuilds += 1
+
+
+# ---------------------------------------------------------------------------
 # Design points
 # ---------------------------------------------------------------------------
 
@@ -261,9 +437,7 @@ class MappingEvaluator:
         )
         self.deadline_s = deadline_s
         self.comm_model = comm_model
-        self._cache: "OrderedDict[Tuple[Tuple[int, ...], int, Tuple[int, ...]], DesignPoint]" = (
-            OrderedDict()
-        )
+        self._cache: "OrderedDict[SignatureKey, DesignPoint]" = OrderedDict()
         self._cache_size = max(cache_size, 0)
         self.evaluations = 0  # total evaluate() calls, cache hits included
         self.cache_hits = 0
@@ -279,6 +453,7 @@ class MappingEvaluator:
         self._schedulers: Dict[Tuple[int, ...], ListScheduler] = {}
         self._batched_schedulers: Dict[Tuple[int, ...], BatchedListScheduler] = {}
         self._power_terms_memo: Dict[Tuple[int, ...], object] = {}
+        self._scaling_memo: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
         self._compiled = graph.compiled()
 
     def _sync_compiled(self):
@@ -300,22 +475,34 @@ class MappingEvaluator:
     # -- main entry point -----------------------------------------------------
 
     def _resolve_scaling(self, scaling: Optional[Sequence[int]]) -> Tuple[int, ...]:
-        """Validate a scaling vector (``None`` means the platform's)."""
+        """Validate a scaling vector (``None`` means the platform's).
+
+        Memoized per distinct input — search loops resolve the same
+        handful of vectors hundreds of thousands of times.
+        """
         if scaling is None:
             return self.platform.scaling_vector()
-        scaling_vector = self.platform.scaling_table.validate_assignment(scaling)
+        key = tuple(scaling)
+        cached = self._scaling_memo.get(key)
+        if cached is not None:
+            return cached
+        scaling_vector = self.platform.scaling_table.validate_assignment(key)
         if len(scaling_vector) != self.platform.num_cores:
             raise ValueError(
                 f"scaling vector has {len(scaling_vector)} entries for "
                 f"{self.platform.num_cores} cores"
             )
+        self._scaling_memo[key] = scaling_vector
         return scaling_vector
 
-    def _cache_key(self, compiled, mapping: Mapping, scaling: Tuple[int, ...]):
+    def _cache_key(
+        self, compiled, mapping: Mapping, scaling: Tuple[int, ...]
+    ) -> SignatureKey:
         # num_cores is part of the key: two mappings with the same
         # per-task assignment but different platform widths must
         # not alias (the narrower one may be valid, the wider not).
-        return (compiled.signature(mapping), mapping.num_cores, scaling)
+        signature, sig_hash = mapping.signature_info(compiled)
+        return SignatureKey(signature, mapping.num_cores, scaling, sig_hash)
 
     def _cache_lookup(self, key) -> Optional[DesignPoint]:
         """LRU get: counts the hit and refreshes recency on success."""
@@ -330,6 +517,27 @@ class MappingEvaluator:
         self._cache[key] = point
         if len(self._cache) > self._cache_size:
             self._cache.popitem(last=False)  # true LRU: evict the oldest
+
+    def _probe_cache(
+        self, key: "SignatureKey", scaling_vector: Tuple[int, ...]
+    ) -> Optional[DesignPoint]:
+        """The shared hit path of :meth:`evaluate` / :meth:`evaluate_signature`.
+
+        A hit on a schedule-less point seeded by the vectorized
+        :meth:`evaluate_batch` is rehydrated in place (the schedule is
+        bit-identical to the one the miss path would have attached;
+        the in-place assignment preserves the LRU position the hit
+        just refreshed), keeping the full-schedule guarantee identical
+        at both entry points.
+        """
+        cached = self._cache_lookup(key)
+        if cached is None:
+            return None
+        if cached.schedule is None:
+            schedule = self.scheduler_for(scaling_vector).schedule(cached.mapping)
+            cached = dataclasses.replace(cached, schedule=schedule)
+            self._cache[key] = cached
+        return cached
 
     def evaluate(
         self, mapping: Mapping, scaling: Optional[Sequence[int]] = None
@@ -347,20 +555,89 @@ class MappingEvaluator:
         compiled = self._sync_compiled()
         if self._cache_size:
             key = self._cache_key(compiled, mapping, scaling_vector)
-            cached = self._cache_lookup(key)
+            cached = self._probe_cache(key, scaling_vector)
             if cached is not None:
-                if cached.schedule is None:
-                    schedule = self.scheduler_for(scaling_vector).schedule(
-                        cached.mapping
-                    )
-                    cached = dataclasses.replace(cached, schedule=schedule)
-                    # In-place assignment preserves the LRU position the
-                    # hit just refreshed.
-                    self._cache[key] = cached
                 return cached
         self.cache_misses += 1
         point = self._evaluate_uncached(mapping, scaling_vector)
         if self._cache_size:
+            self._cache_store(key, point)
+        return point
+
+    def evaluate_signature(
+        self,
+        signature: Tuple[int, ...],
+        scaling: Optional[Sequence[int]] = None,
+        signature_hash: Optional[int] = None,
+        num_cores: Optional[int] = None,
+        template: Optional[Mapping] = None,
+    ) -> DesignPoint:
+        """Evaluate a canonical mapping signature — :meth:`evaluate`'s twin.
+
+        The search inner loop carries ``(signature, hash)`` pairs
+        maintained by a :class:`SignatureTracker` instead of
+        materialized :class:`Mapping` objects; this entry point probes
+        the same LRU cache with the same key content (so the two paths
+        interoperate hit-for-hit) without the per-neighbour O(N)
+        signature walk.  A ``Mapping`` is only built on a cache miss —
+        the authoritative evaluation needs one anyway — with
+        ``template`` supplying the task insertion order so rendered
+        artifacts match the Mapping-based walk's byte for byte.
+        Counters (``evaluations``/``cache_hits``/``cache_misses``),
+        LRU traffic and the full-schedule guarantee are exactly
+        :meth:`evaluate`'s.
+
+        Parameters
+        ----------
+        signature:
+            Core of every task, in compiled index order.
+        scaling:
+            Scaling vector (``None`` means the platform's).
+        signature_hash:
+            The signature's :meth:`CompiledTaskGraph.signature_hash`;
+            derived from scratch when omitted.
+        num_cores:
+            Core count the signature targets (the platform's when
+            omitted) — part of the cache key, exactly as
+            ``mapping.num_cores`` is for :meth:`evaluate`.
+        template:
+            Optional mapping whose task insertion order materialized
+            mappings reuse (typically the walk's initial mapping).
+        """
+        scaling_vector = self._resolve_scaling(scaling)
+        self.evaluations += 1
+        compiled = self._sync_compiled()
+        signature = tuple(signature)
+        if num_cores is None:
+            num_cores = self.platform.num_cores
+        if signature_hash is None:
+            # Validate before hashing: Python's negative indexing would
+            # otherwise wrap a bad entry into a silently-valid table
+            # lookup.  Hot callers always supply the hash, so this O(N)
+            # scan only runs on the cold path.
+            bad = next(
+                (c for c in signature if not 0 <= c < num_cores), None
+            )
+            if bad is not None:
+                raise ValueError(
+                    f"core index {bad} outside 0..{num_cores - 1}"
+                )
+            signature_hash = compiled.signature_hash(signature, num_cores)
+        key: Optional[SignatureKey] = None
+        if self._cache_size:
+            key = SignatureKey(signature, num_cores, scaling_vector, signature_hash)
+            cached = self._probe_cache(key, scaling_vector)
+            if cached is not None:
+                return cached
+        self.cache_misses += 1
+        mapping = Mapping.from_signature(
+            compiled.names, signature, num_cores, template=template
+        )
+        # Seed the new mapping's signature memo — the signature is in
+        # hand, and the evaluation body re-reads it.
+        mapping._sig_memo = (compiled, signature, signature_hash)
+        point = self._evaluate_uncached(mapping, scaling_vector)
+        if key is not None:
             self._cache_store(key, point)
         return point
 
@@ -423,7 +700,7 @@ class MappingEvaluator:
                     if cached is not None:
                         slots.append(cached)
                         continue
-                    signature = key[0]
+                    signature = key.signature
                     self.cache_misses += 1
                 else:
                     self.cache_misses += 1

@@ -29,7 +29,14 @@ from repro.optim.objectives import (
     SEUObjective,
     deadline_penalized,
 )
-from repro.optim.moves import neighbor_mappings, random_neighbor
+from repro.optim.moves import (
+    InnerLoopStats,
+    Move,
+    MoveSampler,
+    Swap,
+    neighbor_mappings,
+    random_neighbor,
+)
 from repro.optim.initial_mapping import initial_sea_mapping
 from repro.optim.optimized_mapping import OptimizedMappingSearch, SearchResult
 from repro.optim.annealing import AnnealingConfig, SimulatedAnnealingMapper
@@ -48,7 +55,11 @@ __all__ = [
     "AnnealingConfig",
     "BaselineMapper",
     "DesignOptimizer",
+    "InnerLoopStats",
+    "Move",
+    "MoveSampler",
     "SEAMapper",
+    "Swap",
     "MakespanObjective",
     "Objective",
     "OptimizationOutcome",

@@ -10,6 +10,21 @@ The objective is any :data:`~repro.optim.objectives.Objective`;
 deadline handling uses :func:`~repro.optim.objectives.
 deadline_penalized` so the walk is drawn back into the feasible region
 rather than bouncing off a hard wall.
+
+The inner loop is **allocation-free**: neighbours are
+:class:`~repro.optim.moves.Move` / :class:`~repro.optim.moves.Swap`
+descriptors drawn by a :class:`~repro.optim.moves.MoveSampler` from
+the same RNG stream as the historical Mapping-based walk, previewed
+for screening through the O(degree) index paths of
+:class:`~repro.mapping.incremental.IncrementalMappingState`, keyed
+into the evaluator cache via an incrementally maintained
+:class:`~repro.mapping.metrics.SignatureTracker`, and a
+:class:`~repro.mapping.mapping.Mapping` is only materialized on a
+cache miss (where the full list-scheduled evaluation needs one).
+Same seed ⇒ bit-identical accepted points, RNG consumption,
+evaluation counts and cache hit/miss traffic as the Mapping-based
+loop, which survives verbatim as :meth:`SimulatedAnnealingMapper.
+run_reference` for the parity suite.
 """
 
 from __future__ import annotations
@@ -34,8 +49,8 @@ from repro.mapping.incremental import (
     screen_lower_bound,
 )
 from repro.mapping.mapping import Mapping
-from repro.mapping.metrics import DesignPoint, MappingEvaluator
-from repro.optim.moves import random_neighbor
+from repro.mapping.metrics import DesignPoint, MappingEvaluator, SignatureTracker
+from repro.optim.moves import InnerLoopStats, Move, MoveSampler, random_neighbor
 from repro.optim.objectives import Objective, deadline_penalized
 from repro.taskgraph.graph import TaskGraph
 
@@ -118,13 +133,15 @@ class _RestartJob:
     initial: Mapping
     scaling: Tuple[int, ...]
     restart: int
+    reference: bool = False
 
-    def run(self) -> Tuple[DesignPoint, int, int, int, int]:
+    def run(self) -> Tuple[DesignPoint, int, int, int, int, InnerLoopStats]:
         """Run the restart.
 
         Returns ``(point, screened moves, evaluations, cache hits,
-        cache misses)`` — the full evaluator traffic, so the parent
-        can fold worker stats back into its shared evaluator.
+        cache misses, inner-loop stats)`` — the full evaluator and
+        inner-loop traffic, so the parent can fold worker stats back
+        into its shared evaluator and per-restart aggregates.
         """
         evaluator = MappingEvaluator(
             self.graph,
@@ -145,17 +162,21 @@ class _RestartJob:
             screen_threshold=self.screen_threshold,
             batch_size=self.batch_size,
         )
-        point = mapper._run_once(self.initial, self.scaling, self.restart)
+        loop = mapper._run_once_reference if self.reference else mapper._run_once
+        point = loop(self.initial, self.scaling, self.restart)
         return (
             point,
             mapper.screened_moves,
             evaluator.evaluations,
             evaluator.cache_hits,
             evaluator.cache_misses,
+            mapper._last_inner_stats,
         )
 
 
-def _run_restart_job(job: _RestartJob) -> Tuple[DesignPoint, int, int, int, int]:
+def _run_restart_job(
+    job: _RestartJob,
+) -> Tuple[DesignPoint, int, int, int, int, InnerLoopStats]:
     """Module-level trampoline so process pools can pickle the call."""
     return job.run()
 
@@ -249,6 +270,11 @@ class SimulatedAnnealingMapper:
         self.screened_moves = 0  # neighbours pruned without evaluation
         self.screened_moves_per_restart: List[int] = []  # per run(), in restart order
         self.restart_evaluations: List[int] = []  # evaluate() calls per restart
+        # Inner-loop instrumentation (descriptor walks; the reference
+        # and batched loops report zeros): aggregate + per restart.
+        self.inner_stats = InnerLoopStats()
+        self.inner_stats_per_restart: List[InnerLoopStats] = []
+        self._last_inner_stats = InnerLoopStats()  # set by each _run_once*
         deadline = evaluator.deadline_s
         if deadline is not None and deadline_penalty:
             self.objective = deadline_penalized(
@@ -271,11 +297,37 @@ class SimulatedAnnealingMapper:
         ``seed + r``), so they can be dispatched through an execution
         backend; the serial best-of ranking is replayed over the
         restart-ordered results, making the selection bit-identical to
-        a serial loop whatever backend runs the restarts.  Screening
-        stats reset on every call: ``screened_moves`` totals this
-        run's pruned neighbours and ``screened_moves_per_restart`` /
-        ``restart_evaluations`` break the work down per restart.
+        a serial loop whatever backend runs the restarts.  Stats reset
+        on every call: ``screened_moves`` totals this run's pruned
+        neighbours, ``screened_moves_per_restart`` /
+        ``restart_evaluations`` / ``inner_stats_per_restart`` break
+        the work down per restart and ``inner_stats`` aggregates the
+        descriptor inner-loop counters.
         """
+        return self._run(initial, scaling, reference=False)
+
+    def run_reference(
+        self,
+        initial: Mapping,
+        scaling: Optional[Sequence[int]] = None,
+    ) -> DesignPoint:
+        """:meth:`run` on the historical Mapping-based inner loop.
+
+        Bit-identical results by the descriptor determinism contract —
+        same accepted points, RNG stream, evaluation counts and cache
+        hit/miss traffic — kept as the behavioural reference for the
+        parity suite and the ``sa_inner_loop`` benchmark pair.  Inner-
+        loop stats stay zero (the instrumentation belongs to the
+        descriptor walk); ``screened_moves`` counters work as always.
+        """
+        return self._run(initial, scaling, reference=True)
+
+    def _run(
+        self,
+        initial: Mapping,
+        scaling: Optional[Sequence[int]],
+        reference: bool,
+    ) -> DesignPoint:
         scaling_tuple = (
             tuple(scaling) if scaling is not None else self.evaluator.platform.scaling_vector()
         )
@@ -283,11 +335,16 @@ class SimulatedAnnealingMapper:
         self.screened_moves = 0
         self.screened_moves_per_restart = []
         self.restart_evaluations = []
+        self.inner_stats = InnerLoopStats()
+        self.inner_stats_per_restart = []
+        loop = self._run_once_reference if reference else self._run_once
         spec = self.backend if self.backend is not None else self.config.restart_backend
         resolved = resolve_backend(
             spec,
             task_count=restarts,
-            probe_factory=lambda: self._restart_job(initial, scaling_tuple, 0),
+            probe_factory=lambda: self._restart_job(
+                initial, scaling_tuple, 0, reference
+            ),
             max_workers=self.max_workers,
         )
         if restarts == 1 or isinstance(resolved, SerialBackend):
@@ -295,16 +352,17 @@ class SimulatedAnnealingMapper:
             for restart in range(restarts):
                 screened_before = self.screened_moves
                 evaluations_before = self.evaluator.evaluations
-                candidates.append(self._run_once(initial, scaling_tuple, restart))
+                candidates.append(loop(initial, scaling_tuple, restart))
                 self.screened_moves_per_restart.append(
                     self.screened_moves - screened_before
                 )
                 self.restart_evaluations.append(
                     self.evaluator.evaluations - evaluations_before
                 )
+                self.inner_stats_per_restart.append(self._last_inner_stats)
         else:
             jobs = [
-                self._restart_job(initial, scaling_tuple, restart)
+                self._restart_job(initial, scaling_tuple, restart, reference)
                 for restart in range(restarts)
             ]
             try:
@@ -326,6 +384,9 @@ class SimulatedAnnealingMapper:
             self.evaluator.evaluations += sum(self.restart_evaluations)
             self.evaluator.cache_hits += sum(result[3] for result in results)
             self.evaluator.cache_misses += sum(result[4] for result in results)
+            self.inner_stats_per_restart = [result[5] for result in results]
+        for stats in self.inner_stats_per_restart:
+            self.inner_stats.merge(stats)
         # Replay of the serial best-of ranking: candidates arrive in
         # restart order whatever the completion order, and strict `<`
         # keeps the earliest restart on rank ties — exactly the serial
@@ -340,7 +401,11 @@ class SimulatedAnnealingMapper:
         return best
 
     def _restart_job(
-        self, initial: Mapping, scaling: Tuple[int, ...], restart: int
+        self,
+        initial: Mapping,
+        scaling: Tuple[int, ...],
+        restart: int,
+        reference: bool = False,
     ) -> _RestartJob:
         evaluator = self.evaluator
         return _RestartJob(
@@ -361,6 +426,7 @@ class SimulatedAnnealingMapper:
             initial=initial,
             scaling=scaling,
             restart=restart,
+            reference=reference,
         )
 
     def _rank_key(self, point: DesignPoint) -> Tuple[int, float]:
@@ -375,11 +441,137 @@ class SimulatedAnnealingMapper:
     def _run_once(
         self, initial: Mapping, scaling: Tuple[int, ...], restart: int
     ) -> DesignPoint:
+        """One descriptor-based annealing walk (the default inner loop).
+
+        Neighbours live as :class:`Move`/:class:`Swap` tokens drawn by
+        a :class:`MoveSampler` from the same RNG stream as the
+        Mapping-based loop; cache probes ride the incrementally
+        maintained signature of a :class:`SignatureTracker`, and a
+        ``Mapping`` is only materialized inside the evaluator on a
+        cache miss.  Bit-identical to :meth:`_run_once_reference` by
+        construction — the parity suite asserts it.
+        """
+        if self.batch_size:
+            return self._run_once_batched(initial, scaling, restart)
+        rng = random.Random(None if self.seed is None else self.seed + restart)
+        evaluator = self.evaluator
+        stats = InnerLoopStats()
+        self._last_inner_stats = stats
+
+        current = evaluator.evaluate(initial, scaling)
+        current_score = self.objective(current)
+        best = current
+        best_key = self._rank_key(current)
+        compiled = evaluator._sync_compiled()
+        num_cores = initial.num_cores
+        num_tasks = compiled.num_tasks
+        min_used = min(num_cores, num_tasks)
+        signature, signature_hash = current.mapping.signature_info(compiled)
+        tracker = SignatureTracker(compiled, signature, num_cores, signature_hash)
+        sampler = MoveSampler(compiled, signature, num_cores)
+        state: Optional[IncrementalMappingState] = None
+        if self.screening:
+            state = IncrementalMappingState(evaluator, current.mapping, scaling)
+
+        temperature = self.config.initial_temperature
+        cooling = self.config.cooling
+        for _ in range(self.config.max_iterations):
+            descriptor = sampler.draw(rng)
+            if descriptor is None:
+                temperature *= cooling
+                continue
+            stats.moves_drawn += 1
+            if (
+                self.require_all_cores
+                and sampler.used_cores_after(descriptor) < min_used
+            ):
+                temperature *= cooling
+                continue
+            if state is not None:
+                stats.previews += 1
+                if isinstance(descriptor, Move):
+                    estimate = state.estimate_move_index(
+                        descriptor.task, descriptor.core
+                    )
+                else:
+                    estimate = state.estimate_swap_index(
+                        descriptor.task_a, descriptor.task_b
+                    )
+                bound = screen_lower_bound(self.raw_objective, estimate)
+                if bound is not None and bound > current_score:
+                    # The bound is also a lower bound on the penalized
+                    # score (the deadline penalty only inflates), so
+                    # the Metropolis odds at the bound overestimate
+                    # the real acceptance odds.
+                    scale = max(abs(current_score), 1e-30)
+                    delta = (bound - current_score) / scale
+                    odds = math.exp(-delta / max(temperature, 1e-12))
+                    if odds < self.screen_threshold:
+                        self.screened_moves += 1
+                        stats.screened_moves += 1
+                        temperature *= cooling
+                        continue
+            if isinstance(descriptor, Move):
+                neighbor_signature, neighbor_hash = tracker.preview_move(
+                    descriptor.task, descriptor.core
+                )
+            else:
+                neighbor_signature, neighbor_hash = tracker.preview_swap(
+                    descriptor.task_a, descriptor.task_b
+                )
+            misses_before = evaluator.cache_misses
+            candidate = evaluator.evaluate_signature(
+                neighbor_signature,
+                scaling,
+                signature_hash=neighbor_hash,
+                num_cores=num_cores,
+                template=initial,
+            )
+            if evaluator.cache_misses != misses_before:
+                stats.materialized_mappings += 1
+            candidate_score = self.objective(candidate)
+
+            if candidate_score <= current_score:
+                accept = True
+            else:
+                scale = max(abs(current_score), 1e-30)
+                delta = (candidate_score - current_score) / scale
+                accept = rng.random() < math.exp(-delta / max(temperature, 1e-12))
+            if accept:
+                current, current_score = candidate, candidate_score
+                tracker.commit(neighbor_signature, neighbor_hash)
+                if state is not None:
+                    if isinstance(descriptor, Move):
+                        state.apply_move_index(descriptor.task, descriptor.core)
+                    else:
+                        state.apply_swap_index(
+                            descriptor.task_a, descriptor.task_b
+                        )
+                sampler.apply(descriptor)
+                key = self._rank_key(candidate)
+                if key < best_key:
+                    best, best_key = candidate, key
+            temperature *= cooling
+        stats.signature_rebuilds += tracker.rebuilds
+        return best
+
+    def _run_once_reference(
+        self, initial: Mapping, scaling: Tuple[int, ...], restart: int
+    ) -> DesignPoint:
+        """The historical Mapping-per-neighbour loop (parity reference).
+
+        Kept verbatim from before the descriptor rewrite: every
+        neighbour is a materialized ``Mapping`` (O(N) copy), screened
+        via the O(N) ``estimate_mapping`` diff and keyed into the
+        cache through the full signature walk.  :meth:`_run_once`
+        reproduces its results bit for bit.
+        """
         if self.batch_size:
             return self._run_once_batched(initial, scaling, restart)
         rng = random.Random(None if self.seed is None else self.seed + restart)
         evaluator = self.evaluator
         graph = evaluator.graph
+        self._last_inner_stats = InnerLoopStats()
 
         current = evaluator.evaluate(initial, scaling)
         current_score = self.objective(current)
@@ -405,10 +597,8 @@ class SimulatedAnnealingMapper:
                     self.raw_objective, state.estimate_mapping(neighbor)
                 )
                 if bound is not None and bound > current_score:
-                    # The bound is also a lower bound on the penalized
-                    # score (the deadline penalty only inflates), so
-                    # the Metropolis odds at the bound overestimate
-                    # the real acceptance odds.
+                    # See _run_once: the bound under-estimates the
+                    # penalized score, so these odds overestimate.
                     scale = max(abs(current_score), 1e-30)
                     delta = (bound - current_score) / scale
                     odds = math.exp(-delta / max(temperature, 1e-12))
@@ -452,6 +642,7 @@ class SimulatedAnnealingMapper:
         rng = random.Random(None if self.seed is None else self.seed + restart)
         evaluator = self.evaluator
         graph = evaluator.graph
+        self._last_inner_stats = InnerLoopStats()
 
         current = evaluator.evaluate(initial, scaling)
         current_score = self.objective(current)

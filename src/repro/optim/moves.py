@@ -6,18 +6,30 @@ exchanging two tasks between cores.  Each iteration performs at most
 two task movements (a swap is two), matching the complexity analysis
 in Section IV-B.
 
-:func:`random_neighbor` draws one such move; :func:`neighbor_mappings`
+:func:`random_neighbor` draws one such move as a fresh
+:class:`~repro.mapping.mapping.Mapping`; :func:`neighbor_mappings`
 iterates a deterministic neighbourhood (used by exhaustive local
 search and by tests).  Moves favour *dependent* tasks — predecessors
 and successors of recently moved tasks — because relocating a task
 relative to its neighbours in the graph is what changes both the
 communication time and the register duplication.
+
+The search inner loops, however, no longer materialize a mapping per
+neighbour: :class:`MoveSampler` draws lightweight :class:`Move` /
+:class:`Swap` **descriptors** (compiled task index + target core) from
+the *identical* RNG stream — same calls, same order, same selections —
+so a descriptor walk reproduces the Mapping-based walk bit for bit
+while paying O(log N) per draw instead of O(N).  The O(N) component of
+:func:`random_neighbor` is its swap-partner pool (every task on a
+different core, in task order); the sampler answers the same k-th-
+element query from per-core Fenwick trees over task membership.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Iterator, Optional, Sequence
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Union
 
 from repro.mapping.mapping import Mapping
 from repro.taskgraph.graph import TaskGraph
@@ -94,3 +106,299 @@ def swap_neighborhood(mapping: Mapping, graph: TaskGraph) -> Iterator[Mapping]:
         for task_b in names[index + 1 :]:
             if mapping.core_of(task_a) != mapping.core_of(task_b):
                 yield mapping.swap(task_a, task_b)
+
+
+# ---------------------------------------------------------------------------
+# Move descriptors — the allocation-free search inner loop
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Move:
+    """Relocate one task: ``task`` (compiled index) to ``core``.
+
+    The target always differs from the task's current core — the
+    sampler never emits identity moves (matching
+    :func:`random_neighbor`, whose move branch excludes the current
+    core).
+    """
+
+    task: int
+    core: int
+
+
+@dataclass(frozen=True)
+class Swap:
+    """Exchange the cores of two tasks (compiled indices).
+
+    The two tasks are guaranteed to sit on different cores at draw
+    time; the target cores are implied by the current assignment when
+    the descriptor is applied/previewed, which is why descriptors must
+    be consumed against the state they were drawn from.
+    """
+
+    task_a: int
+    task_b: int
+
+
+#: What :meth:`MoveSampler.draw` yields: a move, a swap, or ``None``
+#: for the degenerate graphs where :func:`random_neighbor` returns the
+#: input mapping unchanged (fewer than two cores or two tasks).
+MoveDescriptor = Union[Move, Swap]
+
+
+@dataclass
+class InnerLoopStats:
+    """Instrumentation counters for one descriptor search walk.
+
+    Attributes
+    ----------
+    moves_drawn:
+        Candidate descriptors produced by the sampler (degenerate
+        ``None`` draws excluded).
+    previews:
+        Incremental screening previews computed (0 with screening off).
+    screened_moves:
+        Candidates pruned by a certified bound without evaluation.
+    materialized_mappings:
+        Neighbour evaluations that missed the cache and therefore
+        built a real :class:`~repro.mapping.mapping.Mapping` — the
+        only point of the inner loop that still allocates one.
+    signature_rebuilds:
+        Full signature recomputations (re-anchors such as
+        intensification pulls; 0 for a pure forward walk).
+    """
+
+    moves_drawn: int = 0
+    previews: int = 0
+    screened_moves: int = 0
+    materialized_mappings: int = 0
+    signature_rebuilds: int = 0
+
+    def merge(self, other: "InnerLoopStats") -> None:
+        """Fold another walk's counters into this aggregate."""
+        self.moves_drawn += other.moves_drawn
+        self.previews += other.previews
+        self.screened_moves += other.screened_moves
+        self.materialized_mappings += other.materialized_mappings
+        self.signature_rebuilds += other.signature_rebuilds
+
+
+class MoveSampler:
+    """Draws move descriptors RNG-identically to :func:`random_neighbor`.
+
+    Maintains the walk's current core assignment as a dense list plus
+    per-core task counts and per-core Fenwick trees over membership,
+    so one draw costs O(log N): the swap branch's "k-th task not on
+    core *c*, in task order" query — the O(N) pool scan of the
+    Mapping-based path — becomes a Fenwick select over the complement.
+
+    The RNG contract is exact: for any ``(assignment, focus, rng
+    state)``, :meth:`draw` consumes the same ``randrange``/``random``
+    calls in the same order as :func:`random_neighbor` and selects the
+    same task(s) and target core, so a descriptor walk and a Mapping
+    walk sharing a seed visit identical neighbours.  The parity suite
+    asserts this over randomized graphs.
+
+    Parameters
+    ----------
+    compiled:
+        The graph's :class:`~repro.taskgraph.compiled.CompiledTaskGraph`
+        (supplies task count and the dependent-task bias adjacency).
+    cores:
+        Current core of every task, in compiled index order.
+    num_cores:
+        Platform width (may exceed ``max(cores) + 1``).
+    swap_probability:
+        Probability of a two-task swap instead of a single move.
+    """
+
+    __slots__ = (
+        "_compiled",
+        "_num_tasks",
+        "_num_cores",
+        "_swap_probability",
+        "_cores",
+        "_counts",
+        "_used",
+        "_trees",
+        "_top_bit",
+    )
+
+    def __init__(
+        self,
+        compiled,
+        cores: Sequence[int],
+        num_cores: int,
+        swap_probability: float = 0.4,
+    ) -> None:
+        self._compiled = compiled
+        self._num_tasks = compiled.num_tasks
+        self._num_cores = num_cores
+        self._swap_probability = swap_probability
+        self._top_bit = (
+            1 << (self._num_tasks.bit_length() - 1) if self._num_tasks else 0
+        )
+        self.rebuild(cores)
+
+    # -- anchoring -----------------------------------------------------------
+
+    def rebuild(self, cores: Sequence[int]) -> None:
+        """Re-anchor on an arbitrary core assignment (O(N log N))."""
+        cores = list(cores)
+        if len(cores) != self._num_tasks:
+            raise ValueError(
+                f"assignment covers {len(cores)} tasks, graph has "
+                f"{self._num_tasks}"
+            )
+        counts = [0] * self._num_cores
+        for core in cores:
+            counts[core] += 1
+        self._cores = cores
+        self._counts = counts
+        self._used = sum(1 for count in counts if count)
+        self._trees = [[0] * (self._num_tasks + 1) for _ in range(self._num_cores)]
+        for task, core in enumerate(cores):
+            self._tree_add(core, task, 1)
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def cores(self) -> List[int]:
+        """Current core of every task (copy)."""
+        return list(self._cores)
+
+    @property
+    def used_cores(self) -> int:
+        """Number of cores holding at least one task."""
+        return self._used
+
+    def core_of(self, task: int) -> int:
+        return self._cores[task]
+
+    def used_cores_after(self, descriptor: MoveDescriptor) -> int:
+        """Non-empty core count after ``descriptor`` — O(1).
+
+        Matches ``len(neighbor.used_cores())`` of the materialized
+        neighbour exactly (swaps never change occupancy; a move can
+        drain its source and/or populate its target).
+        """
+        if isinstance(descriptor, Swap):
+            return self._used
+        old_core = self._cores[descriptor.task]
+        new_core = descriptor.core
+        if new_core == old_core:
+            return self._used
+        used = self._used
+        if self._counts[old_core] == 1:
+            used -= 1
+        if self._counts[new_core] == 0:
+            used += 1
+        return used
+
+    def first_moved(self, descriptor: MoveDescriptor) -> int:
+        """Lowest-index task the descriptor moves (the focus-bias pick).
+
+        The Mapping-based walk derives its focus task as the first
+        entry of the moved-task list in task order; for a move that is
+        the task itself, for a swap the smaller index.
+        """
+        if isinstance(descriptor, Move):
+            return descriptor.task
+        return min(descriptor.task_a, descriptor.task_b)
+
+    # -- drawing -------------------------------------------------------------
+
+    def draw(
+        self, rng: random.Random, focus: Optional[int] = None
+    ) -> Optional[MoveDescriptor]:
+        """One random move or swap — :func:`random_neighbor`'s twin.
+
+        ``None`` mirrors the degenerate case where the reference
+        returns the input mapping unchanged (no RNG consumed).
+        """
+        num_tasks = self._num_tasks
+        if self._num_cores < 2 or num_tasks < 2:
+            return None
+        if focus is None:
+            task = rng.randrange(num_tasks)
+        else:
+            compiled = self._compiled
+            pred_lo = compiled.pred_ptr[focus]
+            pred_degree = compiled.pred_ptr[focus + 1] - pred_lo
+            succ_lo = compiled.succ_ptr[focus]
+            succ_degree = compiled.succ_ptr[focus + 1] - succ_lo
+            # Candidate order matches the reference's tuple concat:
+            # (focus,) + predecessors + successors, edge order.
+            pick = rng.randrange(1 + pred_degree + succ_degree)
+            if pick == 0:
+                task = focus
+            elif pick <= pred_degree:
+                task = compiled.pred_idx[pred_lo + pick - 1]
+            else:
+                task = compiled.succ_idx[succ_lo + pick - 1 - pred_degree]
+        core = self._cores[task]
+        if rng.random() < self._swap_probability:
+            pool_size = num_tasks - self._counts[core]
+            if pool_size:
+                partner = self._select_absent(core, rng.randrange(pool_size))
+                return Swap(task, partner)
+        target = rng.randrange(self._num_cores - 1)
+        return Move(task, target if target < core else target + 1)
+
+    # -- committed updates ---------------------------------------------------
+
+    def apply(self, descriptor: MoveDescriptor) -> None:
+        """Commit a descriptor drawn from the current state (O(log N))."""
+        cores = self._cores
+        if isinstance(descriptor, Move):
+            moves = ((descriptor.task, descriptor.core),)
+        else:
+            task_a, task_b = descriptor.task_a, descriptor.task_b
+            moves = ((task_a, cores[task_b]), (task_b, cores[task_a]))
+        counts = self._counts
+        for task, new_core in moves:
+            old_core = cores[task]
+            if new_core == old_core:
+                continue
+            cores[task] = new_core
+            counts[old_core] -= 1
+            counts[new_core] += 1
+            if counts[old_core] == 0:
+                self._used -= 1
+            if counts[new_core] == 1:
+                self._used += 1
+            self._tree_add(old_core, task, -1)
+            self._tree_add(new_core, task, 1)
+
+    # -- Fenwick internals ---------------------------------------------------
+
+    def _tree_add(self, core: int, task: int, delta: int) -> None:
+        tree = self._trees[core]
+        position = task + 1
+        size = self._num_tasks
+        while position <= size:
+            tree[position] += delta
+            position += position & -position
+
+    def _select_absent(self, core: int, k: int) -> int:
+        """The (k+1)-th task index *not* on ``core``, in index order.
+
+        Fenwick select over the membership complement: descend the
+        implicit tree, at each node comparing ``k`` against the count
+        of absent tasks in the node's span.
+        """
+        tree = self._trees[core]
+        size = self._num_tasks
+        remaining = k + 1
+        position = 0
+        span = self._top_bit
+        while span:
+            probe = position + span
+            if probe <= size:
+                absent = span - tree[probe]
+                if absent < remaining:
+                    remaining -= absent
+                    position = probe
+            span >>= 1
+        return position

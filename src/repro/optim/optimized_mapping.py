@@ -28,8 +28,8 @@ from typing import List, Optional, Tuple
 
 from repro.mapping.incremental import IncrementalMappingState, resolve_screening
 from repro.mapping.mapping import Mapping
-from repro.mapping.metrics import DesignPoint, MappingEvaluator
-from repro.optim.moves import random_neighbor
+from repro.mapping.metrics import DesignPoint, MappingEvaluator, SignatureTracker
+from repro.optim.moves import InnerLoopStats, Move, MoveSampler, random_neighbor
 
 
 @dataclass
@@ -53,6 +53,10 @@ class SearchResult:
     screened_moves:
         Neighbours pruned by incremental screening during *this* run
         (0 when screening is off).
+    inner_stats:
+        Descriptor inner-loop instrumentation (moves drawn, previews,
+        screens, materialized mappings, signature rebuilds); zeros for
+        the reference and batched loops.
     """
 
     best: DesignPoint
@@ -61,6 +65,7 @@ class SearchResult:
     improvements: int
     history: List[Tuple[int, float]] = field(default_factory=list)
     screened_moves: int = 0
+    inner_stats: InnerLoopStats = field(default_factory=InnerLoopStats)
 
 
 class OptimizedMappingSearch:
@@ -154,16 +159,194 @@ class OptimizedMappingSearch:
             )
         self.batch_size = batch_size
         self.screened_moves = 0  # neighbours pruned without evaluation
+        self.inner_stats = InnerLoopStats()  # descriptor-loop counters, per run()
 
     def run(
         self, initial: Mapping, scaling: Optional[Tuple[int, ...]] = None
     ) -> SearchResult:
-        """Optimize from ``initial`` under ``scaling`` (defaults to platform's)."""
+        """Optimize from ``initial`` under ``scaling`` (defaults to platform's).
+
+        The inner loop is the allocation-free descriptor walk (see
+        :mod:`repro.optim.moves`); :meth:`run_reference` keeps the
+        historical Mapping-per-neighbour loop, which this reproduces
+        bit for bit (same RNG stream, accepted points, evaluator
+        traffic) — asserted by the parity suite.
+        """
         if self.batch_size:
             return self._run_batched(initial, scaling)
+        return self._run_descriptors(initial, scaling)
+
+    def run_reference(
+        self, initial: Mapping, scaling: Optional[Tuple[int, ...]] = None
+    ) -> SearchResult:
+        """:meth:`run` on the historical Mapping-based inner loop.
+
+        Kept verbatim for parity testing and the inner-loop benchmark
+        pair; ``inner_stats`` stays zero on this path.
+        """
+        if self.batch_size:
+            return self._run_batched(initial, scaling)
+        return self._run_reference_loop(initial, scaling)
+
+    def _run_descriptors(
+        self, initial: Mapping, scaling: Optional[Tuple[int, ...]] = None
+    ) -> SearchResult:
+        rng = random.Random(self.seed)
+        # Per-run stats: a second run() must not inherit the first's.
+        self.screened_moves = 0
+        stats = InnerLoopStats()
+        self.inner_stats = stats
+        evaluator = self.evaluator
+        deadline = evaluator.deadline_s
+
+        current = evaluator.evaluate(initial, scaling)  # step A: list schedule M
+        best = current
+        best_feasible = bool(current.meets_deadline)
+        compiled = evaluator._sync_compiled()
+        num_cores = initial.num_cores
+        num_tasks = compiled.num_tasks
+        min_used = min(num_cores, num_tasks)
+        signature, signature_hash = current.mapping.signature_info(compiled)
+        tracker = SignatureTracker(compiled, signature, num_cores, signature_hash)
+        sampler = MoveSampler(compiled, signature, num_cores)
+        state: Optional[IncrementalMappingState] = None
+        if self.screen_moves:
+            state = IncrementalMappingState(evaluator, current.mapping, scaling)
+        improvements = 0
+        history: List[Tuple[int, float]] = []
+        focus: Optional[int] = None  # compiled task index
+        stale = 0  # iterations since the last best-point improvement
+
+        start_time = time.monotonic()
+        iterations = 0
+        for iterations in range(1, self.max_iterations + 1):
+            if (
+                self.time_limit_s is not None
+                and time.monotonic() - start_time >= self.time_limit_s
+            ):
+                iterations -= 1
+                break
+
+            # Step C: neighbouring task movement, as a descriptor.
+            descriptor = sampler.draw(rng, focus=focus)
+            if descriptor is None:
+                continue
+            stats.moves_drawn += 1
+            if (
+                self.require_all_cores
+                and sampler.used_cores_after(descriptor) < min_used
+            ):
+                continue
+            if state is not None and best_feasible:
+                stats.previews += 1
+                if isinstance(descriptor, Move):
+                    estimate = state.estimate_move_index(
+                        descriptor.task, descriptor.core
+                    )
+                else:
+                    estimate = state.estimate_swap_index(
+                        descriptor.task_a, descriptor.task_b
+                    )
+                if estimate.feasible_possible is False:
+                    # Provably over deadline: cannot improve the best.
+                    self.screened_moves += 1
+                    stats.screened_moves += 1
+                    continue
+            # Step D: list scheduling of the neighbour.
+            if isinstance(descriptor, Move):
+                neighbor_signature, neighbor_hash = tracker.preview_move(
+                    descriptor.task, descriptor.core
+                )
+            else:
+                neighbor_signature, neighbor_hash = tracker.preview_swap(
+                    descriptor.task_a, descriptor.task_b
+                )
+            misses_before = evaluator.cache_misses
+            candidate = evaluator.evaluate_signature(
+                neighbor_signature,
+                scaling,
+                signature_hash=neighbor_hash,
+                num_cores=num_cores,
+                template=initial,
+            )
+            if evaluator.cache_misses != misses_before:
+                stats.materialized_mappings += 1
+
+            # Step E/F: best-so-far update under the constraint.
+            candidate_feasible = candidate.makespan_s <= deadline + 1e-12
+            stale += 1
+            if candidate_feasible and (
+                not best_feasible or candidate.expected_seus < best.expected_seus
+            ):
+                best = candidate
+                best_feasible = True
+                improvements += 1
+                stale = 0
+                if self.record_history:
+                    history.append((iterations, best.expected_seus))
+            elif not best_feasible and candidate.makespan_s < best.makespan_s:
+                # Nothing feasible yet: track the least-infeasible point.
+                best = candidate
+                improvements += 1
+                stale = 0
+
+            # Random-walk acceptance for the current point.
+            accept = False
+            if candidate_feasible and (
+                current.meets_deadline is False
+                or candidate.expected_seus <= current.expected_seus
+            ):
+                accept = True
+            elif not candidate_feasible and not current.meets_deadline:
+                accept = candidate.makespan_s < current.makespan_s
+            if not accept and rng.random() < self.walk_probability:
+                accept = True
+            if accept:
+                # Remember one moved task to bias the next move toward
+                # its graph neighbourhood (the first moved task in
+                # compiled order — the Mapping walk's moved[0]).
+                focus = sampler.first_moved(descriptor)
+                tracker.commit(neighbor_signature, neighbor_hash)
+                if state is not None:
+                    if isinstance(descriptor, Move):
+                        state.apply_move_index(descriptor.task, descriptor.core)
+                    else:
+                        state.apply_swap_index(
+                            descriptor.task_a, descriptor.task_b
+                        )
+                sampler.apply(descriptor)
+                current = candidate
+
+            # Intensification: return to the best point after a long
+            # improvement drought.
+            if self.intensify_every and stale >= self.intensify_every:
+                current = best
+                focus = None
+                stale = 0
+                best_signature, _ = best.mapping.signature_info(compiled)
+                tracker.rebuild(best_signature)
+                sampler.rebuild(best_signature)
+                if state is not None:
+                    state.rebuild(best.mapping)
+
+        stats.signature_rebuilds += tracker.rebuilds
+        return SearchResult(
+            best=best,
+            feasible=best_feasible,
+            iterations=iterations,
+            improvements=improvements,
+            history=history,
+            screened_moves=self.screened_moves,
+            inner_stats=stats,
+        )
+
+    def _run_reference_loop(
+        self, initial: Mapping, scaling: Optional[Tuple[int, ...]] = None
+    ) -> SearchResult:
         rng = random.Random(self.seed)
         # Per-run stat: a second run() must not inherit the first's count.
         self.screened_moves = 0
+        self.inner_stats = InnerLoopStats()
         evaluator = self.evaluator
         deadline = evaluator.deadline_s
         graph = evaluator.graph
@@ -284,6 +467,7 @@ class OptimizedMappingSearch:
         """
         rng = random.Random(self.seed)
         self.screened_moves = 0
+        self.inner_stats = InnerLoopStats()
         evaluator = self.evaluator
         deadline = evaluator.deadline_s
         graph = evaluator.graph

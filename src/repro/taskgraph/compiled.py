@@ -28,9 +28,19 @@ process execution backend.
 
 from __future__ import annotations
 
+import operator
+import random
+from functools import reduce
 from typing import Dict, List, Sequence, Tuple
 
 from repro.taskgraph.registers import Register
+
+#: Seed base for the per-graph signature hash tables.  The tables only
+#: have to be deterministic per (graph shape, core count) so that the
+#: same signature always hashes identically within a process *and*
+#: across the process execution backend's workers; the constant itself
+#: is arbitrary.
+_SIGNATURE_SEED = 0x5EA7C0DE
 
 
 class CompiledTaskGraph:
@@ -62,6 +72,7 @@ class CompiledTaskGraph:
         "total_cycles",
         "critical_path_cycles",
         "_mask_bits_cache",
+        "_signature_tables",
     )
 
     def __init__(self, graph) -> None:
@@ -146,6 +157,7 @@ class CompiledTaskGraph:
             masks.append(mask)
         self.task_register_masks: Tuple[int, ...] = tuple(masks)
         self._mask_bits_cache: Dict[int, int] = {0: 0}
+        self._signature_tables: Dict[int, List[Tuple[int, ...]]] = {}
 
     # -- queries -------------------------------------------------------------
 
@@ -195,6 +207,50 @@ class CompiledTaskGraph:
         exactly this graph's tasks.
         """
         return tuple(mapping.core_index_list(self.names))
+
+    def signature_table(self, num_cores: int) -> List[Tuple[int, ...]]:
+        """Zobrist-style hash table for signatures over ``num_cores``.
+
+        ``table[i][c]`` is a 62-bit value for "task *i* on core *c*";
+        the hash of a signature is the XOR of its entries, which makes
+        it exactly maintainable under single-move deltas
+        (``h ^= table[i][old] ^ table[i][new]``) — the property the
+        search inner loop's incremental cache keys rest on.  Built
+        lazily per core count and cached; deterministic for a given
+        (task count, core count), so hashes agree across processes.
+        """
+        table = self._signature_tables.get(num_cores)
+        if table is None:
+            rnd = random.Random(
+                _SIGNATURE_SEED ^ (self.num_tasks * 0x9E3779B1) ^ num_cores
+            )
+            table = [
+                tuple(rnd.getrandbits(62) for _ in range(num_cores))
+                for _ in range(self.num_tasks)
+            ]
+            self._signature_tables[num_cores] = table
+        return table
+
+    def signature_hash(self, signature: Sequence[int], num_cores: int) -> int:
+        """Full (rebuild-path) hash of a signature: XOR over its entries.
+
+        The incremental maintainers (:class:`~repro.mapping.metrics.
+        SignatureTracker`) must agree with this bit for bit — the
+        signature-parity suite asserts it after arbitrary move/swap/
+        rebuild sequences.
+        """
+        if len(signature) != self.num_tasks:
+            raise ValueError(
+                f"signature has {len(signature)} entries for "
+                f"{self.num_tasks} tasks"
+            )
+        # C-level per-element work: map(getitem, table, signature)
+        # yields table[i][signature[i]] without a Python-level loop.
+        return reduce(
+            operator.xor,
+            map(operator.getitem, self.signature_table(num_cores), signature),
+            0,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -15,6 +15,7 @@ import pytest
 
 from repro.arch import MPSoC
 from repro.mapping import (
+    REBUILD_TASK_THRESHOLD,
     IncrementalMappingState,
     Mapping,
     MappingEvaluator,
@@ -143,6 +144,72 @@ class TestIncrementalExactness:
         )
         with pytest.raises(ValueError, match="core index"):
             state.estimate_move("t1", 7)
+
+    def test_index_api_matches_name_api(self, mpeg2):
+        platform = MPSoC.paper_reference(4)
+        evaluator = MappingEvaluator(mpeg2, platform, deadline_s=MPEG2_DEADLINE_S)
+        mapping = Mapping.round_robin(mpeg2, 4)
+        names = mpeg2.task_names()
+        by_name = IncrementalMappingState(evaluator, mapping, (2, 2, 2, 2))
+        by_index = IncrementalMappingState(evaluator, mapping, (2, 2, 2, 2))
+        assert by_index.estimate_move_index(3, 1) == by_name.estimate_move(
+            names[3], 1
+        )
+        assert by_index.estimate_swap_index(2, 7) == by_name.estimate_swap(
+            names[2], names[7]
+        )
+        by_name.apply_move(names[3], 1)
+        by_index.apply_move_index(3, 1)
+        by_name.apply_swap(names[2], names[7])
+        by_index.apply_swap_index(2, 7)
+        assert by_index.register_bits_per_core == by_name.register_bits_per_core
+        assert by_index.busy_cycles_per_core == by_name.busy_cycles_per_core
+
+
+class TestApplyMappingBranches:
+    """apply_mapping: exact on both the delta and the rebuild branch.
+
+    The crossover is :data:`REBUILD_TASK_THRESHOLD` — up to that many
+    moved tasks commit as a delta, anything wider re-anchors with a
+    full rebuild.  Both must land on the identical state.
+    """
+
+    @pytest.mark.parametrize(
+        "moved_tasks",
+        [1, 2, REBUILD_TASK_THRESHOLD, REBUILD_TASK_THRESHOLD + 1, 9],
+    )
+    def test_both_branches_match_fresh_state(self, moved_tasks):
+        graph = random_task_graph(RandomGraphConfig(num_tasks=20), seed=8)
+        platform = MPSoC.paper_reference(4)
+        evaluator = MappingEvaluator(graph, platform, deadline_s=MPEG2_DEADLINE_S)
+        mapping = Mapping.round_robin(graph, 4)
+        state = IncrementalMappingState(evaluator, mapping, (2, 2, 2, 2))
+        names = list(graph.task_names())
+        neighbor = mapping
+        for offset in range(moved_tasks):
+            task = names[offset * 2]  # distinct tasks
+            neighbor = neighbor.move(task, (mapping.core_of(task) + 1) % 4)
+        assert len(state.moved_tasks(neighbor)) == moved_tasks
+        state.apply_mapping(neighbor)
+        fresh = IncrementalMappingState(evaluator, neighbor, (2, 2, 2, 2))
+        assert state.register_bits_per_core == fresh.register_bits_per_core
+        assert state.busy_cycles_per_core == fresh.busy_cycles_per_core
+        assert state.estimate_current() == fresh.estimate_current()
+
+    def test_threshold_is_the_documented_crossover(self):
+        # Guard the constant itself: the delta path must accept
+        # exactly REBUILD_TASK_THRESHOLD moved tasks (a search commit
+        # is at most a swap = 2, well inside).
+        assert REBUILD_TASK_THRESHOLD >= 2
+
+    def test_noop_apply_mapping_returns_early(self, mpeg2):
+        platform = MPSoC.paper_reference(4)
+        evaluator = MappingEvaluator(mpeg2, platform, deadline_s=MPEG2_DEADLINE_S)
+        mapping = Mapping.round_robin(mpeg2, 4)
+        state = IncrementalMappingState(evaluator, mapping, (2, 2, 2, 2))
+        before = state.estimate_current()
+        state.apply_mapping(mapping)
+        assert state.estimate_current() == before
 
 
 class TestScreenLowerBound:

@@ -102,11 +102,24 @@ class TestParallelRestartParity:
         mapper = _mapper(mpeg2)
         initial = Mapping.round_robin(mpeg2, 4)
         job = mapper._restart_job(initial, SCALING, 1)
-        point, screened, evaluations, hits, misses = job.run()
+        point, screened, evaluations, hits, misses, inner = job.run()
         _assert_same_point(point, mapper._run_once(initial, SCALING, 1))
         assert screened == 0
         assert evaluations > 0
         assert evaluations == hits + misses
+        assert inner.moves_drawn > 0
+        assert inner.materialized_mappings > 0
+
+    def test_reference_restart_job_matches_descriptor_job(self, mpeg2):
+        mapper = _mapper(mpeg2)
+        initial = Mapping.round_robin(mpeg2, 4)
+        descriptor = mapper._restart_job(initial, SCALING, 1)
+        reference = mapper._restart_job(initial, SCALING, 1, reference=True)
+        point_d, *counts_d, inner_d = descriptor.run()
+        point_r, *counts_r, inner_r = reference.run()
+        _assert_same_point(point_d, point_r)
+        assert counts_d == counts_r  # screened/evaluations/hits/misses
+        assert inner_r.moves_drawn == 0  # reference loop is uninstrumented
 
 
 class TestScreenedMovesReset:

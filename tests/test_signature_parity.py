@@ -1,0 +1,286 @@
+"""Incremental cache-signature parity (property-based).
+
+:class:`SignatureTracker` promises that the ``(signature, hash)`` it
+maintains under arbitrary move/swap/rebuild sequences is *exactly*
+what a from-scratch derivation produces: the signature equals
+``compiled.signature(mapping)`` of the equivalent mapping walk, and
+the hash equals ``compiled.signature_hash`` of that signature.  The
+evaluator's :class:`SignatureKey` must then make the descriptor and
+Mapping paths interoperate hit-for-hit in the LRU cache.  Hypothesis
+drives randomized operation sequences; the suite is wired into the CI
+parity pass (plus an armed ``REPRO_VALIDATE_SIGNATURES=1`` run).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import MPSoC
+from repro.mapping import (
+    Mapping,
+    MappingEvaluator,
+    SignatureKey,
+    SignatureTracker,
+    set_signature_validation,
+)
+from repro.taskgraph import RandomGraphConfig, mpeg2_decoder, random_task_graph
+
+NUM_CORES = 4
+
+
+def _graph(num_tasks):
+    if num_tasks == 11:
+        return mpeg2_decoder()
+    return random_task_graph(RandomGraphConfig(num_tasks=num_tasks), seed=num_tasks)
+
+
+# One operation: ("move", task_pick, core_pick), ("swap", a_pick, b_pick)
+# or ("rebuild", assignment_seed, 0).  Picks are reduced modulo the
+# current sizes inside the test, so any integers are valid.
+_operations = st.lists(
+    st.tuples(
+        st.sampled_from(["move", "swap", "rebuild"]),
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=10_000),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestTrackerParity:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        num_tasks=st.sampled_from([2, 5, 11, 17, 29]),
+        initial_seed=st.integers(min_value=0, max_value=2**20),
+        operations=_operations,
+    )
+    def test_tracker_matches_rebuild_after_any_sequence(
+        self, num_tasks, initial_seed, operations
+    ):
+        graph = _graph(num_tasks)
+        compiled = graph.compiled()
+        names = compiled.names
+        import random as _random
+
+        seeder = _random.Random(initial_seed)
+        mapping = Mapping(
+            {name: seeder.randrange(NUM_CORES) for name in names}, NUM_CORES
+        )
+        signature, sig_hash = mapping.signature_info(compiled)
+        tracker = SignatureTracker(compiled, signature, NUM_CORES, sig_hash)
+        for kind, first, second in operations:
+            if kind == "move":
+                task = first % compiled.num_tasks
+                core = second % NUM_CORES
+                if core == mapping.core_of(names[task]):
+                    core = (core + 1) % NUM_CORES
+                preview = tracker.preview_move(task, core)
+                mapping = mapping.move(names[task], core)
+                tracker.commit(*preview)
+            elif kind == "swap" and compiled.num_tasks >= 2:
+                task_a = first % compiled.num_tasks
+                task_b = second % compiled.num_tasks
+                if task_a == task_b:
+                    task_b = (task_b + 1) % compiled.num_tasks
+                preview = tracker.preview_swap(task_a, task_b)
+                mapping = mapping.swap(names[task_a], names[task_b])
+                tracker.commit(*preview)
+            else:
+                reseeder = _random.Random(first)
+                mapping = Mapping(
+                    {name: reseeder.randrange(NUM_CORES) for name in names},
+                    NUM_CORES,
+                )
+                tracker.rebuild(compiled.signature(mapping))
+            # Exact parity with the from-scratch derivation.
+            assert tracker.signature == compiled.signature(mapping)
+            assert tracker.signature_hash == compiled.signature_hash(
+                tracker.signature, NUM_CORES
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        num_tasks=st.sampled_from([5, 11, 17]),
+        seed=st.integers(min_value=0, max_value=2**20),
+    )
+    def test_preview_does_not_mutate_anchor(self, num_tasks, seed):
+        graph = _graph(num_tasks)
+        compiled = graph.compiled()
+        import random as _random
+
+        seeder = _random.Random(seed)
+        signature = tuple(
+            seeder.randrange(NUM_CORES) for _ in range(compiled.num_tasks)
+        )
+        tracker = SignatureTracker(compiled, signature, NUM_CORES)
+        anchor = (tracker.signature, tracker.signature_hash)
+        tracker.preview_move(0, (signature[0] + 1) % NUM_CORES)
+        if compiled.num_tasks >= 2:
+            tracker.preview_swap(0, 1)
+        assert (tracker.signature, tracker.signature_hash) == anchor
+        assert tracker.rebuilds == 0
+
+
+class TestTrackerValidation:
+    def test_armed_validation_catches_corruption(self, mpeg2):
+        compiled = mpeg2.compiled()
+        signature = (0,) * compiled.num_tasks
+        tracker = SignatureTracker(compiled, signature, NUM_CORES)
+        good_signature, good_hash = tracker.preview_move(0, 1)
+        set_signature_validation(True)
+        try:
+            tracker.commit(good_signature, good_hash)  # parity holds
+            with pytest.raises(AssertionError, match="diverged"):
+                tracker.commit(good_signature, good_hash ^ 1)
+        finally:
+            set_signature_validation(False)
+
+    def test_rejects_wrong_length(self, mpeg2):
+        compiled = mpeg2.compiled()
+        with pytest.raises(ValueError, match="entries"):
+            SignatureTracker(compiled, (0, 1), NUM_CORES)
+        tracker = SignatureTracker(compiled, (0,) * compiled.num_tasks, NUM_CORES)
+        with pytest.raises(ValueError, match="entries"):
+            tracker.rebuild((0,))
+
+    def test_signature_hash_rejects_wrong_length(self, mpeg2):
+        compiled = mpeg2.compiled()
+        with pytest.raises(ValueError, match="entries"):
+            compiled.signature_hash((0, 1, 2), NUM_CORES)
+
+
+class TestSignatureKeyInterop:
+    """Descriptor probes and Mapping probes share one cache."""
+
+    def test_key_equality_and_hash_consistency(self, mpeg2):
+        compiled = mpeg2.compiled()
+        mapping = Mapping.round_robin(mpeg2, NUM_CORES)
+        signature, sig_hash = mapping.signature_info(compiled)
+        scaling = (2,) * NUM_CORES
+        from_mapping = SignatureKey(signature, NUM_CORES, scaling, sig_hash)
+        tracker = SignatureTracker(compiled, signature, NUM_CORES)
+        from_tracker = SignatureKey(
+            tracker.signature, NUM_CORES, scaling, tracker.signature_hash
+        )
+        assert from_mapping == from_tracker
+        assert hash(from_mapping) == hash(from_tracker)
+        other_scaling = SignatureKey(signature, NUM_CORES, (1,) * NUM_CORES, sig_hash)
+        assert from_mapping != other_scaling
+        assert from_mapping != "not-a-key"
+
+    def test_evaluate_then_evaluate_signature_hits(self, mpeg2):
+        evaluator = MappingEvaluator(mpeg2, MPSoC.paper_reference(NUM_CORES))
+        mapping = Mapping.round_robin(mpeg2, NUM_CORES)
+        scaling = (2,) * NUM_CORES
+        first = evaluator.evaluate(mapping, scaling)
+        signature, sig_hash = mapping.signature_info(evaluator.graph.compiled())
+        second = evaluator.evaluate_signature(
+            signature, scaling, signature_hash=sig_hash
+        )
+        assert second is first  # a genuine cache hit, not a re-evaluation
+        assert evaluator.cache_hits == 1
+        assert evaluator.cache_misses == 1
+
+    def test_evaluate_signature_then_evaluate_hits(self, mpeg2):
+        evaluator = MappingEvaluator(mpeg2, MPSoC.paper_reference(NUM_CORES))
+        mapping = Mapping.round_robin(mpeg2, NUM_CORES)
+        scaling = (2,) * NUM_CORES
+        signature = tuple(
+            mapping.core_of(name) for name in evaluator.graph.task_names()
+        )
+        first = evaluator.evaluate_signature(signature, scaling)
+        second = evaluator.evaluate(mapping, scaling)
+        assert second is first
+        assert evaluator.cache_hits == 1
+
+    def test_materialized_mapping_matches_template_order(self, mpeg2):
+        evaluator = MappingEvaluator(mpeg2, MPSoC.paper_reference(NUM_CORES))
+        # round_robin inserts in topological order — NOT compiled name
+        # order — and neighbour mappings inherit that order.
+        template = Mapping.round_robin(mpeg2, NUM_CORES)
+        compiled = evaluator.graph.compiled()
+        signature, _ = template.signature_info(compiled)
+        moved = list(signature)
+        moved[0] = (moved[0] + 1) % NUM_CORES
+        point = evaluator.evaluate_signature(
+            tuple(moved), (2,) * NUM_CORES, template=template
+        )
+        expected = template.move(compiled.names[0], moved[0])
+        assert point.mapping == expected
+        assert point.mapping.core_groups() == expected.core_groups()
+        assert list(point.mapping.as_dict()) == list(expected.as_dict())
+
+    def test_evaluate_signature_counters_match_evaluate(self, mpeg2):
+        scaling = (2,) * NUM_CORES
+        signature_path = MappingEvaluator(mpeg2, MPSoC.paper_reference(NUM_CORES))
+        mapping_path = MappingEvaluator(mpeg2, MPSoC.paper_reference(NUM_CORES))
+        compiled = mpeg2.compiled()
+        mappings = [
+            Mapping.round_robin(mpeg2, NUM_CORES),
+            Mapping.round_robin(mpeg2, NUM_CORES).move("t3", 2),
+            Mapping.round_robin(mpeg2, NUM_CORES),  # revisit -> hit
+        ]
+        for mapping in mappings:
+            via_mapping = mapping_path.evaluate(mapping, scaling)
+            via_signature = signature_path.evaluate_signature(
+                compiled.signature(mapping), scaling, template=mapping
+            )
+            assert via_signature.expected_seus == via_mapping.expected_seus
+            assert via_signature.makespan_s == via_mapping.makespan_s
+            assert via_signature.power_mw == via_mapping.power_mw
+        assert signature_path.cache_info == mapping_path.cache_info
+
+    def test_evaluate_signature_rejects_bad_input(self, mpeg2):
+        evaluator = MappingEvaluator(mpeg2, MPSoC.paper_reference(NUM_CORES))
+        with pytest.raises(ValueError, match="entries"):
+            evaluator.evaluate_signature((0, 1), (2,) * NUM_CORES)
+        bad_core = [0] * mpeg2.num_tasks
+        bad_core[0] = NUM_CORES  # outside the platform
+        with pytest.raises(ValueError, match="outside"):
+            evaluator.evaluate_signature(tuple(bad_core), (2,) * NUM_CORES)
+        bad_core[0] = -1  # negative indices must not wrap into the tables
+        with pytest.raises(ValueError, match="outside"):
+            evaluator.evaluate_signature(tuple(bad_core), (2,) * NUM_CORES)
+
+    def test_uncached_evaluator_still_evaluates(self, mpeg2):
+        evaluator = MappingEvaluator(
+            mpeg2, MPSoC.paper_reference(NUM_CORES), cache_size=0
+        )
+        signature = (0,) * mpeg2.num_tasks
+        point = evaluator.evaluate_signature(signature, (2,) * NUM_CORES)
+        assert point.expected_seus > 0
+        assert evaluator.cache_misses == 1
+        assert evaluator.cache_entries == 0
+
+
+class TestMappingSignatureInfo:
+    def test_memoized_per_compiled_view(self, mpeg2):
+        compiled = mpeg2.compiled()
+        mapping = Mapping.round_robin(mpeg2, NUM_CORES)
+        first = mapping.signature_info(compiled)
+        assert mapping.signature_info(compiled) == first
+        assert first[0] == compiled.signature(mapping)
+        assert first[1] == compiled.signature_hash(first[0], NUM_CORES)
+
+    def test_pickle_drops_the_memo_but_keeps_the_value(self, mpeg2):
+        import pickle
+
+        compiled = mpeg2.compiled()
+        mapping = Mapping.round_robin(mpeg2, NUM_CORES)
+        mapping.signature_info(compiled)
+        clone = pickle.loads(pickle.dumps(mapping))
+        assert clone == mapping
+        assert clone._sig_memo is None
+        assert list(clone.as_dict()) == list(mapping.as_dict())  # order kept
+        assert clone.signature_info(compiled) == mapping.signature_info(compiled)
+
+    def test_hash_tables_are_deterministic(self, mpeg2):
+        compiled = mpeg2.compiled()
+        table_a = compiled.signature_table(NUM_CORES)
+        # A fresh compiled view of an identical graph builds the same
+        # table — hashes agree across process-pool workers.
+        rebuilt = mpeg2_decoder().compiled()
+        table_b = rebuilt.signature_table(NUM_CORES)
+        assert table_a == table_b
+        assert compiled.signature_table(7) != table_a  # width-specific

@@ -20,6 +20,7 @@ from repro.optim import (
     initial_sea_mapping,
     sea_mapper,
 )
+from repro.experiments import ExperimentProfile, run_table3
 from repro.optim.scaling_algorithm import all_scalings_list
 from repro.sched import ListScheduler
 from repro.sim import MPSoCSimulator
@@ -303,6 +304,51 @@ def test_bench_initial_sea_mapping(benchmark, graph60):
         RandomGraphConfig(num_tasks=60).deadline_s,
     )
     assert mapping.num_tasks == 60
+
+
+def _grid_fanout(plan):
+    """One tiny table3 grid (2 cells, full sweep) under an execution plan.
+
+    ``stop_after_feasible=None`` makes the total work identical on
+    every plan, so the rows compare pure dispatch: the legacy cell
+    fan-out parks two of the four workers (2 cells, nothing to steal),
+    while the DAG plan feeds all four from the flattened restart /
+    scaling leaves.  Reports are byte-identical across plans — only
+    these timings differ.
+    """
+    profile = ExperimentProfile(
+        name="bench-grid",
+        search_iterations=80,
+        sa_iterations=150,
+        stop_after_feasible=None,
+        seed=0,
+        exec_max_workers=4,  # oversubscribed on small CI boxes, by design
+    )
+    if plan == "dag":
+        profile = profile.with_exec_plan("dag:process")
+    elif plan == "cells":
+        profile = profile.with_backend(experiment_backend="process")
+    config = RandomGraphConfig(num_tasks=10)
+    graph = random_task_graph(config, seed=7)
+    applications = [("bench", graph, config.deadline_s)]
+    return run_table3(profile, core_counts=(2, 3), applications=applications)
+
+
+def test_bench_grid_fanout_cells(benchmark):
+    """The PR 2 cell-level fan-out: one process per whole cell."""
+    result = benchmark.pedantic(_grid_fanout, args=("cells",), rounds=2, iterations=1)
+    assert result.apps() == ["bench"]
+
+
+def test_bench_grid_fanout_dag(benchmark):
+    """The unified DAG executor on the same grid (gated row).
+
+    The acceptance headline: on a multi-core runner this row must beat
+    ``grid_fanout_cells`` because idle workers steal inner leaves; the
+    regression gate tracks it against the committed baseline.
+    """
+    result = benchmark.pedantic(_grid_fanout, args=("dag",), rounds=2, iterations=1)
+    assert result.apps() == ["bench"]
 
 
 def test_bench_simulation_and_injection(benchmark, mpeg2):

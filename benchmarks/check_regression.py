@@ -55,6 +55,7 @@ DEFAULT_PATTERNS = (
     "evaluate_batch",
     "sa_inner_loop",
     "neighbor_preview",
+    "grid_fanout_dag",
 )
 
 DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "baseline.json")

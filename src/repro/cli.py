@@ -24,7 +24,7 @@ import sys
 from dataclasses import replace
 from typing import List, Optional
 
-from repro.experiments.common import ExperimentProfile
+from repro.experiments.common import EXEC_PLANS, ExperimentProfile
 from repro.experiments.runner import experiment_ids, run_experiment
 
 
@@ -40,13 +40,27 @@ def _add_profile_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--seed", type=int, default=0, help="determinism seed")
     parser.add_argument(
+        "--exec-plan",
+        choices=list(EXEC_PLANS),
+        default=None,
+        help=(
+            "execution plan: 'dag' (or dag:serial/dag:thread/dag:process/"
+            "dag:auto to pin the transport) runs cells, annealing restarts "
+            "and scaling sweeps on ONE shared work-stealing pool so idle "
+            "workers steal inner work from any cell; 'percut' keeps the "
+            "legacy per-cut backends below; reports are byte-identical "
+            "either way (default: percut via the per-cut flags)"
+        ),
+    )
+    parser.add_argument(
         "--backend",
         choices=["serial", "thread", "process", "auto"],
         default="serial",
         help=(
-            "execution backend for the scaling sweeps; any choice selects "
-            "the identical designs, parallel ones just run faster on "
-            "multi-core machines (default: serial)"
+            "[deprecated: prefer --exec-plan dag] execution backend for the "
+            "scaling sweeps; any choice selects the identical designs, "
+            "parallel ones just run faster on multi-core machines "
+            "(default: serial)"
         ),
     )
     parser.add_argument(
@@ -54,9 +68,10 @@ def _add_profile_arguments(parser: argparse.ArgumentParser) -> None:
         choices=["serial", "thread", "process", "auto"],
         default="serial",
         help=(
-            "execution backend for fanning out whole experiment cells "
-            "(table3's app x core-count grid, fig10's core-count pairs); "
-            "reports stay byte-identical to serial runs (default: serial)"
+            "[deprecated: prefer --exec-plan dag] execution backend for "
+            "fanning out whole experiment cells (table3's app x core-count "
+            "grid, fig10's core-count pairs); reports stay byte-identical "
+            "to serial runs (default: serial)"
         ),
     )
     parser.add_argument(
@@ -64,8 +79,9 @@ def _add_profile_arguments(parser: argparse.ArgumentParser) -> None:
         choices=["serial", "thread", "process", "auto"],
         default="serial",
         help=(
-            "execution backend for annealing restarts inside one scaling's "
-            "mapping search; selections stay bit-identical (default: serial)"
+            "[deprecated: prefer --exec-plan dag] execution backend for "
+            "annealing restarts inside one scaling's mapping search; "
+            "selections stay bit-identical (default: serial)"
         ),
     )
     parser.add_argument(
@@ -137,12 +153,28 @@ def _profile_from(args: argparse.Namespace) -> ExperimentProfile:
     backend = getattr(args, "backend", "serial")
     experiment_backend = getattr(args, "experiment_backend", "serial")
     restart_backend = getattr(args, "restart_backend", "serial")
+    exec_plan = getattr(args, "exec_plan", None)
+    if (
+        exec_plan is not None
+        and exec_plan.startswith("dag")
+        and (backend, experiment_backend, restart_backend) != ("serial",) * 3
+    ):
+        # Fail fast here with flag names (the profile validator would
+        # catch it too, but speaks in field names).
+        raise SystemExit(
+            "repro-seu: error: --exec-plan dag* conflicts with the "
+            "deprecated per-cut flags (--backend/--experiment-backend/"
+            "--restart-backend); the unified executor owns all parallel "
+            "cuts — drop the per-cut flags or use --exec-plan percut"
+        )
     if (backend, experiment_backend, restart_backend) != ("serial",) * 3:
         profile = profile.with_backend(
             exec_backend=backend,
             experiment_backend=experiment_backend,
             restart_backend=restart_backend,
         )
+    if exec_plan is not None:
+        profile = profile.with_exec_plan(exec_plan)
     restarts = getattr(args, "restarts", None)
     if restarts is not None:
         profile = replace(profile, sa_restarts=restarts)
@@ -177,7 +209,27 @@ def _profile_from(args: argparse.Namespace) -> ExperimentProfile:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    _, report = run_experiment(args.id, _profile_from(args))
+    profile = _profile_from(args)
+    if profile.uses_dag_executor():
+        # Own the shared executor for the whole command so even
+        # experiments that never open a grid (table2 calls the
+        # optimizer directly) ship their leaves through it; nested
+        # run_cells grids reuse it via the ambient scope.  Stats go to
+        # stderr — stdout stays exactly the report, which CI diffs.
+        from repro.exec.dag import DagExecutor, executor_scope
+
+        with DagExecutor.from_spec(
+            profile.dag_transport(), max_workers=profile.exec_max_workers
+        ) as executor:
+            with executor_scope(executor, args.id):
+                _, report = run_experiment(args.id, profile)
+            stats = executor.stats
+        print(report)
+        print(f"[executor] {stats.summary()}", file=sys.stderr)
+        for worker, count in sorted(stats.per_worker.items()):
+            print(f"[executor]   {worker}: {count} task(s)", file=sys.stderr)
+        return 0
+    _, report = run_experiment(args.id, profile)
     print(report)
     return 0
 
@@ -286,6 +338,16 @@ def _cmd_runs(args: argparse.Namespace) -> int:
         )
     headers = ["Run", "Status", "Done", "Failed", "Profile", "Seed", "Fingerprint"]
     print(format_table(headers, rows))
+    if args.run is not None:
+        from repro.exec.dag import ExecutorStats
+
+        _directory, manifest = manifests[0]
+        executor = manifest.get("executor")
+        if executor:
+            print()
+            print(f"executor: {ExecutorStats.from_dict(executor).summary()}")
+            for worker, count in sorted(executor.get("per_worker", {}).items()):
+                print(f"  {worker}: {count} task(s)")
     if args.run is not None and args.cells:
         _directory, manifest = manifests[0]
         print()

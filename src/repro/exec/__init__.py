@@ -1,12 +1,15 @@
 """Parallel execution substrate for design-space sweeps.
 
-See :mod:`repro.exec.backends` for the backend implementations and
-the determinism contract, and
-:meth:`repro.optim.design_optimizer.DesignOptimizer.optimize` for the
-consumer: independent scaling combinations are assessed concurrently
-with the same per-scaling seeds as the serial loop, and the serial
-early-exit policy is replayed over the ordered results, so serial and
-parallel sweeps select the identical design.
+See :mod:`repro.exec.backends` for the per-cut backend
+implementations and the determinism contract, and
+:mod:`repro.exec.dag` for the unified work-stealing DAG executor that
+flattens experiment cells, annealing restarts and scaling assessments
+into one shared worker pool.
+:meth:`repro.optim.design_optimizer.DesignOptimizer.optimize` is the
+canonical consumer: independent work items are assessed concurrently
+with the same per-item seeds as the serial loop, and the serial
+selection/early-exit policies are replayed over the ordered results,
+so serial and parallel sweeps select the identical design.
 """
 
 from repro.exec.backends import (
@@ -18,6 +21,19 @@ from repro.exec.backends import (
     payload_picklable,
     resolve_backend,
 )
+from repro.exec.dag import (
+    TRANSPORT_NAMES,
+    DagExecutor,
+    ExecutorStats,
+    PoolTransport,
+    SerialTransport,
+    SharedExecutorBackend,
+    Transport,
+    ambient_backend,
+    current_executor,
+    executor_scope,
+    resolve_transport,
+)
 
 __all__ = [
     "BACKEND_NAMES",
@@ -27,4 +43,15 @@ __all__ = [
     "ThreadBackend",
     "payload_picklable",
     "resolve_backend",
+    "TRANSPORT_NAMES",
+    "DagExecutor",
+    "ExecutorStats",
+    "PoolTransport",
+    "SerialTransport",
+    "SharedExecutorBackend",
+    "Transport",
+    "ambient_backend",
+    "current_executor",
+    "executor_scope",
+    "resolve_transport",
 ]

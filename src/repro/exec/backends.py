@@ -20,7 +20,10 @@ instance) into a backend.  ``"auto"`` prefers processes when the
 machine has more than one CPU and the payload probe pickles, and
 degrades to serial otherwise — on single-core boxes worker processes
 only add overhead, and for unpicklable (GIL-bound, pure-Python)
-payloads a thread pool would too.
+payloads a thread pool would too.  ``"dag"`` resolves to the shared
+:class:`~repro.exec.dag.DagExecutor` of the active
+``executor_scope`` (serial outside one) — see :mod:`repro.exec.dag`
+for the unified work-stealing executor.
 
 Determinism contract
 --------------------
@@ -42,12 +45,13 @@ from concurrent.futures import (
     ProcessPoolExecutor,
     ThreadPoolExecutor,
     as_completed,
+    wait,
 )
 from typing import Any, Callable, List, Optional, Sequence, Union
 
 BackendSpec = Union[None, str, "ExecutionBackend"]
 
-BACKEND_NAMES = ("serial", "thread", "process", "auto")
+BACKEND_NAMES = ("serial", "thread", "process", "auto", "dag")
 
 
 class ExecutionBackend(ABC):
@@ -166,11 +170,22 @@ class _PoolBackend(ExecutionBackend):
             for index, item in enumerate(items)
         }
         results: List[Any] = [None] * len(items)
-        for future in as_completed(futures):
-            index = futures[future]
-            results[index] = future.result()
-            if callback is not None:
-                callback(index, results[index])
+        try:
+            for future in as_completed(futures):
+                index = futures[future]
+                results[index] = future.result()
+                if callback is not None:
+                    callback(index, results[index])
+        except BaseException:
+            # A mid-stream failure (a raising callback, a worker
+            # exception) must not leak in-flight work: cancel every
+            # outstanding future and drain the ones already running
+            # before re-raising, so the pool is quiescent — and
+            # close() returns promptly — whatever the caller does next.
+            for future in futures:
+                future.cancel()
+            wait(list(futures))
+            raise
         return results
 
     def close(self) -> None:
@@ -246,6 +261,13 @@ def resolve_backend(
         return ThreadBackend(max_workers=max_workers)
     if name == "process":
         return ProcessBackend(max_workers=max_workers)
+    if name == "dag":
+        # The shared DAG executor of the current executor_scope, or a
+        # serial fallback outside any scope — profiles wired for the
+        # unified executor degrade gracefully when nothing opened one.
+        from repro.exec.dag import ambient_backend
+
+        return ambient_backend()
     # auto
     cpus = os.cpu_count() or 1
     if cpus <= 1 or (task_count is not None and task_count <= 1):

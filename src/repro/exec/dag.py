@@ -1,0 +1,486 @@
+"""Unified work-stealing DAG executor: one pool for all parallel cuts.
+
+The experiment layer is parallel at three nesting levels — experiment
+cells, annealing restarts inside a cell's mapping search, and scaling
+assessments inside a cell's sweep — but the per-cut backends of
+:mod:`repro.exec.backends` are all-or-nothing: a cell dispatched to a
+pool forces its inner cuts serial (``worker_profile``) to avoid nested
+pools, so a small grid on a big machine leaves most cores idle.
+
+This module flattens the task DAG instead.  Cell *orchestration* (the
+cheap coordination code: building jobs, replaying rankings and
+early-exit policies) runs on lightweight coordinator threads, while
+every *leaf* task — an annealing restart or a scaling assessment — is
+submitted to one shared :class:`DagExecutor`.  The executor's single
+ready-queue is shared by all cells, so an idle worker picks up inner
+work from whichever cell still has tasks in flight: work stealing
+without a scheduler, just one queue.
+
+Determinism contract
+--------------------
+The house invariant survives unchanged because the executor never
+*decides* anything:
+
+* every leaf task carries the same per-item seed the serial code path
+  would use, and rebuilds private state (evaluators) in the worker;
+* :meth:`DagExecutor.map` returns results in submission order whatever
+  the completion order (stable task ids = list indices per batch);
+* best-of selection and early-exit policies are replayed by the
+  *callers* over those ordered results — the same replay the per-cut
+  backends already use.
+
+So a DAG-executed grid reassembles bit-identical reports to a serial
+run; only wall-clock and the operational :class:`ExecutorStats`
+change.
+
+Transports
+----------
+Where leaves physically run is pluggable behind :class:`Transport`, a
+two-method interface (``submit(fn, *args) -> Future`` + ``close()``).
+:class:`SerialTransport` runs inline (the reference), and
+:class:`PoolTransport` wraps the in-process thread/process pools.  A
+socket or queue transport only has to return objects honouring the
+``concurrent.futures.Future`` result/cancel protocol — no caller
+changes required.
+
+Ambient wiring
+--------------
+Inner code (``DesignOptimizer``, ``SimulatedAnnealingMapper``) reaches
+the shared executor through the ``"dag"`` backend spec:
+``resolve_backend("dag")`` returns a :class:`SharedExecutorBackend`
+bound to the executor of the current :func:`executor_scope`, or a
+plain :class:`~repro.exec.backends.SerialBackend` when no scope is
+active — profiles mentioning ``"dag"`` degrade gracefully to serial
+outside an executor.  Scopes are thread-local, so each cell
+orchestration thread tags its submissions with its own source label
+(that is what the steal counter measures).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from abc import ABC, abstractmethod
+from concurrent.futures import (
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+    wait,
+)
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.exec.backends import (
+    ExecutionBackend,
+    SerialBackend,
+    payload_picklable,
+)
+
+TRANSPORT_NAMES = ("serial", "thread", "process", "auto")
+
+#: Thread-local state of the *worker* executing leaves: remembers the
+#: last source label so a worker can report, accurately and without
+#: coordinator-side guessing, that it just switched cells (= a steal).
+_WORKER_STATE = threading.local()
+
+
+def _dag_leaf(source: str, fn: Callable[[Any], Any], item: Any):
+    """Instrumented leaf trampoline (module-level: process pools pickle it).
+
+    Returns ``(worker tag, stolen, fn(item))`` where ``stolen`` flags
+    that this worker's previous leaf came from a different source
+    (another cell) — the work-stealing observability hook.
+    """
+    thread = threading.current_thread()
+    tag = f"pid{os.getpid()}:{thread.name}"
+    previous = getattr(_WORKER_STATE, "source", None)
+    _WORKER_STATE.source = source
+    stolen = previous is not None and previous != source
+    return tag, stolen, fn(item)
+
+
+# ---------------------------------------------------------------------------
+# Transports: where leaf tasks physically run.
+# ---------------------------------------------------------------------------
+
+
+class Transport(ABC):
+    """Pluggable submission boundary for leaf tasks.
+
+    ``submit`` enqueues one call and returns a
+    :class:`concurrent.futures.Future`-compatible handle; that is the
+    whole interface, so an out-of-process transport (socket, queue)
+    can replace the in-process pools without touching any caller.
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def submit(self, fn: Callable[..., Any], *args: Any) -> Future:
+        """Enqueue ``fn(*args)``; the returned future resolves to its result."""
+
+    def close(self) -> None:
+        """Release transport resources (no-op for poolless transports)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class SerialTransport(Transport):
+    """Inline execution in the submitting thread — the reference transport."""
+
+    name = "serial"
+
+    def submit(self, fn: Callable[..., Any], *args: Any) -> Future:
+        future: Future = Future()
+        try:
+            future.set_result(fn(*args))
+        except BaseException as exc:  # noqa: B036 - mirrored into the future
+            future.set_exception(exc)
+        return future
+
+
+class PoolTransport(Transport):
+    """In-process pool transport over the stdlib executors.
+
+    ``kind`` is ``"thread"`` or ``"process"``.  The pool is created
+    lazily and sized from the machine (or the explicit cap) — it is
+    shared by *every* cell of a DAG run, which is the whole point:
+    one queue, all workers, any cell's leaves.
+    """
+
+    _EXECUTORS = {"thread": ThreadPoolExecutor, "process": ProcessPoolExecutor}
+
+    def __init__(self, kind: str, max_workers: Optional[int] = None) -> None:
+        if kind not in self._EXECUTORS:
+            raise ValueError(f"unknown pool transport {kind!r}; choose thread/process")
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError(f"max_workers must be positive, got {max_workers}")
+        self.name = kind
+        self.max_workers = max_workers
+        self._executor = None
+        self._lock = threading.Lock()
+
+    def workers(self) -> int:
+        """The pool size this transport runs (or would run) with."""
+        return self.max_workers or max(os.cpu_count() or 1, 1)
+
+    def submit(self, fn: Callable[..., Any], *args: Any) -> Future:
+        with self._lock:
+            if self._executor is None:
+                self._executor = self._EXECUTORS[self.name](
+                    max_workers=self.workers()
+                )
+            executor = self._executor
+        return executor.submit(fn, *args)
+
+    def close(self) -> None:
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+
+def resolve_transport(
+    spec: Optional[str],
+    max_workers: Optional[int] = None,
+    payload_probe: Any = None,
+) -> Transport:
+    """Turn a transport spec into a transport instance.
+
+    ``"auto"`` (and ``None``) prefers processes when the machine has
+    more than one CPU and the probe (when given) pickles, degrading to
+    inline execution otherwise — the same policy ``resolve_backend``
+    applies to its ``"auto"`` spec.
+    """
+    name = (spec or "auto").lower()
+    if name not in TRANSPORT_NAMES:
+        raise ValueError(
+            f"unknown transport {spec!r}; choose from {TRANSPORT_NAMES}"
+        )
+    if name == "serial":
+        return SerialTransport()
+    if name in ("thread", "process"):
+        return PoolTransport(name, max_workers=max_workers)
+    cpus = os.cpu_count() or 1
+    if cpus <= 1:
+        return SerialTransport()
+    if payload_probe is not None and not payload_picklable(payload_probe):
+        return SerialTransport()
+    return PoolTransport("process", max_workers=max_workers)
+
+
+# ---------------------------------------------------------------------------
+# Executor statistics: the observable side of work stealing.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ExecutorStats:
+    """Utilization counters of one :class:`DagExecutor`.
+
+    Operational data only — deliberately *not* part of any report body
+    covered by the byte-identical determinism contract (worker tags
+    and steal counts vary run to run by construction).
+    """
+
+    submitted: int = 0  # leaf tasks handed to the transport
+    tasks: int = 0  # leaf tasks completed successfully
+    steals: int = 0  # completions where the worker switched source
+    queue_high_water: int = 0  # max leaves in flight at once
+    per_worker: Dict[str, int] = field(default_factory=dict)
+
+    def snapshot(self) -> "ExecutorStats":
+        return ExecutorStats(
+            submitted=self.submitted,
+            tasks=self.tasks,
+            steals=self.steals,
+            queue_high_water=self.queue_high_water,
+            per_worker=dict(self.per_worker),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready view (what the run-store manifest records)."""
+        return {
+            "submitted": self.submitted,
+            "tasks": self.tasks,
+            "steals": self.steals,
+            "queue_high_water": self.queue_high_water,
+            "workers": len(self.per_worker),
+            "per_worker": {
+                tag: self.per_worker[tag] for tag in sorted(self.per_worker)
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "ExecutorStats":
+        return cls(
+            submitted=int(raw.get("submitted", 0)),
+            tasks=int(raw.get("tasks", 0)),
+            steals=int(raw.get("steals", 0)),
+            queue_high_water=int(raw.get("queue_high_water", 0)),
+            per_worker={
+                str(tag): int(count)
+                for tag, count in dict(raw.get("per_worker", {})).items()
+            },
+        )
+
+    def summary(self) -> str:
+        """One-line human summary for CLI surfaces."""
+        workers = len(self.per_worker)
+        if workers:
+            counts = sorted(self.per_worker.values())
+            spread = f"{counts[0]}-{counts[-1]} tasks/worker"
+        else:
+            spread = "no tasks"
+        return (
+            f"{self.tasks} tasks over {workers} worker(s) ({spread}), "
+            f"{self.steals} steals, queue high-water {self.queue_high_water}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# The executor.
+# ---------------------------------------------------------------------------
+
+
+class DagExecutor:
+    """One shared worker pool for a whole task DAG.
+
+    Thread-safe: any number of cell orchestration threads may call
+    :meth:`map` / :meth:`map_stream` concurrently; all their leaves
+    funnel into the transport's single queue.  Each call reassembles
+    its own batch in submission order — stable ids are just the batch
+    indices, so callers replay serial policies over ordered results
+    exactly as they do on the per-cut backends.
+    """
+
+    def __init__(self, transport: Transport) -> None:
+        self.transport = transport
+        self._lock = threading.Lock()
+        self._stats = ExecutorStats()
+        self._pending = 0
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: Optional[str] = None,
+        max_workers: Optional[int] = None,
+        payload_probe: Any = None,
+    ) -> "DagExecutor":
+        """An executor over :func:`resolve_transport`'s choice for ``spec``."""
+        return cls(resolve_transport(spec, max_workers, payload_probe))
+
+    @property
+    def stats(self) -> ExecutorStats:
+        with self._lock:
+            return self._stats.snapshot()
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        source: Optional[str] = None,
+    ) -> List[Any]:
+        """Submit one batch of leaves; return results in item order."""
+        return self.map_stream(fn, items, callback=None, source=source)
+
+    def map_stream(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        callback: Optional[Callable[[int, Any], None]] = None,
+        source: Optional[str] = None,
+    ) -> List[Any]:
+        """:meth:`map` with a completion-order callback (see backends).
+
+        ``callback(index, result)`` runs in the submitting thread.  If
+        the callback or a leaf raises, outstanding leaves of *this
+        batch* are cancelled and in-flight ones drained before the
+        exception propagates — no work leaks past the call.
+        """
+        items = list(items)
+        if not items:
+            return []
+        label = source or current_source() or "tasks"
+        with self._lock:
+            self._pending += len(items)
+            self._stats.submitted += len(items)
+            if self._pending > self._stats.queue_high_water:
+                self._stats.queue_high_water = self._pending
+        futures = {
+            self.transport.submit(_dag_leaf, label, fn, item): index
+            for index, item in enumerate(items)
+        }
+        results: List[Any] = [None] * len(items)
+        completed = 0
+        try:
+            for future in as_completed(futures):
+                index = futures[future]
+                tag, stolen, value = future.result()
+                completed += 1
+                with self._lock:
+                    self._pending -= 1
+                    self._stats.tasks += 1
+                    self._stats.per_worker[tag] = (
+                        self._stats.per_worker.get(tag, 0) + 1
+                    )
+                    if stolen:
+                        self._stats.steals += 1
+                results[index] = value
+                if callback is not None:
+                    callback(index, value)
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            wait(list(futures))
+            with self._lock:
+                self._pending -= len(items) - completed
+            raise
+        return results
+
+    def close(self) -> None:
+        """Shut the transport down (waits for in-flight leaves)."""
+        self.transport.close()
+
+    def __enter__(self) -> "DagExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Ambient scope: how inner code finds the shared executor.
+# ---------------------------------------------------------------------------
+
+_AMBIENT = threading.local()
+
+
+def _scope_stack() -> list:
+    stack = getattr(_AMBIENT, "stack", None)
+    if stack is None:
+        stack = []
+        _AMBIENT.stack = stack
+    return stack
+
+
+def current_executor() -> Optional[DagExecutor]:
+    """The executor of the innermost active scope on this thread."""
+    stack = _scope_stack()
+    return stack[-1][0] if stack else None
+
+
+def current_source() -> Optional[str]:
+    """The source label of the innermost active scope on this thread."""
+    stack = _scope_stack()
+    return stack[-1][1] if stack else None
+
+
+@contextmanager
+def executor_scope(executor: DagExecutor, source: Optional[str] = None):
+    """Make ``executor`` ambient on this thread for the ``with`` body.
+
+    ``source`` labels submissions made under the scope (steal
+    attribution).  Scopes nest and are strictly thread-local — a cell
+    orchestration thread must open its own scope, which
+    ``run_cells`` does.
+    """
+    stack = _scope_stack()
+    stack.append((executor, source))
+    try:
+        yield executor
+    finally:
+        stack.pop()
+
+
+class SharedExecutorBackend(ExecutionBackend):
+    """An :class:`ExecutionBackend` view of a shared :class:`DagExecutor`.
+
+    What ``resolve_backend("dag")`` hands to the sweep/restart callers:
+    the same ``map`` / ``map_stream`` contract as every other backend,
+    but submissions land in the shared queue instead of a private
+    pool.  ``close()`` is deliberately a no-op — the executor belongs
+    to whoever opened it (the CLI, ``run_cells``, or a test), not to
+    the consumers ``resolve_backend`` hands it to.
+    """
+
+    name = "dag"
+
+    def __init__(
+        self, executor: DagExecutor, source: Optional[str] = None
+    ) -> None:
+        self.executor = executor
+        self.source = source
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        return self.executor.map(fn, items, source=self.source)
+
+    def map_stream(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        callback: Optional[Callable[[int, Any], None]] = None,
+    ) -> List[Any]:
+        return self.executor.map_stream(
+            fn, items, callback=callback, source=self.source
+        )
+
+    def close(self) -> None:  # the executor outlives its backend views
+        pass
+
+
+def ambient_backend() -> ExecutionBackend:
+    """The backend the ``"dag"`` spec resolves to on this thread.
+
+    A :class:`SharedExecutorBackend` inside an :func:`executor_scope`;
+    a plain :class:`SerialBackend` outside one, so profiles configured
+    for the DAG executor still run (serially) in contexts that never
+    opened an executor.
+    """
+    executor = current_executor()
+    if executor is None:
+        return SerialBackend()
+    return SharedExecutorBackend(executor, source=current_source())

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Any, List, Optional, Sequence
+from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.arch.dvs import ScalingTable
 from repro.arch.mpsoc import MPSoC
@@ -28,6 +28,23 @@ from repro.optim.design_optimizer import (
 )
 from repro.optim.objectives import Objective
 from repro.taskgraph.graph import TaskGraph
+
+#: Valid ``ExperimentProfile.exec_plan`` values.  ``None`` and
+#: ``"percut"`` keep the legacy per-cut dispatch (the reference path);
+#: ``"dag"`` and its ``dag:<transport>`` variants route every parallel
+#: cut through one shared work-stealing executor (repro.exec.dag).
+EXEC_PLANS = (
+    "percut",
+    "dag",
+    "dag:serial",
+    "dag:thread",
+    "dag:process",
+    "dag:auto",
+)
+
+#: Per-cut backend values that open pools of their own — the ones a
+#: unified ``exec_plan`` conflicts with (serial and "dag" are inert).
+_POOLED_BACKENDS = ("thread", "process", "auto")
 
 
 @dataclass(frozen=True)
@@ -107,6 +124,20 @@ class ExperimentProfile:
         re-dispatch only missing or failed ones.  Resumed runs
         reassemble byte-identical reports — the store determinism
         contract.  Without ``resume`` an existing store is overwritten.
+    exec_plan:
+        The unified execution plan.  ``None`` (default) keeps the
+        legacy per-cut dispatch driven by the three ``*_backend``
+        knobs above (``"percut"`` says the same explicitly); ``"dag"``
+        / ``"dag:serial"`` / ``"dag:thread"`` / ``"dag:process"`` /
+        ``"dag:auto"`` flatten all three cuts — cells, restarts,
+        scalings — into one shared work-stealing executor over the
+        named transport (see :mod:`repro.exec.dag`), so idle workers
+        pick up inner work from any cell instead of idling while
+        their cell finishes.  Reports stay byte-identical to serial
+        runs (the house determinism contract).  The per-cut knobs are
+        **deprecated** in favour of this field; combining a dag plan
+        with a pooled per-cut backend is contradictory (two owners
+        for the machine's parallelism) and fails fast.
     """
 
     name: str = "fast"
@@ -124,6 +155,45 @@ class ExperimentProfile:
     screen_moves: object = False
     store_dir: Optional[str] = None
     resume: bool = False
+    exec_plan: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.exec_plan is not None and self.exec_plan not in EXEC_PLANS:
+            raise ValueError(
+                f"unknown exec_plan {self.exec_plan!r}; choose from {EXEC_PLANS}"
+            )
+        if self.uses_dag_executor():
+            conflicts = [
+                f"{name}={getattr(self, name)!r}"
+                for name in ("exec_backend", "experiment_backend", "restart_backend")
+                if getattr(self, name) in _POOLED_BACKENDS
+            ]
+            if conflicts:
+                raise ValueError(
+                    f"exec_plan={self.exec_plan!r} conflicts with per-cut "
+                    f"backend(s) {', '.join(conflicts)}: the unified executor "
+                    "owns all parallel cuts — drop the per-cut knobs (they "
+                    "are deprecated) or use exec_plan='percut'"
+                )
+
+    def uses_dag_executor(self) -> bool:
+        """Whether this profile routes work through the shared DAG executor."""
+        return self.exec_plan is not None and self.exec_plan.startswith("dag")
+
+    def dag_transport(self) -> str:
+        """The transport spec of a dag ``exec_plan`` (``"auto"`` default)."""
+        if not self.uses_dag_executor():
+            raise ValueError(f"exec_plan {self.exec_plan!r} is not a dag plan")
+        _, _, transport = self.exec_plan.partition(":")
+        return transport or "auto"
+
+    def sweep_backend(self) -> str:
+        """The effective scaling-sweep backend spec under this profile."""
+        return "dag" if self.uses_dag_executor() else self.exec_backend
+
+    def restart_dispatch_backend(self) -> str:
+        """The effective annealing-restart backend spec under this profile."""
+        return "dag" if self.uses_dag_executor() else self.restart_backend
 
     @classmethod
     def fast(cls, seed: int = 0) -> "ExperimentProfile":
@@ -184,6 +254,15 @@ class ExperimentProfile:
             updates["restart_backend"] = restart_backend
         return replace(self, **updates)
 
+    def with_exec_plan(self, exec_plan: Optional[str]) -> "ExperimentProfile":
+        """A copy running under a different execution plan.
+
+        Validation (unknown plans, conflicts with deprecated per-cut
+        knobs) happens in ``__post_init__`` — conflicting combinations
+        fail fast here, not deep inside a run.
+        """
+        return replace(self, exec_plan=exec_plan)
+
     def with_max_workers(self, exec_max_workers: Optional[int]) -> "ExperimentProfile":
         """A copy with a different pool-size cap."""
         return replace(self, exec_max_workers=exec_max_workers)
@@ -201,10 +280,11 @@ class ExperimentProfile:
     def result_fingerprint(self) -> str:
         """Hash of every profile field that determines results.
 
-        Execution fields (backends, worker caps, the store settings
-        themselves) are deliberately excluded: by the exec determinism
-        contract they change wall-clock only, so a store written by a
-        serial run may be resumed on a process backend and vice versa.
+        Execution fields (backends, ``exec_plan``, worker caps, the
+        store settings themselves) are deliberately excluded: by the
+        exec determinism contract they change wall-clock only, so a
+        store written by a serial run may be resumed on a process
+        backend or under the DAG executor and vice versa.
         ``batch_eval``/``screen_moves`` *are* included — chunked
         screening changes the candidate visit sequence.
         """
@@ -232,7 +312,7 @@ class ExperimentProfile:
         # in-process loop.
         config = AnnealingConfig(
             max_iterations=self.sa_iterations,
-            restart_backend=self.restart_backend,
+            restart_backend=self.restart_dispatch_backend(),
         )
         if self.sa_restarts is not None:
             config = replace(config, restarts=self.sa_restarts)
@@ -276,7 +356,7 @@ def build_optimizer(
         mapper = sea_mapper(
             search_iterations=profile.search_iterations,
             restarts=profile.sa_restarts,
-            restart_backend=profile.restart_backend,
+            restart_backend=profile.restart_dispatch_backend(),
             screen_moves=profile.screen_moves,
             batch_size=profile.batch_eval,
         )
@@ -296,7 +376,7 @@ def build_optimizer(
         seed=profile.seed + seed_offset,
         tiebreak=objective,
         remap_per_scaling=objective is None,
-        backend=profile.exec_backend,
+        backend=profile.sweep_backend(),
         max_workers=profile.exec_max_workers,
         # The proposed flow trades a modest amount of power for fewer
         # SEUs (Table II: Exp:4 consumes ~5% more than the cheapest
@@ -320,6 +400,7 @@ def worker_profile(profile: ExperimentProfile) -> ExperimentProfile:
         exec_backend="serial",
         experiment_backend="serial",
         restart_backend="serial",
+        exec_plan=None,
     )
 
 
@@ -388,10 +469,24 @@ def run_cells(
     failed cell is recorded as such and the grid raises *after* every
     other cell has run and been persisted; resuming re-dispatches
     only the failures.
+
+    Under a dag ``profile.exec_plan`` the grid takes the unified-
+    executor path instead (see :func:`_run_cells_dag`): cells run
+    concurrently on coordinator threads and their inner restart /
+    scaling leaves share one work-stealing pool.  Reports, streaming
+    and resume semantics are unchanged — byte-identical to serial.
     """
     cells = list(cells)
     if not cells:
         return []
+    if profile.uses_dag_executor():
+        if backend is not None:
+            raise ValueError(
+                f"exec_plan={profile.exec_plan!r} conflicts with an explicit "
+                "run_cells backend override: the unified executor owns the "
+                "cell fan-out — drop the backend argument or the exec_plan"
+            )
+        return _run_cells_dag(cells, profile, label)
     spec = backend if backend is not None else profile.experiment_backend
     store = _open_cell_store(profile, label, cells)
     if store is None:
@@ -470,6 +565,133 @@ def _run_cells_stored(cells, profile: ExperimentProfile, spec, store) -> List[An
                 + "; ".join(failures)
             )
     store.finalize()
+    return results
+
+
+def _run_cell_in_dag(executor, cell: Any, source: str, guarded: bool):
+    """Run one cell on a coordinator thread under the shared executor.
+
+    Opens a thread-local :func:`~repro.exec.dag.executor_scope` so the
+    cell's inner ``"dag"`` backend specs (sweeps, restarts, nested
+    grids) resolve to the shared executor tagged with this cell's
+    source label.  The cell itself keeps its profile untouched — all
+    plan-to-backend mapping happens in :func:`build_optimizer` /
+    nested :func:`run_cells` calls off ``exec_plan``.
+    """
+    from repro.exec.dag import executor_scope
+
+    with executor_scope(executor, source):
+        if not guarded:
+            return ("ok", cell.run())
+        try:
+            return ("ok", cell.run())
+        except Exception as exc:
+            return ("error", f"{type(exc).__name__}: {exc}")
+
+
+def _run_cells_dag(
+    cells: List[Any], profile: ExperimentProfile, label: Optional[str]
+) -> List[Any]:
+    """:func:`run_cells` on the unified DAG executor.
+
+    Every cell's *orchestration* (job building, ranking/early-exit
+    replays — cheap coordination code) runs on its own coordinator
+    thread, while the cells' leaf tasks (annealing restarts, scaling
+    assessments) all funnel into one shared
+    :class:`~repro.exec.dag.DagExecutor` queue — so a worker that
+    finishes one cell's leaves immediately steals another's instead
+    of idling, which is exactly what the per-cut fan-out cannot do.
+
+    An already-ambient executor (an enclosing grid, the CLI) is
+    reused — nested grids share the one pool; otherwise one is opened
+    from the profile's transport spec and closed here.  Store
+    streaming mirrors the legacy path: completions persist from the
+    caller's thread in completion order, failures are recorded and
+    the grid raises after every cell has run, and the executor's
+    utilization stats land in the run manifest.
+    """
+    from concurrent.futures import ThreadPoolExecutor, as_completed
+
+    from repro.exec.dag import DagExecutor, current_executor
+
+    executor = current_executor()
+    owned = executor is None
+    if owned:
+        executor = DagExecutor.from_spec(
+            profile.dag_transport(),
+            max_workers=profile.exec_max_workers,
+            payload_probe=cells[0],
+        )
+    store = _open_cell_store(profile, label, cells)
+    results: List[Any] = [None] * len(cells)
+    pending = list(range(len(cells)))
+    if store is not None:
+        loaded = store.load_results()
+        pending = []
+        for index, key in enumerate(store.keys):
+            record = loaded.get(key)
+            if record is not None:
+                results[index] = record.payload
+            else:
+                pending.append(index)
+    grid = label or "cells"
+    failures: List[Tuple[int, str]] = []
+    try:
+        if pending:
+            # One coordinator thread per pending cell: they spend
+            # their lives blocked on leaf futures, so this is
+            # coordination overhead, not oversubscription — the
+            # machine's parallelism lives in the executor's transport.
+            with ThreadPoolExecutor(
+                max_workers=len(pending), thread_name_prefix=f"repro-{grid}"
+            ) as cohort:
+                futures = {
+                    cohort.submit(
+                        _run_cell_in_dag,
+                        executor,
+                        cells[index],
+                        f"{grid}[{index}]",
+                        store is not None,
+                    ): index
+                    for index in pending
+                }
+                try:
+                    for future in as_completed(futures):
+                        index = futures[future]
+                        status, value = future.result()
+                        if store is not None:
+                            if status == "ok":
+                                store.record_result(store.keys[index], index, value)
+                            else:
+                                store.record_error(store.keys[index], index, value)
+                        if status == "ok":
+                            results[index] = value
+                        else:
+                            failures.append((index, value))
+                except BaseException:
+                    # Unguarded (storeless) mode propagates the first
+                    # cell failure with its original type, like the
+                    # legacy backend.map path; cancel cells that have
+                    # not started and let in-flight ones drain.
+                    for future in futures:
+                        future.cancel()
+                    raise
+    finally:
+        if store is not None:
+            store.set_executor_stats(executor.stats.to_dict())
+        if owned:
+            executor.close()
+    if failures:
+        failures.sort()
+        store.finalize()
+        messages = [f"{store.keys[index]}: {message}" for index, message in failures]
+        raise RuntimeError(
+            f"{len(failures)} of {len(cells)} cell(s) failed; completed "
+            f"cells are persisted in {store.directory} — re-run with "
+            f"resume to re-dispatch only the failures: " + "; ".join(messages)
+        )
+    if store is not None:
+        store.finalize()
     return results
 
 

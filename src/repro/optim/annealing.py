@@ -181,6 +181,49 @@ def _run_restart_job(
     return job.run()
 
 
+@dataclass(frozen=True)
+class RestartPlan:
+    """A mapping search decomposed into restart-level leaf tasks.
+
+    Produced by :meth:`SimulatedAnnealingMapper.restart_plan` (and the
+    ``restart_plan`` hooks of the design-optimizer mappers) so the DAG
+    executor can dispatch *individual restarts* of many scalings and
+    cells through one shared queue instead of treating each scaling's
+    whole search as an opaque unit.
+
+    ``jobs`` are ordinary :class:`_RestartJob` items in restart order
+    — run them through any ordered ``map`` — and :meth:`reduce` folds
+    their ordered results back into the single
+    :class:`~repro.mapping.metrics.DesignPoint` the corresponding
+    serial ``run()`` call would return, replaying the serial best-of
+    ranking (strict ``<`` keeps the earliest restart on ties) so the
+    selection is bit-identical.
+    """
+
+    jobs: Tuple[_RestartJob, ...]
+    mapper: "SimulatedAnnealingMapper"
+
+    def reduce(
+        self,
+        results: Sequence[Tuple[DesignPoint, int, int, int, int, InnerLoopStats]],
+    ) -> Tuple[DesignPoint, int]:
+        """Fold ordered restart results into ``(best point, evaluations)``.
+
+        ``evaluations`` totals the private evaluators' ``evaluate``
+        calls — hits and misses alike — which is exactly what the same
+        restarts cost a serial run on a shared evaluator, so evaluator
+        totals keep matching serial runs (the hit/miss *split* may
+        differ; workers start cold).
+        """
+        if len(results) != len(self.jobs):
+            raise ValueError(
+                f"restart plan expects {len(self.jobs)} results, got {len(results)}"
+            )
+        best = self.mapper.select_best([result[0] for result in results])
+        evaluations = sum(result[2] for result in results)
+        return best, evaluations
+
+
 class SimulatedAnnealingMapper:
     """SA mapping optimizer for a fixed objective.
 
@@ -387,18 +430,55 @@ class SimulatedAnnealingMapper:
             self.inner_stats_per_restart = [result[5] for result in results]
         for stats in self.inner_stats_per_restart:
             self.inner_stats.merge(stats)
-        # Replay of the serial best-of ranking: candidates arrive in
-        # restart order whatever the completion order, and strict `<`
-        # keeps the earliest restart on rank ties — exactly the serial
-        # loop's choice.
+        best = self.select_best(candidates)
+        assert best is not None
+        return best
+
+    def select_best(
+        self, candidates: Sequence[DesignPoint]
+    ) -> Optional[DesignPoint]:
+        """Replay of the serial best-of ranking over ordered candidates.
+
+        Candidates must arrive in restart order whatever the
+        completion order; strict ``<`` keeps the earliest restart on
+        rank ties — exactly the serial loop's choice.  Shared by
+        :meth:`run` and :meth:`RestartPlan.reduce` so the two replays
+        can never drift apart.
+        """
         best: Optional[DesignPoint] = None
         best_key: Optional[Tuple[int, float]] = None
         for candidate in candidates:
             key = self._rank_key(candidate)
             if best_key is None or key < best_key:
                 best, best_key = candidate, key
-        assert best is not None
         return best
+
+    def restart_plan(
+        self,
+        initial: Mapping,
+        scaling: Optional[Sequence[int]] = None,
+    ) -> RestartPlan:
+        """Decompose this search into restart-level leaf tasks.
+
+        The returned plan's jobs are exactly the jobs the parallel
+        branch of :meth:`run` would dispatch; running them through any
+        ordered ``map`` and folding with
+        :meth:`RestartPlan.reduce` returns the bit-identical design
+        point :meth:`run` would.  Used by the DAG executor to flatten
+        scalings x restarts into one shared queue — a single-restart
+        search still becomes one leaf, so even restart-free scalings
+        ship to the pool instead of serializing their cell.
+        """
+        scaling_tuple = (
+            tuple(scaling)
+            if scaling is not None
+            else self.evaluator.platform.scaling_vector()
+        )
+        jobs = tuple(
+            self._restart_job(initial, scaling_tuple, restart, False)
+            for restart in range(self.config.restarts)
+        )
+        return RestartPlan(jobs=jobs, mapper=self)
 
     def _restart_job(
         self,

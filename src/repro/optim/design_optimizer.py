@@ -29,10 +29,15 @@ from repro.exec.backends import (
     SerialBackend,
     resolve_backend,
 )
+from repro.exec.dag import SharedExecutorBackend
 from repro.faults.ser import SERModel
 from repro.mapping.mapping import Mapping
 from repro.mapping.metrics import DesignPoint, MappingEvaluator
-from repro.optim.annealing import AnnealingConfig, SimulatedAnnealingMapper
+from repro.optim.annealing import (
+    AnnealingConfig,
+    RestartPlan,
+    SimulatedAnnealingMapper,
+)
 from repro.optim.initial_mapping import initial_sea_mapping
 from repro.optim.objectives import Objective, SEUObjective
 from repro.optim.optimized_mapping import OptimizedMappingSearch
@@ -74,9 +79,15 @@ class SEAMapper:
         if self.batch_size < 0:
             raise ValueError("batch_size must be non-negative")
 
-    def __call__(
+    def _stage2_annealer(
         self, evaluator: MappingEvaluator, scaling: Tuple[int, ...], seed: Optional[int]
-    ) -> DesignPoint:
+    ) -> Tuple[SimulatedAnnealingMapper, Mapping]:
+        """The stage-2 annealer and its stage-1 warm start.
+
+        Shared by :meth:`__call__` and :meth:`restart_plan` so the
+        direct and DAG-decomposed paths can never configure the search
+        differently (which would break bit-identical selection).
+        """
         initial = initial_sea_mapping(
             evaluator.graph,
             evaluator.platform,
@@ -84,35 +95,62 @@ class SEAMapper:
             scaling=scaling,
             ser_model=evaluator.ser_model,
         )
+        # The budget scales with the application size (the paper's
+        # wall-clock budgets grow from 40 to 130 minutes between 11
+        # and 100 tasks).  Two restarts when the per-run budget is
+        # moderate — the Gamma landscape has a few near-optimal
+        # basins and best-of-two is markedly more reliable — and a
+        # single longer run once the budget is already large.
+        iterations = max(self.search_iterations, 100 * evaluator.graph.num_tasks)
+        restarts = (
+            self.restarts
+            if self.restarts is not None
+            else (2 if 1000 <= iterations <= 4000 else 1)
+        )
+        config = AnnealingConfig(
+            max_iterations=iterations,
+            restarts=restarts,
+            restart_backend=self.restart_backend,
+        )
+        mapper = SimulatedAnnealingMapper(
+            evaluator,
+            SEUObjective(),
+            config=config,
+            seed=seed,
+            deadline_penalty=True,
+            require_all_cores=True,
+            screening=self.screen_moves,
+            batch_size=self.batch_size,
+        )
+        return mapper, initial
+
+    def restart_plan(
+        self, evaluator: MappingEvaluator, scaling: Tuple[int, ...], seed: Optional[int]
+    ) -> Optional[RestartPlan]:
+        """Restart-level decomposition for the DAG executor.
+
+        ``None`` when stage 2 is not restart-shaped (the ``"walk"``
+        engine) — the caller then ships the whole search as one
+        scaling leaf instead.
+        """
+        if self.engine != "anneal":
+            return None
+        mapper, initial = self._stage2_annealer(evaluator, scaling, seed)
+        return mapper.restart_plan(initial, scaling)
+
+    def __call__(
+        self, evaluator: MappingEvaluator, scaling: Tuple[int, ...], seed: Optional[int]
+    ) -> DesignPoint:
         if self.engine == "anneal":
-            # The budget scales with the application size (the paper's
-            # wall-clock budgets grow from 40 to 130 minutes between 11
-            # and 100 tasks).  Two restarts when the per-run budget is
-            # moderate — the Gamma landscape has a few near-optimal
-            # basins and best-of-two is markedly more reliable — and a
-            # single longer run once the budget is already large.
-            iterations = max(self.search_iterations, 100 * evaluator.graph.num_tasks)
-            restarts = (
-                self.restarts
-                if self.restarts is not None
-                else (2 if 1000 <= iterations <= 4000 else 1)
-            )
-            config = AnnealingConfig(
-                max_iterations=iterations,
-                restarts=restarts,
-                restart_backend=self.restart_backend,
-            )
-            mapper = SimulatedAnnealingMapper(
-                evaluator,
-                SEUObjective(),
-                config=config,
-                seed=seed,
-                deadline_penalty=True,
-                require_all_cores=True,
-                screening=self.screen_moves,
-                batch_size=self.batch_size,
-            )
+            mapper, initial = self._stage2_annealer(evaluator, scaling, seed)
             return mapper.run(initial, scaling)
+        initial = initial_sea_mapping(
+            evaluator.graph,
+            evaluator.platform,
+            deadline_s=evaluator.deadline_s,
+            scaling=scaling,
+            ser_model=evaluator.ser_model,
+        )
         search = OptimizedMappingSearch(
             evaluator,
             max_iterations=self.search_iterations,
@@ -202,9 +240,10 @@ class BaselineMapper:
         if self.batch_size < 0:
             raise ValueError("batch_size must be non-negative")
 
-    def __call__(
-        self, evaluator: MappingEvaluator, scaling: Tuple[int, ...], seed: Optional[int]
-    ) -> DesignPoint:
+    def _annealer(
+        self, evaluator: MappingEvaluator, seed: Optional[int]
+    ) -> Tuple[SimulatedAnnealingMapper, Mapping]:
+        """The baseline annealer and its round-robin start (see SEAMapper)."""
         initial = Mapping.round_robin(evaluator.graph, evaluator.platform.num_cores)
         # Match the proposed flow's size-scaled budget for fairness.
         base = self.config or AnnealingConfig()
@@ -228,6 +267,19 @@ class BaselineMapper:
             screening=self.screen_moves,
             batch_size=self.batch_size,
         )
+        return mapper, initial
+
+    def restart_plan(
+        self, evaluator: MappingEvaluator, scaling: Tuple[int, ...], seed: Optional[int]
+    ) -> Optional[RestartPlan]:
+        """Restart-level decomposition for the DAG executor."""
+        mapper, initial = self._annealer(evaluator, seed)
+        return mapper.restart_plan(initial, scaling)
+
+    def __call__(
+        self, evaluator: MappingEvaluator, scaling: Tuple[int, ...], seed: Optional[int]
+    ) -> DesignPoint:
+        mapper, initial = self._annealer(evaluator, seed)
         return mapper.run(initial, scaling)
 
 
@@ -307,6 +359,16 @@ class _ScalingJob:
 
 def _run_scaling_job(job: _ScalingJob) -> Tuple[DesignPoint, int]:
     """Module-level trampoline so process pools can pickle the call."""
+    return job.run()
+
+
+def _run_dag_leaf(job) -> tuple:
+    """Trampoline for heterogeneous DAG leaves (restart or scaling jobs).
+
+    Both job kinds are self-contained frozen dataclasses with a
+    ``run()`` returning their result tuple; a single module-level
+    entry point lets one executor batch mix them freely.
+    """
     return job.run()
 
 
@@ -431,7 +493,11 @@ class DesignOptimizer:
         Scalings are independent (per-scaling seeds, private
         evaluators), and the serial early-exit policy is replayed
         over the ordered parallel results, so every backend selects
-        the **identical** design; only wall-clock changes.
+        the **identical** design; only wall-clock changes.  The
+        ``"dag"`` spec resolves to the shared work-stealing executor
+        of the active ``executor_scope`` (serial outside one) and
+        additionally decomposes each scaling into restart-level
+        leaves via the mapper's ``restart_plan`` hook.
     max_workers:
         Pool size cap for pooled backends resolved from a string spec
         (``None`` sizes pools from the machine).  Ignored when
@@ -558,6 +624,11 @@ class DesignOptimizer:
         )
         if isinstance(resolved, SerialBackend):
             outcome = self._optimize_serial(scalings, fixed_mapping)
+        elif isinstance(resolved, SharedExecutorBackend):
+            # The unified DAG executor: flatten scalings x restarts
+            # into leaf tasks on the shared queue.  Nothing to close —
+            # the executor belongs to whoever opened the scope.
+            outcome = self._optimize_dag(scalings, fixed_mapping, resolved)
         else:
             try:
                 outcome = self._optimize_parallel(scalings, fixed_mapping, resolved)
@@ -632,6 +703,82 @@ class DesignOptimizer:
             ]
             results = backend.map(_run_scaling_job, jobs)
             for scaling, (point, spent) in zip(wave, results):
+                child_evaluations += spent
+                if stopped:
+                    continue  # tail of the wave the serial sweep would skip
+                feasible = point.makespan_s <= self.deadline_s + 1e-12
+                outcome.assessments.append(
+                    ScalingAssessment(scaling=scaling, point=point, feasible=feasible)
+                )
+                stopped, unhelpful_streak, min_feasible_power = self._streak_step(
+                    point, feasible, unhelpful_streak, min_feasible_power
+                )
+        outcome.evaluations = self.evaluator.evaluations + child_evaluations
+        return outcome
+
+    def _optimize_dag(
+        self,
+        scalings: Sequence[Tuple[int, ...]],
+        fixed_mapping: Optional[Mapping],
+        backend: ExecutionBackend,
+    ) -> OptimizationOutcome:
+        """The unified-executor sweep: restart-level leaves, shared queue.
+
+        Like :meth:`_optimize_parallel` — ordered waves, then the
+        serial streak replay over ordered results — but each scaling
+        whose mapper exposes a ``restart_plan`` is decomposed into
+        individual restart leaves (reassembled by the plan's ranking
+        replay), and *all* leaves of a wave go out in one ordered
+        batch on the shared executor.  Two consequences the per-cut
+        fan-out cannot offer: a scaling's restarts from different
+        cells interleave on the same workers, and even single-restart
+        scalings ship to the pool instead of pinning a coordinator.
+
+        Determinism is untouched: leaf seeds, the per-plan best-of
+        replay and the streak replay are verbatim the serial policies
+        over results reassembled in canonical scaling/restart order.
+        """
+        outcome = OptimizationOutcome(best=None)
+        child_evaluations = 0
+        unhelpful_streak = 0
+        min_feasible_power: Optional[float] = None
+        stopped = False
+        if self.stop_after_feasible is None:
+            wave_size = len(scalings)  # no early exit: one full wave
+        else:
+            wave_size = max(2 * self.stop_after_feasible, 8)
+        plan_method = getattr(self.mapper, "restart_plan", None)
+        cursor = 0
+        while cursor < len(scalings) and not stopped:
+            wave = scalings[cursor : cursor + wave_size]
+            cursor += len(wave)
+            # Expand the wave into leaves: (plan, start, end) slices
+            # keep the canonical scaling/restart order for reassembly.
+            leaves: List[object] = []
+            slices: List[Tuple[Optional[RestartPlan], int, int]] = []
+            for scaling in wave:
+                plan: Optional[RestartPlan] = None
+                if fixed_mapping is None and plan_method is not None:
+                    seed = (
+                        None
+                        if self.seed is None
+                        else self.seed + self._scaling_seed(scaling)
+                    )
+                    plan = plan_method(self.evaluator, scaling, seed)
+                start = len(leaves)
+                if plan is not None:
+                    leaves.extend(plan.jobs)
+                else:
+                    leaves.append(
+                        self._scaling_job(scaling, fixed_mapping, serial_restarts=True)
+                    )
+                slices.append((plan, start, len(leaves)))
+            results = backend.map(_run_dag_leaf, leaves)
+            for scaling, (plan, start, end) in zip(wave, slices):
+                if plan is not None:
+                    point, spent = plan.reduce(results[start:end])
+                else:
+                    point, spent = results[start]
                 child_evaluations += spent
                 if stopped:
                     continue  # tail of the wave the serial sweep would skip

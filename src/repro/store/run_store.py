@@ -163,6 +163,7 @@ class RunStore:
         self.profile_summary = dict(profile_summary or {})
         self._status: Dict[str, str] = {key: "pending" for key in self.keys}
         self._run_status = "running"
+        self._executor_stats: Optional[Dict[str, Any]] = None
 
     # -- paths --------------------------------------------------------------
 
@@ -328,11 +329,22 @@ class RunStore:
 
     # -- manifest -----------------------------------------------------------
 
+    def set_executor_stats(self, stats: Optional[Mapping[str, Any]]) -> None:
+        """Attach executor utilization stats to the manifest.
+
+        Stats are observability, not results: they vary run to run
+        (worker interleaving, steal counts), so they live only in the
+        manifest — never in records or rendered reports — and do not
+        participate in the resume identity.  The next manifest rewrite
+        (``finalize`` or any record append) persists them.
+        """
+        self._executor_stats = dict(stats) if stats is not None else None
+
     def manifest(self) -> Dict[str, Any]:
         """The manifest document (what ``manifest.json`` holds)."""
         done = sum(1 for status in self._status.values() if status == "done")
         failed = sum(1 for status in self._status.values() if status == "failed")
-        return {
+        document = {
             "format": FORMAT_VERSION,
             "label": self.label,
             "fingerprint": self.fingerprint,
@@ -344,6 +356,9 @@ class RunStore:
             "total": len(self.keys),
             "run_status": self._run_status,
         }
+        if self._executor_stats is not None:
+            document["executor"] = dict(self._executor_stats)
+        return document
 
     def _write_manifest(self) -> None:
         document = json.dumps(self.manifest(), indent=2, sort_keys=True)

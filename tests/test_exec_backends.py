@@ -2,6 +2,8 @@
 
 import os
 import pickle
+import time
+from pathlib import Path
 
 import pytest
 
@@ -64,6 +66,53 @@ class TestBackends:
             assert backend._executor._max_workers == 4
 
 
+def _mark_and_sleep(payload):
+    """Touch a per-item marker file, then linger briefly (worker food)."""
+    directory, name = payload
+    (Path(directory) / name).touch()
+    time.sleep(0.05)
+    return name
+
+
+class TestMapStreamCancellation:
+    """A raising callback must not leak queued work into the pool.
+
+    Regression for the streaming store path: when persisting cell k
+    fails mid-grid, the remaining queued cells must be cancelled and
+    in-flight ones drained — otherwise they keep executing (and a
+    store keeps appending) behind an exception the caller already saw.
+    """
+
+    # One worker, eight items: the first completion triggers the
+    # raising callback, at which point only in-flight work can still
+    # run — one extra item for a thread pool, a few more for a process
+    # pool (its call queue prefetches and prefetched items cannot be
+    # cancelled).  Everything beyond that must have been cancelled —
+    # with all eight executed the bug is back.
+    @pytest.mark.parametrize(
+        "backend_cls,uncancellable",
+        [(ThreadBackend, 2), (ProcessBackend, 6)],
+    )
+    def test_callback_failure_cancels_queued_items(
+        self, backend_cls, uncancellable, tmp_path
+    ):
+        items = [(str(tmp_path), f"item{i}") for i in range(8)]
+
+        def explode(index, result):
+            raise RuntimeError("persist failed")
+
+        with backend_cls(max_workers=1) as backend:
+            with pytest.raises(RuntimeError, match="persist failed"):
+                backend.map_stream(_mark_and_sleep, items, callback=explode)
+        executed = sorted(p.name for p in tmp_path.iterdir())
+        assert 1 <= len(executed) <= uncancellable, executed
+        assert "item7" not in executed
+        # close() already waited: the pool is quiescent, so no marker
+        # appears after the fact.
+        time.sleep(0.2)
+        assert sorted(p.name for p in tmp_path.iterdir()) == executed
+
+
 class TestResolveBackend:
     def test_none_and_serial(self):
         assert isinstance(resolve_backend(None), SerialBackend)
@@ -101,7 +150,7 @@ class TestResolveBackend:
         assert isinstance(resolved, SerialBackend)
 
     def test_backend_names_constant(self):
-        assert set(BACKEND_NAMES) == {"serial", "thread", "process", "auto"}
+        assert set(BACKEND_NAMES) == {"serial", "thread", "process", "auto", "dag"}
 
     def test_payload_picklable(self):
         assert payload_picklable((1, "a"))

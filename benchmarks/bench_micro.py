@@ -9,7 +9,9 @@ injection pass.
 import pytest
 
 from repro.arch import MPSoC
-from repro.faults import FaultInjector
+from repro.arch.platform import platform_model
+from repro.arch.technode import TechNode
+from repro.faults import FaultInjector, SERModel
 from repro.mapping import IncrementalMappingState, Mapping, MappingEvaluator
 from repro.mapping.enumeration import stratified_mappings
 from repro.optim import (
@@ -24,7 +26,13 @@ from repro.experiments import ExperimentProfile, run_table3
 from repro.optim.scaling_algorithm import all_scalings_list
 from repro.sched import ListScheduler
 from repro.sim import MPSoCSimulator
-from repro.taskgraph import RandomGraphConfig, mpeg2_decoder, random_task_graph
+from repro.taskgraph import (
+    RandomGraphConfig,
+    mpeg2_decoder,
+    random_task_graph,
+    streaming_pipeline_graph,
+    tgff_random_graph,
+)
 from repro.taskgraph.mpeg2 import MPEG2_DEADLINE_S
 
 
@@ -349,6 +357,68 @@ def test_bench_grid_fanout_dag(benchmark):
     """
     result = benchmark.pedantic(_grid_fanout, args=("dag",), rounds=2, iterations=1)
     assert result.apps() == ["bench"]
+
+
+def test_bench_hetero_list_scheduler_streaming(benchmark):
+    """Heterogeneous scheduling: per-core cycle rows on big/little.
+
+    The streaming split/merge skeleton is the shape mixed platforms
+    exercise hardest — serial stages land on big cores, wide stages
+    spread over littles — and every ready-pop reads a per-core cycle
+    row instead of the shared homogeneous tuple.  Compare against
+    ``test_bench_list_scheduler_60_tasks`` to read the cost of the
+    per-type cycle indexing (the homogeneous rows must not move at
+    all: they alias the seed tuple object).
+    """
+    graph = streaming_pipeline_graph(4, 6, seed=1)
+    platform = platform_model("biglittle").instantiate(6)
+    scheduler = ListScheduler.for_platform(graph, platform)
+    mapping = Mapping.round_robin(graph, 6)
+    schedule = benchmark(scheduler.schedule, mapping)
+    assert schedule.makespan_s() > 0
+
+
+def test_bench_hetero_evaluation_tgff_500(benchmark):
+    """Full design-point evaluation of a 500-task TGFF DAG on big/little.
+
+    The scale row for the heterogeneous path: per-(task, core-type)
+    cycle tables, per-core capacitances and per-type DVS tables all in
+    one uncached evaluation.
+    """
+    graph = tgff_random_graph(500, seed=3)
+    platform = platform_model("biglittle").instantiate(8)
+    evaluator = MappingEvaluator(graph, platform, cache_size=0)
+    mapping = Mapping.round_robin(graph, 8)
+    point = benchmark(evaluator.evaluate, mapping)
+    assert point.expected_seus > 0
+
+
+def test_bench_node_sweep_evaluation(benchmark, mpeg2):
+    """One fixed design across the 45/22/8 nm node ladder.
+
+    Tracks the whole node pipeline — table/spec/SER rescaling,
+    platform instantiation and an uncached evaluation per node — the
+    unit of work every cell of the hetero experiment grid pays.
+    """
+    mapping = Mapping.round_robin(mpeg2, 4)
+
+    def _sweep():
+        total = 0.0
+        for spec in ("45nm", "22nm", "8nm"):
+            node = TechNode.parse(spec)
+            platform = platform_model("arm7").instantiate(4, tech_node=node)
+            evaluator = MappingEvaluator(
+                mpeg2,
+                platform,
+                ser_model=node.scale_ser(SERModel()),
+                deadline_s=MPEG2_DEADLINE_S * 4,
+                cache_size=0,
+            )
+            total += evaluator.evaluate(mapping, (1, 1, 1, 1)).power_mw
+        return total
+
+    total = benchmark(_sweep)
+    assert total > 0
 
 
 def test_bench_simulation_and_injection(benchmark, mpeg2):

@@ -56,6 +56,9 @@ DEFAULT_PATTERNS = (
     "sa_inner_loop",
     "neighbor_preview",
     "grid_fanout_dag",
+    "hetero_list_scheduler",
+    "hetero_evaluation",
+    "node_sweep_evaluation",
 )
 
 DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "baseline.json")

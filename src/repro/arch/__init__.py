@@ -1,9 +1,15 @@
-"""Architecture substrate: processing cores, MPSoC, DVS and power models.
+"""Architecture substrate: cores, platforms, DVS, power and tech nodes.
 
-This subpackage models the homogeneous MPSoC platform of the paper
-(Fig. 1): ``C`` identical ARM7TDMI-class processing cores with private
-caches and memories, fed by a clock-tree generator that supplies a
-per-core voltage/frequency operating point (dynamic voltage scaling).
+This subpackage models the paper's MPSoC platform (Fig. 1) and its
+generalization.  The default construction reproduces the paper exactly:
+``C`` ARM7TDMI-class processing cores with private caches and memories,
+fed by a clock-tree generator that supplies a per-core voltage/frequency
+operating point (dynamic voltage scaling).  On top of that, platforms
+may mix :class:`CoreType` families (big/little cores with per-type DVS
+tables, power coefficients and cycle scales) and be instantiated at a
+:class:`TechNode` (45→8 nm vdd/freq/power/area/SER scaling with
+ITRS-vs-conservative variants).  Single-type platforms at the default
+node are bit-identical to the homogeneous seed model.
 
 Public API
 ----------
@@ -14,13 +20,20 @@ Public API
     paper for 2, 3 and 4 scaling levels.
 ``CoreSpec`` / ``ProcessingCore``
     Static parameters and per-core state (assigned scaling coefficient).
+``CoreType``
+    A core family: DVS table, spec and cycle-scale factor.
 ``MPSoC``
-    The platform: a number of cores plus a shared scaling table.
+    The platform: cores drawn from one family (the paper's homogeneous
+    default) or several.
+``PlatformModel`` / ``platform_model`` / ``platform_names``
+    Named platform recipes (``"arm7"``, ``"biglittle"``, ``"little"``).
+``TechNode``
+    Technology-node scale factors (45→8 nm, ``itrs``/``cons``).
 ``PowerModel``
     Dynamic power per Eq. (1)/(5) of the paper.
 """
 
-from repro.arch.core import CoreSpec, ProcessingCore
+from repro.arch.core import CoreSpec, CoreType, ProcessingCore
 from repro.arch.dvs import (
     ARM7_BASE_FREQUENCY_MHZ,
     ScalingLevel,
@@ -28,15 +41,32 @@ from repro.arch.dvs import (
     arm7_vdd_for_frequency,
 )
 from repro.arch.mpsoc import MPSoC
+from repro.arch.platform import (
+    DEFAULT_PLATFORM,
+    PlatformModel,
+    arm7_core_type,
+    platform_model,
+    platform_names,
+)
 from repro.arch.power import PowerModel
+from repro.arch.technode import TECH_NODES, TECH_VARIANTS, TechNode
 
 __all__ = [
     "ARM7_BASE_FREQUENCY_MHZ",
     "CoreSpec",
+    "CoreType",
+    "DEFAULT_PLATFORM",
     "MPSoC",
+    "PlatformModel",
     "PowerModel",
     "ProcessingCore",
     "ScalingLevel",
     "ScalingTable",
+    "TECH_NODES",
+    "TECH_VARIANTS",
+    "TechNode",
+    "arm7_core_type",
     "arm7_vdd_for_frequency",
+    "platform_model",
+    "platform_names",
 ]

@@ -65,6 +65,46 @@ class CoreSpec:
         return self.dcache_bits + self.icache_bits + self.memory_bits
 
 
+@dataclass(frozen=True)
+class CoreType:
+    """One core family: DVS table, static spec and cycle-scale factor.
+
+    The heterogeneous platform generalization (see
+    :mod:`repro.arch.platform`) groups cores into *types*.  A type
+    bundles everything that can differ between core families:
+
+    Attributes
+    ----------
+    name:
+        Human-readable family label (``"arm7"``, ``"big"``...).
+    scaling_table:
+        The family's DVS operating points.
+    spec:
+        Static parameters (capacitance, storage sizes).
+    cycle_scale:
+        Multiplier on reference task cycles — ``1.0`` means the type
+        retires the reference workload cycle-for-cycle; larger means a
+        lower-IPC core needing more cycles for the same task.
+        Communication cycles are interconnect-dominated and never
+        scale.
+    """
+
+    name: str
+    scaling_table: ScalingTable
+    spec: CoreSpec = field(default_factory=CoreSpec)
+    cycle_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.cycle_scale <= 0.0:
+            raise ValueError(f"cycle_scale must be positive, got {self.cycle_scale}")
+
+    def task_cycles(self, base_cycles: int) -> int:
+        """Cycles this type needs for a task of ``base_cycles``."""
+        if self.cycle_scale == 1.0:
+            return base_cycles
+        return max(1, round(base_cycles * self.cycle_scale))
+
+
 @dataclass
 class ProcessingCore:
     """One processing core with its current DVS assignment.

@@ -1,36 +1,54 @@
-"""Homogeneous MPSoC platform model (Fig. 1 of the paper).
+"""MPSoC platform model (Fig. 1 of the paper, generalized).
 
-An :class:`MPSoC` is a set of identical :class:`~repro.arch.core.\
-ProcessingCore` instances sharing a :class:`~repro.arch.dvs.ScalingTable`
-(the clock-tree generator supplies each core its own point from the
-table) and connected by dedicated inter-core links with a fixed 32-bit
-transfer width.
+An :class:`MPSoC` is a set of :class:`~repro.arch.core.ProcessingCore`
+instances connected by dedicated inter-core links with a fixed 32-bit
+transfer width.  The paper's platform is *homogeneous* — every core an
+identical ARM7TDMI sharing one :class:`~repro.arch.dvs.ScalingTable` —
+and that remains the default construction.  Cores may instead be drawn
+from several :class:`~repro.arch.core.CoreType` families (big/little
+mixes, per-type DVS tables and power coefficients, per-type cycle
+scales); see :mod:`repro.arch.platform` for named presets.
+
+Single-type platforms are contractually bit-identical to the seed's
+homogeneous model: ``scaling_table``/``core_spec`` still expose the
+(sole) type's table and spec, and every per-core accessor returns the
+same objects the homogeneous path used.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.arch.core import CoreSpec, ProcessingCore
+from repro.arch.core import CoreSpec, CoreType, ProcessingCore
 from repro.arch.dvs import ScalingLevel, ScalingTable
 
 
 class MPSoC:
-    """A homogeneous multiprocessor system-on-chip.
+    """A multiprocessor system-on-chip, homogeneous by default.
 
     Parameters
     ----------
     num_cores:
-        Number of identical processing cores (``C`` in the paper).
+        Number of processing cores (``C`` in the paper).
     scaling_table:
         Shared table of DVS operating points.  Defaults to the paper's
-        three-level ARM7 table (Table I).
+        three-level ARM7 table (Table I).  Mutually exclusive with
+        ``core_types``.
     core_spec:
-        Static parameters shared by every core.
+        Static parameters shared by every core.  Mutually exclusive
+        with ``core_types``.
     scaling:
         Optional initial per-core scaling coefficients; defaults to all
-        cores at the deepest (slowest, lowest-power) level, matching the
-        starting point of the paper's ``nextScaling`` sweep.
+        cores at their deepest (slowest, lowest-power) level, matching
+        the starting point of the paper's ``nextScaling`` sweep.
+    core_types:
+        Optional core families for a heterogeneous platform.  When
+        given, ``type_of_core`` assigns a family to each core slot and
+        the ``scaling_table``/``core_spec`` attributes expose the first
+        family's table and spec for backward compatibility.
+    type_of_core:
+        Per-core type ids into ``core_types``; defaults to cycling
+        through the families in order.
     """
 
     def __init__(
@@ -39,13 +57,57 @@ class MPSoC:
         scaling_table: Optional[ScalingTable] = None,
         core_spec: Optional[CoreSpec] = None,
         scaling: Optional[Sequence[int]] = None,
+        core_types: Optional[Sequence[CoreType]] = None,
+        type_of_core: Optional[Sequence[int]] = None,
     ) -> None:
         if num_cores <= 0:
             raise ValueError(f"num_cores must be positive, got {num_cores}")
-        self.scaling_table = scaling_table or ScalingTable.arm7_three_level()
-        self.core_spec = core_spec or CoreSpec()
+        if core_types is not None:
+            if scaling_table is not None or core_spec is not None:
+                raise ValueError(
+                    "core_types is mutually exclusive with scaling_table/core_spec"
+                )
+            types = tuple(core_types)
+            if not types:
+                raise ValueError("core_types must be non-empty")
+        else:
+            if type_of_core is not None:
+                raise ValueError("type_of_core requires core_types")
+            types = (
+                CoreType(
+                    name="arm7",
+                    scaling_table=scaling_table or ScalingTable.arm7_three_level(),
+                    spec=core_spec or CoreSpec(),
+                ),
+            )
+        if type_of_core is None:
+            type_ids = tuple(index % len(types) for index in range(num_cores))
+        else:
+            type_ids = tuple(type_of_core)
+            if len(type_ids) != num_cores:
+                raise ValueError(
+                    f"type_of_core has {len(type_ids)} entries for {num_cores} cores"
+                )
+            for type_id in type_ids:
+                if not 0 <= type_id < len(types):
+                    raise ValueError(
+                        f"type id {type_id} outside 0..{len(types) - 1}"
+                    )
+        self._core_types: Tuple[CoreType, ...] = types
+        self._type_of_core: Tuple[int, ...] = type_ids
+        # Back-compat accessors: the homogeneous platform's shared table
+        # and spec.  For multi-type platforms they expose the first
+        # family (per-core consumers must use table_of()/spec_of()).
+        self.scaling_table = types[0].scaling_table
+        self.core_spec = types[0].spec
+        self._core_tables: Tuple[ScalingTable, ...] = tuple(
+            types[type_id].scaling_table for type_id in type_ids
+        )
         if scaling is None:
-            scaling = [self.scaling_table.deepest_coefficient] * num_cores
+            scaling = [
+                types[type_id].scaling_table.deepest_coefficient
+                for type_id in type_ids
+            ]
         scaling = list(scaling)
         if len(scaling) != num_cores:
             raise ValueError(
@@ -53,10 +115,12 @@ class MPSoC:
             )
         self._cores: List[ProcessingCore] = []
         for index, coefficient in enumerate(scaling):
-            self.scaling_table.level(coefficient)  # validate
+            self._core_tables[index].level(coefficient)  # validate
             self._cores.append(
                 ProcessingCore(
-                    index=index, spec=self.core_spec, scaling_coefficient=coefficient
+                    index=index,
+                    spec=types[type_ids[index]].spec,
+                    scaling_coefficient=coefficient,
                 )
             )
 
@@ -72,9 +136,10 @@ class MPSoC:
         return self._cores[index]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tables = {table.name for table in self._core_tables}
         return (
             f"MPSoC(num_cores={len(self._cores)}, "
-            f"scaling={self.scaling_vector()}, table={self.scaling_table.name})"
+            f"scaling={self.scaling_vector()}, table={'/'.join(sorted(tables))})"
         )
 
     # -- properties ----------------------------------------------------------
@@ -89,15 +154,95 @@ class MPSoC:
         """The processing cores, in index order."""
         return tuple(self._cores)
 
+    # -- core types -----------------------------------------------------------
+
+    @property
+    def core_types(self) -> Tuple[CoreType, ...]:
+        """The core families (a single family for homogeneous platforms)."""
+        return self._core_types
+
+    @property
+    def num_core_types(self) -> int:
+        """Number of core families, ``K``."""
+        return len(self._core_types)
+
+    @property
+    def type_of_core(self) -> Tuple[int, ...]:
+        """Per-core family ids, in core order."""
+        return self._type_of_core
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        """True when the platform mixes more than one core family."""
+        return len(self._core_types) > 1
+
+    @property
+    def core_tables(self) -> Tuple[ScalingTable, ...]:
+        """Per-core scaling tables (one shared object when homogeneous)."""
+        return self._core_tables
+
+    def core_type_of(self, core_index: int) -> CoreType:
+        """The family of core ``core_index``."""
+        return self._core_types[self._type_of_core[core_index]]
+
+    def table_of(self, core_index: int) -> ScalingTable:
+        """The scaling table of core ``core_index``."""
+        return self._core_tables[core_index]
+
+    def spec_of(self, core_index: int) -> CoreSpec:
+        """The static spec of core ``core_index``."""
+        return self._core_types[self._type_of_core[core_index]].spec
+
+    def cycle_scales(self) -> Tuple[float, ...]:
+        """Per-core cycle-scale factors, in core order."""
+        return tuple(
+            self._core_types[type_id].cycle_scale for type_id in self._type_of_core
+        )
+
+    @property
+    def uniform_unit_cycles(self) -> bool:
+        """True when every core retires reference cycles 1:1 — the
+        gate for the seed (base-cycle) scheduling paths."""
+        return all(
+            core_type.cycle_scale == 1.0 for core_type in self._core_types
+        )
+
     # -- scaling management ---------------------------------------------------
 
     def scaling_vector(self) -> Tuple[int, ...]:
         """Current per-core scaling coefficients, in core order."""
         return tuple(core.scaling_coefficient for core in self._cores)
 
+    def validate_assignment(self, coefficients: Iterable[int]) -> Tuple[int, ...]:
+        """Validate per-core coefficients against each core's own table.
+
+        Homogeneous platforms delegate to the shared table (identical
+        behavior and error messages to the seed path, including
+        accepting shorter vectors — callers length-check separately).
+        """
+        if not self.is_heterogeneous:
+            return self.scaling_table.validate_assignment(coefficients)
+        assignment = tuple(coefficients)
+        if len(assignment) != self.num_cores:
+            raise ValueError(
+                f"scaling vector has {len(assignment)} entries for "
+                f"{self.num_cores} cores"
+            )
+        for table, coefficient in zip(self._core_tables, assignment):
+            table.level(coefficient)  # validate against this core's table
+        return assignment
+
+    def deepest_scaling_vector(self) -> Tuple[int, ...]:
+        """Every core at its own slowest (lowest-power) level."""
+        return tuple(table.deepest_coefficient for table in self._core_tables)
+
+    def num_levels_per_core(self) -> Tuple[int, ...]:
+        """Number of DVS levels available to each core."""
+        return tuple(table.num_levels for table in self._core_tables)
+
     def set_scaling_vector(self, coefficients: Iterable[int]) -> None:
         """Assign scaling coefficients to every core at once."""
-        assignment = self.scaling_table.validate_assignment(coefficients)
+        assignment = self.validate_assignment(coefficients)
         if len(assignment) != self.num_cores:
             raise ValueError(
                 f"scaling vector has {len(assignment)} entries for "
@@ -108,7 +253,7 @@ class MPSoC:
 
     def level_of(self, core_index: int) -> ScalingLevel:
         """Operating point of core ``core_index``."""
-        return self._cores[core_index].level(self.scaling_table)
+        return self._cores[core_index].level(self._core_tables[core_index])
 
     def frequency_hz(self, core_index: int) -> float:
         """Clock frequency (Hz) of core ``core_index``."""
@@ -122,8 +267,8 @@ class MPSoC:
         """A copy of this platform with a different scaling vector."""
         return MPSoC(
             num_cores=self.num_cores,
-            scaling_table=self.scaling_table,
-            core_spec=self.core_spec,
+            core_types=self._core_types,
+            type_of_core=self._type_of_core,
             scaling=coefficients,
         )
 

@@ -1,0 +1,162 @@
+"""Platform model: heterogeneous platform presets over core types.
+
+The paper's platform is homogeneous; this module generalizes it.  A
+:class:`~repro.arch.core.CoreType` bundles everything that can differ
+between core families — the DVS table, the static core spec
+(capacitance, storage) and a *cycle-scale* factor modelling IPC
+differences (a task that takes ``c`` cycles on the reference core takes
+``max(1, round(c * scale))`` cycles on this type; communication cycles
+are interconnect-dominated and do not scale).  A :class:`PlatformModel`
+names a recipe — the core types plus the pattern assigning them to core
+slots — that :meth:`PlatformModel.instantiate` turns into a concrete
+:class:`~repro.arch.mpsoc.MPSoC` at a chosen technology node.
+
+**Bit-identity contract:** the ``"arm7"`` preset at the default node
+instantiates a single-type platform whose behavior is bit-identical to
+the seed's homogeneous ``MPSoC`` everywhere (schedules, metrics, RNG
+streams, cache counters) — asserted by the heterogeneous parity suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.arch.core import CoreSpec, CoreType, DEFAULT_SWITCHED_CAPACITANCE_F
+from repro.arch.dvs import ScalingLevel, ScalingTable
+from repro.arch.mpsoc import MPSoC
+from repro.arch.technode import TechNode
+
+#: The preset matching the paper's platform exactly.
+DEFAULT_PLATFORM = "arm7"
+
+
+@dataclass(frozen=True)
+class PlatformModel:
+    """A named platform recipe: core types plus their slot pattern.
+
+    ``type_pattern`` is cycled over core indices, so ``(0, 1)`` yields
+    alternating types for any core count and ``(0,)`` a homogeneous
+    platform.
+    """
+
+    name: str
+    core_types: Tuple[CoreType, ...]
+    type_pattern: Tuple[int, ...] = (0,)
+
+    def __post_init__(self) -> None:
+        if not self.core_types:
+            raise ValueError("a platform model needs at least one core type")
+        if not self.type_pattern:
+            raise ValueError("the type pattern must be non-empty")
+        for type_id in self.type_pattern:
+            if not 0 <= type_id < len(self.core_types):
+                raise ValueError(
+                    f"type id {type_id} outside 0..{len(self.core_types) - 1}"
+                )
+
+    def type_of_core(self, num_cores: int) -> Tuple[int, ...]:
+        """Per-core type ids for a platform of ``num_cores`` cores."""
+        pattern = self.type_pattern
+        return tuple(pattern[index % len(pattern)] for index in range(num_cores))
+
+    def instantiate(
+        self,
+        num_cores: int,
+        tech_node: Optional[TechNode] = None,
+        scaling: Optional[Sequence[int]] = None,
+    ) -> MPSoC:
+        """A concrete :class:`MPSoC` of this shape at ``tech_node``."""
+        node = tech_node if tech_node is not None else TechNode()
+        types = tuple(node.scale_core_type(core_type) for core_type in self.core_types)
+        return MPSoC(
+            num_cores=num_cores,
+            core_types=types,
+            type_of_core=self.type_of_core(num_cores),
+            scaling=scaling,
+        )
+
+
+def arm7_core_type(num_levels: int = 3) -> CoreType:
+    """The reference type: the paper's ARM7 core, cycle-for-cycle."""
+    return CoreType(
+        name="arm7",
+        scaling_table=ScalingTable.arm7_levels(num_levels),
+        spec=CoreSpec(),
+        cycle_scale=1.0,
+    )
+
+
+def _big_core_type() -> CoreType:
+    """An out-of-order "big" core: ARM7 table plus the 1.2 V boost point,
+    ~25% better IPC, a bigger (higher-capacitance) engine."""
+    return CoreType(
+        name="big",
+        scaling_table=ScalingTable.arm7_four_level(),
+        spec=CoreSpec(switched_capacitance_f=1.8 * DEFAULT_SWITCHED_CAPACITANCE_F),
+        cycle_scale=0.8,
+    )
+
+
+def _little_core_type() -> CoreType:
+    """An in-order "little" core: slower clocks, ~60% more cycles per
+    task, under half the switched capacitance and halved caches."""
+    table = ScalingTable(
+        [
+            ScalingLevel.from_frequency(100.0),
+            ScalingLevel.from_frequency(200.0 / 3.0),
+        ],
+        name="arm7-little-2-level",
+    )
+    return CoreType(
+        name="little",
+        scaling_table=table,
+        spec=CoreSpec(
+            switched_capacitance_f=0.4 * DEFAULT_SWITCHED_CAPACITANCE_F,
+            dcache_bits=4 * 1024,
+            icache_bits=8 * 1024,
+        ),
+        cycle_scale=1.6,
+    )
+
+
+def _build_presets() -> Dict[str, PlatformModel]:
+    arm7 = arm7_core_type()
+    big = _big_core_type()
+    little = _little_core_type()
+    return {
+        "arm7": PlatformModel(name="arm7", core_types=(arm7,), type_pattern=(0,)),
+        "biglittle": PlatformModel(
+            name="biglittle", core_types=(big, little), type_pattern=(0, 1)
+        ),
+        "little": PlatformModel(
+            name="little", core_types=(little,), type_pattern=(0,)
+        ),
+    }
+
+
+_PRESETS = _build_presets()
+
+
+def platform_names() -> Tuple[str, ...]:
+    """Available preset names, sorted."""
+    return tuple(sorted(_PRESETS))
+
+
+def platform_model(name: str, num_levels: Optional[int] = None) -> PlatformModel:
+    """Look up a preset by name.
+
+    ``num_levels`` customizes the ``"arm7"`` preset's table depth (the
+    Fig. 11 study); other presets fix their own tables and reject it.
+    """
+    if name == "arm7" and num_levels is not None and num_levels != 3:
+        return PlatformModel(
+            name="arm7", core_types=(arm7_core_type(num_levels),), type_pattern=(0,)
+        )
+    try:
+        model = _PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown platform preset {name!r}; choose from {platform_names()}"
+        ) from None
+    return model

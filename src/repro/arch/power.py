@@ -6,19 +6,25 @@ multiprocessor execution window during which the core is busy
 (``alpha_i = T_i / T_M``).  Platform power is the sum over cores with
 each core at its own (f, Vdd) operating point:
 
-    P = C_L * sum_i alpha_i * f_i(s_i) * Vdd_i(s_i)^2        (Eq. 5)
+    P = sum_i alpha_i * C_L,i * f_i(s_i) * Vdd_i(s_i)^2        (Eq. 5)
 
 ``PowerModel`` evaluates this for a scaling vector plus activity
 factors.  Activity factors come from a schedule (see
 :mod:`repro.mapping.metrics`); passing ``None`` assumes fully busy
 cores (alpha = 1), an upper bound sometimes useful for screening.
+
+On the paper's homogeneous platform every core shares one capacitance
+and one scaling table; heterogeneous platforms resolve both per core
+(``platform.table_of(i)`` / ``platform.spec_of(i)``).  For single-type
+platforms the per-core lookups return the same shared objects, so the
+float sequence — and therefore every bit of the result — matches the
+seed path.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
-from repro.arch.dvs import ScalingTable
 from repro.arch.mpsoc import MPSoC
 
 
@@ -29,7 +35,7 @@ class PowerModel:
     ----------
     switched_capacitance_f:
         Effective switched capacitance :math:`C_L` (farads) common to
-        all cores.  Defaults to the platform's core spec when evaluating
+        all cores.  Defaults to each core's own spec when evaluating
         through :meth:`platform_power_mw`.
     """
 
@@ -69,6 +75,17 @@ class PowerModel:
             raise ValueError("frequency and Vdd must be positive")
         return activity * cl * frequency_hz * vdd_v * vdd_v
 
+    # -- per-core capacitance ------------------------------------------------
+
+    def _core_capacitances(self, platform: MPSoC) -> Tuple[float, ...]:
+        """Per-core :math:`C_L`: the model override or each core's spec."""
+        if self._cl is not None:
+            return (self._cl,) * platform.num_cores
+        return tuple(
+            platform.spec_of(index).switched_capacitance_f
+            for index in range(platform.num_cores)
+        )
+
     # -- platform power -----------------------------------------------------
 
     def platform_power_w(
@@ -82,9 +99,9 @@ class PowerModel:
         Parameters
         ----------
         platform:
-            The MPSoC; supplies the scaling table and, by default, the
-            current per-core coefficients and the core spec's
-            capacitance.
+            The MPSoC; supplies each core's scaling table and, by
+            default, the current per-core coefficients and each core
+            spec's capacitance.
         scaling:
             Optional per-core scaling coefficients overriding the
             platform's current assignment.
@@ -92,7 +109,6 @@ class PowerModel:
             Optional per-core activity factors ``alpha_i``; defaults to
             all-busy (1.0).
         """
-        table: ScalingTable = platform.scaling_table
         if scaling is None:
             scaling = platform.scaling_vector()
         else:
@@ -109,12 +125,16 @@ class PowerModel:
                 f"activity vector has {len(activities)} entries for "
                 f"{platform.num_cores} cores"
             )
-        cl = self._cl if self._cl is not None else platform.core_spec.switched_capacitance_f
+        capacitances = self._core_capacitances(platform)
+        tables = platform.core_tables
         total = 0.0
-        for coefficient, activity in zip(scaling, activities):
-            level = table.level(coefficient)
+        for index, (coefficient, activity) in enumerate(zip(scaling, activities)):
+            level = tables[index].level(coefficient)
             total += self.core_power_w(
-                level.frequency_hz, level.vdd_v, activity, switched_capacitance_f=cl
+                level.frequency_hz,
+                level.vdd_v,
+                activity,
+                switched_capacitance_f=capacitances[index],
             )
         return total
 
@@ -138,8 +158,12 @@ class PowerModel:
         mappings; resolving the (frequency, Vdd) operating points and
         the capacitance per *batch* instead of per design point keeps
         the per-mapping work down to the activity multiply-accumulate.
+
+        Heterogeneous platforms carry per-core capacitances in
+        ``core_capacitances_f``; single-capacitance platforms leave it
+        ``None`` so :meth:`platform_power_mw_from_terms` replays the
+        seed path's exact float sequence.
         """
-        table: ScalingTable = platform.scaling_table
         if scaling is None:
             scaling = platform.scaling_vector()
         elif len(scaling) != platform.num_cores:
@@ -147,13 +171,19 @@ class PowerModel:
                 f"scaling vector has {len(scaling)} entries for "
                 f"{platform.num_cores} cores"
             )
-        cl = self._cl if self._cl is not None else platform.core_spec.switched_capacitance_f
-        levels = tuple(table.level(coefficient) for coefficient in scaling)
+        capacitances = self._core_capacitances(platform)
+        tables = platform.core_tables
+        levels = tuple(
+            tables[index].level(coefficient)
+            for index, coefficient in enumerate(scaling)
+        )
+        uniform = all(cl == capacitances[0] for cl in capacitances)
         return PowerTerms(
-            switched_capacitance_f=cl,
+            switched_capacitance_f=capacitances[0],
             operating_points=tuple(
                 (level.frequency_hz, level.vdd_v) for level in levels
             ),
+            core_capacitances_f=None if uniform else capacitances,
         )
 
     def platform_power_mw_from_terms(
@@ -168,20 +198,30 @@ class PowerModel:
         validation is skipped: callers pass schedule-derived activity
         factors, which are in [0, 1] by construction.
         """
-        cl = terms.switched_capacitance_f
+        core_cls = terms.core_capacitances_f
         total = 0.0
-        for (frequency_hz, vdd_v), activity in zip(
-            terms.operating_points, activities
-        ):
-            total += activity * cl * frequency_hz * vdd_v * vdd_v
+        if core_cls is None:
+            cl = terms.switched_capacitance_f
+            for (frequency_hz, vdd_v), activity in zip(
+                terms.operating_points, activities
+            ):
+                total += activity * cl * frequency_hz * vdd_v * vdd_v
+        else:
+            for (frequency_hz, vdd_v), activity, cl in zip(
+                terms.operating_points, activities, core_cls
+            ):
+                total += activity * cl * frequency_hz * vdd_v * vdd_v
         return 1.0e3 * total
 
 
 class PowerTerms:
     """Precomputed Eq. (5) invariants for one scaling vector."""
 
-    __slots__ = ("switched_capacitance_f", "operating_points")
+    __slots__ = ("switched_capacitance_f", "operating_points", "core_capacitances_f")
 
-    def __init__(self, switched_capacitance_f, operating_points) -> None:
+    def __init__(
+        self, switched_capacitance_f, operating_points, core_capacitances_f=None
+    ) -> None:
         self.switched_capacitance_f = switched_capacitance_f
         self.operating_points = operating_points
+        self.core_capacitances_f = core_capacitances_f

@@ -1,0 +1,234 @@
+"""Technology-node scaling model (45 nm → 8 nm).
+
+The paper's platform is characterized at a single technology node; this
+module layers a lumos-style node model underneath the DVS and power
+models so experiments can sweep feature sizes.  Per node we keep scale
+factors — relative to the 45 nm reference — for supply voltage, clock
+frequency, full-activity dynamic power and core area, in two variants:
+
+``itrs``
+    The aggressive ITRS projection (frequency up to ~4x, power down to
+    ~0.12x at 8 nm).
+``cons``
+    A conservative projection with much flatter frequency/voltage
+    scaling, reflecting the post-Dennard reality.
+
+Scaling composes with the ARM7 tables multiplicatively: a
+:class:`~repro.arch.dvs.ScalingTable` is mapped level-by-level to
+``(f * freq_scale, Vdd * vdd_scale)``; the effective switched
+capacitance is rescaled so that full-activity dynamic power obeys the
+node's power scale (``P = C_L f Vdd^2`` ⇒
+``C' = C * power_scale / (freq_scale * vdd_scale^2)``); and the SER
+model's per-bit rate grows as features shrink (smaller critical charge)
+while its voltage reference tracks the scaled nominal supply.
+
+Levels whose scaled supply would drop below the node's threshold
+voltage are removed from the table — the lumos DVFS lower bound — so
+deep-scaled tables lose their slowest points at aggressive nodes.
+
+**Bit-identity contract:** the default node (45 nm, either variant) has
+every scale factor equal to 1.0 and all ``scale_*`` methods return
+their argument *object* unchanged, so the seed path is untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.arch.core import CoreSpec, CoreType
+from repro.arch.dvs import ScalingLevel, ScalingTable
+from repro.faults.ser import SERModel
+
+#: Feature sizes with calibrated scale tables, largest (reference) first.
+TECH_NODES: Tuple[int, ...] = (45, 32, 22, 16, 11, 8)
+
+#: The reference node: every scale factor is exactly 1.0.
+DEFAULT_TECH_NODE_NM = 45
+
+#: Projection variants.
+TECH_VARIANTS: Tuple[str, ...] = ("itrs", "cons")
+
+_VDD_SCALE = {
+    "itrs": {45: 1.0, 32: 0.93, 22: 0.84, 16: 0.75, 11: 0.68, 8: 0.62},
+    "cons": {45: 1.0, 32: 0.93, 22: 0.88, 16: 0.86, 11: 0.84, 8: 0.84},
+}
+
+_FREQ_SCALE = {
+    "itrs": {45: 1.0, 32: 1.09, 22: 2.38, 16: 3.21, 11: 4.17, 8: 3.85},
+    "cons": {45: 1.0, 32: 1.10, 22: 1.19, 16: 1.25, 11: 1.30, 8: 1.34},
+}
+
+_POWER_SCALE = {
+    "itrs": {45: 1.0, 32: 0.66, 22: 0.54, 16: 0.38, 11: 0.25, 8: 0.12},
+    "cons": {45: 1.0, 32: 0.71, 22: 0.52, 16: 0.39, 11: 0.29, 8: 0.22},
+}
+
+_AREA_SCALE = {45: 1.0, 32: 0.5, 22: 0.25, 16: 0.125, 11: 0.0625, 8: 0.03125}
+
+#: Threshold voltage per node (volts) — the DVFS lower bound.
+_VTH_V = {45: 0.3201, 32: 0.297, 22: 0.2673, 16: 0.2409, 11: 0.2178, 8: 0.198}
+
+#: Per-bit SER multiplier per node.  Smaller features hold less critical
+#: charge, so the raw (voltage-independent) susceptibility rises roughly
+#: geometrically node over node (~1.26x per step, a decade over the
+#: sweep is consistent with published per-bit SER trend data).
+_SER_SCALE = {45: 1.0, 32: 1.26, 22: 1.58, 16: 2.0, 11: 2.51, 8: 3.16}
+
+
+@dataclass(frozen=True)
+class TechNode:
+    """One technology node under one projection variant.
+
+    Attributes
+    ----------
+    feature_nm:
+        Feature size in nanometres; one of :data:`TECH_NODES`.
+    variant:
+        ``"itrs"`` (aggressive) or ``"cons"`` (conservative).
+    """
+
+    feature_nm: int = DEFAULT_TECH_NODE_NM
+    variant: str = "itrs"
+
+    def __post_init__(self) -> None:
+        if self.feature_nm not in TECH_NODES:
+            raise ValueError(
+                f"unknown tech node {self.feature_nm} nm; choose from {TECH_NODES}"
+            )
+        if self.variant not in TECH_VARIANTS:
+            raise ValueError(
+                f"unknown tech variant {self.variant!r}; choose from {TECH_VARIANTS}"
+            )
+
+    # -- parsing / naming ---------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str) -> "TechNode":
+        """Parse ``"45nm"``, ``"22nm-cons"``, ``"8"`` or ``"default"``."""
+        text = spec.strip().lower()
+        if not text or text == "default":
+            return cls()
+        variant = "itrs"
+        if "-" in text:
+            text, variant = text.split("-", 1)
+        if text.endswith("nm"):
+            text = text[:-2]
+        try:
+            feature_nm = int(text)
+        except ValueError:
+            raise ValueError(f"cannot parse tech node spec {spec!r}") from None
+        return cls(feature_nm=feature_nm, variant=variant)
+
+    @property
+    def name(self) -> str:
+        """Canonical spec string, e.g. ``"22nm-cons"``."""
+        return f"{self.feature_nm}nm-{self.variant}"
+
+    # -- scale factors ------------------------------------------------------
+
+    @property
+    def vdd_scale(self) -> float:
+        return _VDD_SCALE[self.variant][self.feature_nm]
+
+    @property
+    def freq_scale(self) -> float:
+        return _FREQ_SCALE[self.variant][self.feature_nm]
+
+    @property
+    def power_scale(self) -> float:
+        return _POWER_SCALE[self.variant][self.feature_nm]
+
+    @property
+    def area_scale(self) -> float:
+        return _AREA_SCALE[self.feature_nm]
+
+    @property
+    def vth_v(self) -> float:
+        return _VTH_V[self.feature_nm]
+
+    @property
+    def ser_scale(self) -> float:
+        return _SER_SCALE[self.feature_nm]
+
+    @property
+    def is_default(self) -> bool:
+        """True when every scale factor is exactly 1.0 (the 45 nm node)."""
+        return self.feature_nm == DEFAULT_TECH_NODE_NM
+
+    # -- model scaling ------------------------------------------------------
+
+    def scale_table(self, table: ScalingTable) -> ScalingTable:
+        """``table`` mapped to this node's operating points.
+
+        Frequencies scale by :attr:`freq_scale`, voltages by
+        :attr:`vdd_scale`; levels whose scaled supply falls below the
+        node's threshold voltage are dropped (the DVFS lower bound).
+        At the default node the input object is returned unchanged.
+        """
+        if self.is_default:
+            return table
+        levels = [
+            ScalingLevel(
+                frequency_mhz=level.frequency_mhz * self.freq_scale,
+                vdd_v=level.vdd_v * self.vdd_scale,
+            )
+            for level in table.levels
+        ]
+        kept = [level for level in levels if level.vdd_v >= self.vth_v]
+        if not kept:
+            raise ValueError(
+                f"every level of {table.name} falls below Vth at {self.name}"
+            )
+        return ScalingTable(kept, name=f"{table.name}@{self.name}")
+
+    def scale_spec(self, spec: CoreSpec) -> CoreSpec:
+        """``spec`` with capacitance rescaled for this node.
+
+        Derived from ``P = C_L f Vdd^2``: full-activity power at the
+        node's nominal point must equal the reference power times
+        :attr:`power_scale`, so ``C' = C * power_scale / (freq_scale *
+        vdd_scale^2)``.  Storage sizes are kept — the paper's register
+        exposure is workload-defined, not area-defined.
+        """
+        if self.is_default:
+            return spec
+        capacitance_scale = self.power_scale / (
+            self.freq_scale * self.vdd_scale * self.vdd_scale
+        )
+        return CoreSpec(
+            switched_capacitance_f=spec.switched_capacitance_f * capacitance_scale,
+            dcache_bits=spec.dcache_bits,
+            icache_bits=spec.icache_bits,
+            memory_bits=spec.memory_bits,
+        )
+
+    def scale_ser(self, model: SERModel) -> SERModel:
+        """``model`` re-referenced to this node.
+
+        The per-bit rate grows by :attr:`ser_scale` and the voltage
+        reference tracks the scaled nominal supply, so at the node's
+        own nominal point the rate is exactly ``lambda_ref *
+        ser_scale`` and deeper in-node DVS raises it from there.
+        """
+        if self.is_default:
+            return model
+        return SERModel(
+            reference_rate=model.reference_rate * self.ser_scale,
+            reference_vdd_v=model.reference_vdd_v * self.vdd_scale,
+            beta=model.beta,
+            reference_frequency_hz=model.reference_frequency_hz * self.freq_scale,
+        )
+
+    def scale_core_type(self, core_type: CoreType) -> CoreType:
+        """``core_type`` mapped to this node (the same object at the
+        default node).  Cycle scale is microarchitectural, not
+        process-bound, so it carries over unchanged."""
+        if self.is_default:
+            return core_type
+        return CoreType(
+            name=f"{core_type.name}@{self.name}",
+            scaling_table=self.scale_table(core_type.scaling_table),
+            spec=self.scale_spec(core_type.spec),
+            cycle_scale=core_type.cycle_scale,
+        )

@@ -29,6 +29,29 @@ from repro.experiments.runner import experiment_ids, run_experiment
 
 
 def _add_profile_arguments(parser: argparse.ArgumentParser) -> None:
+    from repro.arch.platform import platform_names
+
+    parser.add_argument(
+        "--platform",
+        choices=list(platform_names()),
+        default=None,
+        help=(
+            "platform preset; 'arm7' (the default) is the paper's "
+            "homogeneous platform, 'biglittle' alternates big/little "
+            "core types (result-determining: part of the store "
+            "fingerprint)"
+        ),
+    )
+    parser.add_argument(
+        "--tech-node",
+        default=None,
+        metavar="NODE",
+        help=(
+            "technology node spec like 45nm, 22nm or 16nm-cons "
+            "(default: 45nm, the paper's reference node; "
+            "result-determining: part of the store fingerprint)"
+        ),
+    )
     parser.add_argument(
         "--profile",
         choices=["smoke", "fast", "full"],
@@ -150,6 +173,13 @@ def _profile_from(args: argparse.Namespace) -> ExperimentProfile:
         profile = ExperimentProfile.smoke(seed=args.seed)
     else:
         profile = ExperimentProfile.fast(seed=args.seed)
+    platform = getattr(args, "platform", None)
+    tech_node = getattr(args, "tech_node", None)
+    if platform is not None or tech_node is not None:
+        try:
+            profile = profile.with_platform(platform=platform, tech_node=tech_node)
+        except ValueError as exc:
+            raise SystemExit(f"repro-seu: error: {exc}")
     backend = getattr(args, "backend", "serial")
     experiment_backend = getattr(args, "experiment_backend", "serial")
     restart_backend = getattr(args, "restart_backend", "serial")
@@ -286,7 +316,8 @@ def _cmd_inject(args: argparse.Namespace) -> int:
     mapping = Mapping.round_robin(graph, args.cores)
     result = simulator.run(mapping)
     voltages = [
-        platform.scaling_table.vdd_v(coefficient) for coefficient in simulator.scaling
+        table.vdd_v(coefficient)
+        for table, coefficient in zip(platform.core_tables, simulator.scaling)
     ]
     injector = FaultInjector(seed=args.seed)
     campaign = injector.inject(result, voltages, runs=args.runs)

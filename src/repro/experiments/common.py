@@ -14,8 +14,9 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, List, Optional, Sequence, Tuple
 
-from repro.arch.dvs import ScalingTable
 from repro.arch.mpsoc import MPSoC
+from repro.arch.platform import DEFAULT_PLATFORM, platform_model
+from repro.arch.technode import TechNode
 from repro.exec.backends import BackendSpec, SerialBackend, resolve_backend
 from repro.faults.ser import SERModel
 from repro.mapping.metrics import MappingEvaluator
@@ -67,6 +68,17 @@ class ExperimentProfile:
         ``None`` explores every combination.
     seed:
         Base determinism seed.
+    platform:
+        Platform preset name (see :func:`repro.arch.platform_names`).
+        The default ``"arm7"`` is the paper's homogeneous platform and
+        reproduces the seed path bit for bit; other presets (e.g.
+        ``"biglittle"``) build heterogeneous platforms.  Result-
+        determining — included in the store fingerprint.
+    tech_node:
+        Technology node spec (``"45nm"``, ``"22nm-cons"``, ...; see
+        :class:`repro.arch.TechNode`).  The default 45 nm node leaves
+        every model untouched.  Result-determining — included in the
+        store fingerprint.
     exec_backend:
         Execution backend for the scaling sweeps (``"serial"``,
         ``"thread"``, ``"process"`` or ``"auto"``).  Any choice
@@ -146,6 +158,8 @@ class ExperimentProfile:
     fig3_mappings: int = 120
     stop_after_feasible: Optional[int] = 6
     seed: int = 0
+    platform: str = DEFAULT_PLATFORM
+    tech_node: str = "45nm"
     exec_backend: str = "serial"
     experiment_backend: str = "serial"
     exec_max_workers: Optional[int] = None
@@ -158,6 +172,9 @@ class ExperimentProfile:
     exec_plan: Optional[str] = None
 
     def __post_init__(self) -> None:
+        # Fail fast on unknown presets/nodes — not deep inside a run.
+        platform_model(self.platform)
+        TechNode.parse(self.tech_node)
         if self.exec_plan is not None and self.exec_plan not in EXEC_PLANS:
             raise ValueError(
                 f"unknown exec_plan {self.exec_plan!r}; choose from {EXEC_PLANS}"
@@ -233,6 +250,17 @@ class ExperimentProfile:
         """A copy with a different base seed."""
         return replace(self, seed=seed)
 
+    def with_platform(
+        self, platform: Optional[str] = None, tech_node: Optional[str] = None
+    ) -> "ExperimentProfile":
+        """A copy on a different platform preset and/or tech node."""
+        updates = {}
+        if platform is not None:
+            updates["platform"] = platform
+        if tech_node is not None:
+            updates["tech_node"] = tech_node
+        return replace(self, **updates)
+
     def with_backend(
         self,
         exec_backend: Optional[str] = None,
@@ -286,13 +314,17 @@ class ExperimentProfile:
         store written by a serial run may be resumed on a process
         backend or under the DAG executor and vice versa.
         ``batch_eval``/``screen_moves`` *are* included — chunked
-        screening changes the candidate visit sequence.
+        screening changes the candidate visit sequence — and so are
+        ``platform``/``tech_node`` (format 2), which select different
+        physical models entirely.  The tech node is canonicalized
+        (``"45"`` == ``"45nm"`` == ``"45nm-itrs"``) so spelling
+        variants of the same node resume each other's stores.
         """
         from repro.store import fingerprint_payload
 
         return fingerprint_payload(
             {
-                "format": 1,
+                "format": 2,
                 "name": self.name,
                 "search_iterations": self.search_iterations,
                 "sa_iterations": self.sa_iterations,
@@ -302,6 +334,8 @@ class ExperimentProfile:
                 "sa_restarts": self.sa_restarts,
                 "batch_eval": self.batch_eval,
                 "screen_moves": repr(self.screen_moves),
+                "platform": self.platform,
+                "tech_node": TechNode.parse(self.tech_node).name,
             }
         )
 
@@ -319,9 +353,37 @@ class ExperimentProfile:
         return config
 
 
-def build_platform(num_cores: int, num_levels: int = 3) -> MPSoC:
-    """The reference ARM7 platform with a preset scaling table."""
-    return MPSoC(num_cores=num_cores, scaling_table=ScalingTable.arm7_levels(num_levels))
+def build_platform(
+    num_cores: int,
+    num_levels: int = 3,
+    platform: str = DEFAULT_PLATFORM,
+    tech_node: str = "45nm",
+) -> MPSoC:
+    """A platform preset instantiated at a technology node.
+
+    The defaults reproduce the paper's homogeneous ARM7 platform —
+    bit-identical to the seed's ``MPSoC(num_cores, scaling_table=
+    arm7_levels(num_levels))``.  ``num_levels`` applies to the arm7
+    preset only (other presets fix their own tables).
+    """
+    model = platform_model(
+        platform, num_levels=num_levels if platform == DEFAULT_PLATFORM else None
+    )
+    return model.instantiate(num_cores, tech_node=TechNode.parse(tech_node))
+
+
+def build_ser_model(
+    tech_node: str = "45nm", base: Optional[SERModel] = None
+) -> Optional[SERModel]:
+    """The node-scaled SER model, or ``None`` at the default node.
+
+    Returning ``None`` for 45 nm lets the evaluator construct its own
+    paper-default :class:`SERModel` exactly as the seed did.
+    """
+    node = TechNode.parse(tech_node)
+    if node.is_default:
+        return base
+    return node.scale_ser(base if base is not None else SERModel())
 
 
 def build_evaluator(
@@ -330,12 +392,14 @@ def build_evaluator(
     deadline_s: float,
     num_levels: int = 3,
     ser_model: Optional[SERModel] = None,
+    platform: str = DEFAULT_PLATFORM,
+    tech_node: str = "45nm",
 ) -> MappingEvaluator:
     """An evaluator over the reference platform."""
     return MappingEvaluator(
         graph,
-        build_platform(num_cores, num_levels),
-        ser_model=ser_model,
+        build_platform(num_cores, num_levels, platform=platform, tech_node=tech_node),
+        ser_model=build_ser_model(tech_node, ser_model),
         deadline_s=deadline_s,
     )
 
@@ -369,8 +433,14 @@ def build_optimizer(
         )
     return DesignOptimizer(
         graph,
-        build_platform(num_cores, num_levels),
+        build_platform(
+            num_cores,
+            num_levels,
+            platform=profile.platform,
+            tech_node=profile.tech_node,
+        ),
         deadline_s=deadline_s,
+        ser_model=build_ser_model(profile.tech_node),
         mapper=mapper,
         stop_after_feasible=profile.stop_after_feasible,
         seed=profile.seed + seed_offset,

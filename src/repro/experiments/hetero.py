@@ -1,0 +1,203 @@
+"""Heterogeneous platform × technology node sweep.
+
+Not a paper artifact — the paper's platform is homogeneous ARM7 at one
+node.  This experiment exercises the generalized platform model end to
+end: a grid of platform presets (the reference ``arm7`` and the mixed
+``biglittle``) against technology nodes (45 → 22 → 8 nm, ITRS
+projection), each cell evaluating
+
+* a *fixed* design — round-robin mapping at nominal scaling — whose
+  metrics isolate the node model (power should track the node's power
+  scale, Gamma its SER scale), and
+* the full Fig. 4 optimization on that platform/node, reported like
+  the paper's tables.
+
+Cells ride the standard fan-out (:func:`~repro.experiments.common.
+run_cells`), so the grid streams to the run store under the
+``"hetero"`` label and resumes exactly like every other experiment.
+
+Shape checks encode the physics the node model must reproduce on the
+homogeneous reference: full-activity power at nominal operating points
+scales by exactly the node's power factor (activities are
+node-invariant because busy cycles and makespan both stretch by the
+same 1/freq factor), while Gamma grows as features shrink — exposure
+cycles ``T_M * f`` are node-invariant and the per-bit rate rises by
+the SER scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.common import (
+    ExperimentProfile,
+    build_evaluator,
+    build_optimizer,
+    format_table,
+    run_cells,
+)
+from repro.mapping.mapping import Mapping
+from repro.mapping.metrics import DesignPoint
+from repro.taskgraph.mpeg2 import MPEG2_DEADLINE_S, mpeg2_decoder
+
+#: Platform presets swept (reference first).
+PLATFORMS: Tuple[str, ...] = ("arm7", "biglittle")
+
+#: Technology nodes swept (reference node first, ITRS projection).
+TECH_NODES: Tuple[str, ...] = ("45nm", "22nm", "8nm")
+
+#: Platform size, matching the paper's Table II configuration.
+NUM_CORES = 4
+
+#: The little cores run at 100 MHz with a 1.6x cycle penalty, so the
+#: paper's MPEG-2 deadline needs slack for the mixed platform to have
+#: feasible designs at all; the same slack applies to every cell so
+#: cross-cell comparisons stay apples-to-apples.
+DEADLINE_SLACK = 2.0
+
+
+@dataclass(frozen=True)
+class HeteroCellResult:
+    """One (platform, node) cell: fixed-design metrics + optimized best."""
+
+    platform: str
+    tech_node: str
+    fixed_power_mw: float
+    fixed_gamma: float
+    fixed_makespan_s: float
+    best: Optional[DesignPoint]
+
+
+@dataclass(frozen=True)
+class _HeteroCell:
+    """One grid cell, picklable for the experiment fan-out."""
+
+    platform: str
+    tech_node: str
+    num_cores: int
+    seed_offset: int
+    profile: ExperimentProfile
+
+    def run(self) -> HeteroCellResult:
+        graph = mpeg2_decoder()
+        deadline_s = MPEG2_DEADLINE_S * DEADLINE_SLACK
+        evaluator = build_evaluator(
+            graph,
+            self.num_cores,
+            deadline_s,
+            platform=self.platform,
+            tech_node=self.tech_node,
+        )
+        # Level 1 exists in every table at every node (the nominal
+        # point never drops below Vth), so the fixed design is
+        # well-defined across the whole grid.
+        fixed = evaluator.evaluate(
+            Mapping.round_robin(graph, self.num_cores), (1,) * self.num_cores
+        )
+        best = build_optimizer(
+            graph,
+            self.num_cores,
+            deadline_s,
+            self.profile.with_platform(self.platform, self.tech_node),
+            seed_offset=self.seed_offset,
+        ).optimize().best
+        return HeteroCellResult(
+            platform=self.platform,
+            tech_node=self.tech_node,
+            fixed_power_mw=fixed.power_mw,
+            fixed_gamma=fixed.expected_seus,
+            fixed_makespan_s=fixed.makespan_s,
+            best=best,
+        )
+
+
+@dataclass
+class HeteroResult:
+    """The grid, keyed ``(platform, tech_node)`` in sweep order."""
+
+    cells: Dict[Tuple[str, str], HeteroCellResult] = field(default_factory=dict)
+    platforms: Tuple[str, ...] = PLATFORMS
+    tech_nodes: Tuple[str, ...] = TECH_NODES
+
+    def _series(self, platform: str) -> List[HeteroCellResult]:
+        return [self.cells[(platform, node)] for node in self.tech_nodes]
+
+    def shape_checks(self) -> Dict[str, bool]:
+        checks = {
+            "grid_complete": all(
+                (platform, node) in self.cells
+                for platform in self.platforms
+                for node in self.tech_nodes
+            )
+        }
+        if not checks["grid_complete"]:
+            return checks
+        reference = self._series(self.platforms[0])
+        checks["reference_power_scales_down_with_node"] = all(
+            later.fixed_power_mw < earlier.fixed_power_mw
+            for earlier, later in zip(reference, reference[1:])
+        )
+        checks["reference_gamma_grows_as_nodes_shrink"] = all(
+            later.fixed_gamma > earlier.fixed_gamma
+            for earlier, later in zip(reference, reference[1:])
+        )
+        checks["reference_feasible_at_every_node"] = all(
+            cell.best is not None for cell in reference
+        )
+        return checks
+
+    def format_table(self) -> str:
+        headers = [
+            "Platform",
+            "Node",
+            "P_fix,mW",
+            "Gamma_fix",
+            "T_M_fix,ms",
+            "Best design",
+        ]
+        rows = []
+        for platform in self.platforms:
+            for node in self.tech_nodes:
+                cell = self.cells.get((platform, node))
+                if cell is None:
+                    rows.append([platform, node, "-", "-", "-", "-"])
+                    continue
+                rows.append(
+                    [
+                        platform,
+                        node,
+                        f"{cell.fixed_power_mw:.3f}",
+                        f"{cell.fixed_gamma:.2e}",
+                        f"{cell.fixed_makespan_s * 1e3:.1f}",
+                        cell.best.summary() if cell.best else "infeasible",
+                    ]
+                )
+        return format_table(headers, rows)
+
+
+def run_hetero(
+    profile: Optional[ExperimentProfile] = None,
+    platforms: Sequence[str] = PLATFORMS,
+    tech_nodes: Sequence[str] = TECH_NODES,
+    num_cores: int = NUM_CORES,
+) -> HeteroResult:
+    """Run the platform × node grid (streams/resumes under ``"hetero"``)."""
+    profile = profile or ExperimentProfile.fast()
+    jobs = [
+        _HeteroCell(
+            platform=platform,
+            tech_node=node,
+            num_cores=num_cores,
+            seed_offset=index,
+            profile=profile,
+        )
+        for index, (platform, node) in enumerate(
+            (platform, node) for platform in platforms for node in tech_nodes
+        )
+    ]
+    results = run_cells(jobs, profile, label="hetero")
+    grid = HeteroResult(platforms=tuple(platforms), tech_nodes=tuple(tech_nodes))
+    for job, cell in zip(jobs, results):
+        grid.cells[(job.platform, job.tech_node)] = cell
+    return grid

@@ -18,6 +18,7 @@ from repro.experiments.fig3 import run_fig3
 from repro.experiments.fig9 import run_fig9
 from repro.experiments.fig10 import run_fig10
 from repro.experiments.fig11 import run_fig11
+from repro.experiments.hetero import run_hetero
 from repro.experiments.table2 import run_table2
 from repro.experiments.table3 import run_table3
 
@@ -28,6 +29,7 @@ _RUNNERS: Dict[str, Callable[..., Any]] = {
     "table3": run_table3,
     "fig10": run_fig10,
     "fig11": run_fig11,
+    "hetero": run_hetero,
 }
 
 _TITLES: Dict[str, str] = {
@@ -37,6 +39,7 @@ _TITLES: Dict[str, str] = {
     "table3": "Table III — architecture allocation sweep",
     "fig10": "Fig. 10 — Exp:3 vs Exp:4 across core counts",
     "fig11": "Fig. 11 — voltage scaling level study",
+    "hetero": "Extension — heterogeneous platform x technology node sweep",
 }
 
 

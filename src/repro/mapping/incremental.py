@@ -123,7 +123,7 @@ class IncrementalMappingState:
         if scaling is None:
             scaling_vector = platform.scaling_vector()
         else:
-            scaling_vector = platform.scaling_table.validate_assignment(scaling)
+            scaling_vector = platform.validate_assignment(scaling)
         self._compiled = evaluator.graph.compiled()
         self._num_cores = platform.num_cores
         frequencies, _, rates = evaluator._operating_point(scaling_vector)
@@ -135,10 +135,29 @@ class IncrementalMappingState:
         # busy time; the dedicated model may use the full Eq. 7 sum.
         self._dedicated = evaluator.comm_model == "dedicated"
         self._max_frequency = max(frequencies)
+        compiled = self._compiled
+        # Per-core computation cycle rows.  Single-type platforms share
+        # the compiled base tuple per core (identical int objects — the
+        # seed path); heterogeneous platforms resolve each core's
+        # scaled row.
+        cycle_scales = evaluator._cycle_scales
+        if cycle_scales is None:
+            self._core_cycles: Tuple[Tuple[int, ...], ...] = (
+                compiled.cycles,
+            ) * self._num_cores
+            min_cycles: Sequence[int] = compiled.cycles
+        else:
+            self._core_cycles = compiled.cycles_for_cores(cycle_scales)
+            distinct_rows = set(self._core_cycles)
+            min_cycles = [
+                min(row[i] for row in distinct_rows)
+                for i in range(compiled.num_tasks)
+            ]
         # Computation-only critical path: a mapping-independent lower
         # bound on any schedule (comm can only add time; every task
-        # runs no faster than the fastest clock).
-        compiled = self._compiled
+        # runs no faster than the fastest clock, and — on
+        # heterogeneous platforms — no faster than its cheapest
+        # core-type cycle count).
         comp_levels = [0] * compiled.num_tasks
         for i in reversed(compiled.topo_order):
             best_tail = 0
@@ -146,7 +165,7 @@ class IncrementalMappingState:
                 tail = comp_levels[compiled.succ_idx[e]]
                 if tail > best_tail:
                     best_tail = tail
-            comp_levels[i] = compiled.cycles[i] + best_tail
+            comp_levels[i] = min_cycles[i] + best_tail
         self._comp_critical_cycles = max(comp_levels) if comp_levels else 0
         self.rebuild(mapping)
 
@@ -178,9 +197,10 @@ class IncrementalMappingState:
                 mask ^= low
         busy = [0] * num_cores
         comp_busy = [0] * num_cores
+        core_cycles = self._core_cycles
         for i, core in enumerate(cores):
             busy[core] += self._eq7_term(i, cores)
-            comp_busy[core] += compiled.cycles[i]
+            comp_busy[core] += core_cycles[core][i]
         self._cores = cores
         self._counts = counts
         self._bits = bits
@@ -191,7 +211,7 @@ class IncrementalMappingState:
         """Task ``i``'s contribution to its core's ``T_i`` (Eq. 7)."""
         compiled = self._compiled
         core = cores[i]
-        total = compiled.cycles[i]
+        total = self._core_cycles[core][i]
         for e in range(compiled.pred_ptr[i], compiled.pred_ptr[i + 1]):
             if cores[compiled.pred_idx[e]] != core:
                 total += compiled.pred_comm[e]
@@ -323,7 +343,7 @@ class IncrementalMappingState:
         """
         compiled = self._compiled
         cores = self._cores
-        cycles = compiled.cycles
+        core_cycles = self._core_cycles
         pred_ptr = compiled.pred_ptr
         pred_idx = compiled.pred_idx
         pred_comm = compiled.pred_comm
@@ -331,10 +351,11 @@ class IncrementalMappingState:
         succ_idx = compiled.succ_idx
         succ_comm = compiled.succ_comm
         busy = list(self._busy)
-        # Remove the moved tasks' own terms (old assignment)...
+        # Remove the moved tasks' own terms (old assignment, at the old
+        # core's cycle row)...
         for i in reassignment:
             core = cores[i]
-            term = cycles[i]
+            term = core_cycles[core][i]
             for e in range(pred_ptr[i], pred_ptr[i + 1]):
                 if cores[pred_idx[e]] != core:
                     term += pred_comm[e]
@@ -364,7 +385,7 @@ class IncrementalMappingState:
         try:
             for i in reassignment:
                 core = cores[i]
-                term = cycles[i]
+                term = core_cycles[core][i]
                 for e in range(pred_ptr[i], pred_ptr[i + 1]):
                     if cores[pred_idx[e]] != core:
                         term += pred_comm[e]
@@ -451,10 +472,11 @@ class IncrementalMappingState:
                     f"core index {core} outside 0..{self._num_cores - 1}"
                 )
         comp_busy = list(self._comp_busy)
+        core_cycles = self._core_cycles
         for i, new_core in reassignment.items():
-            cycles = self._compiled.cycles[i]
-            comp_busy[self._cores[i]] -= cycles
-            comp_busy[new_core] += cycles
+            old_core = self._cores[i]
+            comp_busy[old_core] -= core_cycles[old_core][i]
+            comp_busy[new_core] += core_cycles[new_core][i]
         return self._estimate(
             self._bits_after(reassignment), self._busy_after(reassignment), comp_busy
         )
@@ -485,10 +507,11 @@ class IncrementalMappingState:
                 mask ^= low
         self._busy = new_busy
         comp_busy = self._comp_busy
+        core_cycles = self._core_cycles
         for i, new_core in reassignment.items():
-            cycles = compiled.cycles[i]
-            comp_busy[cores[i]] -= cycles
-            comp_busy[new_core] += cycles
+            old_core = cores[i]
+            comp_busy[old_core] -= core_cycles[old_core][i]
+            comp_busy[new_core] += core_cycles[new_core][i]
             cores[i] = new_core
 
     def _estimate(

@@ -432,9 +432,16 @@ class MappingEvaluator:
         self.graph = graph
         self.platform = platform
         self.ser_model = ser_model or SERModel()
-        self.power_model = power_model or PowerModel(
-            platform.core_spec.switched_capacitance_f
-        )
+        if power_model is None:
+            # Heterogeneous platforms fall back to each core's own spec
+            # capacitance; homogeneous ones pin the shared value (the
+            # seed construction, same float everywhere).
+            power_model = (
+                PowerModel()
+                if platform.is_heterogeneous
+                else PowerModel(platform.core_spec.switched_capacitance_f)
+            )
+        self.power_model = power_model
         self.deadline_s = deadline_s
         self.comm_model = comm_model
         self._cache: "OrderedDict[SignatureKey, DesignPoint]" = OrderedDict()
@@ -454,6 +461,11 @@ class MappingEvaluator:
         self._batched_schedulers: Dict[Tuple[int, ...], BatchedListScheduler] = {}
         self._power_terms_memo: Dict[Tuple[int, ...], object] = {}
         self._scaling_memo: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
+        # Per-core cycle-scale factors for heterogeneous platforms;
+        # None keeps every scheduler on the base-cycle seed path.
+        self._cycle_scales = (
+            None if platform.uniform_unit_cycles else platform.cycle_scales()
+        )
         self._compiled = graph.compiled()
 
     def _sync_compiled(self):
@@ -486,7 +498,7 @@ class MappingEvaluator:
         cached = self._scaling_memo.get(key)
         if cached is not None:
             return cached
-        scaling_vector = self.platform.scaling_table.validate_assignment(key)
+        scaling_vector = self.platform.validate_assignment(key)
         if len(scaling_vector) != self.platform.num_cores:
             raise ValueError(
                 f"scaling vector has {len(scaling_vector)} entries for "
@@ -880,11 +892,17 @@ class MappingEvaluator:
         """Memoized (frequencies, voltages, lambda rates) for a scaling."""
         cached = self._operating_points.get(scaling)
         if cached is None:
-            table = self.platform.scaling_table
+            # Per-core tables: one shared object on homogeneous
+            # platforms, so the floats are exactly the seed path's.
+            tables = self.platform.core_tables
             frequencies = tuple(
-                table.frequency_hz(coefficient) for coefficient in scaling
+                table.frequency_hz(coefficient)
+                for table, coefficient in zip(tables, scaling)
             )
-            voltages = tuple(table.vdd_v(coefficient) for coefficient in scaling)
+            voltages = tuple(
+                table.vdd_v(coefficient)
+                for table, coefficient in zip(tables, scaling)
+            )
             rates = tuple(self.ser_model.rate(vdd) for vdd in voltages)
             cached = (frequencies, voltages, rates)
             self._operating_points[scaling] = cached
@@ -897,7 +915,10 @@ class MappingEvaluator:
         if scheduler is None:
             frequencies, _, _ = self._operating_point(scaling)
             scheduler = ListScheduler(
-                self.graph, frequencies, comm_model=self.comm_model
+                self.graph,
+                frequencies,
+                comm_model=self.comm_model,
+                cycle_scales=self._cycle_scales,
             )
             self._schedulers[scaling] = scheduler
         return scheduler
@@ -925,7 +946,10 @@ class MappingEvaluator:
         if batched is None:
             frequencies, _, _ = self._operating_point(scaling)
             batched = BatchedListScheduler(
-                self.graph, frequencies, comm_model=self.comm_model
+                self.graph,
+                frequencies,
+                comm_model=self.comm_model,
+                cycle_scales=self._cycle_scales,
             )
             self._batched_schedulers[scaling] = batched
         return batched
@@ -1002,14 +1026,25 @@ class MappingEvaluator:
         """
         if scaling is None:
             scaling = self.platform.scaling_vector()
-        scaling = self.platform.scaling_table.validate_assignment(scaling)
+        scaling = self.platform.validate_assignment(scaling)
         graph, platform = self.graph, self.platform
         mapping.validate_against(graph)
-        table = platform.scaling_table
-        frequencies = [table.frequency_hz(coefficient) for coefficient in scaling]
-        voltages = [table.vdd_v(coefficient) for coefficient in scaling]
+        tables = platform.core_tables
+        frequencies = [
+            table.frequency_hz(coefficient)
+            for table, coefficient in zip(tables, scaling)
+        ]
+        voltages = [
+            table.vdd_v(coefficient)
+            for table, coefficient in zip(tables, scaling)
+        ]
 
-        scheduler = ListScheduler(graph, frequencies, comm_model=self.comm_model)
+        scheduler = ListScheduler(
+            graph,
+            frequencies,
+            comm_model=self.comm_model,
+            cycle_scales=self._cycle_scales,
+        )
         schedule = scheduler.schedule_reference(mapping)
         makespan_s = schedule.makespan_s()
         activities = schedule.activities()

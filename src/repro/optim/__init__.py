@@ -17,7 +17,9 @@
 
 from repro.optim.scaling_algorithm import (
     next_scaling,
+    num_platform_scaling_combinations,
     num_scaling_combinations,
+    platform_scaling_combinations,
     scaling_combinations,
 )
 from repro.optim.objectives import (
@@ -79,7 +81,9 @@ __all__ = [
     "initial_sea_mapping",
     "neighbor_mappings",
     "next_scaling",
+    "num_platform_scaling_combinations",
     "num_scaling_combinations",
+    "platform_scaling_combinations",
     "random_neighbor",
     "scaling_combinations",
     "sea_mapper",

@@ -41,7 +41,7 @@ from repro.optim.annealing import (
 from repro.optim.initial_mapping import initial_sea_mapping
 from repro.optim.objectives import Objective, SEUObjective
 from repro.optim.optimized_mapping import OptimizedMappingSearch
-from repro.optim.scaling_algorithm import scaling_combinations
+from repro.optim.scaling_algorithm import platform_scaling_combinations
 from repro.taskgraph.graph import TaskGraph
 
 #: A mapping strategy: (evaluator, scaling, seed) -> best design point.
@@ -554,9 +554,15 @@ class DesignOptimizer:
         T_M``.  Only the *ordering* matters: assessing scalings
         cheapest-first makes the unhelpful-streak early exit safe.
         """
-        table = self.platform.scaling_table
-        frequencies = [table.frequency_hz(coefficient) for coefficient in scaling]
-        voltages = [table.vdd_v(coefficient) for coefficient in scaling]
+        tables = self.platform.core_tables
+        frequencies = [
+            table.frequency_hz(coefficient)
+            for table, coefficient in zip(tables, scaling)
+        ]
+        voltages = [
+            table.vdd_v(coefficient)
+            for table, coefficient in zip(tables, scaling)
+        ]
         work = float(self.graph.total_cycles())
         pooled = sum(frequencies)
         makespan = max(
@@ -594,11 +600,7 @@ class DesignOptimizer:
         """
         platform = self.platform
         if scalings is None:
-            scalings = list(
-                scaling_combinations(
-                    platform.num_cores, platform.scaling_table.num_levels
-                )
-            )
+            scalings = list(platform_scaling_combinations(platform))
             scalings.sort(key=self.power_proxy)
         scalings = [tuple(scaling) for scaling in scalings]
         fixed_mapping = None
@@ -857,9 +859,9 @@ class DesignOptimizer:
         seed, so the stochastic mapping stage produces the same design
         and cross-preset comparisons (Fig. 11) are apples-to-apples.
         """
-        table = self.platform.scaling_table
+        tables = self.platform.core_tables
         value = 0
-        for coefficient in scaling:
+        for table, coefficient in zip(tables, scaling):
             level = table.level(coefficient)
             value = (
                 value * 1_000_003

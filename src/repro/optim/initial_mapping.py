@@ -113,11 +113,10 @@ def initial_sea_mapping(
     if deadline_s <= 0:
         raise ValueError("deadline must be positive")
     ser_model = ser_model or SERModel()
-    table = platform.scaling_table
     if scaling is None:
         scaling = platform.scaling_vector()
     else:
-        scaling = table.validate_assignment(scaling)
+        scaling = platform.validate_assignment(scaling)
         if len(scaling) != platform.num_cores:
             raise ValueError(
                 f"scaling vector has {len(scaling)} entries for "
@@ -125,12 +124,13 @@ def initial_sea_mapping(
             )
 
     num_cores = platform.num_cores
+    tables = platform.core_tables
     cores = [
         _CoreState(
             frequency_hz=table.frequency_hz(coefficient),
             rate=ser_model.rate(table.vdd_v(coefficient)),
         )
-        for coefficient in scaling
+        for table, coefficient in zip(tables, scaling)
     ]
 
     core_of: Dict[str, int] = {}

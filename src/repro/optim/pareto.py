@@ -20,7 +20,7 @@ from repro.arch.mpsoc import MPSoC
 from repro.faults.ser import SERModel
 from repro.mapping.metrics import DesignPoint, MappingEvaluator
 from repro.optim.design_optimizer import Mapper, sea_mapper
-from repro.optim.scaling_algorithm import scaling_combinations
+from repro.optim.scaling_algorithm import platform_scaling_combinations
 from repro.taskgraph.graph import TaskGraph
 
 #: Axis extractor: design point -> objective value (lower is better).
@@ -99,9 +99,7 @@ def explore_pareto(
         graph, platform, ser_model=ser_model, deadline_s=deadline_s
     )
     feasible: List[DesignPoint] = []
-    for index, scaling in enumerate(
-        scaling_combinations(platform.num_cores, platform.scaling_table.num_levels)
-    ):
+    for index, scaling in enumerate(platform_scaling_combinations(platform)):
         point = mapper(evaluator, scaling, seed + index)
         if point.makespan_s <= deadline_s + 1e-12:
             feasible.append(point)

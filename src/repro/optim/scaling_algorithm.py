@@ -19,8 +19,9 @@ check row by row.
 
 from __future__ import annotations
 
+from itertools import product
 from math import comb
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 
 def next_scaling(prev: Sequence[int], num_levels: Optional[int] = None) -> Optional[Tuple[int, ...]]:
@@ -90,3 +91,55 @@ def num_scaling_combinations(num_cores: int, num_levels: int) -> int:
 def all_scalings_list(num_cores: int, num_levels: int) -> List[Tuple[int, ...]]:
     """Materialized :func:`scaling_combinations` (convenience)."""
     return list(scaling_combinations(num_cores, num_levels))
+
+
+def platform_scaling_combinations(platform) -> Iterator[Tuple[int, ...]]:
+    """Unique scaling vectors of an :class:`~repro.arch.mpsoc.MPSoC`.
+
+    Single-type platforms delegate verbatim to
+    :func:`scaling_combinations` — the paper's Fig. 5(b) walk, bit for
+    bit.  On heterogeneous platforms cores of the *same type* remain
+    interchangeable (identical tables), so only the per-type multiset
+    matters: the enumeration is the cartesian product over type groups
+    of each group's own Fig. 5(b) walk, mapped back onto the core
+    slots.  Deterministic order: groups sorted by type index, each
+    group deepest-first, first group outermost.
+    """
+    if not platform.is_heterogeneous:
+        yield from scaling_combinations(
+            platform.num_cores, platform.scaling_table.num_levels
+        )
+        return
+    groups: Dict[int, List[int]] = {}
+    for core, type_index in enumerate(platform.type_of_core):
+        groups.setdefault(type_index, []).append(core)
+    ordered = sorted(groups.items())
+    per_group = [
+        all_scalings_list(
+            len(cores), platform.core_types[type_index].scaling_table.num_levels
+        )
+        for type_index, cores in ordered
+    ]
+    for combo in product(*per_group):
+        vector = [0] * platform.num_cores
+        for (_, cores), assignment in zip(ordered, combo):
+            for core, coefficient in zip(cores, assignment):
+                vector[core] = coefficient
+        yield tuple(vector)
+
+
+def num_platform_scaling_combinations(platform) -> int:
+    """Count of :func:`platform_scaling_combinations` vectors."""
+    if not platform.is_heterogeneous:
+        return num_scaling_combinations(
+            platform.num_cores, platform.scaling_table.num_levels
+        )
+    counts: Dict[int, int] = {}
+    for type_index in platform.type_of_core:
+        counts[type_index] = counts.get(type_index, 0) + 1
+    total = 1
+    for type_index, num_cores in sorted(counts.items()):
+        total *= num_scaling_combinations(
+            num_cores, platform.core_types[type_index].scaling_table.num_levels
+        )
+    return total

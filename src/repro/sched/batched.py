@@ -96,6 +96,7 @@ class BatchScheduleResult:
         "busy_cycles",
         "num_cores",
         "frequencies_hz",
+        "core_cycles",
     )
 
     def __init__(
@@ -112,6 +113,7 @@ class BatchScheduleResult:
         busy_cycles,
         num_cores,
         frequencies_hz,
+        core_cycles=None,
     ) -> None:
         self.order = order
         self.names = names
@@ -125,6 +127,9 @@ class BatchScheduleResult:
         self.busy_cycles = busy_cycles
         self.num_cores = num_cores
         self.frequencies_hz = frequencies_hz
+        # Per-core cycle rows for heterogeneous platforms; None keeps
+        # the homogeneous (base-cycle) materialization path.
+        self.core_cycles = core_cycles
 
     def __len__(self) -> int:
         return len(self.makespans)
@@ -168,14 +173,19 @@ class BatchScheduleResult:
         starts_row = self.starts[row]
         finishes_row = self.finishes[row]
         receive_row = self.receive[row]
-        cycles = self.cycles
         names = self.names
+        core_cycles = self.core_cycles
+        if core_cycles is None:
+            cycles = self.cycles
+            compute = [cycles[t] for t in order]
+        else:
+            compute = [core_cycles[int(cores_row[t])][t] for t in order]
         return Schedule.from_arrays(
             [names[t] for t in order],
             [int(cores_row[t]) for t in order],
             [float(starts_row[t]) for t in order],
             [float(finishes_row[t]) for t in order],
-            [cycles[t] for t in order],
+            compute,
             [int(receive_row[t]) for t in order],
             self.num_cores,
             self.frequencies_hz,
@@ -206,6 +216,7 @@ class BatchedListScheduler:
         frequencies_hz: Sequence[float],
         comm_model: str = "dedicated",
         bus_frequency_hz: Optional[float] = None,
+        cycle_scales: Optional[Sequence[float]] = None,
     ) -> None:
         if _np is None:
             raise RuntimeError(
@@ -226,6 +237,19 @@ class BatchedListScheduler:
         self._graph = graph
         self._compiled = graph.compiled()
         self._frequencies = tuple(float(f) for f in frequencies_hz)
+        if cycle_scales is not None:
+            scales = tuple(float(scale) for scale in cycle_scales)
+            if len(scales) != len(self._frequencies):
+                raise ValueError(
+                    f"cycle_scales has {len(scales)} entries for "
+                    f"{len(self._frequencies)} cores"
+                )
+            for scale in scales:
+                if scale <= 0.0:
+                    raise ValueError(f"cycle scales must be positive, got {scale}")
+            # All-unit scales collapse to the homogeneous seed path.
+            cycle_scales = None if all(s == 1.0 for s in scales) else scales
+        self._cycle_scales: Optional[Sequence[float]] = cycle_scales
         self.comm_model = comm_model
         self._bus_frequency = bus_frequency_hz or max(self._frequencies)
         self._compile_plan()
@@ -278,6 +302,17 @@ class BatchedListScheduler:
                 self._step_comm.append(None)
         self._freq_array = _np.array(self._frequencies, dtype=_np.float64)
         self._cycles_array = _np.array(compiled.cycles, dtype=_np.int64)
+        # Heterogeneous platforms: a (num_cores, T) cycle matrix so the
+        # timing pass can gather per-(core, task) compute costs; None
+        # keeps the homogeneous python-int path bit for bit.
+        if self._cycle_scales is None:
+            self._core_cycles_rows = None
+            self._core_cycles_array = None
+        else:
+            self._core_cycles_rows = compiled.cycles_for_cores(self._cycle_scales)
+            self._core_cycles_array = _np.array(
+                self._core_cycles_rows, dtype=_np.int64
+            )
 
     @property
     def num_cores(self) -> int:
@@ -337,7 +372,12 @@ class BatchedListScheduler:
             self._run_steps(cores, starts, finishes, receive, busy_s)
             # Integer busy sums are order-insensitive (exact below
             # 2**53), so they vectorize outside the timing loop.
-            occupancy = self._cycles_array + receive
+            if self._core_cycles_array is None:
+                occupancy = self._cycles_array + receive
+            else:
+                occupancy = (
+                    self._core_cycles_array[cores, _np.arange(n)] + receive
+                )
             busy_cycles = _np.stack(
                 [
                     _np.where(cores == core, occupancy, 0).sum(axis=1)
@@ -354,6 +394,7 @@ class BatchedListScheduler:
             order=self._order,
             names=compiled.names,
             cycles=compiled.cycles,
+            core_cycles=self._core_cycles_rows,
             cores=cores,
             starts=starts,
             finishes=finishes,
@@ -370,6 +411,7 @@ class BatchedListScheduler:
         np = _np
         compiled = self._compiled
         cycles = compiled.cycles
+        core_cycles_arr = self._core_cycles_array
         freq = self._freq_array
         batch = cores.shape[0]
         rows = np.arange(batch)
@@ -382,7 +424,12 @@ class BatchedListScheduler:
             core = cores[:, task]
             earliest = core_free[rows, core]  # fancy indexing copies
             preds = self._step_preds[step]
-            busy = cycles[task]
+            if core_cycles_arr is None:
+                busy = cycles[task]
+            else:
+                # Per-(core, task) compute cost: gather the assigned
+                # core's cycle row across the batch.
+                busy = core_cycles_arr[core, task]
             if preds is not None and dedicated and len(preds) == 1:
                 # Single-predecessor fast path: basic-slice views, no
                 # axis reductions (most tasks in chain-heavy graphs).

@@ -73,6 +73,13 @@ class ListScheduler:
     frequencies_hz:
         Per-core clock frequencies.  Usually obtained from an
         :class:`~repro.arch.mpsoc.MPSoC` via :meth:`for_platform`.
+    cycle_scales:
+        Optional per-core cycle-scale factors for heterogeneous
+        platforms: a task of ``c`` base cycles costs
+        ``max(1, round(c * scale))`` compute cycles on that core.
+        ``None`` (or all ones) keeps every core on the base cycle
+        tuple — the seed path.  Priorities stay base-cycle-derived
+        either way, so the pop order remains mapping-independent.
     """
 
     _COMM_MODELS = ("dedicated", "shared-bus")
@@ -83,6 +90,7 @@ class ListScheduler:
         frequencies_hz: Sequence[float],
         comm_model: str = "dedicated",
         bus_frequency_hz: Optional[float] = None,
+        cycle_scales: Optional[Sequence[float]] = None,
     ) -> None:
         graph.validate()
         if not frequencies_hz:
@@ -97,6 +105,19 @@ class ListScheduler:
         self._graph = graph
         self._compiled = graph.compiled()
         self._frequencies = tuple(float(f) for f in frequencies_hz)
+        if cycle_scales is not None:
+            scales = tuple(float(scale) for scale in cycle_scales)
+            if len(scales) != len(self._frequencies):
+                raise ValueError(
+                    f"cycle_scales has {len(scales)} entries for "
+                    f"{len(self._frequencies)} cores"
+                )
+            for scale in scales:
+                if scale <= 0.0:
+                    raise ValueError(f"cycle scales must be positive, got {scale}")
+            # All-unit scales collapse to the homogeneous seed path.
+            cycle_scales = None if all(s == 1.0 for s in scales) else scales
+        self._cycle_scales: Optional[Sequence[float]] = cycle_scales
         self.comm_model = comm_model
         if bus_frequency_hz is not None and bus_frequency_hz <= 0:
             raise ValueError("bus frequency must be positive")
@@ -116,6 +137,13 @@ class ListScheduler:
         ]
         heapq.heapify(initial_ready)
         self._initial_ready = initial_ready
+        # Per-core cycle rows.  Homogeneous platforms point every core
+        # at the base tuple *object*, so the ints fetched in the hot
+        # loop are exactly the seed path's.
+        if self._cycle_scales is None:
+            self._core_cycles = (compiled.cycles,) * len(self._frequencies)
+        else:
+            self._core_cycles = compiled.cycles_for_cores(self._cycle_scales)
 
     @classmethod
     def for_platform(
@@ -134,13 +162,20 @@ class ListScheduler:
         """
         if scaling is None:
             scaling = platform.scaling_vector()
-        table = platform.scaling_table
-        frequencies = [table.frequency_hz(coefficient) for coefficient in scaling]
+        tables = platform.core_tables
+        frequencies = [
+            table.frequency_hz(coefficient)
+            for table, coefficient in zip(tables, scaling)
+        ]
+        cycle_scales = (
+            None if platform.uniform_unit_cycles else platform.cycle_scales()
+        )
         return cls(
             graph,
             frequencies,
             comm_model=comm_model,
             bus_frequency_hz=bus_frequency_hz,
+            cycle_scales=cycle_scales,
         )
 
     @property
@@ -178,7 +213,7 @@ class ListScheduler:
             )
 
         n = compiled.num_tasks
-        cycles = compiled.cycles
+        core_cycles = self._core_cycles
         pred_ptr = compiled.pred_ptr
         pred_idx = compiled.pred_idx
         pred_comm = compiled.pred_comm
@@ -234,7 +269,7 @@ class ListScheduler:
                         bus_free_at = transfer_finish
                         if transfer_finish > earliest:
                             earliest = transfer_finish
-            compute = cycles[i]
+            compute = core_cycles[core][i]
             duration = (compute + receive_cycles) / frequency
             finish = earliest + duration
             core_free_at[core] = finish
@@ -322,7 +357,12 @@ class ListScheduler:
                         bus_free_at = transfer_finish
                         earliest = max(earliest, transfer_finish)
 
-            duration = (task.cycles + receive_cycles) / frequency
+            compute = task.cycles
+            if self._cycle_scales is not None:
+                scale = self._cycle_scales[core]
+                if scale != 1.0:
+                    compute = max(1, round(task.cycles * scale))
+            duration = (compute + receive_cycles) / frequency
             start = earliest
             finish = start + duration
             core_free_at[core] = finish
@@ -333,7 +373,7 @@ class ListScheduler:
                     core=core,
                     start_s=start,
                     finish_s=finish,
-                    compute_cycles=task.cycles,
+                    compute_cycles=compute,
                     receive_cycles=receive_cycles,
                 )
             )

@@ -108,7 +108,7 @@ class MPSoCSimulator:
         self.platform = platform
         if scaling is None:
             scaling = platform.scaling_vector()
-        self.scaling = platform.scaling_table.validate_assignment(scaling)
+        self.scaling = platform.validate_assignment(scaling)
         if len(self.scaling) != platform.num_cores:
             raise ValueError(
                 f"scaling vector has {len(self.scaling)} entries for "
@@ -116,16 +116,23 @@ class MPSoCSimulator:
             )
         self.residency = residency
         self.comm_model = comm_model
-        table = platform.scaling_table
+        tables = platform.core_tables
         self.frequencies_hz: Tuple[float, ...] = tuple(
-            table.frequency_hz(coefficient) for coefficient in self.scaling
+            table.frequency_hz(coefficient)
+            for table, coefficient in zip(tables, self.scaling)
+        )
+        self._cycle_scales = (
+            None if platform.uniform_unit_cycles else platform.cycle_scales()
         )
 
     def run(self, mapping: Mapping, collect_trace: bool = False) -> SimulationResult:
         """Simulate ``mapping`` and return the result bundle."""
         mapping.validate_against(self.graph)
         scheduler = ListScheduler(
-            self.graph, self.frequencies_hz, comm_model=self.comm_model
+            self.graph,
+            self.frequencies_hz,
+            comm_model=self.comm_model,
+            cycle_scales=self._cycle_scales,
         )
         schedule = scheduler.schedule(mapping)
 

@@ -14,7 +14,8 @@ Provided graphs:
 * :func:`~repro.taskgraph.random_graphs.random_task_graph` — the
   random graphs of Section V (Table III).
 * :mod:`~repro.taskgraph.generators` — extra synthetic families
-  (pipelines, fork-join, layered) for testing and benchmarks.
+  (pipelines, fork-join, layered, streaming split/merge, TGFF-style
+  random DAGs up to thousands of tasks) for testing and benchmarks.
 """
 
 from repro.taskgraph.graph import Task, TaskGraph
@@ -27,6 +28,8 @@ from repro.taskgraph.generators import (
     fork_join_graph,
     layered_graph,
     pipeline_graph,
+    streaming_pipeline_graph,
+    tgff_random_graph,
 )
 from repro.taskgraph.serialize import graph_from_dict, graph_to_dict
 from repro.taskgraph.workloads import (
@@ -57,4 +60,6 @@ __all__ = [
     "mpeg2_decoder",
     "pipeline_graph",
     "random_task_graph",
+    "streaming_pipeline_graph",
+    "tgff_random_graph",
 ]

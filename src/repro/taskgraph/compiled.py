@@ -73,6 +73,7 @@ class CompiledTaskGraph:
         "critical_path_cycles",
         "_mask_bits_cache",
         "_signature_tables",
+        "_scaled_cycles_cache",
     )
 
     def __init__(self, graph) -> None:
@@ -158,8 +159,40 @@ class CompiledTaskGraph:
         self.task_register_masks: Tuple[int, ...] = tuple(masks)
         self._mask_bits_cache: Dict[int, int] = {0: 0}
         self._signature_tables: Dict[int, List[Tuple[int, ...]]] = {}
+        self._scaled_cycles_cache: Dict[float, Tuple[int, ...]] = {}
 
     # -- queries -------------------------------------------------------------
+
+    def cycles_for_scale(self, cycle_scale: float) -> Tuple[int, ...]:
+        """Per-task cycle row for a core type scaling cycles by
+        ``cycle_scale`` (``max(1, round(c * scale))`` per task).
+
+        Scale ``1.0`` returns the base :attr:`cycles` tuple *object*
+        itself — the identity that keeps single-type platforms on the
+        seed path bit for bit.  Other scales are memoized per compiled
+        view, so the per-(task, core-type) table costs one pass per
+        type, not one per schedule.
+        """
+        if cycle_scale == 1.0:
+            return self.cycles
+        row = self._scaled_cycles_cache.get(cycle_scale)
+        if row is None:
+            if cycle_scale <= 0.0:
+                raise ValueError(
+                    f"cycle_scale must be positive, got {cycle_scale}"
+                )
+            row = tuple(
+                max(1, round(c * cycle_scale)) for c in self.cycles
+            )
+            self._scaled_cycles_cache[cycle_scale] = row
+        return row
+
+    def cycles_for_cores(
+        self, cycle_scales: Sequence[float]
+    ) -> Tuple[Tuple[int, ...], ...]:
+        """Per-core cycle rows (``rows[core][task]``) for per-core scale
+        factors.  Cores sharing a scale share one row object."""
+        return tuple(self.cycles_for_scale(scale) for scale in cycle_scales)
 
     def mask_bits(self, mask: int) -> int:
         """Bit-cardinality of a register mask: Eq. (8)'s ``R_i`` in bits.

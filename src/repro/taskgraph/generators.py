@@ -9,10 +9,19 @@ for unit tests, property-based tests and micro-benchmarks:
   parallel branches joining at a sink (maximal parallelism).
 * :func:`layered_graph` — ``depth`` layers of ``width`` tasks with
   dense layer-to-layer dependencies (typical DSP/streaming shape).
+* :func:`streaming_pipeline_graph` — a split/compute/merge streaming
+  application: pipeline stages with per-stage data parallelism and
+  stage-buffer registers (the shape heterogeneous big/little platforms
+  exercise best: wide stages want many cheap cores, serial split/merge
+  stages want one fast core).
+* :func:`tgff_random_graph` — a TGFF-style seeded random DAG scaling
+  to thousands of tasks: series-parallel layer skeleton, random
+  fan-in/fan-out, log-uniform task weights, sparse shared registers.
 """
 
 from __future__ import annotations
 
+import math
 import random
 from typing import Optional
 
@@ -145,5 +154,129 @@ def layered_graph(
                     buffer = Register(name=f"{producer}->{consumer}.buffer", bits=shared_bits)
                     graph.attach_registers(producer, [buffer])
                     graph.attach_registers(consumer, [buffer])
+    graph.validate()
+    return graph
+
+
+def streaming_pipeline_graph(
+    stages: int,
+    parallelism: int,
+    task_cycles: int = 500_000,
+    comm_cycles: int = 50_000,
+    register_bits: int = 1500,
+    shared_bits: int = 800,
+    seed: Optional[int] = None,
+    cycles_spread: int = 250_000,
+) -> TaskGraph:
+    """A split/compute/merge streaming pipeline.
+
+    Each of the ``stages`` compute stages holds ``parallelism`` data-
+    parallel workers fed by a serial splitter and drained by a serial
+    merger (``split0 -> {s0w0..} -> merge0 = split1 -> ...``).  The
+    mergers double as the next stage's splitters, so the graph is the
+    classic streaming skeleton: serial bottleneck tasks alternating
+    with wide parallel regions.  Workers of a stage share that stage's
+    input buffer register (scattered data), and each merger shares an
+    output buffer with its workers — co-locating a stage saves
+    register exposure, spreading it wins makespan.
+
+    Deterministic for a given ``seed``; worker cycle counts vary by
+    ``cycles_spread`` so stages are imbalanced (a scheduler stressor).
+    """
+    if stages < 1 or parallelism < 1:
+        raise ValueError("stages and parallelism must be positive")
+    rng = random.Random(seed) if cycles_spread else None
+    graph = TaskGraph(name=f"streaming-{stages}x{parallelism}")
+    serial_cycles = max(task_cycles // 4, 1)
+    graph.add_task("split0", cycles=serial_cycles, private_register_bits=register_bits)
+    previous = "split0"
+    for stage in range(stages):
+        scatter = (
+            Register(name=f"stage{stage}.in", bits=shared_bits) if shared_bits else None
+        )
+        gather = (
+            Register(name=f"stage{stage}.out", bits=shared_bits) if shared_bits else None
+        )
+        if scatter is not None:
+            graph.attach_registers(previous, [scatter])
+        merger = f"merge{stage}"
+        graph.add_task(
+            merger,
+            cycles=serial_cycles,
+            private_register_bits=register_bits,
+            registers=[gather] if gather else None,
+        )
+        for worker in range(parallelism):
+            name = f"s{stage}w{worker}"
+            registers = [r for r in (scatter, gather) if r is not None]
+            graph.add_task(
+                name,
+                cycles=_uniform_cycles(rng, task_cycles, cycles_spread),
+                private_register_bits=register_bits,
+                registers=registers or None,
+            )
+            graph.add_edge(previous, name, comm_cycles=comm_cycles)
+            graph.add_edge(name, merger, comm_cycles=comm_cycles)
+        previous = merger
+    graph.validate()
+    return graph
+
+
+def tgff_random_graph(
+    num_tasks: int,
+    seed: int = 0,
+    fan_out: int = 3,
+    min_cycles: int = 50_000,
+    max_cycles: int = 2_000_000,
+    comm_cycles: int = 40_000,
+    register_bits: int = 1200,
+    shared_register_probability: float = 0.15,
+    shared_bits: int = 600,
+) -> TaskGraph:
+    """A TGFF-style seeded random DAG for ``num_tasks`` tasks.
+
+    Mirrors the classic TGFF generator's shape without the tool: tasks
+    are laid down in a forward pass where each new task picks 1 to
+    ``fan_out`` predecessors from a recency-biased window of existing
+    tasks (yielding the series-parallel, mostly-local structure TGFF
+    produces), task weights are log-uniform in ``[min_cycles,
+    max_cycles]`` (heavy-tailed, like real kernels), and a sparse
+    fraction of edges carries a shared register block.  Scales to the
+    500-5000-task range the heterogeneous scheduling benches sweep;
+    construction is O(tasks * fan_out) and fully deterministic per
+    ``(num_tasks, seed)``.
+    """
+    if num_tasks < 1:
+        raise ValueError("num_tasks must be positive")
+    if fan_out < 1:
+        raise ValueError("fan_out must be positive")
+    if not 0.0 <= shared_register_probability <= 1.0:
+        raise ValueError("shared_register_probability must be in [0, 1]")
+    if not 0 < min_cycles <= max_cycles:
+        raise ValueError("need 0 < min_cycles <= max_cycles")
+    rng = random.Random(seed)
+    graph = TaskGraph(name=f"tgff-{num_tasks}-s{seed}")
+    log_lo, log_hi = math.log(min_cycles), math.log(max_cycles)
+    names = []
+    for index in range(num_tasks):
+        name = f"t{index}"
+        cycles = int(round(math.exp(rng.uniform(log_lo, log_hi))))
+        graph.add_task(name, cycles=cycles, private_register_bits=register_bits)
+        if index:
+            # Recency-biased predecessor window: TGFF chains stay
+            # mostly local, with occasional long back edges.
+            window = min(index, 4 * fan_out)
+            count = rng.randint(1, min(fan_out, index))
+            choices = rng.sample(range(index - window, index), k=min(count, window))
+            for producer_index in sorted(choices):
+                producer = names[producer_index]
+                graph.add_edge(producer, name, comm_cycles=comm_cycles)
+                if shared_bits and rng.random() < shared_register_probability:
+                    buffer = Register(
+                        name=f"{producer}->{name}.buffer", bits=shared_bits
+                    )
+                    graph.attach_registers(producer, [buffer])
+                    graph.attach_registers(name, [buffer])
+        names.append(name)
     graph.validate()
     return graph

@@ -80,7 +80,15 @@ class TestPowerProxyAgreement:
 
 class TestRunnerTable:
     def test_all_experiments_registered(self):
-        assert set(_RUNNERS) == {"fig3", "table2", "fig9", "table3", "fig10", "fig11"}
+        assert set(_RUNNERS) == {
+            "fig3",
+            "table2",
+            "fig9",
+            "table3",
+            "fig10",
+            "fig11",
+            "hetero",
+        }
 
     def test_run_all_signature(self):
         # run_all wires every id through run_experiment; verify the

@@ -217,6 +217,7 @@ class TestRunner:
             "table3",
             "fig10",
             "fig11",
+            "hetero",
         }
 
     def test_run_experiment_fig3(self, tiny_profile):

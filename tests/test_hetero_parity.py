@@ -1,0 +1,592 @@
+"""Heterogeneous-platform & tech-node parity suite.
+
+The house invariant of the platform generalization: a *single-type*
+platform at the default technology node is **bit-identical** to the
+seed's homogeneous path — schedules, metrics, RNG streams and cache
+counters all match exactly, no tolerances.  These tests sweep random
+graphs/mappings/moves through both constructions and assert equality,
+then check the genuinely heterogeneous paths against their own
+reference implementations and the node model against its physics.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.arch import MPSoC, ScalingTable
+from repro.arch.core import CoreSpec, CoreType
+from repro.arch.dvs import ScalingLevel
+from repro.arch.platform import (
+    DEFAULT_PLATFORM,
+    PlatformModel,
+    arm7_core_type,
+    platform_model,
+    platform_names,
+)
+from repro.arch.technode import TECH_NODES, TechNode
+from repro.faults import SERModel
+from repro.mapping import Mapping, MappingEvaluator
+from repro.mapping.incremental import IncrementalMappingState
+from repro.optim import (
+    DesignOptimizer,
+    num_platform_scaling_combinations,
+    num_scaling_combinations,
+    platform_scaling_combinations,
+    scaling_combinations,
+    sea_mapper,
+)
+from repro.sched import ListScheduler
+from repro.taskgraph import (
+    fork_join_graph,
+    mpeg2_decoder,
+    pipeline_graph,
+    streaming_pipeline_graph,
+    tgff_random_graph,
+)
+from repro.taskgraph.mpeg2 import MPEG2_DEADLINE_S
+
+POINT_FIELDS = (
+    "scaling",
+    "power_mw",
+    "register_bits_per_core",
+    "register_bits_total",
+    "execution_cycles_per_core",
+    "makespan_s",
+    "makespan_cycles",
+    "expected_seus",
+    "activities",
+    "meets_deadline",
+)
+
+
+def _seed_and_platform_pair(num_cores, num_levels=3):
+    """The seed homogeneous MPSoC and its PlatformModel-built twin."""
+    seed = MPSoC(num_cores, scaling_table=ScalingTable.arm7_levels(num_levels))
+    twin = PlatformModel(
+        name="arm7", core_types=(arm7_core_type(num_levels),)
+    ).instantiate(num_cores)
+    return seed, twin
+
+
+def _random_graph(rng, trial):
+    kind = trial % 4
+    if kind == 0:
+        return mpeg2_decoder()
+    if kind == 1:
+        return pipeline_graph(rng.randrange(3, 9))
+    if kind == 2:
+        return fork_join_graph(rng.randrange(2, 6))
+    return tgff_random_graph(rng.randrange(10, 40), seed=trial)
+
+
+def _random_mapping(rng, graph, num_cores):
+    return Mapping(
+        {task.name: rng.randrange(num_cores) for task in graph.tasks()},
+        num_cores,
+    )
+
+
+def _assert_points_equal(point_a, point_b):
+    for field in POINT_FIELDS:
+        assert getattr(point_a, field) == getattr(point_b, field), field
+
+
+# ---------------------------------------------------------------------------
+# K=1 bit-identity: platform-model construction vs the seed path
+# ---------------------------------------------------------------------------
+
+
+class TestSingleTypeBitIdentity:
+    def test_single_type_platform_aliases_seed_objects(self):
+        _, twin = _seed_and_platform_pair(4)
+        assert not twin.is_heterogeneous
+        assert twin.uniform_unit_cycles
+        # All cores share one table *object* — the seed's float path.
+        tables = twin.core_tables
+        assert all(table is tables[0] for table in tables)
+        assert tables[0] is twin.scaling_table
+
+    def test_schedules_bit_identical(self):
+        rng = random.Random(0xA1)
+        for trial in range(12):
+            graph = _random_graph(rng, trial)
+            num_cores = rng.randrange(1, 6)
+            seed, twin = _seed_and_platform_pair(num_cores)
+            mapping = _random_mapping(rng, graph, num_cores)
+            scaling = tuple(
+                rng.randrange(1, seed.scaling_table.num_levels + 1)
+                for _ in range(num_cores)
+            )
+            sched_seed = ListScheduler.for_platform(graph, seed, scaling)
+            sched_twin = ListScheduler.for_platform(graph, twin, scaling)
+            a = sched_seed.schedule(mapping)
+            b = sched_twin.schedule(mapping)
+            assert list(a) == list(b)
+            assert a.makespan_s() == b.makespan_s()
+            ref = sched_twin.schedule_reference(mapping)
+            assert list(b) == list(ref)
+
+    def test_evaluations_and_counters_bit_identical(self):
+        rng = random.Random(0xB2)
+        for trial in range(8):
+            graph = _random_graph(rng, trial)
+            num_cores = rng.randrange(2, 5)
+            seed, twin = _seed_and_platform_pair(num_cores)
+            ev_seed = MappingEvaluator(graph, seed, deadline_s=MPEG2_DEADLINE_S)
+            ev_twin = MappingEvaluator(graph, twin, deadline_s=MPEG2_DEADLINE_S)
+            # Identical call sequence, with deliberate repeats to
+            # exercise the LRU cache the same way on both sides.
+            cases = [
+                (
+                    _random_mapping(rng, graph, num_cores),
+                    tuple(
+                        rng.randrange(1, 4) for _ in range(num_cores)
+                    ),
+                )
+                for _ in range(6)
+            ]
+            cases += cases[:3]
+            for mapping, scaling in cases:
+                _assert_points_equal(
+                    ev_seed.evaluate(mapping, scaling),
+                    ev_twin.evaluate(mapping, scaling),
+                )
+            assert ev_seed.evaluations == ev_twin.evaluations
+            assert ev_seed.cache_hits == ev_twin.cache_hits
+            assert ev_seed.cache_misses == ev_twin.cache_misses
+
+    def test_evaluate_batch_bit_identical(self):
+        rng = random.Random(0xC3)
+        graph = mpeg2_decoder()
+        seed, twin = _seed_and_platform_pair(4)
+        ev_seed = MappingEvaluator(graph, seed, deadline_s=MPEG2_DEADLINE_S)
+        ev_twin = MappingEvaluator(graph, twin, deadline_s=MPEG2_DEADLINE_S)
+        mappings = [_random_mapping(rng, graph, 4) for _ in range(12)]
+        scaling = (2, 1, 3, 1)
+        for a, b in zip(
+            ev_seed.evaluate_batch(mappings, scaling),
+            ev_twin.evaluate_batch(mappings, scaling),
+        ):
+            _assert_points_equal(a, b)
+        assert ev_seed.cache_hits == ev_twin.cache_hits
+        assert ev_seed.cache_misses == ev_twin.cache_misses
+
+    def test_incremental_previews_bit_identical(self):
+        rng = random.Random(0xD4)
+        for trial in range(6):
+            graph = _random_graph(rng, trial)
+            num_cores = rng.randrange(2, 5)
+            seed, twin = _seed_and_platform_pair(num_cores)
+            mapping = _random_mapping(rng, graph, num_cores)
+            scaling = tuple(rng.randrange(1, 4) for _ in range(num_cores))
+            ev_seed = MappingEvaluator(graph, seed, deadline_s=MPEG2_DEADLINE_S)
+            ev_twin = MappingEvaluator(graph, twin, deadline_s=MPEG2_DEADLINE_S)
+            state_seed = IncrementalMappingState(ev_seed, mapping, scaling)
+            state_twin = IncrementalMappingState(ev_twin, mapping, scaling)
+            names = [task.name for task in graph.tasks()]
+            assert state_seed.estimate_current() == state_twin.estimate_current()
+            for _ in range(20):
+                if rng.random() < 0.5 or len(names) < 2:
+                    task = rng.choice(names)
+                    core = rng.randrange(num_cores)
+                    assert state_seed.estimate_move(
+                        task, core
+                    ) == state_twin.estimate_move(task, core)
+                    if rng.random() < 0.3:
+                        state_seed.apply_move(task, core)
+                        state_twin.apply_move(task, core)
+                else:
+                    task_a, task_b = rng.sample(names, 2)
+                    assert state_seed.estimate_swap(
+                        task_a, task_b
+                    ) == state_twin.estimate_swap(task_a, task_b)
+                    if rng.random() < 0.3:
+                        state_seed.apply_swap(task_a, task_b)
+                        state_twin.apply_swap(task_a, task_b)
+
+    def test_annealing_rng_stream_bit_identical(self):
+        graph = mpeg2_decoder()
+        seed, twin = _seed_and_platform_pair(4)
+        mapper = sea_mapper(search_iterations=150)
+        results = []
+        for platform in (seed, twin):
+            evaluator = MappingEvaluator(
+                graph, platform, deadline_s=MPEG2_DEADLINE_S
+            )
+            point = mapper(evaluator, (1, 1, 1, 1), seed=7)
+            results.append((point, evaluator))
+        point_a, ev_a = results[0]
+        point_b, ev_b = results[1]
+        _assert_points_equal(point_a, point_b)
+        assert point_a.mapping.as_dict() == point_b.mapping.as_dict()
+        # Identical RNG streams imply identical evaluator traffic.
+        assert ev_a.evaluations == ev_b.evaluations
+        assert ev_a.cache_hits == ev_b.cache_hits
+        assert ev_a.cache_misses == ev_b.cache_misses
+
+    def test_design_optimizer_bit_identical(self):
+        graph = mpeg2_decoder()
+        seed, twin = _seed_and_platform_pair(4)
+        best = []
+        for platform in (seed, twin):
+            optimizer = DesignOptimizer(
+                graph,
+                platform,
+                deadline_s=MPEG2_DEADLINE_S,
+                mapper=sea_mapper(search_iterations=60),
+                seed=3,
+                stop_after_feasible=8,
+            )
+            best.append(optimizer.optimize().best)
+        assert best[0] is not None and best[1] is not None
+        _assert_points_equal(best[0], best[1])
+        assert best[0].mapping.as_dict() == best[1].mapping.as_dict()
+
+    def test_arm7_preset_matches_paper_reference(self):
+        preset = platform_model(DEFAULT_PLATFORM).instantiate(4)
+        reference = MPSoC.paper_reference(4)
+        assert preset.scaling_table.levels == reference.scaling_table.levels
+        assert preset.core_spec == reference.core_spec
+        assert preset.scaling_vector() == reference.scaling_vector()
+
+
+# ---------------------------------------------------------------------------
+# Technology-node model
+# ---------------------------------------------------------------------------
+
+
+class TestTechNode:
+    def test_default_node_is_identity(self):
+        node = TechNode()
+        assert node.is_default
+        table = ScalingTable.arm7_three_level()
+        spec = CoreSpec()
+        ser = SERModel()
+        core_type = arm7_core_type()
+        # Same *objects* back — the seed path is untouched.
+        assert node.scale_table(table) is table
+        assert node.scale_spec(spec) is spec
+        assert node.scale_ser(ser) is ser
+        assert node.scale_core_type(core_type) is core_type
+
+    def test_parse_variants_and_canonical_name(self):
+        assert TechNode.parse("45") == TechNode.parse("45nm")
+        assert TechNode.parse("45nm") == TechNode.parse("45nm-itrs")
+        assert TechNode.parse("default") == TechNode()
+        assert TechNode.parse("22nm-cons").name == "22nm-cons"
+        with pytest.raises(ValueError):
+            TechNode.parse("7nm")
+        with pytest.raises(ValueError):
+            TechNode.parse("45nm-bogus")
+
+    def test_scaled_table_tracks_factors(self):
+        node = TechNode.parse("22nm")
+        base = ScalingTable.arm7_three_level()
+        scaled = node.scale_table(base)
+        for level, ref in zip(scaled.levels, base.levels):
+            assert level.frequency_mhz == ref.frequency_mhz * node.freq_scale
+            assert level.vdd_v == ref.vdd_v * node.vdd_scale
+
+    def test_scale_table_drops_sub_vth_levels(self):
+        # The ARM7 presets never cross Vth at any node, so use a
+        # synthetic near-threshold level to hit the drop branch.
+        table = ScalingTable(
+            [ScalingLevel.from_frequency(200.0), ScalingLevel(10.0, 0.25)],
+            name="near-vth",
+        )
+        node = TechNode.parse("8nm")  # vdd_scale 0.62, vth 0.198
+        scaled = node.scale_table(table)
+        assert scaled.num_levels == 1
+        assert scaled.levels[0].frequency_mhz == 200.0 * node.freq_scale
+        all_low = ScalingTable([ScalingLevel(10.0, 0.25)], name="sub-vth")
+        with pytest.raises(ValueError):
+            node.scale_table(all_low)
+
+    def test_fixed_design_power_and_gamma_follow_node_physics(self):
+        # At nominal operating points activities are node-invariant
+        # (busy and makespan both scale by 1/freq), so fixed-design
+        # power scales by exactly power_scale and Gamma by ser_scale.
+        graph = mpeg2_decoder()
+        mapping = Mapping.round_robin(graph, 4)
+        points = {}
+        for spec in ("45nm", "22nm", "8nm-cons"):
+            node = TechNode.parse(spec)
+            platform = platform_model("arm7").instantiate(4, tech_node=node)
+            ser = node.scale_ser(SERModel())
+            evaluator = MappingEvaluator(
+                graph, platform, ser_model=ser, deadline_s=MPEG2_DEADLINE_S * 4
+            )
+            points[spec] = (node, evaluator.evaluate(mapping, (1, 1, 1, 1)))
+        _, reference = points["45nm"]
+        for spec in ("22nm", "8nm-cons"):
+            node, point = points[spec]
+            assert point.power_mw == pytest.approx(
+                reference.power_mw * node.power_scale, rel=1e-9
+            )
+            assert point.expected_seus == pytest.approx(
+                reference.expected_seus * node.ser_scale, rel=1e-9
+            )
+            assert point.makespan_s == pytest.approx(
+                reference.makespan_s / node.freq_scale, rel=1e-9
+            )
+            assert point.activities == pytest.approx(
+                reference.activities, rel=1e-12
+            )
+
+    def test_every_node_instantiates_every_preset(self):
+        for name in platform_names():
+            for feature in TECH_NODES:
+                for variant in ("itrs", "cons"):
+                    node = TechNode(feature_nm=feature, variant=variant)
+                    platform = platform_model(name).instantiate(
+                        4, tech_node=node
+                    )
+                    assert platform.num_cores == 4
+
+
+# ---------------------------------------------------------------------------
+# Heterogeneous paths against their own references
+# ---------------------------------------------------------------------------
+
+
+class TestHeterogeneousParity:
+    def _biglittle(self, num_cores=4, tech_node=None):
+        return platform_model("biglittle").instantiate(
+            num_cores, tech_node=tech_node
+        )
+
+    def test_cycle_scales_and_type_layout(self):
+        platform = self._biglittle(4)
+        assert platform.is_heterogeneous
+        assert not platform.uniform_unit_cycles
+        assert platform.cycle_scales() == (0.8, 1.6, 0.8, 1.6)
+        assert platform.type_of_core == (0, 1, 0, 1)
+
+    def test_hetero_evaluate_matches_reference(self):
+        rng = random.Random(0xE5)
+        graph = streaming_pipeline_graph(3, 3, seed=11)
+        platform = self._biglittle(4, tech_node=TechNode.parse("22nm"))
+        evaluator = MappingEvaluator(
+            graph, platform, deadline_s=MPEG2_DEADLINE_S * 8
+        )
+        for _ in range(10):
+            mapping = _random_mapping(rng, graph, 4)
+            scaling = platform.validate_assignment(
+                tuple(
+                    rng.randrange(1, platform.table_of(core).num_levels + 1)
+                    for core in range(4)
+                )
+            )
+            _assert_points_equal(
+                evaluator.evaluate(mapping, scaling),
+                evaluator.evaluate_reference(mapping, scaling),
+            )
+
+    def test_hetero_batch_matches_serial(self):
+        rng = random.Random(0xF6)
+        graph = tgff_random_graph(60, seed=9)
+        platform = self._biglittle(4)
+        serial = MappingEvaluator(graph, platform, deadline_s=MPEG2_DEADLINE_S * 8)
+        batched = MappingEvaluator(graph, platform, deadline_s=MPEG2_DEADLINE_S * 8)
+        mappings = [_random_mapping(rng, graph, 4) for _ in range(10)]
+        scaling = platform.deepest_scaling_vector()
+        batch_points = batched.evaluate_batch(mappings, scaling)
+        for mapping, point in zip(mappings, batch_points):
+            _assert_points_equal(serial.evaluate(mapping, scaling), point)
+
+    def test_hetero_incremental_bounds_are_lower_bounds(self):
+        rng = random.Random(0x17)
+        graph = streaming_pipeline_graph(2, 4, seed=5)
+        platform = self._biglittle(4)
+        evaluator = MappingEvaluator(
+            graph, platform, deadline_s=MPEG2_DEADLINE_S * 8
+        )
+        mapping = _random_mapping(rng, graph, 4)
+        scaling = platform.deepest_scaling_vector()
+        state = IncrementalMappingState(evaluator, mapping, scaling)
+        names = [task.name for task in graph.tasks()]
+        for _ in range(25):
+            task = rng.choice(names)
+            core = rng.randrange(4)
+            estimate = state.estimate_move(task, core)
+            truth = evaluator.evaluate(mapping.move(task, core), scaling)
+            assert estimate.makespan_lb_s <= truth.makespan_s + 1e-12
+            assert estimate.gamma_lb <= truth.expected_seus + 1e-9
+            assert (
+                estimate.register_bits_per_core
+                == truth.register_bits_per_core
+            )
+
+    def test_platform_scaling_combinations_homogeneous_delegates(self):
+        seed, twin = _seed_and_platform_pair(3)
+        assert list(platform_scaling_combinations(twin)) == list(
+            scaling_combinations(3, 3)
+        )
+        assert num_platform_scaling_combinations(twin) == num_scaling_combinations(
+            3, 3
+        )
+
+    def test_platform_scaling_combinations_heterogeneous(self):
+        platform = self._biglittle(4)
+        vectors = list(platform_scaling_combinations(platform))
+        assert len(vectors) == num_platform_scaling_combinations(platform)
+        assert len(set(vectors)) == len(vectors)
+        for vector in vectors:
+            assert platform.validate_assignment(vector) == tuple(vector)
+        # Group structure: big cores (0, 2) range over 4 levels,
+        # little cores (1, 3) over 2.
+        for core, depth in ((0, 4), (1, 2), (2, 4), (3, 2)):
+            assert {v[core] for v in vectors} == set(range(1, depth + 1))
+
+
+# ---------------------------------------------------------------------------
+# Profile plumbing: fingerprint, store resume, CLI flags
+# ---------------------------------------------------------------------------
+
+
+class TestProfilePlumbing:
+    def test_fingerprint_includes_platform_and_node(self):
+        from repro.experiments.common import ExperimentProfile
+
+        base = ExperimentProfile.smoke()
+        assert base.platform == DEFAULT_PLATFORM
+        assert base.tech_node == "45nm"
+        hetero = base.with_platform(platform="biglittle")
+        scaled = base.with_platform(tech_node="22nm")
+        fingerprints = {
+            base.result_fingerprint(),
+            hetero.result_fingerprint(),
+            scaled.result_fingerprint(),
+        }
+        assert len(fingerprints) == 3
+
+    def test_fingerprint_canonicalizes_node_spelling(self):
+        from repro.experiments.common import ExperimentProfile
+
+        base = ExperimentProfile.smoke()
+        spellings = [
+            base.with_platform(tech_node=spec).result_fingerprint()
+            for spec in ("45", "45nm", "45nm-itrs")
+        ]
+        assert len(set(spellings)) == 1
+
+    def test_profile_rejects_unknown_platform_and_node(self):
+        from repro.experiments.common import ExperimentProfile
+
+        base = ExperimentProfile.smoke()
+        with pytest.raises(ValueError):
+            base.with_platform(platform="nonesuch")
+        with pytest.raises(ValueError):
+            base.with_platform(tech_node="7nm")
+
+    def test_hetero_store_resume_round_trip(self, tmp_path):
+        from repro.experiments.common import ExperimentProfile
+        from repro.experiments.hetero import run_hetero
+        from repro.experiments.runner import render_report
+
+        profile = ExperimentProfile.smoke().with_store(str(tmp_path))
+        kwargs = dict(
+            platforms=("arm7",), tech_nodes=("45nm", "22nm"), num_cores=3
+        )
+        first = run_hetero(profile, **kwargs)
+        records = (tmp_path / "hetero" / "records.jsonl").read_text()
+        assert len(records.splitlines()) == 2
+        resumed = run_hetero(
+            ExperimentProfile.smoke().with_store(str(tmp_path), resume=True),
+            **kwargs,
+        )
+        assert render_report("hetero", first, profile) == render_report(
+            "hetero", resumed, profile
+        )
+
+    def test_store_resume_rejects_mismatched_node(self, tmp_path):
+        from repro.experiments.common import ExperimentProfile
+        from repro.experiments.hetero import run_hetero
+        from repro.store.run_store import StoreMismatchError
+
+        kwargs = dict(platforms=("arm7",), tech_nodes=("45nm",), num_cores=3)
+        run_hetero(
+            ExperimentProfile.smoke().with_store(str(tmp_path)), **kwargs
+        )
+        mismatched = (
+            ExperimentProfile.smoke()
+            .with_platform(tech_node="22nm")
+            .with_store(str(tmp_path), resume=True)
+        )
+        with pytest.raises(StoreMismatchError):
+            run_hetero(mismatched, **kwargs)
+
+    def test_cli_flags_reach_profile(self):
+        from repro import cli
+
+        parser = cli.build_parser()
+        args = parser.parse_args(
+            [
+                "experiment",
+                "table2",
+                "--platform",
+                "biglittle",
+                "--tech-node",
+                "22nm-cons",
+            ]
+        )
+        profile = cli._profile_from(args)
+        assert profile.platform == "biglittle"
+        assert profile.tech_node == "22nm-cons"
+        # Defaults stay on the seed path.
+        defaults = cli._profile_from(parser.parse_args(["experiment", "table2"]))
+        assert defaults.platform == DEFAULT_PLATFORM
+        assert defaults.tech_node == "45nm"
+
+    def test_cli_rejects_bad_node(self):
+        from repro import cli
+
+        parser = cli.build_parser()
+        args = parser.parse_args(
+            ["experiment", "table2", "--tech-node", "7nm"]
+        )
+        with pytest.raises(SystemExit):
+            cli._profile_from(args)
+
+
+# ---------------------------------------------------------------------------
+# Workload generators
+# ---------------------------------------------------------------------------
+
+
+class TestGenerators:
+    def test_streaming_pipeline_shape_and_determinism(self):
+        graph = streaming_pipeline_graph(3, 4, seed=2)
+        # split0 + per stage (parallelism workers + merger).
+        assert len(list(graph.tasks())) == 1 + 3 * (4 + 1)
+        again = streaming_pipeline_graph(3, 4, seed=2)
+        assert {t.name: t.cycles for t in graph.tasks()} == {
+            t.name: t.cycles for t in again.tasks()
+        }
+        other = streaming_pipeline_graph(3, 4, seed=3)
+        assert {t.name: t.cycles for t in graph.tasks()} != {
+            t.name: t.cycles for t in other.tasks()
+        }
+
+    def test_tgff_random_graph_scales_and_is_deterministic(self):
+        graph = tgff_random_graph(500, seed=4)
+        tasks = list(graph.tasks())
+        assert len(tasks) == 500
+        again = tgff_random_graph(500, seed=4)
+        assert {t.name: t.cycles for t in tasks} == {
+            t.name: t.cycles for t in again.tasks()
+        }
+        # Weights stay inside the configured log-uniform range.
+        for task in tasks:
+            assert 50_000 * 0.99 <= task.cycles <= 2_000_000 * 1.01
+
+    def test_generators_schedule_on_hetero_platform(self):
+        graph = tgff_random_graph(120, seed=6)
+        platform = platform_model("biglittle").instantiate(4)
+        scheduler = ListScheduler.for_platform(graph, platform)
+        schedule = scheduler.schedule(Mapping.round_robin(graph, 4))
+        assert schedule.makespan_s() > 0.0
+        assert list(schedule) == list(
+            scheduler.schedule_reference(Mapping.round_robin(graph, 4))
+        )

@@ -335,7 +335,12 @@ def _grid_fanout(plan):
     if plan == "dag":
         profile = profile.with_exec_plan("dag:process")
     elif plan == "cells":
-        profile = profile.with_backend(experiment_backend="process")
+        # The deprecated per-cut pool, kept as the comparison baseline.
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            profile = profile.with_backend(experiment_backend="process")
     config = RandomGraphConfig(num_tasks=10)
     graph = random_task_graph(config, seed=7)
     applications = [("bench", graph, config.deadline_s)]

@@ -1,0 +1,122 @@
+"""Drive the HTTP job service: submit, poll, fetch, observe the cache.
+
+Start a server in one terminal::
+
+    repro-seu serve --store-dir /tmp/repro-service --port 8321
+
+then run this script (twice, to watch the second submission hit the
+result cache)::
+
+    python examples/service_client.py --experiment fig3 --profile smoke
+    python examples/service_client.py --experiment fig3 --profile smoke
+
+The ``--expect-fresh`` / ``--expect-cached`` flags turn the cache
+observation into an assertion — the CI service leg uses them to prove
+that a second tenant's identical submission is served from the store
+without re-executing anything, and that the fetched report is
+byte-identical to the direct CLI run.
+"""
+
+import argparse
+import sys
+import time
+
+from repro.service import ServiceClient, ServiceClientError
+
+
+def parse_args(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--url", default="http://127.0.0.1:8321")
+    parser.add_argument("--experiment", default="fig3")
+    parser.add_argument("--profile", default="smoke", choices=["smoke", "fast", "full"])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--tenant", default="example")
+    parser.add_argument(
+        "--out", default=None, help="write the fetched report to this file, verbatim"
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=600.0, help="seconds to wait for completion"
+    )
+    parser.add_argument(
+        "--wait-server",
+        type=float,
+        default=30.0,
+        help="seconds to wait for the server to come up",
+    )
+    expectation = parser.add_mutually_exclusive_group()
+    expectation.add_argument(
+        "--expect-fresh",
+        action="store_true",
+        help="fail unless this submission actually executes",
+    )
+    expectation.add_argument(
+        "--expect-cached",
+        action="store_true",
+        help="fail unless this submission is served from the result cache",
+    )
+    return parser.parse_args(argv)
+
+
+def wait_for_server(client, timeout):
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            client.health()
+            return
+        except (ServiceClientError, OSError):
+            if time.monotonic() > deadline:
+                raise SystemExit(f"no server at {client.base_url}")
+            time.sleep(0.2)
+
+
+def main(argv=None):
+    args = parse_args(argv)
+    client = ServiceClient(args.url, timeout=max(args.timeout, 60.0))
+    wait_for_server(client, args.wait_server)
+
+    submission = client.submit_experiment(
+        args.experiment, profile=args.profile, tenant=args.tenant, seed=args.seed
+    )
+    run_id = submission["run_id"]
+    cached = submission["cached"]
+    print(
+        f"submitted {args.experiment} ({args.profile}, seed={args.seed}) "
+        f"as {run_id} [{'cache hit' if cached else submission['state']}]"
+    )
+    if args.expect_fresh and cached:
+        raise SystemExit("expected a fresh execution but got a cache hit")
+    if args.expect_cached and not cached:
+        raise SystemExit("expected a cache hit but the run executed")
+
+    if not cached:
+        while True:
+            status = client.status(run_id)
+            cells = status["cells"]
+            print(
+                f"  {status['state']}: {cells['completed']}/{cells['total']} "
+                f"cells ({cells['failed']} failed)"
+            )
+            if status["state"] in ("complete", "failed", "cancelled"):
+                break
+            time.sleep(0.5)
+        if status["state"] != "complete":
+            raise SystemExit(
+                f"run {run_id} ended {status['state']}: "
+                f"{status.get('error', 'no detail')}"
+            )
+
+    report = client.report(run_id)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8", newline="") as handle:
+            handle.write(report)
+        print(f"report written to {args.out} ({len(report)} bytes)")
+    else:
+        print()
+        print(report, end="")
+    tenants = client.status(run_id)["tenants"]
+    print(f"tenants sharing this run: {', '.join(tenants)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

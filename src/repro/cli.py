@@ -15,17 +15,25 @@ Subcommands
     List the run-store manifests under a store directory: per-run
     status, cell completion counts, profile and fingerprint — the
     operational view of streamed/resumable experiment runs.
+``serve``
+    Run the HTTP job service: clients submit experiment or task-graph
+    runs, poll progress, and fetch byte-identical reports; identical
+    submissions are served from the store's result cache.
+
+Every subcommand goes through :mod:`repro.api` — the one sanctioned
+programmatic surface; the CLI adds argument parsing and printing only.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 from dataclasses import replace
 from typing import List, Optional
 
 from repro.experiments.common import EXEC_PLANS, ExperimentProfile
-from repro.experiments.runner import experiment_ids, run_experiment
+from repro.experiments.runner import experiment_ids
 
 
 def _add_profile_arguments(parser: argparse.ArgumentParser) -> None:
@@ -197,70 +205,85 @@ def _profile_from(args: argparse.Namespace) -> ExperimentProfile:
             "--restart-backend); the unified executor owns all parallel "
             "cuts — drop the per-cut flags or use --exec-plan percut"
         )
-    if (backend, experiment_backend, restart_backend) != ("serial",) * 3:
-        profile = profile.with_backend(
-            exec_backend=backend,
-            experiment_backend=experiment_backend,
-            restart_backend=restart_backend,
+    used = [
+        flag
+        for flag, value in (
+            ("--backend", backend),
+            ("--experiment-backend", experiment_backend),
+            ("--restart-backend", restart_backend),
         )
-    if exec_plan is not None:
-        profile = profile.with_exec_plan(exec_plan)
-    restarts = getattr(args, "restarts", None)
-    if restarts is not None:
-        profile = replace(profile, sa_restarts=restarts)
-    max_workers = getattr(args, "max_workers", None)
-    if max_workers is not None:
-        profile = profile.with_max_workers(max_workers)
-    batch_eval = getattr(args, "batch_eval", 0)
-    screen_moves = getattr(args, "screen_moves", "off")
-    if batch_eval < 0:
-        raise SystemExit("repro-seu: error: --batch-eval must be non-negative")
-    if batch_eval and screen_moves != "off":
-        # Fail fast and unconditionally: with "auto" the conflict would
-        # otherwise only surface on the first >=100-task graph, aborting
-        # a mixed-size sweep partway through.
-        raise SystemExit(
-            "repro-seu: error: --batch-eval and --screen-moves are "
-            "mutually exclusive"
+        if value != "serial"
+    ]
+    if used:
+        warnings.warn(
+            f"{'/'.join(used)} select per-cut pools, which are deprecated; "
+            "use --exec-plan dag (one shared work-stealing pool, "
+            "byte-identical reports)",
+            DeprecationWarning,
+            stacklevel=2,
         )
-    if batch_eval:
-        profile = replace(profile, batch_eval=batch_eval)
-    if screen_moves != "off":
-        profile = replace(
-            profile, screen_moves=True if screen_moves == "on" else "auto"
-        )
-    store_dir = getattr(args, "store_dir", None)
-    resume = getattr(args, "resume", False)
-    if resume and store_dir is None:
-        raise SystemExit("repro-seu: error: --resume requires --store-dir")
-    if store_dir is not None:
-        profile = profile.with_store(store_dir, resume=resume)
+    with warnings.catch_warnings():
+        if used:
+            # Every profile copy below re-warns about the same knobs in
+            # field-name terms; the flag-name warning above is the one
+            # CLI-facing warning.
+            warnings.simplefilter("ignore", DeprecationWarning)
+        if used:
+            profile = profile.with_backend(
+                exec_backend=backend,
+                experiment_backend=experiment_backend,
+                restart_backend=restart_backend,
+            )
+        if exec_plan is not None:
+            profile = profile.with_exec_plan(exec_plan)
+        restarts = getattr(args, "restarts", None)
+        if restarts is not None:
+            profile = replace(profile, sa_restarts=restarts)
+        max_workers = getattr(args, "max_workers", None)
+        if max_workers is not None:
+            profile = profile.with_max_workers(max_workers)
+        batch_eval = getattr(args, "batch_eval", 0)
+        screen_moves = getattr(args, "screen_moves", "off")
+        if batch_eval < 0:
+            raise SystemExit(
+                "repro-seu: error: --batch-eval must be non-negative"
+            )
+        if batch_eval and screen_moves != "off":
+            # Fail fast and unconditionally: with "auto" the conflict
+            # would otherwise only surface on the first >=100-task
+            # graph, aborting a mixed-size sweep partway through.
+            raise SystemExit(
+                "repro-seu: error: --batch-eval and --screen-moves are "
+                "mutually exclusive"
+            )
+        if batch_eval:
+            profile = replace(profile, batch_eval=batch_eval)
+        if screen_moves != "off":
+            profile = replace(
+                profile, screen_moves=True if screen_moves == "on" else "auto"
+            )
+        store_dir = getattr(args, "store_dir", None)
+        resume = getattr(args, "resume", False)
+        if resume and store_dir is None:
+            raise SystemExit("repro-seu: error: --resume requires --store-dir")
+        if store_dir is not None:
+            profile = profile.with_store(store_dir, resume=resume)
     return profile
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    profile = _profile_from(args)
-    if profile.uses_dag_executor():
-        # Own the shared executor for the whole command so even
-        # experiments that never open a grid (table2 calls the
-        # optimizer directly) ship their leaves through it; nested
-        # run_cells grids reuse it via the ambient scope.  Stats go to
-        # stderr — stdout stays exactly the report, which CI diffs.
-        from repro.exec.dag import DagExecutor, executor_scope
+    from repro import api
 
-        with DagExecutor.from_spec(
-            profile.dag_transport(), max_workers=profile.exec_max_workers
-        ) as executor:
-            with executor_scope(executor, args.id):
-                _, report = run_experiment(args.id, profile)
-            stats = executor.stats
-        print(report)
+    profile = _profile_from(args)
+    # The facade owns the executor scope for the whole run; stats go to
+    # stderr — stdout stays exactly the report, which CI diffs.
+    outcome = api.execute_run(args.id, profile, source=args.id)
+    print(outcome.report)
+    stats = outcome.executor_stats
+    if stats is not None:
         print(f"[executor] {stats.summary()}", file=sys.stderr)
         for worker, count in sorted(stats.per_worker.items()):
             print(f"[executor]   {worker}: {count} task(s)", file=sys.stderr)
-        return 0
-    _, report = run_experiment(args.id, profile)
-    print(report)
     return 0
 
 
@@ -331,61 +354,64 @@ def _cmd_inject(args: argparse.Namespace) -> int:
 
 
 def _cmd_runs(args: argparse.Namespace) -> int:
+    import json
     from pathlib import Path
 
-    from repro.experiments.common import format_table
-    from repro.store import iter_manifests
+    from repro import api
 
     root = Path(args.store_dir)
     if not root.exists():
         print(f"no such store directory: {root}", file=sys.stderr)
         return 1
-    manifests = list(iter_manifests(root))
+    statuses = api.list_runs(root, tenant=args.tenant)
     if args.run is not None:
-        manifests = [
-            (directory, manifest)
-            for directory, manifest in manifests
-            if manifest.get("label") == args.run or directory.name == args.run
+        statuses = [
+            status
+            for status in statuses
+            if status.label == args.run or status.run_id == args.run
         ]
-        if not manifests:
+        if not statuses:
             print(f"no run {args.run!r} under {root}", file=sys.stderr)
             return 1
-    if not manifests:
+    if args.json:
+        document = [status.to_dict() for status in statuses]
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+    if not statuses:
         print(f"no run manifests under {root}")
         return 0
-    rows = []
-    for directory, manifest in manifests:
-        profile = manifest.get("profile", {})
-        rows.append(
-            [
-                manifest.get("label", directory.name),
-                str(manifest.get("run_status", "?")),
-                f"{manifest.get('completed', 0)}/{manifest.get('total', 0)}",
-                str(manifest.get("failed", 0)),
-                str(profile.get("name", "?")),
-                str(profile.get("seed", "?")),
-                str(manifest.get("fingerprint", "?")),
-            ]
-        )
-    headers = ["Run", "Status", "Done", "Failed", "Profile", "Seed", "Fingerprint"]
-    print(format_table(headers, rows))
+    print(api.format_runs_table(statuses))
     if args.run is not None:
         from repro.exec.dag import ExecutorStats
 
-        _directory, manifest = manifests[0]
-        executor = manifest.get("executor")
-        if executor:
+        status = statuses[0]
+        if status.executor:
             print()
-            print(f"executor: {ExecutorStats.from_dict(executor).summary()}")
-            for worker, count in sorted(executor.get("per_worker", {}).items()):
+            print(
+                f"executor: {ExecutorStats.from_dict(status.executor).summary()}"
+            )
+            per_worker = status.executor.get("per_worker", {})
+            for worker, count in sorted(per_worker.items()):
                 print(f"  {worker}: {count} task(s)")
-    if args.run is not None and args.cells:
-        _directory, manifest = manifests[0]
-        print()
-        status = manifest.get("status", {})
-        for key in manifest.get("cells", []):
-            print(f"  [{status.get(key, '?'):>7}] {key}")
+        if args.cells:
+            print()
+            for key in status.cells:
+                print(f"  [{status.cell_status.get(key, '?'):>7}] {key}")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.http import serve
+
+    return serve(
+        args.store_dir,
+        host=args.host,
+        port=args.port,
+        max_concurrency=args.max_concurrency,
+        queue_size=args.queue_size,
+        transport=args.transport,
+        default_exec_plan=args.exec_plan,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -442,12 +468,68 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with --run: also print per-cell statuses in grid order",
     )
+    runs.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the run statuses as JSON (the service's status shape)",
+    )
+    runs.add_argument(
+        "--tenant",
+        default=None,
+        help="only runs carrying this tenant label (service stores)",
+    )
     runs.set_defaults(func=_cmd_runs)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the HTTP job service (submit/poll/fetch, cached dedup)",
+    )
+    serve.add_argument(
+        "--store-dir",
+        required=True,
+        help="service store root; runs live under <store-dir>/runs/<id>",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8321, help="bind port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=2,
+        help="runs executing at once; beyond this, submissions queue",
+    )
+    serve.add_argument(
+        "--queue-size",
+        type=int,
+        default=64,
+        help="queued-run backstop; a full queue refuses with HTTP 503",
+    )
+    serve.add_argument(
+        "--transport",
+        choices=["serial", "thread", "process", "auto"],
+        default="thread",
+        help="the shared executor's transport (default: thread)",
+    )
+    serve.add_argument(
+        "--exec-plan",
+        choices=list(EXEC_PLANS),
+        default="dag",
+        help=(
+            "execution plan applied to submissions that do not pin one; "
+            "an execution knob only — never part of run identity "
+            "(default: dag)"
+        ),
+    )
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point."""
+    # Python hides DeprecationWarning outside __main__ by default; the
+    # per-cut flag deprecations must reach CLI users' stderr.
+    warnings.filterwarnings("default", category=DeprecationWarning)
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)

@@ -10,6 +10,7 @@ reporting units (P in mW, R in kbit, T_M in cycles, Gamma in SEUs).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, List, Optional, Sequence, Tuple
@@ -179,19 +180,30 @@ class ExperimentProfile:
             raise ValueError(
                 f"unknown exec_plan {self.exec_plan!r}; choose from {EXEC_PLANS}"
             )
+        pooled = [
+            f"{name}={getattr(self, name)!r}"
+            for name in ("exec_backend", "experiment_backend", "restart_backend")
+            if getattr(self, name) in _POOLED_BACKENDS
+        ]
         if self.uses_dag_executor():
-            conflicts = [
-                f"{name}={getattr(self, name)!r}"
-                for name in ("exec_backend", "experiment_backend", "restart_backend")
-                if getattr(self, name) in _POOLED_BACKENDS
-            ]
-            if conflicts:
+            if pooled:
                 raise ValueError(
                     f"exec_plan={self.exec_plan!r} conflicts with per-cut "
-                    f"backend(s) {', '.join(conflicts)}: the unified executor "
+                    f"backend(s) {', '.join(pooled)}: the unified executor "
                     "owns all parallel cuts — drop the per-cut knobs (they "
                     "are deprecated) or use exec_plan='percut'"
                 )
+        elif pooled:
+            # Pickle restore bypasses __init__, so worker processes do
+            # not re-warn for profiles shipped to them.
+            warnings.warn(
+                f"per-cut backend knob(s) {', '.join(pooled)} are "
+                "deprecated; set exec_plan='dag' (or 'dag:thread'/"
+                "'dag:process') to run every parallel cut on one shared "
+                "work-stealing pool — reports stay byte-identical",
+                DeprecationWarning,
+                stacklevel=3,
+            )
 
     def uses_dag_executor(self) -> bool:
         """Whether this profile routes work through the shared DAG executor."""

@@ -9,6 +9,7 @@ both go through here.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
@@ -117,6 +118,14 @@ def run_all(
     mid-table3 resumes mid-table3, not from the sweep's start.
     """
     profile = profile or ExperimentProfile.fast()
+    if backend is not None and backend != "serial":
+        warnings.warn(
+            "run_all(backend=...) overrides one per-cut pool, which is "
+            "deprecated; set profile.exec_plan='dag' to run every "
+            "parallel cut on the shared executor instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
     selected = tuple(ids) if ids is not None else experiment_ids()
     for experiment_id in selected:
         if experiment_id not in _RUNNERS:

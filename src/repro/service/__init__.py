@@ -1,0 +1,33 @@
+"""Optimization-as-a-service: the async HTTP job layer over the store.
+
+The service is deliberately thin — every piece of orchestration,
+validation, dedup and status logic lives in :mod:`repro.api` (the one
+sanctioned programmatic surface); this package only adds the
+long-running parts:
+
+- :mod:`repro.service.jobs` — a bounded job queue and worker pool
+  feeding one shared :class:`~repro.exec.dag.DagExecutor` through
+  ``executor_scope``, with in-flight dedup and cooperative cancel.
+- :mod:`repro.service.http` — a stdlib ``ThreadingHTTPServer`` front
+  end (no new dependencies, mirroring the numpy-optional policy).
+- :mod:`repro.service.client` — a stdlib ``urllib`` client used by
+  the examples, the CI service leg and the tests.
+
+See ARCHITECTURE.md §"Service layer" for the dedup contract and the
+tenancy model.
+"""
+
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.http import RunServiceServer, make_server, serve
+from repro.service.jobs import JobManager, QueueFullError, ServiceConfig
+
+__all__ = [
+    "JobManager",
+    "QueueFullError",
+    "RunServiceServer",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceConfig",
+    "make_server",
+    "serve",
+]

@@ -1,0 +1,154 @@
+"""A stdlib ``urllib`` client for the run service.
+
+Used by the examples, the CI service leg and the tests; kept
+dependency-free like everything else in the service.  Errors raised by
+the server arrive as :class:`ServiceClientError` carrying the parsed
+structured body (``code``/``message``/``field``), so callers branch on
+``error.code`` exactly as in-process facade callers branch on
+:class:`~repro.api.ApiError` subclasses.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import Any, Dict, List, Mapping, Optional
+
+_TERMINAL_STATES = frozenset({"complete", "failed", "cancelled"})
+
+
+class ServiceClientError(RuntimeError):
+    """An HTTP error response, with the server's structured error body."""
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        field: Optional[str] = None,
+    ) -> None:
+        detail = f" (field: {field})" if field else ""
+        super().__init__(f"HTTP {status} [{code}]: {message}{detail}")
+        self.status = status
+        self.code = code
+        self.message = message
+        self.field = field
+
+
+class ServiceClient:
+    """Talk to a :class:`~repro.service.http.RunServiceServer`."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ----------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Mapping[str, Any]] = None,
+        query: Optional[Mapping[str, str]] = None,
+    ) -> bytes:
+        url = self.base_url + path
+        if query:
+            url += "?" + urllib.parse.urlencode(query)
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            url, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return resp.read()
+        except urllib.error.HTTPError as exc:
+            body = exc.read()
+            raise self._structured_error(exc.code, body) from None
+
+    @staticmethod
+    def _structured_error(status: int, body: bytes) -> ServiceClientError:
+        try:
+            error = json.loads(body.decode("utf-8"))["error"]
+            return ServiceClientError(
+                status,
+                code=str(error["code"]),
+                message=str(error["message"]),
+                field=error.get("field"),
+            )
+        except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+            return ServiceClientError(
+                status, code="http-error", message=body.decode("utf-8", "replace")
+            )
+
+    def _json(self, *args: Any, **kwargs: Any) -> Dict[str, Any]:
+        return json.loads(self._request(*args, **kwargs).decode("utf-8"))
+
+    # -- the API ------------------------------------------------------------
+
+    def submit(
+        self,
+        payload: Mapping[str, Any],
+        tenant: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """POST a run submission; returns the submission document."""
+        document = dict(payload)
+        if tenant is not None:
+            document["tenant"] = tenant
+        return self._json("POST", "/v1/runs", payload=document)
+
+    def submit_experiment(
+        self,
+        experiment: str,
+        profile: str = "fast",
+        tenant: Optional[str] = None,
+        **extra: Any,
+    ) -> Dict[str, Any]:
+        return self.submit(
+            {"experiment": experiment, "profile": profile, **extra},
+            tenant=tenant,
+        )
+
+    def status(self, run_id: str) -> Dict[str, Any]:
+        return self._json("GET", f"/v1/runs/{urllib.parse.quote(run_id)}")
+
+    def runs(self, tenant: Optional[str] = None) -> List[Dict[str, Any]]:
+        query = {"tenant": tenant} if tenant else None
+        return list(self._json("GET", "/v1/runs", query=query)["runs"])
+
+    def report(self, run_id: str) -> str:
+        raw = self._request(
+            "GET", f"/v1/runs/{urllib.parse.quote(run_id)}/report"
+        )
+        return raw.decode("utf-8")
+
+    def cancel(self, run_id: str) -> Dict[str, Any]:
+        return self._json("DELETE", f"/v1/runs/{urllib.parse.quote(run_id)}")
+
+    def health(self) -> Dict[str, Any]:
+        return self._json("GET", "/v1/health")
+
+    def wait(
+        self,
+        run_id: str,
+        timeout: float = 300.0,
+        poll_interval: float = 0.1,
+    ) -> Dict[str, Any]:
+        """Poll until the run reaches a terminal state; return its status."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(run_id)
+            if status.get("state") in _TERMINAL_STATES:
+                return status
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"run {run_id} still {status.get('state')!r} "
+                    f"after {timeout:.0f}s"
+                )
+            time.sleep(poll_interval)

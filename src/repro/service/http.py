@@ -1,0 +1,223 @@
+"""The HTTP front end: stdlib ``ThreadingHTTPServer`` over a JobManager.
+
+Routes (all JSON unless noted)::
+
+    POST   /v1/runs              submit {experiment|graph, profile, ...,
+                                 tenant?} -> 202 queued / 200 cached
+    GET    /v1/runs[?tenant=t]   list run statuses
+    GET    /v1/runs/<id>         one run's status (live store manifests)
+    GET    /v1/runs/<id>/report  the finished report, text/plain —
+                                 byte-identical to the direct CLI run
+    DELETE /v1/runs/<id>         cooperative cancel
+    GET    /v1/health            queue + executor stats
+
+Errors are structured: ``{"error": {"code", "message", "field"?}}``
+with the status code carried by the :class:`~repro.api.ApiError`
+subclass (400 validation, 404 unknown run, 409 conflict, 503 queue
+full) — the same objects every other facade consumer sees.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+from urllib.parse import parse_qs, urlsplit
+
+from repro import api
+from repro.service.jobs import JobManager, ServiceConfig
+
+_MAX_BODY_BYTES = 8 * 1024 * 1024  # generous: serialized task graphs
+
+
+class RunServiceServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`JobManager`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        manager: JobManager,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__(address, ServiceHandler)
+        self.manager = manager
+        self.verbose = verbose
+
+    @property
+    def port(self) -> int:
+        return int(self.server_address[1])
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Dispatch requests onto the facade through the job manager."""
+
+    server: RunServiceServer
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -----------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, document: Mapping[str, Any]) -> None:
+        body = (json.dumps(document, indent=2, sort_keys=True) + "\n").encode(
+            "utf-8"
+        )
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error(self, error: api.ApiError) -> None:
+        self._send_json(error.http_status, {"error": error.to_dict()})
+
+    def _read_body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > _MAX_BODY_BYTES:
+            raise api.ValidationError(
+                f"request body too large ({length} bytes)"
+            )
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise api.ValidationError("request body must be a JSON object")
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise api.ValidationError(f"malformed JSON body: {exc}") from None
+        if not isinstance(payload, dict):
+            raise api.ValidationError("request body must be a JSON object")
+        return payload
+
+    def _route(self) -> Tuple[str, Optional[str], Dict[str, str]]:
+        """(collection, run id or None, query) for ``/v1/...`` paths."""
+        split = urlsplit(self.path)
+        parts = [part for part in split.path.split("/") if part]
+        query = {
+            key: values[-1]
+            for key, values in parse_qs(split.query).items()
+            if values
+        }
+        if not parts or parts[0] != "v1":
+            raise api.UnknownRunError(f"no such endpoint: {split.path}")
+        return "/".join(parts[1:]), None, query
+
+    # -- methods ------------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        try:
+            route, _, _ = self._route()
+            if route != "runs":
+                raise api.UnknownRunError(f"no such endpoint: {self.path}")
+            payload = self._read_body()
+            tenant = str(payload.pop("tenant", "default"))
+            submission = self.server.manager.submit(payload, tenant=tenant)
+            status = 200 if submission.cached else 202
+            self._send_json(status, submission.to_dict())
+        except api.ApiError as error:
+            self._send_error(error)
+
+    def do_GET(self) -> None:  # noqa: N802
+        try:
+            route, _, query = self._route()
+            if route == "health":
+                self._send_json(
+                    200, {"status": "ok", **self.server.manager.stats()}
+                )
+                return
+            if route == "runs":
+                tenant = query.get("tenant")
+                statuses = self.server.manager.runs(tenant=tenant)
+                self._send_json(
+                    200, {"runs": [status.to_dict() for status in statuses]}
+                )
+                return
+            parts = route.split("/")
+            if len(parts) == 2 and parts[0] == "runs":
+                status = self.server.manager.status(parts[1])
+                self._send_json(200, status.to_dict())
+                return
+            if len(parts) == 3 and parts[0] == "runs" and parts[2] == "report":
+                self._send_text(200, self.server.manager.report(parts[1]))
+                return
+            raise api.UnknownRunError(f"no such endpoint: {self.path}")
+        except api.ApiError as error:
+            self._send_error(error)
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        try:
+            route, _, _ = self._route()
+            parts = route.split("/")
+            if len(parts) == 2 and parts[0] == "runs":
+                status = self.server.manager.cancel(parts[1])
+                self._send_json(200, status.to_dict())
+                return
+            raise api.UnknownRunError(f"no such endpoint: {self.path}")
+        except api.ApiError as error:
+            self._send_error(error)
+
+
+def make_server(
+    store_root: Union[str, "ServiceConfig"],
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+    **config_kwargs: Any,
+) -> RunServiceServer:
+    """A ready-to-serve server with its own started :class:`JobManager`.
+
+    ``port=0`` binds an ephemeral port (tests); read it back from
+    ``server.port``.  The caller owns shutdown: ``server.shutdown()``
+    then ``server.manager.close()``.
+    """
+    if isinstance(store_root, ServiceConfig):
+        config = store_root
+    else:
+        config = ServiceConfig(store_root=str(store_root), **config_kwargs)
+    manager = JobManager(config).start()
+    try:
+        return RunServiceServer((host, port), manager, verbose=verbose)
+    except BaseException:
+        manager.close()
+        raise
+
+
+def serve(
+    store_root: str,
+    host: str = "127.0.0.1",
+    port: int = 8321,
+    verbose: bool = True,
+    **config_kwargs: Any,
+) -> int:
+    """Run the service until interrupted (the ``repro-seu serve`` path)."""
+    import sys
+
+    server = make_server(
+        store_root, host=host, port=port, verbose=verbose, **config_kwargs
+    )
+    print(
+        f"repro-seu service listening on http://{host}:{server.port} "
+        f"(store: {store_root})",
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        server.manager.close()
+    return 0

@@ -17,6 +17,7 @@ from repro.store.run_store import (
     fingerprint_payload,
     iter_manifests,
     read_manifest,
+    scan_records,
 )
 
 __all__ = [
@@ -31,4 +32,5 @@ __all__ = [
     "fingerprint_payload",
     "iter_manifests",
     "read_manifest",
+    "scan_records",
 ]

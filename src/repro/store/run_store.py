@@ -293,33 +293,7 @@ class RunStore:
         return dict(self._status)
 
     def _scan_records(self, decode: bool = False) -> Iterator[CellRecord]:
-        if not self.records_path.exists():
-            return
-        with self.records_path.open("r", encoding="utf-8") as handle:
-            for line in handle:
-                try:
-                    raw = json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # torn tail of an interrupted append
-                if not isinstance(raw, dict) or "key" not in raw:
-                    continue
-                status = raw.get("status", "error")
-                payload = None
-                if status == "ok":
-                    if decode:
-                        try:
-                            payload = _decode_payload(raw.get("payload", ""))
-                        except Exception:
-                            continue  # undecodable payload: treat as missing
-                    elif "payload" not in raw:
-                        continue
-                yield CellRecord(
-                    key=raw["key"],
-                    index=int(raw.get("index", -1)),
-                    status=status,
-                    payload=payload,
-                    error=raw.get("error"),
-                )
+        yield from scan_records(self.records_path, decode=decode)
 
     def _append(self, raw: Mapping[str, Any]) -> None:
         with self.records_path.open("a", encoding="utf-8") as handle:
@@ -367,36 +341,101 @@ class RunStore:
         os.replace(temporary, self.manifest_path)
 
 
+def scan_records(
+    records_path: Union[str, Path], decode: bool = False
+) -> Iterator[CellRecord]:
+    """Yield the decodable records of one ``records.jsonl``.
+
+    Concurrent-reader safe: the file may be mid-append by a live
+    writer in another thread or process (the service polls stores the
+    executor is still streaming to).  A torn tail, a half-written
+    base64 payload, or the file disappearing between ``exists`` and
+    ``open`` (a fresh run unlinking stale records) all degrade to
+    "fewer records", never to an exception.
+    """
+    records_path = Path(records_path)
+    try:
+        handle = records_path.open("r", encoding="utf-8")
+    except OSError:
+        return
+    with handle:
+        while True:
+            try:
+                line = handle.readline()
+            except (OSError, UnicodeDecodeError):
+                return  # reader raced a truncation/rewrite: stop cleanly
+            if not line:
+                return
+            try:
+                raw = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail of an interrupted append
+            if not isinstance(raw, dict) or "key" not in raw:
+                continue
+            status = raw.get("status", "error")
+            payload = None
+            if status == "ok":
+                if decode:
+                    try:
+                        payload = _decode_payload(raw.get("payload", ""))
+                    except Exception:
+                        continue  # undecodable payload: treat as missing
+                elif "payload" not in raw:
+                    continue
+            yield CellRecord(
+                key=raw["key"],
+                index=int(raw.get("index", -1)),
+                status=status,
+                payload=payload,
+                error=raw.get("error"),
+            )
+
+
 def read_manifest(path: Union[str, Path]) -> Optional[Dict[str, Any]]:
-    """Parse one ``manifest.json``; ``None`` when absent or unreadable."""
+    """Parse one ``manifest.json``; ``None`` when absent or unreadable.
+
+    Manifests are rewritten atomically (temp file + ``os.replace``), so
+    a concurrent reader never sees a torn document — but it may race
+    the file's creation or deletion, which reads as "absent" here
+    rather than raising.
+    """
     path = Path(path)
-    if not path.exists():
-        return None
     try:
         manifest = json.loads(path.read_text(encoding="utf-8"))
-    except (OSError, json.JSONDecodeError):
+    except (OSError, ValueError):
         return None
     return manifest if isinstance(manifest, dict) else None
 
 
 def iter_manifests(
-    store_dir: Union[str, Path]
+    store_dir: Union[str, Path], max_depth: int = 4
 ) -> Iterator[Tuple[Path, Dict[str, Any]]]:
     """Yield ``(run_directory, manifest)`` for every run under a store root.
 
-    Accepts either a store root (runs in subdirectories) or a single
-    run directory holding ``manifest.json`` directly.
+    Accepts a store root (runs in subdirectories), a single run
+    directory holding ``manifest.json`` directly, or a service store
+    whose grids live deeper (``runs/<run id>/<label>/manifest.json``):
+    directories without a manifest are descended into, up to
+    ``max_depth`` levels, and a directory holding a manifest is
+    yielded without descending further.  Concurrent-reader safe —
+    children appearing or vanishing mid-walk (a writer creating the
+    next run directory) are skipped, not raised.
     """
     root = Path(store_dir)
-    if not root.exists():
-        return
     direct = read_manifest(root / MANIFEST_NAME)
     if direct is not None:
         yield root, direct
         return
-    for child in sorted(root.iterdir()):
-        if not child.is_dir():
+    if max_depth <= 0:
+        return
+    try:
+        children = sorted(root.iterdir())
+    except OSError:
+        return
+    for child in children:
+        try:
+            if not child.is_dir():
+                continue
+        except OSError:
             continue
-        manifest = read_manifest(child / MANIFEST_NAME)
-        if manifest is not None:
-            yield child, manifest
+        yield from iter_manifests(child, max_depth=max_depth - 1)

@@ -102,12 +102,24 @@ class TestParallelFlags:
                 "2",
             ]
         )
-        profile = _profile_from(args)
+        # The per-cut flags still plumb through, but are deprecated in
+        # favour of --exec-plan.
+        with pytest.warns(DeprecationWarning, match="--exec-plan dag"):
+            profile = _profile_from(args)
         assert profile.exec_backend == "thread"
         assert profile.experiment_backend == "process"
         assert profile.restart_backend == "auto"
         assert profile.exec_max_workers == 3
         assert profile.sa_restarts == 2
+
+    def test_deprecated_flags_warn_by_name(self):
+        from repro.cli import _profile_from
+
+        args = build_parser().parse_args(
+            ["experiment", "fig3", "--restart-backend", "thread"]
+        )
+        with pytest.warns(DeprecationWarning, match="--restart-backend"):
+            _profile_from(args)
 
     def test_serial_flags_leave_profile_defaults(self):
         from repro.cli import _profile_from
@@ -163,3 +175,89 @@ class TestBatchEvalFlags:
         )
         with pytest.raises(SystemExit, match="non-negative"):
             _profile_from(args)
+
+
+class TestRunsSubcommand:
+    def _populate(self, tmp_path):
+        code = main(
+            [
+                "experiment",
+                "fig3",
+                "--profile",
+                "smoke",
+                "--store-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+
+    def test_table_output(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["runs", "--store-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].split() == [
+            "Run", "Status", "Done", "Failed", "Profile", "Seed", "Fingerprint",
+        ]
+        assert "fig3" in out and "complete" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        import json
+
+        self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["runs", "--store-dir", str(tmp_path), "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document[0]["label"] == "fig3"
+        assert document[0]["state"] == "complete"
+        assert document[0]["cells"]["failed"] == 0
+
+    def test_missing_store_dir_errors(self, tmp_path, capsys):
+        assert main(["runs", "--store-dir", str(tmp_path / "nope")]) == 1
+        assert "no such store directory" in capsys.readouterr().err
+
+    def test_unknown_run_filter_errors(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["runs", "--store-dir", str(tmp_path), "--run", "zz"]) == 1
+        assert "no run 'zz'" in capsys.readouterr().err
+
+
+class TestServeParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve", "--store-dir", "/tmp/s"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8321
+        assert args.max_concurrency == 2
+        assert args.queue_size == 64
+        assert args.transport == "thread"
+        assert args.exec_plan == "dag"
+        assert args.func.__name__ == "_cmd_serve"
+
+    def test_store_dir_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--store-dir",
+                "/tmp/s",
+                "--host",
+                "0.0.0.0",
+                "--port",
+                "0",
+                "--max-concurrency",
+                "4",
+                "--transport",
+                "serial",
+                "--exec-plan",
+                "dag:thread",
+            ]
+        )
+        assert args.host == "0.0.0.0"
+        assert args.port == 0
+        assert args.max_concurrency == 4
+        assert args.transport == "serial"
+        assert args.exec_plan == "dag:thread"

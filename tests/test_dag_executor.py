@@ -31,6 +31,11 @@ from repro.experiments.runner import render_report, run_all
 from repro.taskgraph import RandomGraphConfig, random_task_graph
 
 
+# Parts of this module deliberately exercise the deprecated per-cut
+# pools — they remain the legacy-parity reference paths.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
 def _square(value):
     return value * value
 

@@ -26,6 +26,10 @@ from repro.optim import (
 from repro.taskgraph import mpeg2_decoder
 from repro.taskgraph.mpeg2 import MPEG2_DEADLINE_S
 
+# This module deliberately exercises the deprecated per-cut pools —
+# they remain the legacy-parity reference paths.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 
 def _square(value):
     return value * value

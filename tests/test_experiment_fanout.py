@@ -10,6 +10,10 @@ from repro.experiments.runner import render_report, run_all
 from repro.experiments.table3 import _Table3CellJob
 from repro.taskgraph import RandomGraphConfig, random_task_graph
 
+# This module deliberately exercises the deprecated per-cut pools —
+# they remain the legacy-parity reference paths.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 
 @pytest.fixture(scope="module")
 def tiny_profile():

@@ -32,8 +32,14 @@ from repro.store import (
     fingerprint_payload,
     iter_manifests,
     read_manifest,
+    scan_records,
 )
 from repro.taskgraph import RandomGraphConfig, random_task_graph
+
+
+# Parts of this module deliberately exercise the deprecated per-cut
+# pools — they remain the legacy-parity reference paths.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 
 @pytest.fixture(scope="module")
@@ -719,3 +725,117 @@ class TestRecordFormat:
         ):
             assert field in manifest
         assert manifest["fingerprint"] == profile.result_fingerprint()
+
+
+# ---------------------------------------------------------------------------
+# Concurrent readers: the service polls stores a live writer is
+# streaming into — every reader degrades to "fewer records", never
+# raises.
+# ---------------------------------------------------------------------------
+
+
+class TestConcurrentReaders:
+    def _store(self, tmp_path):
+        return RunStore.open(
+            tmp_path / "run",
+            label="run",
+            fingerprint="f" * 16,
+            keys=("000:a", "001:b", "002:c"),
+            resume=False,
+        )
+
+    def test_scan_records_tolerates_mid_append_partial_line(self, tmp_path):
+        store = self._store(tmp_path)
+        store.record_result("000:a", 0, 1)
+        store.record_result("001:b", 1, 2)
+        # A writer mid-append: the tail line has no newline yet and is
+        # cut inside its JSON document.
+        whole = store.records_path.read_text()
+        with store.records_path.open("a") as handle:
+            handle.write(whole.splitlines()[0][:20])
+        records = list(scan_records(store.records_path, decode=True))
+        assert [record.key for record in records] == ["000:a", "001:b"]
+        assert records[0].payload == 1
+
+    def test_scan_records_missing_file(self, tmp_path):
+        assert list(scan_records(tmp_path / "never" / "records.jsonl")) == []
+
+    def test_scan_records_skips_undecodable_payload(self, tmp_path):
+        store = self._store(tmp_path)
+        store.record_result("000:a", 0, 1)
+        lines = store.records_path.read_text().splitlines()
+        doc = json.loads(lines[0])
+        doc["payload"] = "!!not-base64!!"
+        doc["key"] = "001:b"
+        with store.records_path.open("a") as handle:
+            handle.write(json.dumps(doc) + "\n")
+        decoded = list(scan_records(store.records_path, decode=True))
+        assert [record.key for record in decoded] == ["000:a"]
+
+    def test_load_results_with_live_writer_tail(self, tmp_path):
+        store = self._store(tmp_path)
+        store.record_result("000:a", 0, 1)
+        with store.records_path.open("a") as handle:
+            handle.write('{"key": "001:b", "status": "ok", "payl')
+            handle.flush()
+            # A second reader opens the store while the writer's half
+            # record is durable on disk.
+            reader = RunStore.open(
+                tmp_path / "run",
+                label="run",
+                fingerprint="f" * 16,
+                keys=("000:a", "001:b", "002:c"),
+                resume=True,
+            )
+            assert set(reader.load_results()) == {"000:a"}
+
+    def test_read_manifest_tolerates_partial_document(self, tmp_path):
+        target = tmp_path / MANIFEST_NAME
+        target.write_text('{"label": "run", "tot')  # torn mid-write copy
+        assert read_manifest(target) is None
+        target.write_text("[1, 2, 3]")  # valid JSON, wrong shape
+        assert read_manifest(target) is None
+        assert read_manifest(tmp_path / "absent.json") is None
+
+    def test_iter_manifests_finds_nested_service_layout(self, tmp_path):
+        # Service layout: <root>/runs/<run id>/<label>/manifest.json
+        deep = tmp_path / "runs" / "fig3-abc123" / "fig3"
+        RunStore.open(
+            deep, label="fig3", fingerprint="a" * 16, keys=("000:x",),
+            resume=False,
+        )
+        # Flat CLI layout next to it: <root>/<label>/manifest.json
+        RunStore.open(
+            tmp_path / "table3", label="table3", fingerprint="b" * 16,
+            keys=("000:y",), resume=False,
+        )
+        found = {manifest["label"] for _path, manifest in iter_manifests(tmp_path)}
+        assert found == {"fig3", "table3"}
+
+    def test_iter_manifests_does_not_descend_below_a_manifest(self, tmp_path):
+        outer = tmp_path / "outer"
+        RunStore.open(
+            outer, label="outer", fingerprint="a" * 16, keys=("000:x",),
+            resume=False,
+        )
+        RunStore.open(
+            outer / "inner", label="inner", fingerprint="b" * 16,
+            keys=("000:y",), resume=False,
+        )
+        labels = [manifest["label"] for _p, manifest in iter_manifests(tmp_path)]
+        assert labels == ["outer"]
+
+    def test_iter_manifests_depth_limit(self, tmp_path):
+        deep = tmp_path / "a" / "b" / "c" / "d" / "e"
+        RunStore.open(
+            deep, label="deep", fingerprint="a" * 16, keys=("000:x",),
+            resume=False,
+        )
+        assert list(iter_manifests(tmp_path, max_depth=2)) == []
+        assert [
+            manifest["label"] for _p, manifest in iter_manifests(tmp_path)
+        ] == []  # default depth 4 stops above e/
+        assert [
+            manifest["label"]
+            for _p, manifest in iter_manifests(tmp_path, max_depth=8)
+        ] == ["deep"]

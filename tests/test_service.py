@@ -1,0 +1,305 @@
+"""The HTTP job service: queueing, dedup, structured errors, byte-identity.
+
+Exercises the real stack — JobManager worker threads, the stdlib
+``ThreadingHTTPServer`` on an ephemeral port, and the ``urllib``
+client — against smoke-profile runs, so every test is an end-to-end
+submit → poll → fetch round trip.
+"""
+
+import threading
+
+import pytest
+
+from repro import api
+from repro.experiments.common import ExperimentProfile
+from repro.experiments.runner import run_experiment
+from repro.service import (
+    JobManager,
+    QueueFullError,
+    ServiceClient,
+    ServiceClientError,
+    ServiceConfig,
+    make_server,
+)
+
+FIG3 = {"experiment": "fig3", "profile": "smoke"}
+
+
+def _manager(tmp_path, **kwargs):
+    kwargs.setdefault("transport", "serial")
+    kwargs.setdefault("default_exec_plan", "dag")
+    return JobManager(ServiceConfig(store_root=str(tmp_path / "svc"), **kwargs))
+
+
+# ---------------------------------------------------------------------------
+# JobManager: the queue/worker layer, no HTTP.
+# ---------------------------------------------------------------------------
+
+
+class TestJobManager:
+    def test_submit_executes_and_completes(self, tmp_path):
+        with _manager(tmp_path) as manager:
+            submission = manager.submit(FIG3, tenant="alice")
+            assert submission.cached is False
+            assert manager.wait_idle(timeout=120)
+            status = manager.status(submission.run_id)
+            assert status.state == "complete"
+            _, direct = run_experiment("fig3", ExperimentProfile.smoke())
+            assert manager.report(submission.run_id) == direct + "\n"
+
+    def test_duplicate_submission_served_from_cache(self, tmp_path, monkeypatch):
+        with _manager(tmp_path) as manager:
+            first = manager.submit(FIG3, tenant="alice")
+            assert manager.wait_idle(timeout=120)
+
+            def boom(*args, **kwargs):
+                raise AssertionError("cached submission must not execute")
+
+            monkeypatch.setattr(api, "run_submitted", boom)
+            second = manager.submit(FIG3, tenant="bob")
+            assert second.cached is True
+            assert second.run_id == first.run_id
+            status = manager.status(first.run_id)
+            assert set(status.tenants) == {"alice", "bob"}
+
+    def test_in_flight_submission_joined_not_duplicated(self, tmp_path, monkeypatch):
+        release = threading.Event()
+        real = api.run_submitted
+
+        def slow(store_root, run_id, exec_plan=None):
+            release.wait(timeout=60)
+            return real(store_root, run_id, exec_plan=exec_plan)
+
+        monkeypatch.setattr(api, "run_submitted", slow)
+        with _manager(tmp_path, max_concurrency=1) as manager:
+            first = manager.submit(FIG3, tenant="alice")
+            joined = manager.submit(FIG3, tenant="bob")
+            assert joined.run_id == first.run_id
+            assert joined.cached is False
+            assert joined.scheduled is False  # no second queue entry
+            release.set()
+            assert manager.wait_idle(timeout=120)
+            assert manager.status(first.run_id).state == "complete"
+
+    def test_concurrency_limit_queues_rather_than_rejects(
+        self, tmp_path, monkeypatch
+    ):
+        gate = threading.Event()
+        started = threading.Event()
+        real = api.run_submitted
+
+        def gated(store_root, run_id, exec_plan=None):
+            started.set()
+            gate.wait(timeout=60)
+            return real(store_root, run_id, exec_plan=exec_plan)
+
+        monkeypatch.setattr(api, "run_submitted", gated)
+        with _manager(tmp_path, max_concurrency=1) as manager:
+            first = manager.submit(FIG3)
+            assert started.wait(timeout=30)
+            # A different run beyond the worker count queues quietly.
+            second = manager.submit({"experiment": "fig3", "profile": "smoke",
+                                     "seed": 1})
+            assert second.run_id != first.run_id
+            states = manager.job_states()
+            assert states[first.run_id] == "running"
+            assert states[second.run_id] == "queued"
+            gate.set()
+            assert manager.wait_idle(timeout=240)
+            assert manager.status(first.run_id).state == "complete"
+            assert manager.status(second.run_id).state == "complete"
+
+    def test_full_queue_refuses_with_503(self, tmp_path, monkeypatch):
+        gate = threading.Event()
+        started = threading.Event()
+        real = api.run_submitted
+
+        def gated(store_root, run_id, exec_plan=None):
+            started.set()
+            gate.wait(timeout=60)
+            return real(store_root, run_id, exec_plan=exec_plan)
+
+        monkeypatch.setattr(api, "run_submitted", gated)
+        with _manager(tmp_path, max_concurrency=1, queue_size=1) as manager:
+            manager.submit(FIG3)
+            assert started.wait(timeout=30)
+            # Worker busy; these two race for the single queue slot.
+            submissions = []
+            error = None
+            for seed in (1, 2, 3):
+                try:
+                    submissions.append(
+                        manager.submit(
+                            {"experiment": "fig3", "profile": "smoke",
+                             "seed": seed}
+                        )
+                    )
+                except QueueFullError as exc:
+                    error = exc
+            assert error is not None
+            assert error.http_status == 503
+            assert error.to_dict()["code"] == "queue-full"
+            gate.set()
+            manager.wait_idle(timeout=240)
+
+    def test_cancel_queued_job(self, tmp_path, monkeypatch):
+        gate = threading.Event()
+        started = threading.Event()
+        real = api.run_submitted
+
+        def gated(store_root, run_id, exec_plan=None):
+            started.set()
+            gate.wait(timeout=60)
+            return real(store_root, run_id, exec_plan=exec_plan)
+
+        monkeypatch.setattr(api, "run_submitted", gated)
+        with _manager(tmp_path, max_concurrency=1) as manager:
+            manager.submit(FIG3)
+            assert started.wait(timeout=30)
+            queued = manager.submit(
+                {"experiment": "fig3", "profile": "smoke", "seed": 9}
+            )
+            cancelled = manager.cancel(queued.run_id)
+            assert cancelled.state == "cancelled"
+            gate.set()
+            assert manager.wait_idle(timeout=240)
+            # The cancelled run was skipped at dispatch, not executed.
+            assert manager.status(queued.run_id).state == "cancelled"
+            with pytest.raises(api.RunConflictError):
+                manager.report(queued.run_id)
+
+    def test_submit_after_close_rejected(self, tmp_path):
+        manager = _manager(tmp_path).start()
+        manager.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            manager.submit(FIG3)
+
+    def test_stats_shape(self, tmp_path):
+        with _manager(tmp_path) as manager:
+            stats = manager.stats()
+            assert stats["queued"] == 0
+            assert stats["running"] == 0
+            assert stats["max_concurrency"] == 2
+            assert stats["executor"] is not None
+
+
+# ---------------------------------------------------------------------------
+# The HTTP stack: server + client on an ephemeral port.
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def service(tmp_path):
+    server = make_server(
+        ServiceConfig(
+            store_root=str(tmp_path / "svc"),
+            max_concurrency=2,
+            transport="serial",
+        )
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServiceClient(f"http://127.0.0.1:{server.port}", timeout=120.0)
+    try:
+        yield client, server
+    finally:
+        server.shutdown()
+        server.server_close()
+        server.manager.close()
+
+
+class TestHttpService:
+    def test_submit_poll_fetch_round_trip(self, service):
+        client, _server = service
+        submission = client.submit_experiment(
+            "fig3", profile="smoke", tenant="alice"
+        )
+        assert submission["cached"] is False
+        status = client.wait(submission["run_id"], timeout=240)
+        assert status["state"] == "complete"
+        assert status["cells"]["failed"] == 0
+        report = client.report(submission["run_id"])
+        _, direct = run_experiment("fig3", ExperimentProfile.smoke())
+        assert report == direct + "\n"
+
+    def test_duplicate_submission_cached_across_tenants(self, service):
+        client, _server = service
+        first = client.submit_experiment("fig3", profile="smoke", tenant="a")
+        client.wait(first["run_id"], timeout=240)
+        second = client.submit_experiment("fig3", profile="smoke", tenant="b")
+        assert second["cached"] is True
+        assert second["run_id"] == first["run_id"]
+        runs = client.runs()
+        assert len(runs) == 1
+        assert set(runs[0]["tenants"]) == {"a", "b"}
+        assert client.runs(tenant="a") and client.runs(tenant="zzz") == []
+
+    def test_invalid_submission_structured_400(self, service):
+        client, _server = service
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.submit_experiment("fig99", profile="smoke")
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "invalid-request"
+        assert excinfo.value.field == "experiment"
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.submit({"experiment": "fig3", "profile": "enormous"})
+        assert excinfo.value.status == 400
+        assert excinfo.value.field == "profile"
+
+    def test_unknown_run_structured_404(self, service):
+        client, _server = service
+        for call in (client.status, client.report, client.cancel):
+            with pytest.raises(ServiceClientError) as excinfo:
+                call("missing-000000000000")
+            assert excinfo.value.status == 404
+            assert excinfo.value.code == "unknown-run"
+
+    def test_unknown_endpoint_404(self, service):
+        client, _server = service
+        with pytest.raises(ServiceClientError) as excinfo:
+            client._request("GET", "/v2/runs")
+        assert excinfo.value.status == 404
+
+    def test_malformed_body_400(self, service):
+        client, _server = service
+        import urllib.request
+
+        request = urllib.request.Request(
+            client.base_url + "/v1/runs",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        import urllib.error
+
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+
+    def test_report_before_completion_409(self, service, monkeypatch):
+        client, server = service
+        gate = threading.Event()
+        started = threading.Event()
+        real = api.run_submitted
+
+        def gated(store_root, run_id, exec_plan=None):
+            started.set()
+            gate.wait(timeout=60)
+            return real(store_root, run_id, exec_plan=exec_plan)
+
+        monkeypatch.setattr(api, "run_submitted", gated)
+        submission = client.submit_experiment("fig3", profile="smoke")
+        assert started.wait(timeout=30)
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.report(submission["run_id"])
+        assert excinfo.value.status == 409
+        assert excinfo.value.code == "run-conflict"
+        gate.set()
+        client.wait(submission["run_id"], timeout=240)
+
+    def test_health_endpoint(self, service):
+        client, _server = service
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["max_concurrency"] == 2
+        assert "executor" in health

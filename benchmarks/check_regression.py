@@ -59,6 +59,7 @@ DEFAULT_PATTERNS = (
     "hetero_list_scheduler",
     "hetero_evaluation",
     "node_sweep_evaluation",
+    "store_index",
 )
 
 DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "baseline.json")

@@ -55,12 +55,20 @@ from repro.experiments.common import (
     run_cells,
 )
 from repro.experiments.runner import experiment_ids, run_experiment
-from repro.store import fingerprint_payload, iter_manifests, read_manifest
+from repro.store import fingerprint_payload, iter_manifests
+from repro.store.index import (
+    RUN_RECORD_NAME,
+    RUNS_DIRNAME,
+    RunEntry,
+    StoreIndex,
+    StoreIndexError,
+    collect_entries,
+    resolve_run_directory,
+    service_run_entry,
+)
 
-RUN_RECORD_NAME = "run.json"
 REPORT_NAME = "report.txt"
 CANCEL_NAME = "cancel.flag"
-RUNS_DIRNAME = "runs"
 
 #: Run lifecycle states recorded in ``run.json``.
 RUN_STATES = ("queued", "running", "complete", "failed", "cancelled")
@@ -481,10 +489,18 @@ class RunOutcome:
 # ---------------------------------------------------------------------------
 
 
-def _run_directory(store_root: Union[str, Path], run_id: str) -> Path:
+def _run_directory(
+    store_root: Union[str, Path], run_id: str, create: bool = False
+) -> Path:
+    """The run's directory, across the flat and sharded ``runs/`` layouts.
+
+    An existing run is found wherever it lives; fresh runs land in the
+    layout :func:`repro.store.index.sharding_enabled` selects for this
+    store (``create`` additionally materializes the shard bucket).
+    """
     if not run_id or "/" in run_id or run_id.startswith("."):
         raise UnknownRunError(f"malformed run id {run_id!r}")
-    return Path(store_root) / RUNS_DIRNAME / run_id
+    return resolve_run_directory(store_root, run_id, create=create)
 
 
 def _read_run_record(run_dir: Path) -> Optional[Dict[str, Any]]:
@@ -497,6 +513,27 @@ def _read_run_record(run_dir: Path) -> Optional[Dict[str, Any]]:
     return record if isinstance(record, dict) else None
 
 
+def _index_touch_run(run_dir: Path) -> None:
+    """Refresh one service run's row in the store-root sidecar index.
+
+    Best-effort by the cache contract (see :mod:`repro.store.index`):
+    a failure or a missing sidecar degrades to "the next listing
+    rebuilds", never to a failed state transition.  No sidecar is ever
+    *created* here — :meth:`StoreIndex.attach` refuses to create one
+    inside a run directory, and a store whose root index does not
+    exist yet simply stays walk-served.
+    """
+    try:
+        index = StoreIndex.attach(run_dir)
+        if index is None:
+            return
+        entry = service_run_entry(run_dir)
+        if entry is not None:
+            index.update_entry(entry)
+    except Exception:
+        pass
+
+
 def _write_run_record(run_dir: Path, record: Mapping[str, Any]) -> None:
     # Atomic like the store manifest: a polling reader never sees a
     # torn document, only the previous or the next one.
@@ -504,6 +541,7 @@ def _write_run_record(run_dir: Path, record: Mapping[str, Any]) -> None:
     temporary = run_dir / (RUN_RECORD_NAME + ".tmp")
     temporary.write_text(document + "\n", encoding="utf-8")
     os.replace(temporary, run_dir / RUN_RECORD_NAME)
+    _index_touch_run(run_dir)
 
 
 def _set_state(run_dir: Path, state: str, error: Optional[str] = None) -> None:
@@ -675,7 +713,7 @@ def submit_run(
     """
     spec = RunSpec.coerce(spec)
     run_id = spec.run_id()
-    run_dir = _run_directory(store_root, run_id)
+    run_dir = _run_directory(store_root, run_id, create=True)
     run_dir.mkdir(parents=True, exist_ok=True)
     existing = _read_run_record(run_dir)
     record = existing or {
@@ -820,21 +858,54 @@ def _service_run_status(run_dir: Path, record: Mapping[str, Any]) -> RunStatus:
     )
 
 
+def _status_from_entry(entry: RunEntry) -> RunStatus:
+    """The :class:`RunStatus` of one index/walk entry.
+
+    :func:`repro.store.index.collect_entries` and
+    :meth:`~repro.store.index.StoreIndex.entries` produce the same
+    entries field for field, so a listing served from the sidecar is
+    byte-identical to the directory walk it caches — the CI
+    ``e2e-store`` index leg diffs exactly this.
+    """
+    return RunStatus(
+        run_id=entry.run_id,
+        label=entry.label,
+        state=entry.state,
+        directory=str(entry.directory),
+        total=entry.total,
+        completed=entry.completed,
+        failed=entry.failed,
+        fingerprint=entry.fingerprint,
+        profile=dict(entry.profile),
+        tenants=tuple(entry.tenants),
+        executor=dict(entry.executor) if entry.executor else None,
+        error=entry.error,
+        cells=tuple(entry.cells),
+        cell_status=dict(entry.cell_status),
+    )
+
+
 def run_status(store_root: Union[str, Path], run_id: str) -> RunStatus:
     """The status of one run (service runs and bare grid stores alike).
 
     Progress comes straight from the streaming store manifests the
     executor rewrites as cells complete — polling a run mid-execution
     is the intended use, and the store readers tolerate a writer
-    mid-append.
+    mid-append.  Bare grid stores are probed through the sidecar index
+    first (an O(1) lookup instead of a walk); an index miss or failure
+    falls back to the manifest walk, so the index never gates
+    correctness.
     """
     root = Path(store_root)
     run_dir = _run_directory(root, run_id)
     record = _read_run_record(run_dir)
     if record is not None:
         return _service_run_status(run_dir, record)
-    # Bare grid stores (the CLI's --store-dir layout): match manifests
-    # by run label or directory name, newest layout first.
+    # Bare grid stores (the CLI's --store-dir layout): index probe
+    # first, then match manifests by run label or directory name.
+    entry = StoreIndex.at(root).lookup_run(run_id)
+    if entry is not None and entry.kind == "grid":
+        return _status_from_entry(entry)
     for directory, manifest in iter_manifests(root):
         if directory == root / RUNS_DIRNAME or root / RUNS_DIRNAME in directory.parents:
             continue
@@ -849,46 +920,76 @@ def run_status(store_root: Union[str, Path], run_id: str) -> RunStatus:
     raise UnknownRunError(f"no run {run_id!r} under {root}")
 
 
+#: Memoized listings keyed by (store root, tenant): the service polls
+#: ``list_runs`` on every HTTP request, and between store writes the
+#: answer cannot change.  Invalidation is the index's mtime (including
+#: its WAL file — a WAL write does not touch the main database file),
+#: so a memo entry lives exactly as long as the sidecar is untouched.
+_LISTING_CACHE: Dict[Tuple[str, Optional[str]], Tuple[int, List[RunStatus]]] = {}
+
+
 def list_runs(
-    store_root: Union[str, Path], tenant: Optional[str] = None
+    store_root: Union[str, Path],
+    tenant: Optional[str] = None,
+    use_index: bool = True,
 ) -> List[RunStatus]:
     """Every run under a store root, service records and bare grids both.
 
-    Service-managed runs (under ``runs/``) are listed from their run
-    records; bare grid directories (what ``repro-seu experiment
-    --store-dir`` writes) are synthesized from their manifests so one
-    listing — and one ``runs --json`` shape — covers both layouts.
-    ``tenant`` filters to runs carrying that label.
+    Service-managed runs (under ``runs/``, flat or sharded) are listed
+    from their run records; bare grid directories (what ``repro-seu
+    experiment --store-dir`` writes) are synthesized from their
+    manifests so one listing — and one ``runs --json`` shape — covers
+    both layouts.  ``tenant`` filters to runs carrying that label.
+
+    The listing is served from the SQLite sidecar index when one is
+    fresh (no ``records.jsonl`` scan, no directory walk — the hot path
+    at service scale), memoized per (root, tenant) against the index
+    mtime.  A missing or unreadable sidecar falls back to the
+    directory walk and rebuilds the index from the walked entries, so
+    deleting ``index.sqlite`` costs one listing, never an answer;
+    ``use_index=False`` forces the walk (and skips the rebuild) — the
+    CI e2e leg byte-diffs the two paths.
     """
     root = Path(store_root)
-    statuses: List[RunStatus] = []
-    runs_dir = root / RUNS_DIRNAME
-    if runs_dir.is_dir():
+    if use_index:
+        index = StoreIndex.at(root)
+        stamp = index.mtime_ns()
+        key = (str(root), tenant)
+        memo = _LISTING_CACHE.get(key)
+        if memo is not None and stamp is not None and memo[0] == stamp:
+            return list(memo[1])
         try:
-            children = sorted(runs_dir.iterdir())
-        except OSError:
-            children = []
-        for child in children:
-            record = _read_run_record(child)
-            if record is not None:
-                statuses.append(_service_run_status(child, record))
-    for directory, manifest in iter_manifests(root):
-        if directory == runs_dir or runs_dir in directory.parents:
-            continue
-        statuses.append(
-            _status_from_manifests(
-                run_id=directory.name,
-                label=str(manifest.get("label", directory.name)),
-                state=str(manifest.get("run_status", "?")),
-                directory=directory,
-                manifests=[(directory, manifest)],
-            )
-        )
+            statuses = [_status_from_entry(e) for e in index.entries(tenant)]
+        except StoreIndexError:
+            pass
+        else:
+            if stamp is not None:
+                _LISTING_CACHE[key] = (stamp, statuses)
+            return list(statuses)
+    entries = collect_entries(root)
+    if use_index:
+        try:
+            StoreIndex.ensure(root).replace_all(entries)
+        except Exception:
+            pass  # cache rebuild is best-effort; the walk already answered
     if tenant is not None:
-        statuses = [
-            status for status in statuses if tenant in status.tenants
-        ]
-    return statuses
+        entries = [entry for entry in entries if tenant in entry.tenants]
+    return [_status_from_entry(entry) for entry in entries]
+
+
+def rebuild_index(store_root: Union[str, Path]) -> int:
+    """Rebuild the store's sidecar index from the on-disk truth.
+
+    Walks every run record and manifest under the root and replaces
+    the whole ``index.sqlite`` atomically (the index is a pure cache —
+    this is always safe, whatever state the sidecar was in).  Returns
+    the number of indexed runs.
+    """
+    root = Path(store_root)
+    entries = collect_entries(root)
+    StoreIndex.ensure(root).replace_all(entries)
+    _LISTING_CACHE.clear()
+    return len(entries)
 
 
 def fetch_report(store_root: Union[str, Path], run_id: str) -> str:
@@ -966,6 +1067,7 @@ __all__ = [
     "fetch_report",
     "format_runs_table",
     "list_runs",
+    "rebuild_index",
     "run_status",
     "run_submitted",
     "submit_run",

@@ -363,7 +363,21 @@ def _cmd_runs(args: argparse.Namespace) -> int:
     if not root.exists():
         print(f"no such store directory: {root}", file=sys.stderr)
         return 1
-    statuses = api.list_runs(root, tenant=args.tenant)
+    if args.compact:
+        from repro.store import compact_store
+
+        results = compact_store(root)
+        changed = [result for result in results if result.changed]
+        dropped = sum(result.dropped for result in changed)
+        print(
+            f"compacted {len(changed)}/{len(results)} records file(s), "
+            f"dropped {dropped} superseded line(s)",
+            file=sys.stderr,
+        )
+    if args.rebuild_index:
+        count = api.rebuild_index(root)
+        print(f"rebuilt index: {count} run(s)", file=sys.stderr)
+    statuses = api.list_runs(root, tenant=args.tenant, use_index=not args.no_index)
     if args.run is not None:
         statuses = [
             status
@@ -477,6 +491,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--tenant",
         default=None,
         help="only runs carrying this tenant label (service stores)",
+    )
+    runs.add_argument(
+        "--no-index",
+        action="store_true",
+        help=(
+            "bypass the SQLite sidecar index and walk records/manifests "
+            "directly (the index is a pure cache; listings are identical)"
+        ),
+    )
+    runs.add_argument(
+        "--rebuild-index",
+        action="store_true",
+        help=(
+            "rebuild the sidecar index from records + manifests before "
+            "listing (safe any time: records are the only authority)"
+        ),
+    )
+    runs.add_argument(
+        "--compact",
+        action="store_true",
+        help=(
+            "rewrite torn/duplicate records.jsonl tails before listing "
+            "(only run against quiescent stores)"
+        ),
     )
     runs.set_defaults(func=_cmd_runs)
 

@@ -491,6 +491,50 @@ def _run_cell(cell: Any) -> Any:
     return cell.run()
 
 
+@dataclass(frozen=True)
+class _CheckpointedCell:
+    """A cell wrapped in an intra-cell checkpoint scope, picklable.
+
+    Store-backed grids wrap every pending cell so its scaling sweep can
+    durably record per-scaling progress (see
+    :mod:`repro.store.checkpoint`): the wrapper re-opens the
+    thread-local scope wherever the cell actually runs — the caller's
+    thread, a dag coordinator thread, or a process-pool worker — and
+    the optimizer inside picks it up via ``current_checkpoint()``.
+    Carries the checkpoint *path* plus the identity pair (run
+    fingerprint, cell key) the checkpoint validates against.
+    """
+
+    cell: Any
+    path: str
+    fingerprint: str
+    cell_key: str
+
+    def run(self) -> Any:
+        from repro.store.checkpoint import CellCheckpoint, checkpoint_scope
+
+        checkpoint = CellCheckpoint(
+            self.path, fingerprint=self.fingerprint, cell_key=self.cell_key
+        )
+        with checkpoint_scope(checkpoint):
+            return self.cell.run()
+
+
+def _checkpointed_jobs(jobs: Sequence[Any], pending: Sequence[int], store) -> List[Any]:
+    """Wrap each pending job with its cell's checkpoint identity."""
+    from repro.store.checkpoint import checkpoint_path
+
+    return [
+        _CheckpointedCell(
+            cell=job,
+            path=str(checkpoint_path(store.directory, index)),
+            fingerprint=store.fingerprint,
+            cell_key=store.keys[index],
+        )
+        for job, index in zip(jobs, pending)
+    ]
+
+
 def _run_cell_guarded(cell: Any) -> Any:
     """Trampoline that converts cell failures into recordable outcomes.
 
@@ -617,6 +661,7 @@ def _run_cells_stored(cells, profile: ExperimentProfile, spec, store) -> List[An
                 replace(cells[index], profile=worker_profile(cells[index].profile))
                 for index in pending
             ]
+        jobs = _checkpointed_jobs(jobs, pending, store)
 
         def persist(position: int, outcome) -> None:
             index = pending[position]
@@ -727,11 +772,23 @@ def _run_cells_dag(
             with ThreadPoolExecutor(
                 max_workers=len(pending), thread_name_prefix=f"repro-{grid}"
             ) as cohort:
+                jobs = {
+                    index: cells[index] for index in pending
+                }
+                if store is not None:
+                    jobs = dict(
+                        zip(
+                            pending,
+                            _checkpointed_jobs(
+                                [cells[index] for index in pending], pending, store
+                            ),
+                        )
+                    )
                 futures = {
                     cohort.submit(
                         _run_cell_in_dag,
                         executor,
-                        cells[index],
+                        jobs[index],
                         f"{grid}[{index}]",
                         store is not None,
                     ): index

@@ -93,6 +93,16 @@ class JobManager:
                 return self
             if self._closed:
                 raise RuntimeError("JobManager is closed")
+            try:
+                # One walk at startup heals whatever state the sidecar
+                # index was left in (crash mid-write, deleted, stale);
+                # from here on every record/manifest write refreshes it
+                # incrementally and the polling endpoints answer from
+                # it without re-walking runs/.  Best-effort: the index
+                # is a cache, a failure just leaves listings walk-served.
+                api.rebuild_index(self.store_root)
+            except Exception:
+                pass
             self._executor = DagExecutor.from_spec(self.config.transport)
             for index in range(self.config.max_concurrency):
                 worker = threading.Thread(

@@ -1,10 +1,37 @@
 """Durable, streaming persistence for experiment runs.
 
 See :mod:`repro.store.run_store` for the on-disk formats and the
-resume determinism contract, and ARCHITECTURE.md §store for the
-design discussion.
+resume determinism contract, :mod:`repro.store.index` for the SQLite
+sidecar index (pure cache, rebuildable from records + manifests),
+:mod:`repro.store.checkpoint` for intra-cell per-scaling checkpoints,
+and ARCHITECTURE.md §store for the design discussion.
 """
 
+from repro.store.checkpoint import (
+    CHECKPOINTS_DIRNAME,
+    CellCheckpoint,
+    checkpoint_path,
+    checkpoint_scope,
+    clear_checkpoints,
+    current_checkpoint,
+    discard_cell_checkpoint,
+)
+from repro.store.index import (
+    INDEX_NAME,
+    RUN_RECORD_NAME,
+    RUNS_DIRNAME,
+    SHARD_MARKER,
+    CompactionResult,
+    RunEntry,
+    StoreIndex,
+    StoreIndexError,
+    collect_entries,
+    compact_records,
+    compact_store,
+    resolve_run_directory,
+    shard_of,
+    sharding_enabled,
+)
 from repro.store.run_store import (
     FORMAT_VERSION,
     MANIFEST_NAME,
@@ -21,16 +48,37 @@ from repro.store.run_store import (
 )
 
 __all__ = [
+    "CHECKPOINTS_DIRNAME",
     "FORMAT_VERSION",
+    "INDEX_NAME",
     "MANIFEST_NAME",
     "RECORDS_NAME",
+    "RUNS_DIRNAME",
+    "RUN_RECORD_NAME",
+    "SHARD_MARKER",
+    "CellCheckpoint",
     "CellRecord",
+    "CompactionResult",
+    "RunEntry",
     "RunStore",
     "RunStoreError",
+    "StoreIndex",
+    "StoreIndexError",
     "StoreMismatchError",
     "cell_key",
+    "checkpoint_path",
+    "checkpoint_scope",
+    "clear_checkpoints",
+    "collect_entries",
+    "compact_records",
+    "compact_store",
+    "current_checkpoint",
+    "discard_cell_checkpoint",
     "fingerprint_payload",
     "iter_manifests",
     "read_manifest",
+    "resolve_run_directory",
     "scan_records",
+    "shard_of",
+    "sharding_enabled",
 ]

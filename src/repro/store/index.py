@@ -1,0 +1,924 @@
+"""Queryable SQLite sidecar index over a run-store root.
+
+The run store's source of truth is per-run ``records.jsonl`` +
+``manifest.json`` files; listing them means walking directories and
+parsing every manifest — fine for a handful of runs, hopeless for a
+service store holding millions of cells.  :class:`StoreIndex` is a
+**pure cache** over that truth: one ``index.sqlite`` (WAL mode) at the
+store root holding a row per run (fingerprint, label, state,
+completion counters, profile summary, timestamps) and a row per cell
+(key + status, in listing order), so "list my runs / find the cached
+result for this graph" is an index lookup instead of a walk.
+
+Authority-vs-cache contract
+---------------------------
+The index is **never** an authority.  Every row is derived from
+``records.jsonl``/``manifest.json``/``run.json`` and can be rebuilt
+from them at any time (:meth:`StoreIndex.replace_all` over
+:func:`collect_entries`); deleting ``index.sqlite`` loses nothing.
+Writers keep it fresh incrementally — :class:`~repro.store.run_store.
+RunStore` upserts its run row on every cell append, the service
+facade upserts on every run-state transition — and every index write
+is best-effort: an index failure degrades to a rebuild-on-next-read,
+never to a failed run.  Readers that cannot trust the cache (or find
+it missing) fall back to :func:`collect_entries`, the same walk the
+index is built from, so an index-served listing and a walk-served
+listing are byte-identical by construction.
+
+Compaction
+----------
+``records.jsonl`` accumulates torn tails (interrupted appends) and
+superseded records (a cell re-run after a failure appends a second
+line; the loader's latest-wins rule hides the first).
+:func:`compact_records` rewrites a records file to exactly the lines
+the loader would keep — the *final* record per cell key, verbatim
+bytes, in first-appearance order — via a temp file + ``os.replace``,
+so a concurrent reader sees either the old file or the new one,
+never a torn view.  Compact only quiescent stores: a live writer's
+append between the read and the replace would be dropped.
+
+Sharded run directories
+-----------------------
+Service stores put every run under ``<root>/runs/<run id>``; at
+millions of runs one flat directory strains the filesystem.  With
+sharding enabled (the ``REPRO_STORE_SHARD`` environment variable, or
+a ``.sharded`` marker inside ``runs/``), new runs land under
+``runs/<hh>/<run id>`` where ``hh`` is the first two hex digits of
+the run id's sha256.  Readers always accept both layouts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sqlite3
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.store.run_store import (
+    MANIFEST_NAME,
+    RECORDS_NAME,
+    iter_manifests,
+)
+
+INDEX_NAME = "index.sqlite"
+RUN_RECORD_NAME = "run.json"
+RUNS_DIRNAME = "runs"
+SHARD_MARKER = ".sharded"
+
+#: Bump when the schema changes; a mismatched index is dropped and
+#: rebuilt (it is a cache — staleness is never an error).
+INDEX_SCHEMA_VERSION = 1
+
+#: Ancestor levels walked when attaching a grid directory to the store
+#: root's index (``<root>/runs/<run id>/<label>`` is three deep).
+_ATTACH_DEPTH = 4
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS runs (
+    directory  TEXT PRIMARY KEY,  -- relative to the store root
+    kind       TEXT NOT NULL,     -- 'service' | 'grid'
+    sort_key   TEXT NOT NULL,
+    run_id     TEXT NOT NULL,
+    label      TEXT NOT NULL,
+    state      TEXT NOT NULL,
+    total      INTEGER NOT NULL,
+    completed  INTEGER NOT NULL,
+    failed     INTEGER NOT NULL,
+    fingerprint TEXT,
+    profile    TEXT NOT NULL,     -- JSON (name, seed, platform, ...)
+    executor   TEXT,              -- JSON or NULL
+    tenants    TEXT NOT NULL,     -- JSON list
+    error      TEXT,
+    updated_at REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS runs_by_id ON runs (run_id);
+CREATE INDEX IF NOT EXISTS runs_by_fingerprint ON runs (fingerprint);
+CREATE TABLE IF NOT EXISTS cells (
+    directory TEXT NOT NULL,
+    position  INTEGER NOT NULL,
+    key       TEXT NOT NULL,
+    status    TEXT NOT NULL,
+    PRIMARY KEY (directory, position)
+);
+CREATE INDEX IF NOT EXISTS cells_by_key ON cells (directory, key);
+"""
+
+
+class StoreIndexError(RuntimeError):
+    """The sidecar could not be read or written (callers degrade)."""
+
+
+# ---------------------------------------------------------------------------
+# Run entries: the one shape shared by the walk and the index.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunEntry:
+    """One run as the listing sees it, whatever produced it.
+
+    :func:`collect_entries` builds these from a directory walk;
+    :meth:`StoreIndex.entries` round-trips them through SQLite.  The
+    two must agree field for field — that equivalence is what makes
+    an index-served listing byte-identical to a walk-served one, and
+    the CI ``e2e-store`` index leg diffs exactly that.
+    """
+
+    kind: str  # "service" | "grid"
+    directory: Path
+    run_id: str
+    label: str
+    state: str
+    total: int = 0
+    completed: int = 0
+    failed: int = 0
+    fingerprint: Optional[str] = None
+    profile: Mapping[str, Any] = field(default_factory=dict)
+    executor: Optional[Mapping[str, Any]] = None
+    tenants: Tuple[str, ...] = ()
+    error: Optional[str] = None
+    cells: Tuple[str, ...] = ()
+    cell_status: Mapping[str, str] = field(default_factory=dict)
+
+
+def read_run_record(run_dir: Union[str, Path]) -> Optional[Dict[str, Any]]:
+    """Parse one ``run.json``; ``None`` when absent or unreadable."""
+    try:
+        record = json.loads(
+            (Path(run_dir) / RUN_RECORD_NAME).read_text(encoding="utf-8")
+        )
+    except (OSError, ValueError):
+        return None
+    return record if isinstance(record, dict) else None
+
+
+def _aggregate_manifests(
+    manifests: Sequence[Tuple[Path, Mapping[str, Any]]],
+) -> Dict[str, Any]:
+    """Merge per-label manifests into one run's counters/cells view."""
+    total = completed = failed = 0
+    fingerprint: Optional[str] = None
+    profile: Mapping[str, Any] = {}
+    executor: Optional[Mapping[str, Any]] = None
+    cells: List[str] = []
+    cell_status: Dict[str, str] = {}
+    for _, manifest in manifests:
+        total += int(manifest.get("total", 0))
+        completed += int(manifest.get("completed", 0))
+        failed += int(manifest.get("failed", 0))
+        fingerprint = fingerprint or manifest.get("fingerprint")
+        profile = profile or manifest.get("profile", {})
+        executor = executor or manifest.get("executor")
+        cells.extend(manifest.get("cells", []))
+        cell_status.update(manifest.get("status", {}))
+    return {
+        "total": total,
+        "completed": completed,
+        "failed": failed,
+        "fingerprint": fingerprint,
+        "profile": dict(profile),
+        "executor": dict(executor) if executor else None,
+        "cells": tuple(cells),
+        "cell_status": cell_status,
+    }
+
+
+def service_run_entry(
+    run_dir: Path,
+    record: Optional[Mapping[str, Any]] = None,
+    manifests: Optional[Sequence[Tuple[Path, Mapping[str, Any]]]] = None,
+) -> Optional[RunEntry]:
+    """The entry for one service-managed run directory (``run.json``)."""
+    if record is None:
+        record = read_run_record(run_dir)
+    if record is None:
+        return None
+    if manifests is None:
+        manifests = list(iter_manifests(run_dir))
+    merged = _aggregate_manifests(manifests)
+    return RunEntry(
+        kind="service",
+        directory=run_dir,
+        run_id=str(record.get("run_id", run_dir.name)),
+        label=str(record.get("label", run_dir.name)),
+        state=str(record.get("state", "queued")),
+        tenants=tuple(str(t) for t in record.get("tenants", [])),
+        error=record.get("error"),
+        **merged,
+    )
+
+
+def grid_entry(directory: Path, manifest: Mapping[str, Any]) -> RunEntry:
+    """The entry for one bare grid directory (``manifest.json`` only)."""
+    merged = _aggregate_manifests([(directory, manifest)])
+    return RunEntry(
+        kind="grid",
+        directory=directory,
+        run_id=directory.name,
+        label=str(manifest.get("label", directory.name)),
+        state=str(manifest.get("run_status", "?")),
+        **merged,
+    )
+
+
+def iter_service_run_dirs(runs_dir: Path) -> Iterator[Path]:
+    """Service run directories under ``runs/``, sorted by run id.
+
+    Accepts the flat layout (``runs/<run id>``) and the sharded one
+    (``runs/<hh>/<run id>``): a child without a ``run.json`` is
+    treated as a shard directory and descended one level.  Sorting is
+    global by run id, so flat and sharded stores holding the same
+    runs list them in the same order.
+    """
+    try:
+        children = list(runs_dir.iterdir())
+    except OSError:
+        return
+    run_dirs: List[Path] = []
+    for child in children:
+        try:
+            if not child.is_dir():
+                continue
+        except OSError:
+            continue
+        if (child / RUN_RECORD_NAME).exists():
+            run_dirs.append(child)
+            continue
+        try:
+            grandchildren = list(child.iterdir())
+        except OSError:
+            continue
+        for grandchild in grandchildren:
+            try:
+                if grandchild.is_dir() and (
+                    grandchild / RUN_RECORD_NAME
+                ).exists():
+                    run_dirs.append(grandchild)
+            except OSError:
+                continue
+    run_dirs.sort(key=lambda path: path.name)
+    yield from run_dirs
+
+
+def collect_entries(store_root: Union[str, Path]) -> List[RunEntry]:
+    """Every run under a store root, by directory walk.
+
+    Service-managed runs first (sorted by run id), then bare grid
+    directories in manifest-walk order — exactly the listing shape
+    ``repro.api.list_runs`` has always produced, and exactly what
+    :meth:`StoreIndex.replace_all` persists.
+    """
+    root = Path(store_root)
+    entries: List[RunEntry] = []
+    runs_dir = root / RUNS_DIRNAME
+    if runs_dir.is_dir():
+        for run_dir in iter_service_run_dirs(runs_dir):
+            entry = service_run_entry(run_dir)
+            if entry is not None:
+                entries.append(entry)
+    for directory, manifest in iter_manifests(root):
+        if directory == runs_dir or runs_dir in directory.parents:
+            continue
+        entries.append(grid_entry(directory, manifest))
+    return entries
+
+
+# ---------------------------------------------------------------------------
+# Sharded run directories.
+# ---------------------------------------------------------------------------
+
+
+def shard_of(run_id: str) -> str:
+    """The two-hex-digit shard bucket of one run id."""
+    return hashlib.sha256(run_id.encode("utf-8")).hexdigest()[:2]
+
+
+def sharding_enabled(store_root: Union[str, Path]) -> bool:
+    """Whether *new* run directories under this root should shard.
+
+    True when ``runs/.sharded`` exists (a store that ever sharded
+    keeps sharding — mixing layouts for new runs is allowed but
+    pointless) or the ``REPRO_STORE_SHARD`` environment variable is
+    set to a non-empty, non-``0`` value.
+    """
+    if (Path(store_root) / RUNS_DIRNAME / SHARD_MARKER).exists():
+        return True
+    return os.environ.get("REPRO_STORE_SHARD", "0") not in ("", "0")
+
+
+def resolve_run_directory(
+    store_root: Union[str, Path], run_id: str, create: bool = False
+) -> Path:
+    """The directory of one service run, across both layouts.
+
+    An existing directory wins wherever it lives (flat first — the
+    legacy layout — then the shard bucket).  With ``create`` the
+    preferred layout for *new* runs is chosen by
+    :func:`sharding_enabled`, and the shard marker is dropped so the
+    store keeps its layout from then on.  Without ``create`` the
+    preferred path is returned without touching the filesystem.
+    """
+    root = Path(store_root)
+    flat = root / RUNS_DIRNAME / run_id
+    sharded = root / RUNS_DIRNAME / shard_of(run_id) / run_id
+    if flat.exists():
+        return flat
+    if sharded.exists():
+        return sharded
+    if not sharding_enabled(root):
+        return flat
+    if create:
+        sharded.parent.mkdir(parents=True, exist_ok=True)
+        marker = root / RUNS_DIRNAME / SHARD_MARKER
+        if not marker.exists():
+            try:
+                marker.write_text("sharded run directories\n", encoding="utf-8")
+            except OSError:
+                pass
+    return sharded
+
+
+# ---------------------------------------------------------------------------
+# The SQLite sidecar.
+# ---------------------------------------------------------------------------
+
+
+class StoreIndex:
+    """The ``index.sqlite`` sidecar of one store root.
+
+    Thread- and process-safe by construction: every operation opens
+    its own SQLite connection (WAL journal, busy timeout), mutating
+    operations run in one ``BEGIN IMMEDIATE`` transaction with a
+    bounded locked-database retry, and no connection outlives a call
+    — so the object itself is freely shareable and picklable-adjacent
+    (only the path matters).
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    @property
+    def root(self) -> Path:
+        return self.path.parent
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def at(cls, store_root: Union[str, Path]) -> "StoreIndex":
+        """The index of a store root (the file may not exist yet)."""
+        return cls(Path(store_root) / INDEX_NAME)
+
+    @classmethod
+    def ensure(cls, store_root: Union[str, Path]) -> "StoreIndex":
+        """The index of a store root, created (with schema) if missing."""
+        index = cls.at(store_root)
+        index._initialize()
+        return index
+
+    @classmethod
+    def attach(cls, start_dir: Union[str, Path]) -> Optional["StoreIndex"]:
+        """The nearest enclosing index of a run directory, if any.
+
+        Walks up from ``start_dir`` (inclusive) a few levels looking
+        for an existing ``index.sqlite`` — a grid at
+        ``<root>/runs/<run id>/<label>`` finds the service root's
+        sidecar.  When none exists, one is created at ``start_dir``
+        itself *unless* that directory is a service run directory
+        (holds ``run.json``): a per-run index would shadow the real
+        root's.  Returns ``None`` rather than creating in that case.
+
+        A freshly created sidecar is seeded from a full walk of
+        ``start_dir`` before being handed to the caller: incremental
+        writers only ever upsert their *own* rows, so an index born
+        empty next to pre-existing runs would hide them from every
+        reader that trusts it.  Existence implies completeness.
+        """
+        start = Path(start_dir)
+        probe = start
+        for _ in range(_ATTACH_DEPTH):
+            candidate = probe / INDEX_NAME
+            try:
+                if candidate.exists():
+                    return cls(candidate)
+            except OSError:
+                return None
+            parent = probe.parent
+            if parent == probe:
+                break
+            probe = parent
+        if (start / RUN_RECORD_NAME).exists():
+            return None
+        index = cls(start / INDEX_NAME)
+        try:
+            index._initialize()
+            index.replace_all(collect_entries(start))
+        except StoreIndexError:
+            return None
+        return index
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def mtime_ns(self) -> Optional[int]:
+        """The freshest mtime across the database and its WAL files.
+
+        In WAL mode a write lands in ``index.sqlite-wal`` long before
+        a checkpoint touches the main file, so invalidation signals
+        (the memoized-walk cache in ``repro.api``) must consider all
+        three.  ``None`` when the index does not exist.
+        """
+        newest: Optional[int] = None
+        for suffix in ("", "-wal", "-shm"):
+            try:
+                stamp = os.stat(str(self.path) + suffix).st_mtime_ns
+            except OSError:
+                continue
+            if newest is None or stamp > newest:
+                newest = stamp
+        return newest
+
+    # -- connections --------------------------------------------------------
+
+    def _connect(self) -> sqlite3.Connection:
+        connection = sqlite3.connect(str(self.path), timeout=10.0)
+        connection.execute("PRAGMA journal_mode=WAL")
+        connection.execute("PRAGMA synchronous=NORMAL")
+        connection.execute("PRAGMA busy_timeout=10000")
+        return connection
+
+    def _initialize(self) -> None:
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self._write() as connection:
+                connection.executescript(_SCHEMA)
+                connection.execute(
+                    "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                    ("schema", str(INDEX_SCHEMA_VERSION)),
+                )
+        except sqlite3.Error as exc:
+            raise StoreIndexError(f"cannot initialize {self.path}: {exc}")
+
+    def _write(self):
+        """A write transaction with bounded busy retries.
+
+        WAL allows one writer at a time; concurrent appenders (two
+        threads streaming cells into the same store) serialize here.
+        ``busy_timeout`` covers intra-transaction locks; the retry
+        loop covers the ``BEGIN IMMEDIATE`` itself.
+        """
+        index = self
+
+        class _WriteTransaction:
+            def __enter__(self) -> sqlite3.Connection:
+                last: Optional[sqlite3.OperationalError] = None
+                for attempt in range(5):
+                    connection = index._connect()
+                    try:
+                        connection.execute("BEGIN IMMEDIATE")
+                        self._connection = connection
+                        return connection
+                    except sqlite3.OperationalError as exc:
+                        connection.close()
+                        last = exc
+                        time.sleep(0.05 * (attempt + 1))
+                raise last  # pragma: no cover - 10s busy_timeout x 5
+
+            def __exit__(self, exc_type, exc, tb) -> None:
+                connection = self._connection
+                try:
+                    if exc_type is None:
+                        connection.commit()
+                    else:
+                        connection.rollback()
+                finally:
+                    connection.close()
+
+        return _WriteTransaction()
+
+    def _schema_current(self, connection: sqlite3.Connection) -> bool:
+        try:
+            row = connection.execute(
+                "SELECT value FROM meta WHERE key = 'schema'"
+            ).fetchone()
+        except sqlite3.Error:
+            return False
+        return row is not None and row[0] == str(INDEX_SCHEMA_VERSION)
+
+    # -- serialization ------------------------------------------------------
+
+    def _relative(self, directory: Path) -> str:
+        try:
+            return directory.relative_to(self.root).as_posix()
+        except ValueError:
+            return directory.as_posix()
+
+    def _absolute(self, relative: str) -> Path:
+        path = Path(relative)
+        return path if path.is_absolute() else self.root / path
+
+    @staticmethod
+    def _sort_key(entry: RunEntry, relative: str) -> str:
+        # Service runs sort by run id (how the flat runs/ directory
+        # listed them); grids sort in manifest-walk (DFS) order,
+        # which \x01-joined path components reproduce under plain
+        # string comparison.
+        if entry.kind == "service":
+            return entry.run_id
+        return "\x01".join(Path(relative).parts)
+
+    def _row_of(self, entry: RunEntry) -> Tuple:
+        relative = self._relative(entry.directory)
+        return (
+            relative,
+            entry.kind,
+            self._sort_key(entry, relative),
+            entry.run_id,
+            entry.label,
+            entry.state,
+            int(entry.total),
+            int(entry.completed),
+            int(entry.failed),
+            entry.fingerprint,
+            json.dumps(dict(entry.profile), sort_keys=True),
+            (
+                json.dumps(dict(entry.executor), sort_keys=True)
+                if entry.executor
+                else None
+            ),
+            json.dumps(list(entry.tenants)),
+            entry.error,
+            time.time(),
+        )
+
+    _UPSERT = (
+        "INSERT OR REPLACE INTO runs (directory, kind, sort_key, run_id, "
+        "label, state, total, completed, failed, fingerprint, profile, "
+        "executor, tenants, error, updated_at) "
+        "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)"
+    )
+
+    def _entry_of(self, row: Sequence[Any]) -> RunEntry:
+        (
+            relative,
+            kind,
+            _sort_key,
+            run_id,
+            label,
+            state,
+            total,
+            completed,
+            failed,
+            fingerprint,
+            profile,
+            executor,
+            tenants,
+            error,
+            _updated_at,
+            cells_json,
+            statuses_json,
+        ) = row
+        cells = tuple(json.loads(cells_json)) if cells_json else ()
+        statuses = json.loads(statuses_json) if statuses_json else []
+        return RunEntry(
+            kind=str(kind),
+            directory=self._absolute(str(relative)),
+            run_id=str(run_id),
+            label=str(label),
+            state=str(state),
+            total=int(total),
+            completed=int(completed),
+            failed=int(failed),
+            fingerprint=fingerprint,
+            profile=json.loads(profile) if profile else {},
+            executor=json.loads(executor) if executor else None,
+            tenants=tuple(json.loads(tenants)) if tenants else (),
+            error=error,
+            cells=cells,
+            cell_status=dict(zip(cells, statuses)),
+        )
+
+    _SELECT = (
+        "SELECT r.directory, r.kind, r.sort_key, r.run_id, r.label, "
+        "r.state, r.total, r.completed, r.failed, r.fingerprint, "
+        "r.profile, r.executor, r.tenants, r.error, r.updated_at, "
+        "(SELECT json_group_array(c.key) FROM (SELECT key FROM cells c "
+        " WHERE c.directory = r.directory ORDER BY c.position) c), "
+        "(SELECT json_group_array(c.status) FROM (SELECT status FROM cells c"
+        " WHERE c.directory = r.directory ORDER BY c.position) c) "
+        "FROM runs r"
+    )
+
+    # -- writes -------------------------------------------------------------
+
+    def _write_cells(
+        self, connection: sqlite3.Connection, relative: str, entry: RunEntry
+    ) -> None:
+        connection.execute("DELETE FROM cells WHERE directory = ?", (relative,))
+        connection.executemany(
+            "INSERT INTO cells (directory, position, key, status) "
+            "VALUES (?, ?, ?, ?)",
+            [
+                (
+                    relative,
+                    position,
+                    key,
+                    str(entry.cell_status.get(key, "pending")),
+                )
+                for position, key in enumerate(entry.cells)
+            ],
+        )
+
+    def replace_all(self, entries: Sequence[RunEntry]) -> None:
+        """Rebuild the whole index from walked entries (atomic)."""
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self._write() as connection:
+                connection.executescript(_SCHEMA)
+                connection.execute(
+                    "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                    ("schema", str(INDEX_SCHEMA_VERSION)),
+                )
+                connection.execute("DELETE FROM runs")
+                connection.execute("DELETE FROM cells")
+                for entry in entries:
+                    row = self._row_of(entry)
+                    connection.execute(self._UPSERT, row)
+                    self._write_cells(connection, row[0], entry)
+        except sqlite3.Error as exc:
+            raise StoreIndexError(f"cannot rebuild {self.path}: {exc}")
+
+    def update_entry(self, entry: RunEntry) -> None:
+        """Upsert one run's row + cell rows (state transitions, opens)."""
+        try:
+            with self._write() as connection:
+                connection.executescript(_SCHEMA)
+                row = self._row_of(entry)
+                connection.execute(self._UPSERT, row)
+                self._write_cells(connection, row[0], entry)
+        except sqlite3.Error as exc:
+            raise StoreIndexError(f"cannot update {self.path}: {exc}")
+
+    def update_grid_cell(
+        self,
+        directory: Union[str, Path],
+        manifest: Mapping[str, Any],
+        key: str,
+        status: str,
+    ) -> None:
+        """One cell append: refresh the run row, touch one cell row.
+
+        The hot incremental path — O(1) per append instead of
+        rewriting every cell row — used by ``RunStore`` as results
+        stream in.  The directory may be a bare grid (its own row) or
+        a label inside a service run directory, in which case the
+        *service run's* aggregate row is refreshed instead.
+        """
+        directory = Path(directory)
+        owner = self._service_owner(directory)
+        if owner is not None:
+            entry = service_run_entry(owner)
+            if entry is not None:
+                self.update_entry(entry)
+            return
+        manifest = dict(manifest)
+        entry = grid_entry(directory, manifest)
+        relative = self._relative(directory)
+        try:
+            with self._write() as connection:
+                connection.executescript(_SCHEMA)
+                row = self._row_of(entry)
+                connection.execute(self._UPSERT, row)
+                updated = connection.execute(
+                    "UPDATE cells SET status = ? "
+                    "WHERE directory = ? AND key = ?",
+                    (status, relative, key),
+                ).rowcount
+                if not updated:
+                    self._write_cells(connection, relative, entry)
+        except sqlite3.Error as exc:
+            raise StoreIndexError(f"cannot update {self.path}: {exc}")
+
+    def _service_owner(self, directory: Path) -> Optional[Path]:
+        """The enclosing service run directory of a grid, if any."""
+        probe = directory
+        for _ in range(_ATTACH_DEPTH):
+            parent = probe.parent
+            if parent == probe:
+                return None
+            probe = parent
+            if probe == self.root:
+                return None
+            if (probe / RUN_RECORD_NAME).exists():
+                return probe
+
+    def remove(self, directory: Union[str, Path]) -> None:
+        relative = self._relative(Path(directory))
+        try:
+            with self._write() as connection:
+                connection.execute(
+                    "DELETE FROM runs WHERE directory = ?", (relative,)
+                )
+                connection.execute(
+                    "DELETE FROM cells WHERE directory = ?", (relative,)
+                )
+        except sqlite3.Error as exc:
+            raise StoreIndexError(f"cannot update {self.path}: {exc}")
+
+    # -- queries ------------------------------------------------------------
+
+    def entries(self, tenant: Optional[str] = None) -> List[RunEntry]:
+        """Every indexed run, in listing order (services first).
+
+        Raises :class:`StoreIndexError` when the sidecar is missing,
+        torn, or from another schema version — callers fall back to
+        the walk (and typically rebuild).
+        """
+        if not self.exists():
+            raise StoreIndexError(f"no index at {self.path}")
+        try:
+            connection = self._connect()
+        except sqlite3.Error as exc:
+            raise StoreIndexError(f"cannot open {self.path}: {exc}")
+        try:
+            if not self._schema_current(connection):
+                raise StoreIndexError(f"stale schema in {self.path}")
+            rows = connection.execute(
+                self._SELECT
+                + " ORDER BY (r.kind = 'service') DESC, r.sort_key"
+            ).fetchall()
+        except sqlite3.Error as exc:
+            raise StoreIndexError(f"cannot query {self.path}: {exc}")
+        finally:
+            connection.close()
+        entries = [self._entry_of(row) for row in rows]
+        if tenant is not None:
+            entries = [
+                entry for entry in entries if tenant in entry.tenants
+            ]
+        return entries
+
+    def lookup_run(self, run_id: str) -> Optional[RunEntry]:
+        """One run by id or label/directory name (index probe).
+
+        ``None`` on a miss *or* any index failure — this is a cache
+        probe; the caller retries against the filesystem.
+        """
+        if not self.exists():
+            return None
+        try:
+            connection = self._connect()
+        except sqlite3.Error:
+            return None
+        try:
+            if not self._schema_current(connection):
+                return None
+            row = connection.execute(
+                self._SELECT + " WHERE r.run_id = ? OR r.label = ? "
+                "ORDER BY (r.kind = 'service') DESC, r.sort_key LIMIT 1",
+                (run_id, run_id),
+            ).fetchone()
+        except sqlite3.Error:
+            return None
+        finally:
+            connection.close()
+        return self._entry_of(row) if row is not None else None
+
+    def count_runs(self) -> int:
+        try:
+            connection = self._connect()
+        except sqlite3.Error as exc:
+            raise StoreIndexError(f"cannot open {self.path}: {exc}")
+        try:
+            return int(connection.execute("SELECT COUNT(*) FROM runs").fetchone()[0])
+        except sqlite3.Error as exc:
+            raise StoreIndexError(f"cannot query {self.path}: {exc}")
+        finally:
+            connection.close()
+
+
+# ---------------------------------------------------------------------------
+# Compaction.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CompactionResult:
+    """What one records-file compaction did."""
+
+    path: Path
+    kept: int
+    dropped: int
+
+    @property
+    def changed(self) -> bool:
+        return self.dropped > 0
+
+
+def compact_records(records_path: Union[str, Path]) -> CompactionResult:
+    """Rewrite one ``records.jsonl`` to its live records only.
+
+    Keeps, per cell key, the **final** record line — the one the
+    loader's latest-wins rule would honour — verbatim (byte-for-byte:
+    compaction must never re-encode payloads), in first-appearance
+    order; torn tails and superseded duplicates are dropped.  The
+    rewrite is atomic (temp file + ``os.replace``): a concurrent
+    reader sees the old file or the new one, never a torn view.  A
+    file that is already compact is left untouched (no mtime churn).
+
+    Only compact quiescent stores — an append racing the rewrite
+    window would be lost.
+    """
+    records_path = Path(records_path)
+    try:
+        raw = records_path.read_text(encoding="utf-8")
+    except OSError:
+        return CompactionResult(records_path, 0, 0)
+    lines = raw.splitlines(keepends=True)
+    final: Dict[str, str] = {}
+    order: List[str] = []
+    dropped = 0
+    for line in lines:
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            dropped += 1  # torn tail
+            continue
+        if not isinstance(record, dict) or "key" not in record:
+            dropped += 1
+            continue
+        key = str(record["key"])
+        if key in final:
+            dropped += 1  # superseded duplicate (latest wins below)
+        else:
+            order.append(key)
+        if not line.endswith("\n"):
+            line += "\n"
+        final[key] = line
+    kept = len(order)
+    if dropped == 0:
+        return CompactionResult(records_path, kept, 0)
+    temporary = records_path.with_suffix(".jsonl.tmp")
+    with temporary.open("w", encoding="utf-8") as handle:
+        for key in order:
+            handle.write(final[key])
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temporary, records_path)
+    return CompactionResult(records_path, kept, dropped)
+
+
+def compact_store(store_root: Union[str, Path]) -> List[CompactionResult]:
+    """Compact every records file under a store root (quiescent stores).
+
+    Walks the truth (manifests), not the index — compaction must work
+    on stores whose sidecar is missing or stale.  Returns one result
+    per records file found, compacted or not.
+    """
+    results: List[CompactionResult] = []
+    for directory, _ in iter_manifests(Path(store_root)):
+        records = directory / RECORDS_NAME
+        if records.exists():
+            results.append(compact_records(records))
+    return results
+
+
+__all__ = [
+    "INDEX_NAME",
+    "INDEX_SCHEMA_VERSION",
+    "MANIFEST_NAME",
+    "RUNS_DIRNAME",
+    "RUN_RECORD_NAME",
+    "SHARD_MARKER",
+    "CompactionResult",
+    "RunEntry",
+    "StoreIndex",
+    "StoreIndexError",
+    "collect_entries",
+    "compact_records",
+    "compact_store",
+    "grid_entry",
+    "iter_service_run_dirs",
+    "read_run_record",
+    "resolve_run_directory",
+    "service_run_entry",
+    "shard_of",
+    "sharding_enabled",
+]

@@ -164,6 +164,7 @@ class RunStore:
         self._status: Dict[str, str] = {key: "pending" for key in self.keys}
         self._run_status = "running"
         self._executor_stats: Optional[Dict[str, Any]] = None
+        self._index: Optional[Any] = None  # StoreIndex, attached on open
 
     # -- paths --------------------------------------------------------------
 
@@ -237,7 +238,13 @@ class RunStore:
             # Fresh run: drop any stale records before the first append.
             if store.records_path.exists():
                 store.records_path.unlink()
+            # And any intra-cell checkpoints — scratch from a run this
+            # fresh start is explicitly discarding.
+            from repro.store.checkpoint import clear_checkpoints
+
+            clear_checkpoints(store.directory)
         store._write_manifest()
+        store._attach_index()
         return store
 
     def finalize(self) -> None:
@@ -250,6 +257,52 @@ class RunStore:
         else:
             self._run_status = "partial"
         self._write_manifest()
+        self._index_refresh()
+
+    # -- sidecar index ------------------------------------------------------
+
+    def _attach_index(self) -> None:
+        """Bind the store-root sidecar index, best-effort.
+
+        The index is a pure cache (see :mod:`repro.store.index`): any
+        failure here — locked database, read-only filesystem, the
+        ``REPRO_STORE_NO_INDEX`` kill switch — degrades to "no index
+        maintenance", never to a failed run.  Readers rebuild from the
+        records/manifests we keep writing regardless.
+        """
+        if os.environ.get("REPRO_STORE_NO_INDEX", "0") not in ("", "0"):
+            return
+        try:
+            from repro.store.index import StoreIndex
+
+            self._index = StoreIndex.attach(self.directory.parent)
+            self._index_refresh()
+        except Exception:
+            self._index = None
+
+    def _index_refresh(self, key: Optional[str] = None) -> None:
+        """Push this run's current state into the sidecar, best-effort."""
+        if self._index is None:
+            return
+        try:
+            if key is not None:
+                self._index.update_grid_cell(
+                    self.directory, self.manifest(), key, self._status[key]
+                )
+            else:
+                from repro.store.index import grid_entry
+
+                owner = self._index._service_owner(self.directory)
+                if owner is not None:
+                    from repro.store.index import service_run_entry
+
+                    entry = service_run_entry(owner)
+                else:
+                    entry = grid_entry(self.directory, self.manifest())
+                if entry is not None:
+                    self._index.update_entry(entry)
+        except Exception:
+            self._index = None  # degrade once, stay quiet afterwards
 
     # -- records ------------------------------------------------------------
 
@@ -265,6 +318,12 @@ class RunStore:
         )
         self._status[key] = "done"
         self._write_manifest()
+        self._index_refresh(key)
+        # The cell's final result is durable; its intra-cell scratch
+        # (per-scaling checkpoints) is obsolete.
+        from repro.store.checkpoint import discard_cell_checkpoint
+
+        discard_cell_checkpoint(self.directory, index)
 
     def record_error(self, key: str, index: int, message: str) -> None:
         """Append one failed cell; resume re-dispatches it."""
@@ -273,6 +332,7 @@ class RunStore:
         )
         self._status[key] = "failed"
         self._write_manifest()
+        self._index_refresh(key)
 
     def load_results(self) -> Dict[str, CellRecord]:
         """Decoded ``"ok"`` records by cell key (latest record wins).

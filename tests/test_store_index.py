@@ -1,0 +1,464 @@
+"""The SQLite sidecar index: parity, concurrency, compaction, sharding.
+
+The contract under test (see :mod:`repro.store.index`): the index is a
+pure cache over ``records.jsonl`` + ``manifest.json`` — an index-served
+listing must be **identical** to the directory walk it caches, deleting
+``index.sqlite`` must cost one listing (never an answer), concurrent
+appenders must never lose cell updates, and a reader racing compaction
+must see the old records file or the new one, never a torn view.
+"""
+
+import json
+import shutil
+import threading
+from dataclasses import dataclass
+
+import pytest
+
+from repro import api
+from repro.experiments import ExperimentProfile
+from repro.experiments.common import run_cells
+from repro.store import (
+    MANIFEST_NAME,
+    RECORDS_NAME,
+    SHARD_MARKER,
+    StoreIndex,
+    collect_entries,
+    compact_records,
+    compact_store,
+    resolve_run_directory,
+    scan_records,
+    shard_of,
+    sharding_enabled,
+)
+from repro.store.run_store import FORMAT_VERSION
+
+
+NUM_GRIDS = 4
+CELLS_PER_GRID = 8
+
+
+def _write_grid(directory, label, *, statuses=None, duplicates=0):
+    """One bare grid in the exact on-disk formats (manifest + records)."""
+    directory.mkdir(parents=True, exist_ok=True)
+    keys = [f"{index:03d}:{label}" for index in range(CELLS_PER_GRID)]
+    status = statuses or {key: "done" for key in keys}
+    done = sum(1 for value in status.values() if value == "done")
+    failed = sum(1 for value in status.values() if value == "failed")
+    manifest = {
+        "format": FORMAT_VERSION,
+        "label": label,
+        "fingerprint": f"{abs(hash(label)):016x}"[:16],
+        "profile": {"name": "tiny", "seed": 0},
+        "cells": keys,
+        "status": status,
+        "completed": done,
+        "failed": failed,
+        "total": len(keys),
+        "run_status": "complete" if done == len(keys) else "running",
+    }
+    (directory / MANIFEST_NAME).write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    with (directory / RECORDS_NAME).open("w", encoding="utf-8") as handle:
+        for _ in range(duplicates + 1):
+            for key in keys:
+                handle.write(
+                    json.dumps({"key": key, "status": "ok", "payload": ""})
+                    + "\n"
+                )
+    return manifest
+
+
+@pytest.fixture
+def store_root(tmp_path):
+    root = tmp_path / "store"
+    for index in range(NUM_GRIDS):
+        _write_grid(root / f"grid-{index:02d}", f"grid-{index:02d}")
+    return root
+
+
+def _sidecar_files(root):
+    return [root / name for name in
+            ("index.sqlite", "index.sqlite-wal", "index.sqlite-shm")]
+
+
+def _dicts(statuses):
+    return [status.to_dict() for status in statuses]
+
+
+# ---------------------------------------------------------------------------
+# Walk/index parity: the cache must be invisible.
+# ---------------------------------------------------------------------------
+
+
+class TestListingParity:
+    def test_index_listing_identical_to_walk(self, store_root):
+        api._LISTING_CACHE.clear()
+        walked = api.list_runs(store_root, use_index=False)
+        indexed = api.list_runs(store_root, use_index=True)
+        assert _dicts(indexed) == _dicts(walked)
+        assert [s.directory for s in indexed] == [s.directory for s in walked]
+        assert [s.cells for s in indexed] == [s.cells for s in walked]
+
+    def test_deleting_sidecar_costs_one_listing_never_an_answer(
+        self, store_root
+    ):
+        api._LISTING_CACHE.clear()
+        reference = _dicts(api.list_runs(store_root, use_index=True))
+        for path in _sidecar_files(store_root):
+            if path.exists():
+                path.unlink()
+        api._LISTING_CACHE.clear()
+        assert _dicts(api.list_runs(store_root, use_index=True)) == reference
+        # ... and the answer rebuilt the sidecar on its way out.
+        assert (store_root / "index.sqlite").exists()
+
+    def test_rebuild_index_counts_runs(self, store_root):
+        assert api.rebuild_index(store_root) == NUM_GRIDS
+
+    def test_entries_identical_to_collect_entries(self, store_root):
+        index = StoreIndex.ensure(store_root)
+        walked = collect_entries(store_root)
+        index.replace_all(walked)
+        assert index.entries() == walked
+
+    def test_stale_index_is_corrected_by_rebuild(self, store_root):
+        index = StoreIndex.ensure(store_root)
+        index.replace_all(collect_entries(store_root))
+        # A new grid lands without touching the index (simulated
+        # out-of-band writer): the walk sees it, the stale index not.
+        _write_grid(store_root / "grid-99", "grid-99")
+        assert len(index.entries()) == NUM_GRIDS
+        index.replace_all(collect_entries(store_root))
+        assert len(index.entries()) == NUM_GRIDS + 1
+
+    def test_lookup_run_by_directory_name_and_label(self, store_root):
+        index = StoreIndex.ensure(store_root)
+        index.replace_all(collect_entries(store_root))
+        entry = index.lookup_run("grid-02")
+        assert entry is not None
+        assert entry.total == CELLS_PER_GRID
+        assert index.lookup_run("no-such-run") is None
+
+    def test_listing_memo_invalidated_by_index_writes(self, store_root):
+        api._LISTING_CACHE.clear()
+        first = api.list_runs(store_root, use_index=True)
+        assert _dicts(api.list_runs(store_root, use_index=True)) == _dicts(first)
+        # An index write moves mtime_ns (WAL included) -> memo drops.
+        index = StoreIndex.at(store_root)
+        stamp = index.mtime_ns()
+        _write_grid(store_root / "grid-77", "grid-77")
+        index.replace_all(collect_entries(store_root))
+        assert index.mtime_ns() != stamp
+        assert len(api.list_runs(store_root, use_index=True)) == NUM_GRIDS + 1
+
+
+class TestIncrementalUpdates:
+    """RunStore appends keep the sidecar fresh without a rebuild."""
+
+    @staticmethod
+    def _profile(root):
+        return ExperimentProfile(
+            name="tiny", search_iterations=10, sa_iterations=10, seed=0
+        ).with_store(str(root))
+
+    def test_run_cells_streams_into_the_index(self, tmp_path):
+        profile = self._profile(tmp_path)
+        jobs = [_SquareJob(value, profile) for value in range(3)]
+        assert run_cells(jobs, profile, label="grid") == [0, 1, 4]
+        index = StoreIndex.at(tmp_path)
+        assert index.exists()
+        entry = index.lookup_run("grid")
+        assert entry is not None
+        assert (entry.state, entry.completed) == ("complete", 3)
+        # No rebuild between: the entry matches the walk field for field.
+        assert index.entries() == collect_entries(tmp_path)
+
+    def test_kill_switch_disables_the_sidecar(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_NO_INDEX", "1")
+        profile = self._profile(tmp_path)
+        run_cells([_SquareJob(7, profile)], profile, label="grid")
+        assert not (tmp_path / "index.sqlite").exists()
+        # The walk still answers, index-free.
+        api._LISTING_CACHE.clear()
+        statuses = api.list_runs(tmp_path, use_index=False)
+        assert [status.state for status in statuses] == ["complete"]
+
+    def test_no_sidecar_inside_grid_directories(self, tmp_path):
+        profile = self._profile(tmp_path)
+        run_cells([_SquareJob(2, profile)], profile, label="grid")
+        assert (tmp_path / "index.sqlite").exists()
+        assert not (tmp_path / "grid" / "index.sqlite").exists()
+
+    def test_fresh_sidecar_is_seeded_with_preexisting_runs(self, tmp_path):
+        """Existence implies completeness.
+
+        A grid opened in a store that already holds runs (but no
+        sidecar yet) must not create an index containing only its own
+        row — readers trust an existing index, so the older runs
+        would silently vanish from every listing.
+        """
+        _write_grid(tmp_path / "older", "older")
+        assert not (tmp_path / "index.sqlite").exists()
+        profile = self._profile(tmp_path)
+        run_cells([_SquareJob(3, profile)], profile, label="newer")
+        index = StoreIndex.at(tmp_path)
+        assert index.exists()
+        assert {entry.run_id for entry in index.entries()} == {
+            "older",
+            "newer",
+        }
+        assert index.entries() == collect_entries(tmp_path)
+
+
+@dataclass(frozen=True)
+class _SquareJob:
+    value: int
+    profile: ExperimentProfile
+
+    def run(self):
+        return self.value * self.value
+
+
+# ---------------------------------------------------------------------------
+# Concurrency: WAL + busy retries must never lose an update.
+# ---------------------------------------------------------------------------
+
+
+class TestConcurrency:
+    def test_two_threads_appending_to_same_label_lose_nothing(
+        self, store_root
+    ):
+        """Interleaved per-cell upserts from two threads all land."""
+        directory = store_root / "grid-00"
+        manifest = _write_grid(
+            directory,
+            "grid-00",
+            statuses={
+                f"{index:03d}:grid-00": "pending"
+                for index in range(CELLS_PER_GRID)
+            },
+        )
+        StoreIndex.ensure(store_root).replace_all(collect_entries(store_root))
+        barrier = threading.Barrier(2)
+        errors = []
+
+        def worker(offset):
+            index = StoreIndex.at(store_root)
+            barrier.wait()
+            try:
+                for position in range(offset, CELLS_PER_GRID, 2):
+                    index.update_grid_cell(
+                        directory,
+                        manifest,
+                        f"{position:03d}:grid-00",
+                        "done",
+                    )
+            except Exception as exc:  # pragma: no cover - the failure mode
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(offset,))
+            for offset in (0, 1)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        entry = StoreIndex.at(store_root).lookup_run("grid-00")
+        assert entry is not None
+        assert all(
+            entry.cell_status[key] == "done" for key in entry.cells
+        ), entry.cell_status
+
+    def test_writer_waits_out_a_held_write_lock(self, store_root):
+        """The BEGIN IMMEDIATE retry + busy_timeout ride out a writer."""
+        import sqlite3
+        import time
+
+        index = StoreIndex.ensure(store_root)
+        index.replace_all(collect_entries(store_root))
+        holder = sqlite3.connect(
+            str(store_root / "index.sqlite"), check_same_thread=False
+        )
+        holder.execute("BEGIN IMMEDIATE")
+        released = threading.Event()
+
+        def release_soon():
+            time.sleep(0.3)
+            holder.commit()
+            holder.close()
+            released.set()
+
+        thread = threading.Thread(target=release_soon)
+        thread.start()
+        directory = store_root / "grid-01"
+        manifest = json.loads(
+            (directory / MANIFEST_NAME).read_text(encoding="utf-8")
+        )
+        # Blocks on the held lock, then succeeds — never raises.
+        index.update_grid_cell(directory, manifest, "000:grid-01", "failed")
+        thread.join()
+        assert released.is_set()
+        entry = index.lookup_run("grid-01")
+        assert entry.cell_status["000:grid-01"] == "failed"
+
+
+# ---------------------------------------------------------------------------
+# Compaction: latest-wins rewrite, atomic against readers.
+# ---------------------------------------------------------------------------
+
+
+class TestCompaction:
+    def test_keeps_final_record_per_key_verbatim(self, tmp_path):
+        records = tmp_path / RECORDS_NAME
+        lines = [
+            json.dumps({"key": "a", "status": "error", "error": "boom"}),
+            json.dumps({"key": "b", "status": "ok", "payload": "YmI="}),
+            json.dumps({"key": "a", "status": "ok", "payload": "YWE="}),
+        ]
+        records.write_text("\n".join(lines) + "\n" + '{"torn', encoding="utf-8")
+        result = compact_records(records)
+        assert (result.kept, result.dropped) == (2, 2)
+        kept = records.read_text(encoding="utf-8").splitlines()
+        # Final record per key, first-appearance order, byte-verbatim.
+        assert kept == [lines[2], lines[1]]
+
+    def test_already_compact_file_is_untouched(self, tmp_path):
+        records = tmp_path / RECORDS_NAME
+        records.write_text(
+            json.dumps({"key": "a", "status": "ok", "payload": ""}) + "\n",
+            encoding="utf-8",
+        )
+        before = records.stat().st_mtime_ns
+        result = compact_records(records)
+        assert (result.kept, result.dropped) == (1, 0)
+        assert records.stat().st_mtime_ns == before  # no churn
+
+    def test_compact_store_walks_every_records_file(self, store_root):
+        shutil.rmtree(store_root / "grid-03")
+        _write_grid(store_root / "grid-03", "grid-03", duplicates=1)
+        results = compact_store(store_root)
+        assert len(results) == NUM_GRIDS
+        changed = [result for result in results if result.changed]
+        assert len(changed) == 1
+        assert changed[0].dropped == CELLS_PER_GRID
+
+    def test_reader_mid_compaction_sees_old_or_new_never_torn(self, tmp_path):
+        """scan_records racing compact_records: full key set either way."""
+        records = tmp_path / RECORDS_NAME
+        keys = [f"{index:03d}:x" for index in range(20)]
+        duplicated = "".join(
+            json.dumps({"key": key, "status": "ok", "payload": ""}) + "\n"
+            for key in keys * 2
+        ) + '{"torn'
+        records.write_text(duplicated, encoding="utf-8")
+        expected = set(keys)
+        stop = threading.Event()
+        failures = []
+
+        def reader():
+            while not stop.is_set():
+                seen = {record.key for record in scan_records(records)}
+                if seen != expected:  # pragma: no cover - the failure mode
+                    failures.append(seen)
+                    return
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            import os
+
+            for _ in range(60):
+                # Restore atomically too — the test races the reader
+                # against compaction's rewrite, not against a torn
+                # restore of the fixture bytes.
+                staging = tmp_path / "staging.jsonl"
+                staging.write_text(duplicated, encoding="utf-8")
+                os.replace(staging, records)
+                result = compact_records(records)
+                assert result.kept == len(keys)
+        finally:
+            stop.set()
+            thread.join()
+        assert not failures, f"torn read: {failures[0] ^ expected}"
+
+
+# ---------------------------------------------------------------------------
+# Sharded service layouts.
+# ---------------------------------------------------------------------------
+
+
+class TestSharding:
+    def test_shard_of_is_two_hex_digits_and_stable(self):
+        assert shard_of("run-xyz") == shard_of("run-xyz")
+        assert len(shard_of("run-xyz")) == 2
+        assert shard_of("run-xyz") != shard_of("run-abc")
+
+    def test_marker_enables_sharding_for_new_runs(self, tmp_path):
+        runs = tmp_path / "runs"
+        runs.mkdir()
+        assert not sharding_enabled(tmp_path)
+        (runs / SHARD_MARKER).touch()
+        assert sharding_enabled(tmp_path)
+        run_dir = resolve_run_directory(tmp_path, "run-xyz", create=True)
+        assert run_dir == runs / shard_of("run-xyz") / "run-xyz"
+
+    def test_existing_flat_run_wins_over_sharded_layout(self, tmp_path):
+        runs = tmp_path / "runs"
+        flat = runs / "run-xyz"
+        flat.mkdir(parents=True)
+        (flat / "run.json").write_text("{}", encoding="utf-8")
+        (runs / SHARD_MARKER).touch()
+        assert resolve_run_directory(tmp_path, "run-xyz") == flat
+
+    def test_env_variable_enables_sharding(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_SHARD", "1")
+        assert sharding_enabled(tmp_path)
+        run_dir = resolve_run_directory(tmp_path, "run-abc", create=True)
+        assert run_dir.parent.name == shard_of("run-abc")
+
+
+# ---------------------------------------------------------------------------
+# The CLI surface over all of it.
+# ---------------------------------------------------------------------------
+
+
+class TestCliRuns:
+    @staticmethod
+    def _run(argv):
+        from repro.cli import main
+
+        return main(argv)
+
+    def test_runs_listing_identical_with_and_without_index(
+        self, store_root, capsys
+    ):
+        api._LISTING_CACHE.clear()
+        assert self._run(
+            ["runs", "--store-dir", str(store_root), "--json"]
+        ) == 0
+        indexed = capsys.readouterr().out
+        assert self._run(
+            ["runs", "--store-dir", str(store_root), "--json", "--no-index"]
+        ) == 0
+        walked = capsys.readouterr().out
+        assert indexed == walked
+
+    def test_rebuild_and_compact_flags(self, store_root, capsys):
+        shutil.rmtree(store_root / "grid-00")
+        _write_grid(store_root / "grid-00", "grid-00", duplicates=1)
+        assert self._run(
+            [
+                "runs",
+                "--store-dir",
+                str(store_root),
+                "--rebuild-index",
+                "--compact",
+            ]
+        ) == 0
+        captured = capsys.readouterr()
+        assert f"rebuilt index: {NUM_GRIDS} run(s)" in captured.err
+        assert "compacted 1/" in captured.err

@@ -11,6 +11,7 @@ import pytest
 from repro.arch import MPSoC
 from repro.arch.platform import platform_model
 from repro.arch.technode import TechNode
+from repro.exec import DagExecutor, RetryPolicy, SerialTransport
 from repro.faults import FaultInjector, SERModel
 from repro.mapping import IncrementalMappingState, Mapping, MappingEvaluator
 from repro.mapping.enumeration import stratified_mappings
@@ -362,6 +363,38 @@ def test_bench_grid_fanout_dag(benchmark):
     """
     result = benchmark.pedantic(_grid_fanout, args=("dag",), rounds=2, iterations=1)
     assert result.apps() == ["bench"]
+
+
+def _noop_leaf(value):
+    return value
+
+
+def _leaf_dispatch(policy):
+    with DagExecutor(SerialTransport(), retry_policy=policy) as executor:
+        return executor.map(_noop_leaf, list(range(256)))
+
+
+def test_bench_dag_leaf_dispatch_no_retry(benchmark):
+    """256 trivial leaves through the executor with retries disabled.
+
+    The denominator of the retry-wrapper overhead: the pre-resilience
+    dispatch loop (submit, wait, reassemble) with a one-attempt policy.
+    """
+    results = benchmark(_leaf_dispatch, RetryPolicy.no_retry())
+    assert results == list(range(256))
+
+
+def test_bench_dag_leaf_dispatch_retry_wrapper(benchmark):
+    """The same batch under the default retry policy (gated row).
+
+    No fault fires, so this measures the pure bookkeeping the
+    fault-tolerance layer adds to the hot path — the failure-tracking
+    array and the retryability plumbing.  The acceptance criterion is
+    parity with ``dag_leaf_dispatch_no_retry``: the no-fault path must
+    show no measurable regression.
+    """
+    results = benchmark(_leaf_dispatch, RetryPolicy())
+    assert results == list(range(256))
 
 
 def test_bench_hetero_list_scheduler_streaming(benchmark):

@@ -56,6 +56,7 @@ DEFAULT_PATTERNS = (
     "sa_inner_loop",
     "neighbor_preview",
     "grid_fanout_dag",
+    "dag_leaf_dispatch",
     "hetero_list_scheduler",
     "hetero_evaluation",
     "node_sweep_evaluation",

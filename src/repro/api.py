@@ -44,6 +44,8 @@ from __future__ import annotations
 
 import json
 import os
+import socket
+import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
@@ -63,6 +65,7 @@ from repro.store.index import (
     StoreIndex,
     StoreIndexError,
     collect_entries,
+    iter_service_run_dirs,
     resolve_run_directory,
     service_run_entry,
 )
@@ -70,8 +73,17 @@ from repro.store.index import (
 REPORT_NAME = "report.txt"
 CANCEL_NAME = "cancel.flag"
 
-#: Run lifecycle states recorded in ``run.json``.
+#: Run lifecycle states recorded in ``run.json``.  ``"interrupted"`` is
+#: additionally *derived* (never written): a record still marked
+#: ``running`` whose owning process is gone is surfaced as interrupted
+#: until a supervisor re-attaches it (see :func:`reattach_pending`).
 RUN_STATES = ("queued", "running", "complete", "failed", "cancelled")
+INTERRUPTED_STATE = "interrupted"
+
+#: How stale (seconds) a foreign-host running record's on-disk progress
+#: must be before it is presumed orphaned — pid liveness probes only
+#: work for local owners.
+ORPHAN_GRACE_S = 60.0
 
 _PROFILE_NAMES = ("smoke", "fast", "full")
 
@@ -92,6 +104,14 @@ class ApiError(Exception):
 
     code = "api-error"
     http_status = 400
+    #: Whether retrying the same request can succeed without any change
+    #: on the caller's side (capacity/transient errors: yes; validation
+    #: and conflict errors: no).  Serialized in every error body so
+    #: clients need no out-of-band status-code lore.
+    retryable = False
+    #: Seconds the caller should back off before retrying, when the
+    #: server knows (mapped to a ``Retry-After`` header by the service).
+    retry_after_s: Optional[float] = None
 
     def __init__(self, message: str, field: Optional[str] = None) -> None:
         super().__init__(message)
@@ -99,7 +119,11 @@ class ApiError(Exception):
         self.field = field
 
     def to_dict(self) -> Dict[str, Any]:
-        document: Dict[str, Any] = {"code": self.code, "message": self.message}
+        document: Dict[str, Any] = {
+            "code": self.code,
+            "message": self.message,
+            "retryable": bool(self.retryable),
+        }
         if self.field is not None:
             document["field"] = self.field
         return document
@@ -544,12 +568,78 @@ def _write_run_record(run_dir: Path, record: Mapping[str, Any]) -> None:
     _index_touch_run(run_dir)
 
 
+def _owner_document() -> Dict[str, Any]:
+    """Who holds a queued/running record: enough to probe liveness later."""
+    return {
+        "pid": os.getpid(),
+        "host": socket.gethostname(),
+        "attached_at": time.time(),
+    }
+
+
+def _progress_mtime(run_dir: Path) -> Optional[float]:
+    """Newest on-disk progress timestamp of a run (record + manifests)."""
+    newest: Optional[float] = None
+    candidates = [run_dir / RUN_RECORD_NAME]
+    try:
+        candidates.extend(run_dir.rglob("manifest.json"))
+    except OSError:
+        pass
+    for path in candidates:
+        try:
+            mtime = path.stat().st_mtime
+        except OSError:
+            continue
+        if newest is None or mtime > newest:
+            newest = mtime
+    return newest
+
+
+def _record_orphaned(run_dir: Path, record: Mapping[str, Any]) -> bool:
+    """Whether a queued/running record's owning process is gone.
+
+    Local owners are probed directly (``os.kill(pid, 0)``); for a
+    record owned by another host the only signal is on-disk progress,
+    so it counts as orphaned once nothing has been written for
+    :data:`ORPHAN_GRACE_S`.  Owner-less (legacy) records are never
+    presumed orphaned — there is nothing to probe.
+    """
+    if str(record.get("state", "")) not in ("queued", "running"):
+        return False
+    owner = record.get("owner")
+    if not isinstance(owner, Mapping):
+        return False
+    pid = owner.get("pid")
+    host = owner.get("host")
+    if host == socket.gethostname() and isinstance(pid, int):
+        if pid == os.getpid():
+            return False
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return True
+        except OSError:
+            # EPERM and friends: the pid exists but is not ours to
+            # signal — alive as far as we can tell.
+            return False
+        return False
+    newest = _progress_mtime(run_dir)
+    return newest is not None and (time.time() - newest) > ORPHAN_GRACE_S
+
+
 def _set_state(run_dir: Path, state: str, error: Optional[str] = None) -> None:
     record = _read_run_record(run_dir)
     if record is None:
         raise UnknownRunError(f"no run record under {run_dir}")
     record["state"] = state
     record["error"] = error
+    # Ownership follows the lifecycle: the executing process stamps
+    # itself on running records (that is what orphan detection probes)
+    # and terminal states drop the claim.
+    if state in ("queued", "running"):
+        record["owner"] = _owner_document()
+    else:
+        record.pop("owner", None)
     _write_run_record(run_dir, record)
 
 
@@ -739,7 +829,11 @@ def submit_run(
             cached=True,
             report=report_path.read_text(encoding="utf-8"),
         )
-    if existing is not None and state in ("queued", "running"):
+    if (
+        existing is not None
+        and state in ("queued", "running")
+        and not _record_orphaned(run_dir, record)
+    ):
         if not wait:
             # Another submission already owns execution: join it.
             _write_run_record(run_dir, record)
@@ -750,9 +844,11 @@ def submit_run(
                 f"run {run_id} is already in flight; poll run_status() "
                 "or submit through the job service"
             )
-    # Fresh, failed, cancelled, or stale-complete (report lost): queue it.
+    # Fresh, failed, cancelled, stale-complete (report lost), or
+    # orphaned (owning process died): (re-)queue it under this owner.
     record["state"] = "queued"
     record["error"] = None
+    record["owner"] = _owner_document()
     cancel_marker = run_dir / CANCEL_NAME
     if cancel_marker.exists():
         cancel_marker.unlink()
@@ -804,6 +900,42 @@ def run_submitted(
     )
 
 
+def reattach_pending(store_root: Union[str, Path]) -> List[str]:
+    """Adopt orphaned queued/running runs (supervisor re-attach on boot).
+
+    Walks the store's service run records and claims every run whose
+    previous owner died — ``running`` records with a dead owner, and
+    ``queued`` records that are owner-less or dead-owned — by flipping
+    them back to ``queued`` under this process.  Returns the adopted
+    run ids (sorted, because the walk is).  The caller (the job
+    manager) re-dispatches them through :func:`run_submitted`; the
+    store's fingerprint-keyed resume then skips every cell the dead
+    server already completed, so recovery recomputes nothing.
+    """
+    runs_dir = Path(store_root) / RUNS_DIRNAME
+    adopted: List[str] = []
+    for run_dir in iter_service_run_dirs(runs_dir):
+        record = _read_run_record(run_dir)
+        if record is None:
+            continue
+        state = str(record.get("state", ""))
+        if state == "running":
+            if not _record_orphaned(run_dir, record):
+                continue
+        elif state == "queued":
+            has_owner = isinstance(record.get("owner"), Mapping)
+            if has_owner and not _record_orphaned(run_dir, record):
+                continue
+        else:
+            continue
+        record["state"] = "queued"
+        record["error"] = None
+        record["owner"] = _owner_document()
+        _write_run_record(run_dir, record)
+        adopted.append(str(record.get("run_id", run_dir.name)))
+    return adopted
+
+
 def _status_from_manifests(
     run_id: str,
     label: str,
@@ -847,15 +979,37 @@ def _status_from_manifests(
 
 
 def _service_run_status(run_dir: Path, record: Mapping[str, Any]) -> RunStatus:
+    state = str(record.get("state", "queued"))
+    if state == "running" and _record_orphaned(run_dir, record):
+        # The record says running but its owning process is gone: the
+        # run will never progress until a supervisor re-attaches it.
+        # Reporting ``running`` forever would be a lie.
+        state = INTERRUPTED_STATE
     return _status_from_manifests(
         run_id=str(record.get("run_id", run_dir.name)),
         label=str(record.get("label", run_dir.name)),
-        state=str(record.get("state", "queued")),
+        state=state,
         directory=run_dir,
         manifests=list(iter_manifests(run_dir)),
         tenants=[str(t) for t in record.get("tenants", [])],
         error=record.get("error"),
     )
+
+
+def _orphan_adjust(status: RunStatus) -> RunStatus:
+    """Re-derive ``interrupted`` for an index/walk-served status.
+
+    The sidecar index caches on-disk state; whether the owning process
+    is still alive is a live property it cannot know, so listings
+    re-probe their ``running`` entries here (there are few of those).
+    """
+    if status.state != "running":
+        return status
+    run_dir = Path(status.directory)
+    record = _read_run_record(run_dir)
+    if record is None or not _record_orphaned(run_dir, record):
+        return status
+    return replace(status, state=INTERRUPTED_STATE)
 
 
 def _status_from_entry(entry: RunEntry) -> RunStatus:
@@ -957,7 +1111,9 @@ def list_runs(
         key = (str(root), tenant)
         memo = _LISTING_CACHE.get(key)
         if memo is not None and stamp is not None and memo[0] == stamp:
-            return list(memo[1])
+            # Orphan-ness is a live-process property the cached listing
+            # cannot carry: re-derive it on the way out, every time.
+            return [_orphan_adjust(status) for status in memo[1]]
         try:
             statuses = [_status_from_entry(e) for e in index.entries(tenant)]
         except StoreIndexError:
@@ -965,7 +1121,7 @@ def list_runs(
         else:
             if stamp is not None:
                 _LISTING_CACHE[key] = (stamp, statuses)
-            return list(statuses)
+            return [_orphan_adjust(status) for status in statuses]
     entries = collect_entries(root)
     if use_index:
         try:
@@ -974,7 +1130,7 @@ def list_runs(
             pass  # cache rebuild is best-effort; the walk already answered
     if tenant is not None:
         entries = [entry for entry in entries if tenant in entry.tenants]
-    return [_status_from_entry(entry) for entry in entries]
+    return [_orphan_adjust(_status_from_entry(entry)) for entry in entries]
 
 
 def rebuild_index(store_root: Union[str, Path]) -> int:
@@ -1054,6 +1210,7 @@ def format_runs_table(statuses: Sequence[RunStatus]) -> str:
 
 __all__ = [
     "ApiError",
+    "INTERRUPTED_STATE",
     "OptimizeJob",
     "RunConflictError",
     "RunOutcome",
@@ -1067,6 +1224,7 @@ __all__ = [
     "fetch_report",
     "format_runs_table",
     "list_runs",
+    "reattach_pending",
     "rebuild_index",
     "run_status",
     "run_submitted",

@@ -425,6 +425,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_size=args.queue_size,
         transport=args.transport,
         default_exec_plan=args.exec_plan,
+        resume_orphans=args.resume_orphans,
+        retry_after_s=args.retry_after,
     )
 
 
@@ -557,6 +559,25 @@ def build_parser() -> argparse.ArgumentParser:
             "execution plan applied to submissions that do not pin one; "
             "an execution knob only — never part of run identity "
             "(default: dag)"
+        ),
+    )
+    serve.add_argument(
+        "--no-resume-orphans",
+        dest="resume_orphans",
+        action="store_false",
+        default=True,
+        help=(
+            "do not re-attach queued/running runs a dead server left "
+            "behind (default: adopt and finish them via store resume)"
+        ),
+    )
+    serve.add_argument(
+        "--retry-after",
+        type=float,
+        default=1.0,
+        help=(
+            "backoff hint (seconds) sent with 503 queue-full responses "
+            "as the Retry-After header (default: 1.0)"
         ),
     )
     serve.set_defaults(func=_cmd_serve)

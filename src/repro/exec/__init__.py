@@ -34,6 +34,16 @@ from repro.exec.dag import (
     executor_scope,
     resolve_transport,
 )
+from repro.exec.resilience import (
+    CHAOS_ENV,
+    FaultInjectingTransport,
+    FaultPlan,
+    InjectedTransientError,
+    InjectedWorkerCrash,
+    LeafTimeoutError,
+    RetryPolicy,
+    TransientWorkerError,
+)
 
 __all__ = [
     "BACKEND_NAMES",
@@ -54,4 +64,12 @@ __all__ = [
     "current_executor",
     "executor_scope",
     "resolve_transport",
+    "CHAOS_ENV",
+    "FaultInjectingTransport",
+    "FaultPlan",
+    "InjectedTransientError",
+    "InjectedWorkerCrash",
+    "LeafTimeoutError",
+    "RetryPolicy",
+    "TransientWorkerError",
 ]

@@ -42,6 +42,7 @@ import os
 import pickle
 from abc import ABC, abstractmethod
 from concurrent.futures import (
+    BrokenExecutor,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
     as_completed,
@@ -165,28 +166,43 @@ class _PoolBackend(ExecutionBackend):
             if callback is not None:
                 callback(0, result)
             return [result]
-        futures = {
-            self._pool().submit(fn, item): index
-            for index, item in enumerate(items)
-        }
         results: List[Any] = [None] * len(items)
-        try:
-            for future in as_completed(futures):
-                index = futures[future]
-                results[index] = future.result()
-                if callback is not None:
-                    callback(index, results[index])
-        except BaseException:
-            # A mid-stream failure (a raising callback, a worker
-            # exception) must not leak in-flight work: cancel every
-            # outstanding future and drain the ones already running
-            # before re-raising, so the pool is quiescent — and
-            # close() returns promptly — whatever the caller does next.
-            for future in futures:
-                future.cancel()
-            wait(list(futures))
-            raise
-        return results
+        remaining = list(range(len(items)))
+        # One rebuild-and-resubmit pass: a dead worker breaks the whole
+        # pool (every in-flight future fails with BrokenProcessPool),
+        # but the items are pure, so re-running the incomplete ones on
+        # a fresh pool reproduces the lost results exactly.  A second
+        # breakage propagates — something is systematically wrong.
+        for attempt in (0, 1):
+            futures = {
+                self._pool().submit(fn, items[index]): index
+                for index in remaining
+            }
+            try:
+                for future in as_completed(futures):
+                    index = futures[future]
+                    results[index] = future.result()
+                    remaining.remove(index)
+                    if callback is not None:
+                        callback(index, results[index])
+            except BrokenExecutor:
+                if attempt:
+                    raise
+                self._executor.shutdown(wait=False)
+                self._executor = None
+                continue
+            except BaseException:
+                # A mid-stream failure (a raising callback, a worker
+                # exception) must not leak in-flight work: cancel every
+                # outstanding future and drain the ones already running
+                # before re-raising, so the pool is quiescent — and
+                # close() returns promptly — whatever the caller does next.
+                for future in futures:
+                    future.cancel()
+                wait(list(futures))
+                raise
+            return results
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def close(self) -> None:
         if self._executor is not None:

@@ -60,12 +60,14 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from abc import ABC, abstractmethod
 from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
     Future,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
-    as_completed,
     wait,
 )
 from contextlib import contextmanager
@@ -124,6 +126,16 @@ class Transport(ABC):
     def close(self) -> None:
         """Release transport resources (no-op for poolless transports)."""
 
+    def recover(self, exc: BaseException) -> bool:
+        """Attempt to heal the transport after a worker-loss failure.
+
+        Called by the executor before retrying a leaf whose failure
+        was retryable.  Returns ``True`` when something was actually
+        rebuilt (surfaced as ``worker_restarts`` in the stats).  The
+        base implementation has nothing to heal.
+        """
+        return False
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
 
@@ -168,13 +180,45 @@ class PoolTransport(Transport):
         return self.max_workers or max(os.cpu_count() or 1, 1)
 
     def submit(self, fn: Callable[..., Any], *args: Any) -> Future:
+        for retry in (False, True):
+            with self._lock:
+                if self._executor is None:
+                    self._executor = self._EXECUTORS[self.name](
+                        max_workers=self.workers()
+                    )
+                executor = self._executor
+            try:
+                return executor.submit(fn, *args)
+            except BrokenExecutor:
+                # A worker died while the pool was idle enough that the
+                # breakage surfaces at submit time: discard the carcass
+                # and resubmit on a fresh pool (once).
+                if retry:
+                    raise
+                self._discard(executor)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _discard(self, executor) -> None:
+        """Drop ``executor`` so the next submit builds a fresh pool."""
         with self._lock:
-            if self._executor is None:
-                self._executor = self._EXECUTORS[self.name](
-                    max_workers=self.workers()
-                )
+            if self._executor is executor:
+                self._executor = None
+        executor.shutdown(wait=False)
+
+    def recover(self, exc: BaseException) -> bool:
+        """Rebuild the pool when a dead worker broke it.
+
+        ``ProcessPoolExecutor`` marks itself broken when a worker dies;
+        every in-flight future fails with ``BrokenProcessPool`` and no
+        new work is accepted.  Discarding the broken pool here lets the
+        executor resubmit the lost leaves on a fresh one.
+        """
+        with self._lock:
             executor = self._executor
-        return executor.submit(fn, *args)
+        if executor is None or not getattr(executor, "_broken", False):
+            return False
+        self._discard(executor)
+        return True
 
     def close(self) -> None:
         with self._lock:
@@ -226,10 +270,12 @@ class ExecutorStats:
     and steal counts vary run to run by construction).
     """
 
-    submitted: int = 0  # leaf tasks handed to the transport
+    submitted: int = 0  # leaf tasks handed to the transport (incl. retries)
     tasks: int = 0  # leaf tasks completed successfully
     steals: int = 0  # completions where the worker switched source
     queue_high_water: int = 0  # max leaves in flight at once
+    retries: int = 0  # leaf attempts re-submitted after a retryable failure
+    worker_restarts: int = 0  # transport rebuilds after worker death
     per_worker: Dict[str, int] = field(default_factory=dict)
 
     def snapshot(self) -> "ExecutorStats":
@@ -238,6 +284,8 @@ class ExecutorStats:
             tasks=self.tasks,
             steals=self.steals,
             queue_high_water=self.queue_high_water,
+            retries=self.retries,
+            worker_restarts=self.worker_restarts,
             per_worker=dict(self.per_worker),
         )
 
@@ -248,6 +296,8 @@ class ExecutorStats:
             "tasks": self.tasks,
             "steals": self.steals,
             "queue_high_water": self.queue_high_water,
+            "retries": self.retries,
+            "worker_restarts": self.worker_restarts,
             "workers": len(self.per_worker),
             "per_worker": {
                 tag: self.per_worker[tag] for tag in sorted(self.per_worker)
@@ -261,6 +311,8 @@ class ExecutorStats:
             tasks=int(raw.get("tasks", 0)),
             steals=int(raw.get("steals", 0)),
             queue_high_water=int(raw.get("queue_high_water", 0)),
+            retries=int(raw.get("retries", 0)),
+            worker_restarts=int(raw.get("worker_restarts", 0)),
             per_worker={
                 str(tag): int(count)
                 for tag, count in dict(raw.get("per_worker", {})).items()
@@ -275,10 +327,16 @@ class ExecutorStats:
             spread = f"{counts[0]}-{counts[-1]} tasks/worker"
         else:
             spread = "no tasks"
-        return (
+        line = (
             f"{self.tasks} tasks over {workers} worker(s) ({spread}), "
             f"{self.steals} steals, queue high-water {self.queue_high_water}"
         )
+        if self.retries or self.worker_restarts:
+            line += (
+                f", {self.retries} retries,"
+                f" {self.worker_restarts} worker restart(s)"
+            )
+        return line
 
 
 # ---------------------------------------------------------------------------
@@ -297,8 +355,17 @@ class DagExecutor:
     exactly as they do on the per-cut backends.
     """
 
-    def __init__(self, transport: Transport) -> None:
+    def __init__(
+        self,
+        transport: Transport,
+        retry_policy: Optional["RetryPolicy"] = None,
+    ) -> None:
+        if retry_policy is None:
+            from repro.exec.resilience import RetryPolicy
+
+            retry_policy = RetryPolicy()
         self.transport = transport
+        self.retry_policy = retry_policy
         self._lock = threading.Lock()
         self._stats = ExecutorStats()
         self._pending = 0
@@ -309,9 +376,21 @@ class DagExecutor:
         spec: Optional[str] = None,
         max_workers: Optional[int] = None,
         payload_probe: Any = None,
+        retry_policy: Optional["RetryPolicy"] = None,
     ) -> "DagExecutor":
-        """An executor over :func:`resolve_transport`'s choice for ``spec``."""
-        return cls(resolve_transport(spec, max_workers, payload_probe))
+        """An executor over :func:`resolve_transport`'s choice for ``spec``.
+
+        When ``REPRO_CHAOS`` is set in the environment the transport is
+        wrapped in a :class:`~repro.exec.resilience.FaultInjectingTransport`
+        so chaos runs need no code changes anywhere above this call.
+        """
+        from repro.exec.resilience import FaultInjectingTransport, FaultPlan
+
+        transport = resolve_transport(spec, max_workers, payload_probe)
+        plan = FaultPlan.from_env()
+        if plan is not None:
+            transport = FaultInjectingTransport(transport, plan)
+        return cls(transport, retry_policy=retry_policy)
 
     @property
     def stats(self) -> ExecutorStats:
@@ -340,42 +419,116 @@ class DagExecutor:
         the callback or a leaf raises, outstanding leaves of *this
         batch* are cancelled and in-flight ones drained before the
         exception propagates — no work leaks past the call.
+
+        Worker-loss failures (a dead pool worker, an injected chaos
+        crash, a leaf deadline) are *retried* under the executor's
+        :class:`~repro.exec.resilience.RetryPolicy` instead of
+        propagating: the transport is given a chance to heal
+        (:meth:`Transport.recover`), the backoff delay elapses, and the
+        same item is resubmitted.  Leaves are pure, so a retried leaf
+        reproduces the lost result exactly and the batch stays
+        byte-identical; only ``retries`` / ``worker_restarts`` in the
+        stats record that anything happened.  Exceptions raised *by the
+        leaf function* are not retryable and propagate immediately.
         """
         items = list(items)
         if not items:
             return []
         label = source or current_source() or "tasks"
+        policy = self.retry_policy
         with self._lock:
             self._pending += len(items)
             self._stats.submitted += len(items)
             if self._pending > self._stats.queue_high_water:
                 self._stats.queue_high_water = self._pending
-        futures = {
-            self.transport.submit(_dag_leaf, label, fn, item): index
-            for index, item in enumerate(items)
-        }
+        active: Dict[Future, int] = {}
+        deadlines: Dict[Future, float] = {}
+        failures = [0] * len(items)
+
+        def _submit(index: int) -> None:
+            future = self.transport.submit(_dag_leaf, label, fn, items[index])
+            active[future] = index
+            if policy.leaf_timeout_s is not None:
+                deadlines[future] = time.monotonic() + policy.leaf_timeout_s
+
+        def _handle_failure(index: int, exc: BaseException) -> None:
+            """Resubmit ``index`` after a retryable failure, or raise."""
+            failures[index] += 1
+            if not policy.retryable(exc) or failures[index] >= policy.max_attempts:
+                raise exc
+            if self.transport.recover(exc):
+                with self._lock:
+                    self._stats.worker_restarts += 1
+            with self._lock:
+                self._stats.retries += 1
+                self._stats.submitted += 1
+            delay = policy.delay_s(failures[index], key=f"{label}:{index}")
+            if delay:
+                time.sleep(delay)
+            _submit(index)
+
+        for index in range(len(items)):
+            _submit(index)
         results: List[Any] = [None] * len(items)
         completed = 0
         try:
-            for future in as_completed(futures):
-                index = futures[future]
-                tag, stolen, value = future.result()
-                completed += 1
-                with self._lock:
-                    self._pending -= 1
-                    self._stats.tasks += 1
-                    self._stats.per_worker[tag] = (
-                        self._stats.per_worker.get(tag, 0) + 1
+            while active:
+                timeout = None
+                if deadlines:
+                    timeout = max(
+                        0.0, min(deadlines.values()) - time.monotonic()
                     )
-                    if stolen:
-                        self._stats.steals += 1
-                results[index] = value
-                if callback is not None:
-                    callback(index, value)
+                done, _ = wait(
+                    list(active), timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    index = active.pop(future)
+                    deadlines.pop(future, None)
+                    try:
+                        tag, stolen, value = future.result()
+                    except BaseException as exc:  # noqa: B036 - classified below
+                        _handle_failure(index, exc)
+                        continue
+                    completed += 1
+                    with self._lock:
+                        self._pending -= 1
+                        self._stats.tasks += 1
+                        self._stats.per_worker[tag] = (
+                            self._stats.per_worker.get(tag, 0) + 1
+                        )
+                        if stolen:
+                            self._stats.steals += 1
+                    results[index] = value
+                    if callback is not None:
+                        callback(index, value)
+                if deadlines:
+                    # A leaf past its deadline is treated as lost: drop
+                    # the straggler future (its late result is ignored —
+                    # leaves are pure, the retry reproduces it) and
+                    # resubmit under the retry policy.
+                    from repro.exec.resilience import LeafTimeoutError
+
+                    now = time.monotonic()
+                    expired = [
+                        future
+                        for future, deadline in deadlines.items()
+                        if deadline <= now and future in active
+                    ]
+                    for future in expired:
+                        index = active.pop(future)
+                        deadlines.pop(future, None)
+                        future.cancel()
+                        _handle_failure(
+                            index,
+                            LeafTimeoutError(
+                                f"leaf {label}:{index} exceeded "
+                                f"{policy.leaf_timeout_s}s deadline"
+                            ),
+                        )
         except BaseException:
-            for future in futures:
+            for future in active:
                 future.cancel()
-            wait(list(futures))
+            wait(list(active))
             with self._lock:
                 self._pending -= len(items) - completed
             raise

@@ -1,0 +1,306 @@
+"""Fault tolerance for the DAG executor: retry policies and chaos injection.
+
+The paper designs MPSoCs that keep meeting deadlines when transient
+faults strike; this module gives the execution stack the same property.
+It has two halves:
+
+* :class:`RetryPolicy` — how the executor reacts to a failed leaf:
+  bounded attempts, exponential backoff with *deterministic seeded
+  jitter*, and an optional per-leaf deadline.  Retrying at the leaf
+  boundary is safe because DAG leaves are pure functions of their
+  payload under the determinism contract (same seed ⇒ same result), so
+  a re-executed leaf reproduces the lost result bit-for-bit and the
+  reassembled report stays byte-identical.
+
+* :class:`FaultInjectingTransport` — a chaos harness behind the
+  existing :class:`~repro.exec.dag.Transport` interface, in the spirit
+  of :mod:`repro.faults.injector`: every submission rolls one seeded
+  dice and may be turned into a simulated worker crash, a transient
+  error, or a delayed execution.  Same seed + same submission order ⇒
+  same injected faults, so every failure mode is reproducible in tests
+  and CI (set ``REPRO_CHAOS=crash=0.05,delay=0.1,seed=7`` to arm it on
+  any ``DagExecutor.from_spec`` executor).
+
+Only *worker-loss* failures are retryable: real pool breakage
+(:class:`concurrent.futures.BrokenExecutor` and its process-pool
+subclass) and the injected :class:`TransientWorkerError` family.  An
+exception raised by the leaf function itself (a bug, a bad payload) is
+deterministic — retrying it would just fail again — so it propagates
+immediately, exactly as before.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+from concurrent.futures import BrokenExecutor, Future
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.exec.dag import Transport
+
+#: Environment variable read by ``DagExecutor.from_spec`` to arm chaos
+#: injection process-wide (value format: :meth:`FaultPlan.from_spec`).
+CHAOS_ENV = "REPRO_CHAOS"
+
+
+class TransientWorkerError(RuntimeError):
+    """A worker-loss failure that a retry can heal (leaves are pure)."""
+
+
+class InjectedWorkerCrash(BrokenExecutor):
+    """Chaos-injected stand-in for a worker process dying mid-leaf.
+
+    Subclasses :class:`BrokenExecutor` so one retryable check covers
+    both the injected and the real thing.
+    """
+
+
+class InjectedTransientError(TransientWorkerError):
+    """Chaos-injected stand-in for a transient infrastructure error."""
+
+
+class LeafTimeoutError(TransientWorkerError):
+    """A leaf exceeded the policy's per-leaf deadline (treated as lost)."""
+
+
+# ---------------------------------------------------------------------------
+# Retry policy.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with deterministic exponential backoff.
+
+    ``delay_s(attempt, key)`` is a pure function of the policy fields,
+    the attempt number, and the key — the jitter comes from a
+    ``random.Random`` seeded with ``"{seed}:{key}:{attempt}"``, so
+    backoff schedules are reproducible and testable, never wall-clock
+    dependent.
+    """
+
+    max_attempts: int = 5
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    backoff_factor: float = 2.0
+    jitter: float = 0.1
+    seed: int = 0
+    leaf_timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.leaf_timeout_s is not None and self.leaf_timeout_s <= 0:
+            raise ValueError("leaf_timeout_s must be positive when set")
+
+    @classmethod
+    def no_retry(cls) -> "RetryPolicy":
+        """Fail-fast policy: one attempt, no backoff (the old behaviour)."""
+        return cls(max_attempts=1, base_delay_s=0.0, jitter=0.0)
+
+    def with_seed(self, seed: int) -> "RetryPolicy":
+        return replace(self, seed=seed)
+
+    def retryable(self, exc: BaseException) -> bool:
+        """Only worker-loss failures are retryable; leaf bugs are not."""
+        return isinstance(exc, (BrokenExecutor, TransientWorkerError))
+
+    def delay_s(self, attempt: int, key: str = "leaf") -> float:
+        """Backoff before retry number ``attempt`` (1-based) of ``key``."""
+        if attempt < 1:
+            raise ValueError(f"attempt is 1-based, got {attempt}")
+        delay = min(
+            self.max_delay_s,
+            self.base_delay_s * self.backoff_factor ** (attempt - 1),
+        )
+        if self.jitter and delay:
+            rng = random.Random(f"{self.seed}:{key}:{attempt}")
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return max(0.0, delay)
+
+    def schedule(self, key: str = "leaf") -> List[float]:
+        """The full backoff schedule for ``key`` (one entry per retry)."""
+        return [
+            self.delay_s(attempt, key)
+            for attempt in range(1, self.max_attempts)
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Chaos injection.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded description of which faults to inject and how often.
+
+    Rates are per-submission probabilities evaluated in the order
+    crash → error → delay from a single dice roll, so they must sum to
+    at most 1.  ``max_faults`` bounds total injections (useful in CI to
+    cap the tail risk of a leaf exhausting its retries).
+    """
+
+    seed: int = 0
+    crash_rate: float = 0.0
+    error_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_s: float = 0.01
+    max_faults: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("crash_rate", "error_rate", "delay_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.crash_rate + self.error_rate + self.delay_rate > 1.0:
+            raise ValueError("fault rates must sum to at most 1")
+        if self.delay_s < 0:
+            raise ValueError(f"delay_s must be non-negative, got {self.delay_s}")
+        if self.max_faults is not None and self.max_faults < 0:
+            raise ValueError("max_faults must be non-negative when set")
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultPlan":
+        """Parse ``"crash=0.05,delay=0.1,error=0.02,seed=7,max_faults=40"``.
+
+        Recognised keys: ``crash``, ``error``, ``delay`` (rates),
+        ``delay_s`` (injected delay duration), ``seed``, ``max_faults``.
+        """
+        fields: Dict[str, Any] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(
+                    f"bad fault spec entry {part!r}; expected key=value"
+                )
+            key, _, value = part.partition("=")
+            key = key.strip().lower()
+            value = value.strip()
+            try:
+                if key == "crash":
+                    fields["crash_rate"] = float(value)
+                elif key == "error":
+                    fields["error_rate"] = float(value)
+                elif key == "delay":
+                    fields["delay_rate"] = float(value)
+                elif key == "delay_s":
+                    fields["delay_s"] = float(value)
+                elif key == "seed":
+                    fields["seed"] = int(value)
+                elif key == "max_faults":
+                    fields["max_faults"] = int(value)
+                else:
+                    raise ValueError(f"unknown fault spec key {key!r}")
+            except ValueError as exc:
+                if "fault spec" in str(exc):
+                    raise
+                raise ValueError(
+                    f"bad fault spec value for {key!r}: {value!r}"
+                ) from exc
+        return cls(**fields)
+
+    @classmethod
+    def from_env(cls, environ: Optional[Dict[str, str]] = None) -> Optional["FaultPlan"]:
+        """The plan armed via ``REPRO_CHAOS``, or ``None`` when unset."""
+        spec = (environ if environ is not None else os.environ).get(CHAOS_ENV)
+        if not spec:
+            return None
+        return cls.from_spec(spec)
+
+
+def _delayed_call(delay_s: float, fn: Callable[..., Any], *args: Any) -> Any:
+    """Module-level delay trampoline (process pools must pickle it)."""
+    if delay_s > 0:
+        time.sleep(delay_s)
+    return fn(*args)
+
+
+class FaultInjectingTransport(Transport):
+    """Chaos wrapper over any transport: seeded crash/error/delay injection.
+
+    Each ``submit`` consumes exactly one draw from a private
+    ``random.Random(plan.seed)``, so under a fixed submission order the
+    injected fault sequence is fully determined by the plan — the
+    property the chaos CI leg and the determinism tests rely on.  The
+    ``injected`` log records ``(submission index, kind)`` pairs.
+    """
+
+    def __init__(self, inner: Transport, plan: FaultPlan) -> None:
+        self.inner = inner
+        self.plan = plan
+        self.name = f"chaos:{inner.name}"
+        self.injected: List[Tuple[int, str]] = []
+        self._rng = random.Random(plan.seed)
+        self._submissions = 0
+        self._lock = threading.Lock()
+
+    def _decide(self) -> str:
+        """One seeded dice roll → "crash" / "error" / "delay" / "pass"."""
+        plan = self.plan
+        capped = (
+            plan.max_faults is not None
+            and len(self.injected) >= plan.max_faults
+        )
+        index = self._submissions
+        self._submissions += 1
+        if capped:
+            return "pass"
+        roll = self._rng.random()
+        if roll < plan.crash_rate:
+            kind = "crash"
+        elif roll < plan.crash_rate + plan.error_rate:
+            kind = "error"
+        elif roll < plan.crash_rate + plan.error_rate + plan.delay_rate:
+            kind = "delay"
+        else:
+            return "pass"
+        self.injected.append((index, kind))
+        return kind
+
+    def submit(self, fn: Callable[..., Any], *args: Any) -> Future:
+        with self._lock:
+            kind = self._decide()
+        if kind == "crash":
+            future: Future = Future()
+            future.set_exception(
+                InjectedWorkerCrash("chaos: injected worker crash")
+            )
+            return future
+        if kind == "error":
+            future = Future()
+            future.set_exception(
+                InjectedTransientError("chaos: injected transient error")
+            )
+            return future
+        if kind == "delay":
+            return self.inner.submit(_delayed_call, self.plan.delay_s, fn, *args)
+        return self.inner.submit(fn, *args)
+
+    def recover(self, exc: BaseException) -> bool:
+        """Injected crashes never break the real pool; still let the
+        inner transport heal itself after a *real* breakage."""
+        if isinstance(exc, (InjectedWorkerCrash, InjectedTransientError)):
+            return False
+        return self.inner.recover(exc)
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FaultInjectingTransport({self.inner!r}, {self.plan!r})"

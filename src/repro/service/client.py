@@ -3,21 +3,48 @@
 Used by the examples, the CI service leg and the tests; kept
 dependency-free like everything else in the service.  Errors raised by
 the server arrive as :class:`ServiceClientError` carrying the parsed
-structured body (``code``/``message``/``field``), so callers branch on
-``error.code`` exactly as in-process facade callers branch on
-:class:`~repro.api.ApiError` subclasses.
+structured body (``code``/``message``/``retryable``/``field``), so
+callers branch on ``error.code`` exactly as in-process facade callers
+branch on :class:`~repro.api.ApiError` subclasses.
+
+Resilience: every request runs under the client's
+:class:`~repro.exec.resilience.RetryPolicy` — connection errors,
+timeouts and 5xx responses are retried with capped exponential backoff
+(a 503's ``Retry-After`` header overrides the computed delay), while
+4xx responses propagate immediately: they describe *this* request and
+re-sending it unchanged cannot succeed.  Re-sending a submission on a
+5xx is safe because ``POST /v1/runs`` is idempotent by construction —
+the run id is a fingerprint of the spec, and a duplicate submission
+joins or cache-hits the first.  ``wait()`` polls with deterministic
+seeded jitter so a fleet of clients does not thundering-herd the
+server in lockstep.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.parse
 import urllib.request
+from http.client import HTTPException
 from typing import Any, Dict, List, Mapping, Optional
 
+from repro.exec.resilience import RetryPolicy
+
 _TERMINAL_STATES = frozenset({"complete", "failed", "cancelled"})
+
+#: Connection-level failures worth retrying: the request may never have
+#: reached the server (or died under it), and a healthy listener can
+#: appear at any moment (e.g. mid-restart of ``repro-seu serve``).
+_CONNECTION_ERRORS = (urllib.error.URLError, HTTPException, ConnectionError, OSError)
+
+#: The client's default request policy: a few quick attempts, capped
+#: well under typical request timeouts.
+DEFAULT_CLIENT_RETRY = RetryPolicy(
+    max_attempts=4, base_delay_s=0.2, max_delay_s=5.0
+)
 
 
 class ServiceClientError(RuntimeError):
@@ -29,6 +56,8 @@ class ServiceClientError(RuntimeError):
         code: str,
         message: str,
         field: Optional[str] = None,
+        retryable: Optional[bool] = None,
+        retry_after_s: Optional[float] = None,
     ) -> None:
         detail = f" (field: {field})" if field else ""
         super().__init__(f"HTTP {status} [{code}]: {message}{detail}")
@@ -36,14 +65,26 @@ class ServiceClientError(RuntimeError):
         self.code = code
         self.message = message
         self.field = field
+        # The server's own verdict when the body carries one; status
+        # class otherwise (5xx: server-side, maybe transient).
+        self.retryable = (
+            bool(retryable) if retryable is not None else status >= 500
+        )
+        self.retry_after_s = retry_after_s
 
 
 class ServiceClient:
     """Talk to a :class:`~repro.service.http.RunServiceServer`."""
 
-    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 60.0,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retry = DEFAULT_CLIENT_RETRY if retry is None else retry
 
     # -- transport ----------------------------------------------------------
 
@@ -62,18 +103,46 @@ class ServiceClient:
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(
-            url, data=data, headers=headers, method=method
-        )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
-                return resp.read()
-        except urllib.error.HTTPError as exc:
-            body = exc.read()
-            raise self._structured_error(exc.code, body) from None
+        attempt = 0
+        while True:
+            request = urllib.request.Request(
+                url, data=data, headers=headers, method=method
+            )
+            try:
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout
+                ) as resp:
+                    return resp.read()
+            except urllib.error.HTTPError as exc:
+                body = exc.read()
+                error = self._structured_error(
+                    exc.code, body, exc.headers.get("Retry-After")
+                )
+                if not error.retryable:
+                    raise error from None
+                attempt += 1
+                if attempt >= self.retry.max_attempts:
+                    raise error from None
+                delay = self.retry.delay_s(attempt, key=f"{method}:{path}")
+                if error.retry_after_s is not None:
+                    delay = error.retry_after_s
+                time.sleep(delay)
+            except _CONNECTION_ERRORS:
+                attempt += 1
+                if attempt >= self.retry.max_attempts:
+                    raise
+                time.sleep(self.retry.delay_s(attempt, key=f"{method}:{path}"))
 
     @staticmethod
-    def _structured_error(status: int, body: bytes) -> ServiceClientError:
+    def _structured_error(
+        status: int, body: bytes, retry_after: Optional[str] = None
+    ) -> ServiceClientError:
+        retry_after_s: Optional[float] = None
+        if retry_after is not None:
+            try:
+                retry_after_s = float(retry_after)
+            except ValueError:
+                pass
         try:
             error = json.loads(body.decode("utf-8"))["error"]
             return ServiceClientError(
@@ -81,10 +150,15 @@ class ServiceClient:
                 code=str(error["code"]),
                 message=str(error["message"]),
                 field=error.get("field"),
+                retryable=error.get("retryable"),
+                retry_after_s=retry_after_s,
             )
         except (ValueError, KeyError, TypeError, UnicodeDecodeError):
             return ServiceClientError(
-                status, code="http-error", message=body.decode("utf-8", "replace")
+                status,
+                code="http-error",
+                message=body.decode("utf-8", "replace"),
+                retry_after_s=retry_after_s,
             )
 
     def _json(self, *args: Any, **kwargs: Any) -> Dict[str, Any]:
@@ -140,7 +214,13 @@ class ServiceClient:
         timeout: float = 300.0,
         poll_interval: float = 0.1,
     ) -> Dict[str, Any]:
-        """Poll until the run reaches a terminal state; return its status."""
+        """Poll until the run reaches a terminal state; return its status.
+
+        Poll intervals carry ±25% deterministic jitter (seeded from the
+        run id) so concurrent waiters spread their requests instead of
+        arriving in lockstep.
+        """
+        rng = random.Random(f"{self.retry.seed}:{run_id}")
         deadline = time.monotonic() + timeout
         while True:
             status = self.status(run_id)
@@ -151,4 +231,4 @@ class ServiceClient:
                     f"run {run_id} still {status.get('state')!r} "
                     f"after {timeout:.0f}s"
                 )
-            time.sleep(poll_interval)
+            time.sleep(poll_interval * (0.75 + 0.5 * rng.random()))

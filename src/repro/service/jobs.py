@@ -40,6 +40,18 @@ class QueueFullError(api.ApiError):
 
     code = "queue-full"
     http_status = 503
+    retryable = True
+    retry_after_s: Optional[float] = 1.0
+
+    def __init__(
+        self,
+        message: str,
+        field: Optional[str] = None,
+        retry_after_s: Optional[float] = None,
+    ) -> None:
+        super().__init__(message, field=field)
+        if retry_after_s is not None:
+            self.retry_after_s = retry_after_s
 
 
 @dataclass(frozen=True)
@@ -53,6 +65,11 @@ class ServiceConfig:
     is applied to submissions that do not pin an ``exec_plan`` of
     their own — it is an execution knob, outside the run identity, so
     it never affects dedup or results (the DAG determinism contract).
+    ``resume_orphans`` arms supervisor re-attach: on :meth:`start` the
+    manager adopts queued/running records whose previous owner died
+    and re-dispatches them (the store's fingerprint-keyed resume skips
+    their completed cells).  ``retry_after_s`` is the backoff hint a
+    full queue sends clients (the 503 ``Retry-After`` header).
     """
 
     store_root: str
@@ -60,12 +77,16 @@ class ServiceConfig:
     queue_size: int = 64
     transport: str = "thread"
     default_exec_plan: Optional[str] = "dag"
+    resume_orphans: bool = True
+    retry_after_s: float = 1.0
 
     def __post_init__(self) -> None:
         if self.max_concurrency < 1:
             raise ValueError("max_concurrency must be >= 1")
         if self.queue_size < 1:
             raise ValueError("queue_size must be >= 1")
+        if self.retry_after_s <= 0:
+            raise ValueError("retry_after_s must be positive")
 
 
 class JobManager:
@@ -83,6 +104,7 @@ class JobManager:
         self._executor: Optional[DagExecutor] = None
         self._workers: List[threading.Thread] = []
         self._closed = False
+        self._skip_queued = False
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -104,6 +126,38 @@ class JobManager:
             except Exception:
                 pass
             self._executor = DagExecutor.from_spec(self.config.transport)
+            adopted: List[str] = []
+            if self.config.resume_orphans:
+                # Supervisor re-attach: claim runs a dead server left
+                # queued/running and re-dispatch them.  Fingerprint-keyed
+                # resume makes this cheap — completed cells are read
+                # back, only missing ones execute.
+                try:
+                    adopted = api.reattach_pending(self.store_root)
+                except Exception as exc:  # pragma: no cover - defensive
+                    print(
+                        f"[service] orphan re-attach failed: "
+                        f"{type(exc).__name__}: {exc}",
+                        file=sys.stderr,
+                    )
+            for run_id in adopted:
+                try:
+                    self._queue.put_nowait(run_id)
+                except queue.Full:
+                    # Leave the rest queued on disk; a later restart
+                    # (or manual resubmission) picks them up.
+                    print(
+                        f"[service] queue full during re-attach; "
+                        f"run {run_id} stays queued on disk",
+                        file=sys.stderr,
+                    )
+                    break
+                self._active[run_id] = "queued"
+            if adopted:
+                print(
+                    f"[service] re-attached {len(adopted)} orphaned run(s)",
+                    file=sys.stderr,
+                )
             for index in range(self.config.max_concurrency):
                 worker = threading.Thread(
                     target=self._work,
@@ -114,12 +168,21 @@ class JobManager:
                 self._workers.append(worker)
         return self
 
-    def close(self) -> None:
-        """Drain the workers and shut the shared executor down."""
+    def close(self, execute_queued: bool = True) -> None:
+        """Drain the workers and shut the shared executor down.
+
+        ``execute_queued=True`` (the default) lets the workers finish
+        the whole backlog before stopping.  ``execute_queued=False`` is
+        the graceful-drain mode (SIGTERM): in-flight runs finish —
+        their cells are streaming to the store either way — but queued
+        runs are *skipped*, staying ``queued`` on disk for the next
+        boot's supervisor re-attach.
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
+            self._skip_queued = not execute_queued
             workers = list(self._workers)
         for _ in workers:
             self._queue.put(_SENTINEL)
@@ -176,7 +239,8 @@ class JobManager:
                 api.cancel_run(self.store_root, submission.run_id)
                 raise QueueFullError(
                     f"job queue is full ({self.config.queue_size} waiting); "
-                    "retry later"
+                    "retry later",
+                    retry_after_s=self.config.retry_after_s,
                 ) from None
             self._active[submission.run_id] = "queued"
         return submission
@@ -238,6 +302,11 @@ class JobManager:
                     return
                 run_id = str(item)
                 with self._lock:
+                    if self._skip_queued:
+                        # Graceful drain: leave the record queued on
+                        # disk for the next boot's re-attach.
+                        self._active.pop(run_id, None)
+                        continue
                     if self._active.get(run_id) != "queued":
                         self._active.pop(run_id, None)
                         continue  # cancelled while waiting

@@ -112,9 +112,20 @@ class TestRunSpecValidation:
             "code": "invalid-request",
             "message": "bad",
             "field": "seed",
+            "retryable": False,
         }
         assert api.UnknownRunError("gone").http_status == 404
         assert api.RunConflictError("busy").http_status == 409
+
+    def test_retryable_errors_carry_the_flag(self):
+        from repro.service.jobs import QueueFullError
+
+        assert not api.ValidationError("bad").retryable
+        assert not api.RunConflictError("busy").retryable
+        error = QueueFullError("full", retry_after_s=2.5)
+        assert error.retryable
+        assert error.retry_after_s == 2.5
+        assert error.to_dict()["retryable"] is True
 
 
 class TestRunIdentity:

@@ -6,11 +6,20 @@ client — against smoke-profile runs, so every test is an end-to-end
 submit → poll → fetch round trip.
 """
 
+import json
+import os
+import socket
+import subprocess
+import sys
 import threading
+import time
+import urllib.error
+import urllib.request
 
 import pytest
 
 from repro import api
+from repro.exec import RetryPolicy
 from repro.experiments.common import ExperimentProfile
 from repro.experiments.runner import run_experiment
 from repro.service import (
@@ -303,3 +312,310 @@ class TestHttpService:
         assert health["status"] == "ok"
         assert health["max_concurrency"] == 2
         assert "executor" in health
+
+# ---------------------------------------------------------------------------
+# Fault tolerance: orphan detection, supervisor re-attach, graceful drain.
+# ---------------------------------------------------------------------------
+
+
+def _dead_pid():
+    """A pid guaranteed to be dead: a child we spawned and reaped."""
+    child = subprocess.Popen([sys.executable, "-c", "pass"])
+    child.wait()
+    return child.pid
+
+
+def _orphan_record(store_root, run_id, state="running"):
+    """Rewrite a run record as if its owning server process died."""
+    run_dir = api._run_directory(store_root, run_id)
+    record = api._read_run_record(run_dir)
+    assert record is not None
+    record["state"] = state
+    record["owner"] = {
+        "pid": _dead_pid(),
+        "host": socket.gethostname(),
+        "attached_at": 0.0,
+    }
+    api._write_run_record(run_dir, record)
+
+
+class TestFaultTolerance:
+    def test_orphaned_running_run_reports_interrupted(self, tmp_path):
+        store = tmp_path / "svc"
+        submission = api.submit_run(FIG3, store, wait=False)
+        _orphan_record(store, submission.run_id, state="running")
+        status = api.run_status(store, submission.run_id)
+        assert status.state == api.INTERRUPTED_STATE
+        assert [s.state for s in api.list_runs(store)] == ["interrupted"]
+        # Derived, never written: the on-disk record still says running.
+        record = api._read_run_record(api._run_directory(store, submission.run_id))
+        assert record["state"] == "running"
+
+    def test_live_owner_is_not_interrupted(self, tmp_path):
+        store = tmp_path / "svc"
+        submission = api.submit_run(FIG3, store, wait=False)
+        run_dir = api._run_directory(store, submission.run_id)
+        record = api._read_run_record(run_dir)
+        record["state"] = "running"  # owner: this process, alive
+        api._write_run_record(run_dir, record)
+        assert api.run_status(store, submission.run_id).state == "running"
+
+    def test_submit_requeues_an_orphaned_run(self, tmp_path):
+        store = tmp_path / "svc"
+        first = api.submit_run(FIG3, store, wait=False)
+        _orphan_record(store, first.run_id, state="running")
+        again = api.submit_run(FIG3, store, wait=False)
+        assert again.run_id == first.run_id
+        assert again.scheduled is True  # requeued under this owner, not joined
+        record = api._read_run_record(api._run_directory(store, first.run_id))
+        assert record["state"] == "queued"
+        assert record["owner"]["pid"] == os.getpid()
+
+    def test_manager_start_reattaches_and_finishes_orphans(self, tmp_path):
+        store = tmp_path / "svc"
+        submission = api.submit_run(FIG3, store, wait=False)
+        _orphan_record(store, submission.run_id, state="running")
+        assert api.run_status(store, submission.run_id).state == "interrupted"
+        with _manager(tmp_path) as manager:
+            assert manager.wait_idle(timeout=240)
+            assert manager.status(submission.run_id).state == "complete"
+            _, direct = run_experiment("fig3", ExperimentProfile.smoke())
+            assert manager.report(submission.run_id) == direct + "\n"
+        # Nothing left to adopt once the run completed.
+        assert api.reattach_pending(store) == []
+
+    def test_resume_orphans_off_leaves_records_alone(self, tmp_path):
+        store = tmp_path / "svc"
+        submission = api.submit_run(FIG3, store, wait=False)
+        _orphan_record(store, submission.run_id, state="queued")
+        with _manager(tmp_path, resume_orphans=False) as manager:
+            assert manager.wait_idle(timeout=30)
+            assert manager.job_states() == {}
+        record = api._read_run_record(api._run_directory(store, submission.run_id))
+        assert record["state"] == "queued"
+
+    def test_graceful_drain_persists_queued_backlog(self, tmp_path, monkeypatch):
+        gate = threading.Event()
+        started = threading.Event()
+        executed = []
+        real = api.run_submitted
+
+        def gated(store_root, run_id, exec_plan=None):
+            executed.append(run_id)
+            started.set()
+            gate.wait(timeout=60)
+            return real(store_root, run_id, exec_plan=exec_plan)
+
+        monkeypatch.setattr(api, "run_submitted", gated)
+        manager = _manager(tmp_path, max_concurrency=1).start()
+        first = manager.submit(FIG3)
+        assert started.wait(timeout=30)
+        second = manager.submit(
+            {"experiment": "fig3", "profile": "smoke", "seed": 1}
+        )
+        # Begin the drain while the first run is still in flight, then
+        # release it: close() flags skip-queued before the worker can
+        # pop the backlog.
+        closer = threading.Thread(
+            target=lambda: manager.close(execute_queued=False)
+        )
+        closer.start()
+        deadline = time.monotonic() + 10
+        while not manager._closed and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert manager._closed
+        gate.set()
+        closer.join(timeout=240)
+        assert not closer.is_alive()
+        # The in-flight run finished; the queued one was skipped and its
+        # record persists as queued for the next boot.
+        assert executed == [first.run_id]
+        assert manager.status(first.run_id).state == "complete"
+        record = api._read_run_record(
+            api._run_directory(tmp_path / "svc", second.run_id)
+        )
+        assert record["state"] == "queued"
+        # "Next boot": doctor the owner to a dead pid (in production the
+        # drained server process is gone) and a fresh manager finishes it.
+        _orphan_record(tmp_path / "svc", second.run_id, state="queued")
+        with _manager(tmp_path) as fresh:
+            assert fresh.wait_idle(timeout=240)
+            assert fresh.status(second.run_id).state == "complete"
+
+    def test_queue_full_503_sends_retry_after_header(self, tmp_path, monkeypatch):
+        gate = threading.Event()
+        started = threading.Event()
+        real = api.run_submitted
+
+        def gated(store_root, run_id, exec_plan=None):
+            started.set()
+            gate.wait(timeout=60)
+            return real(store_root, run_id, exec_plan=exec_plan)
+
+        monkeypatch.setattr(api, "run_submitted", gated)
+        server = make_server(
+            ServiceConfig(
+                store_root=str(tmp_path / "svc"),
+                max_concurrency=1,
+                queue_size=1,
+                transport="serial",
+                retry_after_s=2.0,
+            )
+        )
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        try:
+            # Raw urllib: ServiceClient would retry the 503 away.
+            def post(seed):
+                body = json.dumps(
+                    {"experiment": "fig3", "profile": "smoke", "seed": seed}
+                ).encode("utf-8")
+                request = urllib.request.Request(
+                    f"http://127.0.0.1:{server.port}/v1/runs",
+                    data=body,
+                    headers={"Content-Type": "application/json"},
+                    method="POST",
+                )
+                urllib.request.urlopen(request, timeout=30).read()
+
+            post(0)
+            assert started.wait(timeout=30)  # worker busy on run 0
+            post(1)  # takes the single queue slot
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                post(2)
+            error = excinfo.value
+            assert error.code == 503
+            assert error.headers["Retry-After"] == "2"
+            payload = json.loads(error.read().decode("utf-8"))["error"]
+            assert payload["code"] == "queue-full"
+            assert payload["retryable"] is True
+        finally:
+            gate.set()
+            server.shutdown()
+            server.server_close()
+            server.manager.close()
+
+
+# ---------------------------------------------------------------------------
+# Client-side retries, against a scripted stub server.
+# ---------------------------------------------------------------------------
+
+
+def _scripted_server(script):
+    """An HTTP server answering GETs from ``script``; repeats the last entry.
+
+    Each entry is ``(status, extra headers, body bytes)``; ``calls``
+    records the request paths, so tests can count attempts.
+    """
+    from http.server import BaseHTTPRequestHandler, HTTPServer
+
+    calls = []
+
+    class Handler(BaseHTTPRequestHandler):
+        def do_GET(self):
+            status, headers, body = script[min(len(calls), len(script) - 1)]
+            calls.append(self.path)
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            for name, value in headers.items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, *args):
+            pass
+
+    server = HTTPServer(("127.0.0.1", 0), Handler)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    return server, calls
+
+
+_BUSY = json.dumps(
+    {"error": {"code": "queue-full", "message": "busy", "retryable": True}}
+).encode("utf-8")
+_OK = json.dumps({"status": "ok"}).encode("utf-8")
+_GONE = json.dumps(
+    {"error": {"code": "unknown-run", "message": "nope", "retryable": False}}
+).encode("utf-8")
+
+
+class TestClientRetries:
+    def _client(self, server, attempts=4):
+        return ServiceClient(
+            f"http://127.0.0.1:{server.server_address[1]}",
+            timeout=10.0,
+            retry=RetryPolicy(
+                max_attempts=attempts, base_delay_s=0.01, jitter=0.0
+            ),
+        )
+
+    def test_retries_retryable_503_until_success(self):
+        server, calls = _scripted_server(
+            [
+                (503, {"Retry-After": "0"}, _BUSY),
+                (503, {"Retry-After": "0"}, _BUSY),
+                (200, {}, _OK),
+            ]
+        )
+        try:
+            assert self._client(server).health() == {"status": "ok"}
+            assert len(calls) == 3
+        finally:
+            server.shutdown()
+
+    def test_gives_up_after_max_attempts(self):
+        server, calls = _scripted_server([(503, {"Retry-After": "0"}, _BUSY)])
+        try:
+            with pytest.raises(ServiceClientError) as excinfo:
+                self._client(server, attempts=2).health()
+            assert excinfo.value.status == 503
+            assert excinfo.value.retryable is True
+            assert len(calls) == 2
+        finally:
+            server.shutdown()
+
+    def test_4xx_never_retried(self):
+        server, calls = _scripted_server([(404, {}, _GONE)])
+        try:
+            with pytest.raises(ServiceClientError) as excinfo:
+                self._client(server).status("missing-000000000000")
+            assert excinfo.value.status == 404
+            assert excinfo.value.retryable is False
+            assert len(calls) == 1
+        finally:
+            server.shutdown()
+
+    def test_connection_errors_retried_then_raised(self):
+        # A port with no listener: every attempt fails to connect.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        client = ServiceClient(
+            f"http://127.0.0.1:{port}",
+            timeout=5.0,
+            retry=RetryPolicy(max_attempts=2, base_delay_s=0.01, jitter=0.0),
+        )
+        with pytest.raises(OSError):
+            client.health()
+
+    def test_wait_treats_interrupted_as_transient(self):
+        # A run interrupted by a server crash completes after re-attach;
+        # waiters must poll through the interruption, not give up.
+        interrupted = json.dumps({"run_id": "r", "state": "interrupted"}).encode()
+        complete = json.dumps({"run_id": "r", "state": "complete"}).encode()
+        server, calls = _scripted_server(
+            [(200, {}, interrupted), (200, {}, complete)]
+        )
+        try:
+            status = self._client(server).wait("r", timeout=30, poll_interval=0.01)
+            assert status["state"] == "complete"
+            assert len(calls) == 2
+        finally:
+            server.shutdown()
+
+    def test_retryable_defaults_follow_status_class(self):
+        assert ServiceClientError(500, "internal-error", "boom").retryable is True
+        assert ServiceClientError(404, "unknown-run", "gone").retryable is False
+        explicit = ServiceClientError(503, "queue-full", "x", retryable=False)
+        assert explicit.retryable is False
